@@ -1,0 +1,79 @@
+// Figure 1 — "The FCM Hierarchy": SW function sets partitioned into the
+// three-level hierarchy (processes / tasks / procedures) with vertical and
+// horizontal associations. The reproduction builds two SW function sets and
+// prints the tree; the benchmarks scale hierarchy construction and the
+// R1/R2 audit.
+#include "bench_util.h"
+#include "core/hierarchy.h"
+#include "graph/dot.h"
+
+namespace {
+
+using namespace fcm;
+using namespace fcm::core;
+
+FcmHierarchy build_function_sets(int sets, int tasks_per_set,
+                                 int procedures_per_task) {
+  FcmHierarchy h;
+  for (int s = 1; s <= sets; ++s) {
+    const FcmId process =
+        h.create("set" + std::to_string(s), Level::kProcess);
+    for (int t = 1; t <= tasks_per_set; ++t) {
+      const FcmId task = h.create_child(
+          process, "set" + std::to_string(s) + ".task" + std::to_string(t));
+      for (int f = 1; f <= procedures_per_task; ++f) {
+        h.create_child(task, h.get(task).name + ".proc" + std::to_string(f));
+      }
+    }
+  }
+  return h;
+}
+
+void print_tree(const FcmHierarchy& h, FcmId id, int depth) {
+  std::cout << std::string(static_cast<std::size_t>(depth) * 2, ' ')
+            << to_string(h.get(id).level) << "  " << h.get(id).name << '\n';
+  for (const FcmId child : h.children(id)) print_tree(h, child, depth + 1);
+}
+
+void print_reproduction() {
+  bench::banner("Figure 1: The FCM hierarchy (two SW function sets)");
+  const FcmHierarchy h = build_function_sets(2, 2, 2);
+  for (const FcmId root : h.at_level(Level::kProcess)) {
+    print_tree(h, root, 0);
+  }
+  h.audit();
+  std::cout << "audit: R1 (adjacent levels) and R2 (tree) hold for "
+            << h.size() << " FCMs\n";
+}
+
+void BM_BuildHierarchy(benchmark::State& state) {
+  const int sets = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_function_sets(sets, 4, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * sets * (1 + 4 + 16));
+}
+BENCHMARK(BM_BuildHierarchy)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_Audit(benchmark::State& state) {
+  const FcmHierarchy h =
+      build_function_sets(static_cast<int>(state.range(0)), 4, 4);
+  for (auto _ : state) {
+    h.audit();
+  }
+}
+BENCHMARK(BM_Audit)->Arg(8)->Arg(64);
+
+void BM_SiblingsQuery(benchmark::State& state) {
+  FcmHierarchy h = build_function_sets(1, 1, 64);
+  const FcmId task = h.at_level(Level::kTask).front();
+  const FcmId first = h.children(task).front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.siblings(first));
+  }
+}
+BENCHMARK(BM_SiblingsQuery);
+
+}  // namespace
+
+FCM_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,97 @@
+// Figure 2 — "Combining SW nodes": nodes 1..7, where combining nodes 1-4
+// hides their internal influences and folds their separate influences on a
+// common neighbor via Eq. 4 ("the influences of nodes 3 and 4 on node 5
+// must be combined"). The benchmarks time quotient-graph construction.
+#include "bench_util.h"
+#include "common/rng.h"
+#include "graph/quotient.h"
+
+namespace {
+
+using namespace fcm;
+using namespace fcm::graph;
+
+Digraph figure2_graph() {
+  Digraph g;
+  for (int i = 1; i <= 7; ++i) g.add_node(std::to_string(i));
+  // Internal influences among the cluster-to-be {1,2,3,4}.
+  g.add_edge(0, 1, 0.5);
+  g.add_edge(1, 2, 0.4);
+  g.add_edge(2, 3, 0.3);
+  g.add_edge(3, 0, 0.2);
+  // Influences of cluster members on the common neighbor 5 (Eq. 4 case).
+  g.add_edge(2, 4, 0.3);  // 3 -> 5
+  g.add_edge(3, 4, 0.2);  // 4 -> 5
+  // Influence on node 6 and from node 7.
+  g.add_edge(1, 5, 0.25);  // 2 -> 6
+  g.add_edge(6, 0, 0.15);  // 7 -> 1
+  return g;
+}
+
+void print_reproduction() {
+  bench::banner("Figure 2: Combining SW nodes 1..4 of a 7-node graph");
+  const Digraph g = figure2_graph();
+  std::cout << "before (" << g.edge_count() << " edges):\n";
+  bench::print_edges(g);
+
+  Partition partition = Partition::identity(7);
+  partition.merge(0, 1);
+  partition.merge(0, 2);
+  partition.merge(0, 3);
+  const Digraph q = quotient_graph(g, partition);
+
+  std::cout << "\nafter combining {1,2,3,4} (" << q.edge_count()
+            << " edges):\n";
+  bench::print_edges(q);
+  std::cout << "\ninternal influences disappeared; influence on node 5 "
+               "combined via Eq. 4:\n  1-(1-0.3)(1-0.2) = "
+            << 1.0 - 0.7 * 0.8 << '\n';
+}
+
+Digraph random_graph(std::size_t n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  Digraph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_node(std::to_string(i));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.uniform() < density) {
+        g.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(j),
+                   rng.uniform(0.05, 0.95));
+      }
+    }
+  }
+  return g;
+}
+
+void BM_QuotientGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Digraph g = random_graph(n, 0.3, 42);
+  Partition partition = Partition::identity(n);
+  // Halve the node count by pairing consecutive nodes.
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    partition.merge(static_cast<NodeIndex>(i),
+                    static_cast<NodeIndex>(i + 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quotient_graph(g, partition));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(g.edge_count()));
+}
+BENCHMARK(BM_QuotientGraph)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PartitionMerge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Partition partition = Partition::identity(n);
+    for (std::size_t i = 1; i < n; ++i) {
+      partition.merge(0, static_cast<NodeIndex>(i));
+    }
+    benchmark::DoNotOptimize(partition);
+  }
+}
+BENCHMARK(BM_PartitionMerge)->Arg(16)->Arg(256);
+
+}  // namespace
+
+FCM_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,74 @@
+// Figure 4 — "Illustrating influence in SW node linkage": p1 replicated
+// three times (TMR), p2/p3 duplexed, edges replicated across copies, and
+// replica pairs linked with influence-0 edges. "The total number of nodes
+// of this graph is now 12." Benchmarks time replication expansion.
+#include "bench_util.h"
+#include "core/example98.h"
+#include "mapping/swgraph.h"
+
+namespace {
+
+using namespace fcm;
+using namespace fcm::mapping;
+
+void print_reproduction() {
+  bench::banner("Figure 4: replication-expanded SW graph");
+  const core::example98::Instance instance = core::example98::make_instance();
+  const SwGraph sw = SwGraph::build(instance.hierarchy, instance.influence,
+                                    instance.processes);
+  std::cout << "nodes (" << sw.node_count() << "):\n  ";
+  for (const SwNode& node : sw.nodes()) std::cout << node.name << ' ';
+  std::cout << "\n\nreplica links (influence 0):\n";
+  for (const graph::Edge& e : sw.influence_graph().edges()) {
+    if (e.label == "replica") {
+      std::cout << "  " << sw.influence_graph().name(e.from) << " -- "
+                << sw.influence_graph().name(e.to) << "  0\n";
+    }
+  }
+  std::size_t influence_edges = 0;
+  for (const graph::Edge& e : sw.influence_graph().edges()) {
+    if (e.label != "replica") ++influence_edges;
+  }
+  std::cout << "\nreplicated influence edges: " << influence_edges
+            << " (from the 12 original Fig. 3 edges)\n";
+}
+
+void BM_ReplicationExpansion(benchmark::State& state) {
+  const core::example98::Instance instance = core::example98::make_instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SwGraph::build(
+        instance.hierarchy, instance.influence, instance.processes));
+  }
+}
+BENCHMARK(BM_ReplicationExpansion);
+
+void BM_ExpansionScales(benchmark::State& state) {
+  // N processes in a ring, all TMR: 3N nodes, 9 edges per original edge.
+  const int n = static_cast<int>(state.range(0));
+  core::FcmHierarchy hierarchy;
+  core::InfluenceModel influence;
+  std::vector<FcmId> processes;
+  for (int i = 0; i < n; ++i) {
+    core::Attributes attrs;
+    attrs.criticality = 5;
+    attrs.replication = 3;
+    const FcmId id = hierarchy.create("p" + std::to_string(i),
+                                      core::Level::kProcess, attrs);
+    processes.push_back(id);
+    influence.add_member(id, hierarchy.get(id).name);
+  }
+  for (int i = 0; i < n; ++i) {
+    influence.set_direct(processes[static_cast<std::size_t>(i)],
+                         processes[static_cast<std::size_t>((i + 1) % n)],
+                         Probability(0.3));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SwGraph::build(hierarchy, influence, processes));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 3);
+}
+BENCHMARK(BM_ExpansionScales)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+FCM_BENCH_MAIN(print_reproduction)

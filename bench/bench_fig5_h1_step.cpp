@@ -1,0 +1,62 @@
+// Figure 5 — "Using influence to combine the SW nodes to match the HW
+// resources": the didactic H1 steps on the unreplicated process graph —
+// combine {p1,p2,p3,p4} and {p7,p8}, then fold p5 into {p7,p8}, showing the
+// Eq. 4 edge combination 1-(1-Px)(1-Py) the figure annotates.
+#include "bench_util.h"
+#include "core/example98.h"
+#include "graph/quotient.h"
+
+namespace {
+
+using namespace fcm;
+using namespace fcm::graph;
+
+void print_reproduction() {
+  bench::banner("Figure 5: didactic H1 combination on the process graph");
+  const core::example98::Instance instance = core::example98::make_instance();
+  const Digraph g = instance.influence.to_graph();
+
+  // Stage 1: combine {p1,p2,p3,p4} and {p7,p8} (nodes are 0-indexed).
+  Partition stage1 = Partition::identity(8);
+  stage1.merge(0, 1);
+  stage1.merge(0, 2);
+  stage1.merge(0, 3);
+  stage1.merge(6, 7);
+  const Digraph q1 = quotient_graph(g, stage1);
+  std::cout << "stage 1 — clusters {p1,p2,p3,p4}, {p5}, {p6}, {p7,p8}:\n";
+  bench::print_edges(q1);
+
+  // Stage 2: fold p5 into {p7,p8}; p5's separate influences on p7 and p8
+  // combine via Eq. 4.
+  Partition stage2 = stage1;
+  stage2.merge(4, 6);
+  const Digraph q2 = quotient_graph(g, stage2);
+  std::cout << "\nstage 2 — p5 joins {p7,p8}:\n";
+  bench::print_edges(q2);
+  std::cout << "\nEq. 4 check: p5 -> {p7,p8} before merging was "
+               "1-(1-0.2)(1-0.2) = "
+            << 1.0 - 0.8 * 0.8 << " (edge disappeared inside the cluster)\n";
+}
+
+void BM_H1StepQuotient(benchmark::State& state) {
+  const core::example98::Instance instance = core::example98::make_instance();
+  const Digraph g = instance.influence.to_graph();
+  Partition partition = Partition::identity(8);
+  partition.merge(0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quotient_graph(g, partition));
+  }
+}
+BENCHMARK(BM_H1StepQuotient);
+
+void BM_ProbabilisticCombine(benchmark::State& state) {
+  const std::vector<double> weights{0.2, 0.2, 0.3, 0.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(combine_probabilistic(weights));
+  }
+}
+BENCHMARK(BM_ProbabilisticCombine);
+
+}  // namespace
+
+FCM_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,90 @@
+// Ablation — clustering heuristics compared on the §6 system: H1 (greedy
+// and round-paired), H2 (recursive min-cut), H3 (importance spheres),
+// Approach-B criticality pairing, and timing-ordered packing, scored on the
+// paper's three "good mapping" criteria plus Monte Carlo criticality loss.
+#include <iomanip>
+
+#include "bench_util.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "core/example98.h"
+#include "dependability/montecarlo.h"
+#include "mapping/planner.h"
+
+namespace {
+
+using namespace fcm;
+using namespace fcm::mapping;
+
+struct Setup {
+  core::example98::Instance instance = core::example98::make_instance();
+  HwGraph hw = HwGraph::complete(core::example98::kHwNodes);
+  IntegrationPlanner planner{instance.hierarchy, instance.influence,
+                             instance.processes, hw};
+};
+
+void print_reproduction() {
+  bench::banner(
+      "Ablation: clustering heuristics on the Section 6 system (6 HW nodes)");
+  Setup setup;
+  TextTable table({"heuristic", "cross-infl", "max-coloc-C", "crit-pairs",
+                   "score", "E[crit loss] @q=0.15"});
+  dependability::MissionModel mission;
+  mission.hw_failure = Probability(0.15);
+  mission.propagate = false;
+  mission.trials = 30'000;
+
+  for (const Heuristic h :
+       {Heuristic::kH1Greedy, Heuristic::kH1Rounds, Heuristic::kH2MinCut,
+        Heuristic::kH2StCut, Heuristic::kH3Importance,
+        Heuristic::kCriticalityPairing, Heuristic::kTimingOrdered}) {
+    try {
+      const Plan plan = setup.planner.plan(h, Approach::kAImportance);
+      const auto dep = dependability::evaluate_mapping(
+          setup.planner.sw_graph(), plan.clustering, plan.assignment,
+          setup.hw, mission, 42);
+      table.add_row({to_string(h), fmt(plan.quality.cross_node_influence),
+                     fmt(plan.quality.max_colocated_criticality, 0),
+                     std::to_string(plan.quality.critical_pairs_colocated),
+                     fmt(plan.quality.score()),
+                     fmt(dep.expected_criticality_loss)});
+    } catch (const FcmError& e) {
+      table.add_row({to_string(h), "infeasible", "-", "-", "-", e.what()});
+    }
+  }
+  std::cout << table.render();
+  std::cout << "\nexpected shape: H1 minimizes cross-node influence "
+               "(containment);\ncriticality pairing minimizes colocated "
+               "criticality and Monte Carlo loss.\n";
+}
+
+void BM_Heuristic(benchmark::State& state) {
+  Setup setup;
+  const auto h = static_cast<Heuristic>(state.range(0));
+  for (auto _ : state) {
+    try {
+      benchmark::DoNotOptimize(setup.planner.plan(h, Approach::kAImportance));
+    } catch (const FcmError&) {
+    }
+  }
+}
+BENCHMARK(BM_Heuristic)
+    ->Arg(static_cast<int>(Heuristic::kH1Greedy))
+    ->Arg(static_cast<int>(Heuristic::kH1Rounds))
+    ->Arg(static_cast<int>(Heuristic::kH2MinCut))
+    ->Arg(static_cast<int>(Heuristic::kH2StCut))
+    ->Arg(static_cast<int>(Heuristic::kH3Importance))
+    ->Arg(static_cast<int>(Heuristic::kCriticalityPairing))
+    ->Arg(static_cast<int>(Heuristic::kTimingOrdered));
+
+void BM_BestPlan(benchmark::State& state) {
+  Setup setup;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.planner.best_plan());
+  }
+}
+BENCHMARK(BM_BestPlan);
+
+}  // namespace
+
+FCM_BENCH_MAIN(print_reproduction)

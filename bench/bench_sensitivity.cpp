@@ -1,0 +1,91 @@
+// Ablation — survival curves across the failure-rate regime: containment-
+// driven H1 vs dispersion-driven criticality pairing on the §6 system.
+// The two "good mapping" philosophies of §5.3 trade places as the per-node
+// failure probability grows; `crossover_point` locates where.
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/example98.h"
+#include "dependability/sensitivity.h"
+#include "mapping/assignment.h"
+
+namespace {
+
+using namespace fcm;
+using namespace fcm::dependability;
+
+struct Mapped {
+  mapping::ClusteringResult clustering;
+  mapping::Assignment assignment;
+};
+
+struct Setup {
+  core::example98::Instance instance = core::example98::make_instance();
+  mapping::SwGraph sw = mapping::SwGraph::build(
+      instance.hierarchy, instance.influence, instance.processes);
+  mapping::HwGraph hw = mapping::HwGraph::complete(6);
+
+  Mapped make(bool criticality) {
+    mapping::ClusteringOptions options;
+    options.target_clusters = 6;
+    mapping::ClusterEngine engine(sw, options);
+    Mapped m;
+    m.clustering =
+        criticality ? engine.criticality_pairing() : engine.h1_greedy();
+    m.assignment = mapping::assign_by_importance(sw, m.clustering, hw);
+    return m;
+  }
+};
+
+void print_reproduction() {
+  bench::banner(
+      "Survival curves: H1 (containment) vs criticality pairing (dispersion)");
+  Setup setup;
+  const Mapped h1 = setup.make(false);
+  const Mapped crit = setup.make(true);
+
+  SweepOptions options;
+  options.hw_failure_points = {0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4};
+  options.mission.trials = 30'000;
+  options.mission.sw_fault = Probability(0.01);
+  options.mission.propagate = true;
+
+  const auto curve_h1 = survival_curve(setup.sw, h1.clustering,
+                                       h1.assignment, setup.hw, options);
+  const auto curve_crit = survival_curve(setup.sw, crit.clustering,
+                                         crit.assignment, setup.hw, options);
+
+  TextTable table({"q (per-node)", "H1 crit-surv", "pairing crit-surv",
+                   "H1 E[loss]", "pairing E[loss]"});
+  for (std::size_t i = 0; i < curve_h1.size(); ++i) {
+    table.add_row({fmt(curve_h1[i].hw_failure, 2),
+                   fmt(curve_h1[i].critical_survival),
+                   fmt(curve_crit[i].critical_survival),
+                   fmt(curve_h1[i].expected_criticality_loss, 2),
+                   fmt(curve_crit[i].expected_criticality_loss, 2)});
+  }
+  std::cout << table.render();
+  const double crossover = crossover_point(curve_h1, curve_crit);
+  if (crossover >= 0.0) {
+    std::cout << "\ncurves cross at q ~= " << fmt(crossover)
+              << ": below it containment wins, above it dispersion wins.\n";
+  } else {
+    std::cout << "\nno crossover in the sampled regime: one philosophy "
+                 "dominates throughout.\n";
+  }
+}
+
+void BM_SurvivalCurve(benchmark::State& state) {
+  Setup setup;
+  const Mapped m = setup.make(false);
+  SweepOptions options;
+  options.mission.trials = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(survival_curve(
+        setup.sw, m.clustering, m.assignment, setup.hw, options));
+  }
+}
+BENCHMARK(BM_SurvivalCurve)->Arg(1000)->Arg(10'000);
+
+}  // namespace
+
+FCM_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,56 @@
+// Table 1 — "Example attributes of SW modules": the eight processes p1..p8
+// with criticality (C), fault-tolerance replication (FT) and the timing
+// triple (EST, TCD, CT). Values are the DESIGN.md reconstruction; the
+// microbenchmarks time the attribute machinery behind the table.
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/example98.h"
+#include "core/importance.h"
+
+namespace {
+
+using namespace fcm;
+using namespace fcm::core;
+
+void print_reproduction() {
+  bench::banner("Table 1: Example attributes of SW modules");
+  TextTable table({"Process", "C", "FT", "EST", "TCD", "CT", "importance"});
+  for (const example98::ProcessSpec& spec : example98::table1()) {
+    const Attributes attrs = spec.to_attributes();
+    table.add_row({spec.name, std::to_string(spec.criticality),
+                   std::to_string(spec.replication),
+                   std::to_string(spec.est_ms), std::to_string(spec.tcd_ms),
+                   std::to_string(spec.ct_ms), fmt(importance(attrs))});
+  }
+  std::cout << table.render();
+  std::cout << "\n(EST/TCD/CT in ms; digits reconstructed — see DESIGN.md;"
+               "\n importance = weighted attribute sum of Section 5.1)\n";
+}
+
+void BM_AttributeCombine(benchmark::State& state) {
+  const Attributes a = example98::table1()[0].to_attributes();
+  const Attributes b = example98::table1()[4].to_attributes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(combine(a, b));
+  }
+}
+BENCHMARK(BM_AttributeCombine);
+
+void BM_Importance(benchmark::State& state) {
+  const Attributes attrs = example98::table1()[0].to_attributes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(importance(attrs));
+  }
+}
+BENCHMARK(BM_Importance);
+
+void BM_Table1Construction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(example98::make_instance());
+  }
+}
+BENCHMARK(BM_Table1Construction);
+
+}  // namespace
+
+FCM_BENCH_MAIN(print_reproduction)

@@ -1,0 +1,44 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary reproduces one table or figure of the paper: it first
+// prints the paper-shaped rows/series (the reproduction artifact recorded in
+// EXPERIMENTS.md), then runs google-benchmark microbenchmarks of the
+// machinery behind that artifact.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace fcm::bench {
+
+/// Prints a section banner.
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Prints a digraph's edges as "from -> to  weight" rows.
+inline void print_edges(const graph::Digraph& g) {
+  for (const graph::Edge& e : g.edges()) {
+    std::cout << "  " << g.name(e.from) << " -> " << g.name(e.to) << "  "
+              << e.weight;
+    if (!e.label.empty()) std::cout << "  [" << e.label << "]";
+    std::cout << '\n';
+  }
+}
+
+/// Standard main: print the reproduction, then run benchmarks.
+#define FCM_BENCH_MAIN(print_reproduction)              \
+  int main(int argc, char** argv) {                     \
+    print_reproduction();                               \
+    ::benchmark::Initialize(&argc, argv);               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();              \
+    ::benchmark::Shutdown();                            \
+    return 0;                                           \
+  }
+
+}  // namespace fcm::bench

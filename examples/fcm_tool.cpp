@@ -1,0 +1,191 @@
+// fcm_tool — a small command-line driver over the framework, operating on
+// the paper's §6 example system. Useful for exploring heuristics and
+// platform sizes without writing code:
+//
+//   fcm_tool plan  [--hw N] [--heuristic h1|h1r|h2|h3|crit|timing] [--approach a|b]
+//   fcm_tool table                       # print Table 1
+//   fcm_tool influence                   # print the Fig. 3 graph + roles
+//   fcm_tool separation [--order K]      # Eq. 3 separation matrix
+//   fcm_tool depend [--hw N] [--q P] [--trials N]
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "fcm.h"
+#include "core/report.h"
+#include "common/table.h"
+
+using namespace fcm;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoi(it->second);
+  }
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::string get(const std::string& key,
+                                std::string fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    args.options[key] = argv[i + 1];
+  }
+  return args;
+}
+
+int usage() {
+  std::cout <<
+      "usage: fcm_tool <command> [options]\n"
+      "  table                               print Table 1\n"
+      "  report                              full system report\n"
+      "  influence                           Fig. 3 graph + 4.2.4 roles\n"
+      "  separation [--order K]              Eq. 3 separation matrix\n"
+      "  plan [--hw N] [--heuristic H] [--approach a|b]\n"
+      "       H in {h1, h1r, h2, h3, crit, timing, best}\n"
+      "  depend [--hw N] [--q P] [--trials N]  Monte Carlo evaluation\n";
+  return 2;
+}
+
+mapping::Heuristic parse_heuristic(const std::string& name) {
+  if (name == "h1") return mapping::Heuristic::kH1Greedy;
+  if (name == "h1r") return mapping::Heuristic::kH1Rounds;
+  if (name == "h2") return mapping::Heuristic::kH2MinCut;
+  if (name == "h3") return mapping::Heuristic::kH3Importance;
+  if (name == "crit") return mapping::Heuristic::kCriticalityPairing;
+  if (name == "timing") return mapping::Heuristic::kTimingOrdered;
+  throw InvalidArgument("unknown heuristic: " + name);
+}
+
+int cmd_table() {
+  TextTable table({"Process", "C", "FT", "EST", "TCD", "CT"});
+  for (const auto& spec : core::example98::table1()) {
+    table.add_row({spec.name, std::to_string(spec.criticality),
+                   std::to_string(spec.replication),
+                   std::to_string(spec.est_ms), std::to_string(spec.tcd_ms),
+                   std::to_string(spec.ct_ms)});
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_report() {
+  const auto instance = core::example98::make_instance();
+  std::cout << core::system_report(instance.hierarchy, instance.influence);
+  return 0;
+}
+
+int cmd_influence() {
+  const auto instance = core::example98::make_instance();
+  const graph::Digraph g = instance.influence.to_graph();
+  for (const graph::Edge& e : g.edges()) {
+    std::cout << instance.influence.member_name(e.from) << " -> "
+              << instance.influence.member_name(e.to) << "  " << e.weight
+              << '\n';
+  }
+  std::cout << "\nroles (threshold 0.3):\n";
+  for (const auto& s : core::summarize_influence(instance.influence)) {
+    std::cout << "  " << s.name << "  out=" << fmt(s.out_influence)
+              << " in=" << fmt(s.in_influence) << "  "
+              << core::to_string(core::classify(s)) << '\n';
+  }
+  return 0;
+}
+
+int cmd_separation(const Args& args) {
+  const auto instance = core::example98::make_instance();
+  core::SeparationOptions options;
+  options.max_order = args.get_int("order", 6);
+  const core::SeparationAnalysis analysis(instance.influence, options);
+  std::vector<std::string> headers{"sep"};
+  for (int k = 1; k <= 8; ++k) headers.push_back("p" + std::to_string(k));
+  TextTable table(headers);
+  for (std::size_t i = 0; i < 8; ++i) {
+    std::vector<std::string> row{"p" + std::to_string(i + 1)};
+    for (std::size_t j = 0; j < 8; ++j) {
+      row.push_back(i == j ? "-" : fmt(analysis.separation(i, j).value(), 2));
+    }
+    table.add_row(row);
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  auto instance = core::example98::make_instance();
+  const mapping::HwGraph hw = mapping::HwGraph::complete(
+      args.get_int("hw", core::example98::kHwNodes));
+  mapping::IntegrationPlanner planner(instance.hierarchy, instance.influence,
+                                      instance.processes, hw);
+  const mapping::Approach approach = args.get("approach", "a") == "b"
+                                         ? mapping::Approach::kBLexicographic
+                                         : mapping::Approach::kAImportance;
+  const std::string name = args.get("heuristic", "best");
+  const mapping::Plan plan =
+      name == "best" ? planner.best_plan(approach)
+                     : planner.plan(parse_heuristic(name), approach);
+  std::cout << plan.report(planner.sw_graph(), hw);
+  return plan.quality.constraints_satisfied() ? 0 : 1;
+}
+
+int cmd_depend(const Args& args) {
+  auto instance = core::example98::make_instance();
+  const mapping::HwGraph hw = mapping::HwGraph::complete(
+      args.get_int("hw", core::example98::kHwNodes));
+  mapping::IntegrationPlanner planner(instance.hierarchy, instance.influence,
+                                      instance.processes, hw);
+  const mapping::Plan plan = planner.best_plan();
+  dependability::MissionModel mission;
+  mission.hw_failure = Probability(args.get_double("q", 0.05));
+  mission.trials =
+      static_cast<std::uint32_t>(args.get_int("trials", 20'000));
+  const auto report = dependability::evaluate_mapping(
+      planner.sw_graph(), plan.clustering, plan.assignment, hw, mission,
+      2026);
+  TextTable table({"process", "survival"});
+  for (std::size_t p = 0; p < report.process_survival.size(); ++p) {
+    table.add_row({"p" + std::to_string(p + 1),
+                   fmt(report.process_survival[p], 4)});
+  }
+  std::cout << table.render();
+  std::cout << "system survival:      " << fmt(report.system_survival, 4)
+            << "\ncritical survival:    " << fmt(report.critical_survival, 4)
+            << "\nE[criticality loss]:  "
+            << fmt(report.expected_criticality_loss, 3) << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "table") return cmd_table();
+    if (args.command == "report") return cmd_report();
+    if (args.command == "influence") return cmd_influence();
+    if (args.command == "separation") return cmd_separation(args);
+    if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "depend") return cmd_depend(args);
+    return usage();
+  } catch (const FcmError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

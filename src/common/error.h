@@ -1,0 +1,68 @@
+// Error types thrown by the framework.
+//
+// The framework reports contract violations (bad arguments, rule violations,
+// infeasible requests) via exceptions derived from `FcmError`, so callers can
+// distinguish framework failures from std library failures. `FCM_REQUIRE`
+// expresses preconditions (CppCoreGuidelines I.5/I.6 style).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fcm {
+
+/// Base class of all framework exceptions.
+class FcmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public FcmError {
+ public:
+  using FcmError::FcmError;
+};
+
+/// Thrown when an operation would violate an integration rule (R1..R5).
+class RuleViolation : public FcmError {
+ public:
+  RuleViolation(std::string rule, const std::string& detail)
+      : FcmError(rule + ": " + detail), rule_(std::move(rule)) {}
+
+  /// The rule identifier, e.g. "R2".
+  [[nodiscard]] const std::string& rule() const noexcept { return rule_; }
+
+ private:
+  std::string rule_;
+};
+
+/// Thrown when no feasible solution exists (e.g. unschedulable cluster,
+/// unmappable SW graph).
+class Infeasible : public FcmError {
+ public:
+  using FcmError::FcmError;
+};
+
+/// Thrown when an entity lookup fails.
+class NotFound : public FcmError {
+ public:
+  using FcmError::FcmError;
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw InvalidArgument(std::string("precondition failed: ") + expr + " at " +
+                        file + ":" + std::to_string(line) +
+                        (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+/// Precondition check; throws InvalidArgument when violated.
+#define FCM_REQUIRE(expr, msg)                                            \
+  do {                                                                    \
+    if (!(expr)) ::fcm::detail::require_failed(#expr, __FILE__, __LINE__, \
+                                               (msg));                    \
+  } while (false)
+
+}  // namespace fcm

@@ -1,0 +1,84 @@
+// Strong identifier types.
+//
+// Every entity in the framework (FCMs, processors, simulated jobs, ...) is
+// referred to by a small integer id. Mixing id spaces is a classic source of
+// silent bugs in graph/mapping code, so each id space gets its own distinct
+// type via a phantom tag. Ids are trivially copyable, totally ordered and
+// hashable, and expose their raw value only through `value()`.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace fcm {
+
+/// A strongly typed integer identifier. `Tag` is a phantom type that makes
+/// ids from different spaces non-interconvertible.
+template <typename Tag>
+class Id {
+ public:
+  using value_type = std::uint32_t;
+
+  /// Sentinel representing "no entity".
+  static constexpr Id invalid() noexcept { return Id{}; }
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  constexpr auto operator<=>(const Id&) const noexcept = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "#invalid";
+    return os << '#' << id.value();
+  }
+
+ private:
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+  value_type value_{kInvalid};
+};
+
+struct FcmTag {};
+struct ProcessorTag {};
+struct SwNodeTag {};
+struct HwNodeTag {};
+struct JobTag {};
+struct ChannelTag {};
+struct RegionTag {};
+struct FaultTag {};
+
+/// Identifier of a fault-containment module (any hierarchy level).
+using FcmId = Id<FcmTag>;
+/// Identifier of a physical (simulated) processor.
+using ProcessorId = Id<ProcessorTag>;
+/// Identifier of a node in the SW allocation graph (post-replication).
+using SwNodeId = Id<SwNodeTag>;
+/// Identifier of a node in the HW resource graph.
+using HwNodeId = Id<HwNodeTag>;
+/// Identifier of a simulated schedulable job.
+using JobId = Id<JobTag>;
+/// Identifier of a simulated message channel.
+using ChannelId = Id<ChannelTag>;
+/// Identifier of a simulated shared-memory region.
+using RegionId = Id<RegionTag>;
+/// Identifier of an injected fault instance.
+using FaultId = Id<FaultTag>;
+
+}  // namespace fcm
+
+namespace std {
+template <typename Tag>
+struct hash<fcm::Id<Tag>> {
+  size_t operator()(fcm::Id<Tag> id) const noexcept {
+    return std::hash<typename fcm::Id<Tag>::value_type>{}(id.value());
+  }
+};
+}  // namespace std

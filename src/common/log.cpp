@@ -1,0 +1,47 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace fcm {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::cerr << '[' << to_string(level) << "] " << message << '\n';
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& message) {
+      std::cerr << '[' << to_string(level) << "] " << message << '\n';
+    };
+  }
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  sink_(level, message);
+}
+
+}  // namespace fcm

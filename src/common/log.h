@@ -1,0 +1,70 @@
+// Minimal leveled logger.
+//
+// Library code logs through a process-local sink so tests can silence or
+// capture output. Logging is for diagnostics only; no framework behaviour
+// depends on it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace fcm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the textual name of a level ("DEBUG", "INFO", ...).
+const char* to_string(LogLevel level) noexcept;
+
+/// Global log configuration. Defaults: level kWarn, sink = stderr.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+  /// Replace the output sink (pass nullptr to restore the stderr default).
+  void set_sink(Sink sink);
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define FCM_LOG(lvl)                                          \
+  if (static_cast<int>(lvl) <                                 \
+      static_cast<int>(::fcm::Logger::instance().level())) {} \
+  else ::fcm::detail::LogLine(lvl)
+
+#define FCM_DEBUG() FCM_LOG(::fcm::LogLevel::kDebug)
+#define FCM_INFO() FCM_LOG(::fcm::LogLevel::kInfo)
+#define FCM_WARN() FCM_LOG(::fcm::LogLevel::kWarn)
+#define FCM_ERROR() FCM_LOG(::fcm::LogLevel::kError)
+
+}  // namespace fcm

@@ -1,0 +1,40 @@
+#include "common/probability.h"
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+
+#include "common/error.h"
+
+namespace fcm {
+
+Probability::Probability(double value) : p_(value) {
+  FCM_REQUIRE(value >= 0.0 && value <= 1.0,
+              "probability must be in [0,1], got " + std::to_string(value));
+}
+
+Probability Probability::clamped(double value) noexcept {
+  return Probability(std::clamp(value, 0.0, 1.0), Unchecked{});
+}
+
+Probability any_of(std::span<const Probability> factors) noexcept {
+  double none = 1.0;
+  for (const Probability p : factors) none *= 1.0 - p.value();
+  return Probability::clamped(1.0 - none);
+}
+
+Probability any_of(std::initializer_list<Probability> factors) noexcept {
+  return any_of(std::span<const Probability>(factors.begin(), factors.size()));
+}
+
+Probability all_of(std::span<const Probability> factors) noexcept {
+  double all = 1.0;
+  for (const Probability p : factors) all *= p.value();
+  return Probability::clamped(all);
+}
+
+std::ostream& operator<<(std::ostream& os, Probability p) {
+  return os << p.value();
+}
+
+}  // namespace fcm

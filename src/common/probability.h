@@ -1,0 +1,78 @@
+// Probability value type and the independence algebra used throughout the
+// influence/separation model of the paper.
+//
+// The paper composes fault probabilities under an independence assumption
+// (System Model, §2): per-factor probabilities multiply (Eq. 1), independent
+// factors combine as the complement of the product of complements (Eq. 2 and
+// Eq. 4). `Probability` makes those operations explicit and keeps values
+// clamped to [0,1] so rounding noise in long series never escapes the domain.
+#pragma once
+
+#include <compare>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+
+namespace fcm {
+
+/// A probability in [0,1]. Construction validates the range; arithmetic
+/// helpers implement the independence algebra of Eqs. 1, 2 and 4.
+class Probability {
+ public:
+  /// Zero probability (certain non-occurrence).
+  constexpr Probability() noexcept = default;
+
+  /// Validating constructor; throws InvalidArgument outside [0,1].
+  explicit Probability(double value);
+
+  /// Certain event.
+  static constexpr Probability one() noexcept {
+    return Probability(1.0, Unchecked{});
+  }
+  /// Impossible event.
+  static constexpr Probability zero() noexcept { return Probability{}; }
+
+  /// Clamp an arbitrary double into [0,1] (used for numeric series whose
+  /// truncation error can step slightly outside the domain).
+  static Probability clamped(double value) noexcept;
+
+  [[nodiscard]] constexpr double value() const noexcept { return p_; }
+
+  /// Complement 1 - p.
+  [[nodiscard]] constexpr Probability complement() const noexcept {
+    return Probability(1.0 - p_, Unchecked{});
+  }
+
+  /// Probability that both independent events occur: p * q (Eq. 1).
+  [[nodiscard]] constexpr Probability both(Probability q) const noexcept {
+    return Probability(p_ * q.p_, Unchecked{});
+  }
+
+  /// Probability that at least one of two independent events occurs:
+  /// 1 - (1-p)(1-q) (the combination step of Eq. 2 / Eq. 4).
+  [[nodiscard]] constexpr Probability either(Probability q) const noexcept {
+    return Probability(1.0 - (1.0 - p_) * (1.0 - q.p_), Unchecked{});
+  }
+
+  constexpr auto operator<=>(const Probability&) const noexcept = default;
+
+ private:
+  struct Unchecked {};
+  constexpr Probability(double value, Unchecked) noexcept : p_(value) {}
+
+  double p_ = 0.0;
+};
+
+/// 1 - Π (1 - p_k) over all factors: the "any independent factor fires"
+/// combination of Eq. 2 (influence from factor probabilities) and Eq. 4
+/// (cluster influence from member influences).
+[[nodiscard]] Probability any_of(std::span<const Probability> factors) noexcept;
+[[nodiscard]] Probability any_of(
+    std::initializer_list<Probability> factors) noexcept;
+
+/// Π p_k over all factors (joint occurrence of independent events).
+[[nodiscard]] Probability all_of(std::span<const Probability> factors) noexcept;
+
+std::ostream& operator<<(std::ostream& os, Probability p);
+
+}  // namespace fcm

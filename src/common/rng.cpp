@@ -1,0 +1,87 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fcm {
+
+namespace {
+constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept
+    : state_(0), inc_((stream << 1u) | 1u) {
+  (*this)();
+  state_ += seed;
+  (*this)();
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t old = state_;
+  state_ = old * kMultiplier + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> double in [0,1).
+  const std::uint64_t hi = (*this)();
+  const std::uint64_t lo = (*this)();
+  const std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint32_t Rng::below(std::uint32_t n) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint32_t threshold = (-n) % n;
+  for (;;) {
+    const std::uint64_t product =
+        static_cast<std::uint64_t>((*this)()) * static_cast<std::uint64_t>(n);
+    if (static_cast<std::uint32_t>(product) >= threshold) {
+      return static_cast<std::uint32_t>(product >> 32);
+    }
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint32_t>(hi - lo + 1);
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Rng::chance(Probability p) noexcept { return uniform() < p.value(); }
+
+double Rng::exponential(double rate) noexcept {
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+Rng Rng::fork() noexcept {
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  return Rng(seed, stream);
+}
+
+std::vector<std::uint32_t> sample_without_replacement(Rng& rng,
+                                                      std::uint32_t n,
+                                                      std::uint32_t k) {
+  FCM_REQUIRE(k <= n, "cannot sample more items than the population size");
+  std::vector<std::uint32_t> pool(n);
+  for (std::uint32_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher–Yates: after k swaps the prefix is the sample.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::uint32_t j = i + rng.below(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace fcm

@@ -1,0 +1,44 @@
+// Plain-text table rendering.
+//
+// The bench harness reproduces the paper's Table 1 and the node/edge listings
+// of Figs. 3–8 as aligned text tables; this tiny formatter keeps that output
+// consistent across binaries.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fcm {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   Process  C   FT
+  ///   -------  --  --
+  ///   p1       10  3
+  [[nodiscard]] std::string render() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& table);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `digits` fractional digits (default 3).
+std::string fmt(double value, int digits = 3);
+
+}  // namespace fcm

@@ -1,0 +1,15 @@
+#include "common/time.h"
+
+#include <ostream>
+
+namespace fcm {
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.count() << "us";
+}
+
+std::ostream& operator<<(std::ostream& os, Instant t) {
+  return os << "t+" << t.since_epoch().count() << "us";
+}
+
+}  // namespace fcm

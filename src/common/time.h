@@ -1,0 +1,110 @@
+// Fixed-point simulated time.
+//
+// The RT scheduling substrate and the platform simulator reason about
+// earliest start times (EST), task completion deadlines (TCD) and computation
+// times (CT) — the attribute triple of the paper's Table 1. Time is an
+// integer count of microsecond ticks: exact arithmetic, no floating-point
+// scheduling anomalies, and cheap total ordering for event queues.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+namespace fcm {
+
+/// A span of simulated time, in integer microsecond ticks. May be negative
+/// as an intermediate (e.g. slack computations) but most APIs require >= 0.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  static constexpr Duration ticks(std::int64_t n) noexcept {
+    return Duration(n);
+  }
+  static constexpr Duration micros(std::int64_t n) noexcept {
+    return Duration(n);
+  }
+  static constexpr Duration millis(std::int64_t n) noexcept {
+    return Duration(n * 1000);
+  }
+  static constexpr Duration seconds(std::int64_t n) noexcept {
+    return Duration(n * 1'000'000);
+  }
+  static constexpr Duration zero() noexcept { return Duration(0); }
+
+  [[nodiscard]] constexpr std::int64_t count() const noexcept { return t_; }
+  [[nodiscard]] constexpr double as_seconds() const noexcept {
+    return static_cast<double>(t_) / 1e6;
+  }
+
+  constexpr Duration operator+(Duration o) const noexcept {
+    return Duration(t_ + o.t_);
+  }
+  constexpr Duration operator-(Duration o) const noexcept {
+    return Duration(t_ - o.t_);
+  }
+  constexpr Duration operator*(std::int64_t k) const noexcept {
+    return Duration(t_ * k);
+  }
+  constexpr Duration& operator+=(Duration o) noexcept {
+    t_ += o.t_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) noexcept {
+    t_ -= o.t_;
+    return *this;
+  }
+  constexpr Duration operator-() const noexcept { return Duration(-t_); }
+
+  /// Integer division of two durations (e.g. utilization numerators).
+  constexpr std::int64_t operator/(Duration o) const noexcept {
+    return t_ / o.t_;
+  }
+
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t t) noexcept : t_(t) {}
+  std::int64_t t_ = 0;
+};
+
+/// An absolute point on the simulated timeline.
+class Instant {
+ public:
+  constexpr Instant() noexcept = default;
+
+  static constexpr Instant at(Duration since_epoch) noexcept {
+    return Instant(since_epoch);
+  }
+  static constexpr Instant epoch() noexcept { return Instant{}; }
+  /// A point later than every schedulable event (deadline "infinity").
+  static constexpr Instant distant_future() noexcept {
+    return Instant(Duration::ticks(INT64_MAX / 4));
+  }
+
+  [[nodiscard]] constexpr Duration since_epoch() const noexcept { return t_; }
+
+  constexpr Instant operator+(Duration d) const noexcept {
+    return Instant(t_ + d);
+  }
+  constexpr Instant operator-(Duration d) const noexcept {
+    return Instant(t_ - d);
+  }
+  constexpr Duration operator-(Instant o) const noexcept { return t_ - o.t_; }
+  constexpr Instant& operator+=(Duration d) noexcept {
+    t_ += d;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Instant&) const noexcept = default;
+
+ private:
+  constexpr explicit Instant(Duration t) noexcept : t_(t) {}
+  Duration t_{};
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, Instant t);
+
+}  // namespace fcm

@@ -1,0 +1,80 @@
+#include "core/attributes.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace fcm::core {
+
+sched::Job TimingSpec::to_job(JobId id, std::string name) const {
+  sched::Job job;
+  job.id = id;
+  job.name = std::move(name);
+  job.release = est;
+  job.deadline = tcd;
+  job.cost = ct;
+  return job;
+}
+
+sched::PeriodicTask TimingSpec::to_periodic_task(std::string name) const {
+  sched::PeriodicTask task;
+  task.name = std::move(name);
+  task.period = period.value();
+  task.deadline = tcd - est;
+  task.cost = ct;
+  task.offset = est - Instant::epoch();
+  return task;
+}
+
+bool TimingSpec::well_formed() const noexcept {
+  if (ct <= Duration::zero() || est + ct > tcd) return false;
+  if (period.has_value()) {
+    return *period > Duration::zero() && tcd - est <= *period;
+  }
+  return true;
+}
+
+TimingSpec TimingSpec::merged_with(const TimingSpec& other) const noexcept {
+  TimingSpec merged;
+  merged.est = std::min(est, other.est);
+  merged.tcd = std::min(tcd, other.tcd);
+  merged.ct = ct + other.ct;
+  if (period && other.period) {
+    merged.period = std::min(*period, *other.period);  // fastest rate wins
+  } else {
+    merged.period = period ? period : other.period;
+  }
+  return merged;
+}
+
+std::ostream& operator<<(std::ostream& os, const TimingSpec& spec) {
+  return os << '<' << spec.est.since_epoch().count() << ','
+            << spec.tcd.since_epoch().count() << ',' << spec.ct.count()
+            << '>';
+}
+
+Attributes combine(const Attributes& a, const Attributes& b) {
+  Attributes result;
+  result.criticality = std::max(a.criticality, b.criticality);
+  result.replication = std::max(a.replication, b.replication);
+  result.security = std::max(a.security, b.security);
+  result.throughput = a.throughput + b.throughput;
+  result.comm_rate = a.comm_rate + b.comm_rate;
+  if (a.timing && b.timing) {
+    result.timing = a.timing->merged_with(*b.timing);
+  } else {
+    result.timing = a.timing ? a.timing : b.timing;
+  }
+  result.required_resources = a.required_resources;
+  result.required_resources.insert(b.required_resources.begin(),
+                                   b.required_resources.end());
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Attributes& attrs) {
+  os << "{C=" << attrs.criticality << " FT=" << attrs.replication;
+  if (attrs.timing) os << " timing=" << *attrs.timing;
+  os << " thr=" << attrs.throughput << " sec=" << attrs.security << '}';
+  return os;
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,108 @@
+// FCM attributes and their combination rules.
+//
+// "Each FCM has an associated set of attributes, such as criticality, fault
+// tolerance requirements, timing constraints, and throughput. When SW FCMs
+// are integrated, their associated attributes also need to be combined.
+// Although different attributes get combined differently, the resulting FCM
+// will usually have the most stringent component values (e.g. max
+// criticality, min deadline), or an aggregate (e.g., sum of throughputs)."
+// (paper §4.3)
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "common/time.h"
+#include "sched/job.h"
+
+namespace fcm::core {
+
+/// Application criticality, higher = more critical (the paper's `C` column).
+/// Dimensionless ordinal scale; only order and weighted sums are used.
+using Criticality = std::int32_t;
+
+/// Fault-tolerance requirement expressed as the number of concurrent
+/// replicas the module must run with (the paper's `FT` column): 1 = simplex,
+/// 2 = duplex, 3 = TMR.
+using ReplicationDegree = std::int32_t;
+
+/// Security classification level; combined by max (high water mark).
+using SecurityLevel = std::int32_t;
+
+/// The paper's Table 1 timing triple: earliest start time, task completion
+/// deadline, computation time. An optional period generalizes the one-shot
+/// triple to a recurring activity (release k at EST + k·period, deadline
+/// TCD + k·period), matching the platform simulator's workload model.
+struct TimingSpec {
+  Instant est;   ///< earliest start time (first release when periodic)
+  Instant tcd;   ///< task completion deadline (absolute, first instance)
+  Duration ct;   ///< computation time
+  std::optional<Duration> period;  ///< recurrence; nullopt = one-shot
+
+  /// A one-shot triple (the Table 1 model).
+  static TimingSpec one_shot(Instant est, Instant tcd, Duration ct) {
+    return TimingSpec{est, tcd, ct, std::nullopt};
+  }
+  /// A periodic activity: first release at `est`, deadline `tcd`, then
+  /// every `period`.
+  static TimingSpec periodic(Instant est, Instant tcd, Duration ct,
+                             Duration period) {
+    return TimingSpec{est, tcd, ct, period};
+  }
+
+  [[nodiscard]] bool is_periodic() const noexcept {
+    return period.has_value();
+  }
+
+  /// Converts to a scheduling job for feasibility analysis (first instance
+  /// when periodic).
+  [[nodiscard]] sched::Job to_job(JobId id, std::string name) const;
+
+  /// Converts to the periodic task model; requires is_periodic().
+  [[nodiscard]] sched::PeriodicTask to_periodic_task(std::string name) const;
+
+  /// est + ct <= tcd, ct > 0, and (when periodic) relative deadline within
+  /// the period (constrained-deadline model).
+  [[nodiscard]] bool well_formed() const noexcept;
+
+  /// The most stringent combination: min EST (earliest demand on the
+  /// processor), min TCD, summed CT. Used when two FCMs *merge* into one
+  /// schedulable unit; grouped FCMs instead keep their individual triples.
+  [[nodiscard]] TimingSpec merged_with(const TimingSpec& other) const noexcept;
+
+  auto operator<=>(const TimingSpec&) const noexcept = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const TimingSpec& spec);
+
+/// The attribute record attached to every FCM.
+struct Attributes {
+  Criticality criticality = 0;
+  ReplicationDegree replication = 1;
+  std::optional<TimingSpec> timing;
+  /// Sustained output demand, in messages (or KB) per second; aggregates.
+  double throughput = 0.0;
+  SecurityLevel security = 0;
+  /// Mean communication rate with the environment, used for dilation-aware
+  /// HW mapping; aggregates.
+  double comm_rate = 0.0;
+  /// Named special HW resources this module must be collocated with (e.g.
+  /// "sensor-bus"); the §6 tradeoff "need for a resource present on only one
+  /// processor". Combined by union.
+  std::set<std::string> required_resources;
+
+  auto operator<=>(const Attributes&) const noexcept = default;
+};
+
+/// Combines attributes of FCMs being integrated per §4.3: most stringent
+/// where attributes constrain (max criticality / replication / security,
+/// merged timing), aggregate where they accumulate (throughput, comm rate).
+Attributes combine(const Attributes& a, const Attributes& b);
+
+std::ostream& operator<<(std::ostream& os, const Attributes& attrs);
+
+}  // namespace fcm::core

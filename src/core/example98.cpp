@@ -1,0 +1,74 @@
+#include "core/example98.h"
+
+#include "common/error.h"
+
+namespace fcm::core::example98 {
+
+Attributes ProcessSpec::to_attributes() const {
+  Attributes attrs;
+  attrs.criticality = criticality;
+  attrs.replication = replication;
+  TimingSpec timing;
+  timing.est = Instant::epoch() + Duration::millis(est_ms);
+  timing.tcd = Instant::epoch() + Duration::millis(tcd_ms);
+  timing.ct = Duration::millis(ct_ms);
+  attrs.timing = timing;
+  return attrs;
+}
+
+const std::vector<ProcessSpec>& table1() {
+  static const std::vector<ProcessSpec> kTable{
+      //   name  C  FT  EST TCD CT
+      {"p1", 10, 3, 0, 50, 5},
+      {"p2", 8, 2, 1, 9, 3},
+      {"p3", 7, 2, 0, 5, 3},
+      {"p4", 5, 1, 0, 10, 5},
+      {"p5", 4, 1, 2, 6, 4},
+      {"p6", 3, 1, 4, 45, 6},
+      {"p7", 2, 1, 10, 60, 8},
+      {"p8", 1, 1, 12, 70, 8},
+  };
+  return kTable;
+}
+
+const std::vector<InfluenceEdge>& figure3_edges() {
+  static const std::vector<InfluenceEdge> kEdges{
+      {"p1", "p2", 0.7}, {"p2", "p1", 0.6},  // highest mutual pair (1.3)
+      {"p2", "p3", 0.5}, {"p3", "p2", 0.3},  // second (0.8)
+      {"p7", "p8", 0.7},                     // third (0.7)
+      {"p1", "p4", 0.2},
+      {"p4", "p5", 0.3},
+      {"p5", "p7", 0.2}, {"p5", "p8", 0.2},
+      {"p3", "p6", 0.2},
+      {"p6", "p5", 0.1},
+      {"p6", "p1", 0.1},
+  };
+  return kEdges;
+}
+
+FcmId Instance::process(int k) const {
+  FCM_REQUIRE(k >= 1 && k <= static_cast<int>(processes.size()),
+              "process index out of range");
+  return processes[static_cast<std::size_t>(k - 1)];
+}
+
+Instance make_instance() {
+  Instance instance;
+  for (const ProcessSpec& spec : table1()) {
+    const FcmId id = instance.hierarchy.create(spec.name, Level::kProcess,
+                                               spec.to_attributes());
+    instance.processes.push_back(id);
+    instance.influence.add_member(id, spec.name);
+  }
+  for (const InfluenceEdge& edge : figure3_edges()) {
+    FcmId from, to;
+    for (std::size_t i = 0; i < table1().size(); ++i) {
+      if (table1()[i].name == edge.from) from = instance.processes[i];
+      if (table1()[i].name == edge.to) to = instance.processes[i];
+    }
+    instance.influence.set_direct(from, to, Probability(edge.weight));
+  }
+  return instance;
+}
+
+}  // namespace fcm::core::example98

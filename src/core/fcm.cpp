@@ -1,0 +1,67 @@
+#include "core/fcm.h"
+
+#include <ostream>
+
+#include "common/error.h"
+
+namespace fcm::core {
+
+Level parent_level(Level level) {
+  switch (level) {
+    case Level::kProcedure:
+      return Level::kTask;
+    case Level::kTask:
+      return Level::kProcess;
+    case Level::kProcess:
+      throw InvalidArgument("processes are the top of the FCM hierarchy");
+  }
+  throw InvalidArgument("unknown level");
+}
+
+Level child_level(Level level) {
+  switch (level) {
+    case Level::kProcess:
+      return Level::kTask;
+    case Level::kTask:
+      return Level::kProcedure;
+    case Level::kProcedure:
+      throw InvalidArgument("procedures are the bottom of the FCM hierarchy");
+  }
+  throw InvalidArgument("unknown level");
+}
+
+const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kProcedure:
+      return "procedure";
+    case Level::kTask:
+      return "task";
+    case Level::kProcess:
+      return "process";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Level level) {
+  return os << to_string(level);
+}
+
+const char* Fcm::fault_class() const noexcept {
+  switch (level) {
+    case Level::kProcedure:
+      return "erroneous data via variables or return values";
+    case Level::kTask:
+      return "shared data/memory, message and timing faults within a process";
+    case Level::kProcess:
+      return "shared HW resource faults (memory footprints, scheduling, "
+             "communication)";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Fcm& fcm) {
+  return os << to_string(fcm.level) << ' ' << fcm.name << ' ' << fcm.id << ' '
+            << fcm.attributes;
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,54 @@
+// The fault-containment module (FCM) entity.
+//
+// "To reduce the complexity of the dependable SW composition problem, it is
+// desirable to have SW partitioned into fault containment modules (FCMs),
+// which have associated characteristics, and interact in a desired manner."
+// (paper §1.2). The hierarchy has exactly three levels (§3): procedures,
+// tasks, processes — chosen deliberately by the authors; the level enum
+// leaves arithmetic room for extensions (e.g. the object/class level the
+// paper footnotes for OO designs).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/ids.h"
+#include "core/attributes.h"
+#include "core/isolation.h"
+
+namespace fcm::core {
+
+/// The three FCM hierarchy levels of Fig. 1, ordered bottom-up.
+enum class Level : std::int8_t {
+  kProcedure = 0,  ///< lowest: named callable module, no own thread
+  kTask = 1,       ///< middle: lightweight thread, own stack and PC
+  kProcess = 2,    ///< top: heavyweight process, own code and data
+};
+
+/// The level directly above, e.g. procedures integrate into tasks.
+/// Throws InvalidArgument at the top of the hierarchy.
+Level parent_level(Level level);
+
+/// The level directly below. Throws InvalidArgument at the bottom.
+Level child_level(Level level);
+
+const char* to_string(Level level) noexcept;
+std::ostream& operator<<(std::ostream& os, Level level);
+
+/// One fault-containment module. FCMs are value-ish records owned by an
+/// FcmHierarchy; identity is the FcmId.
+struct Fcm {
+  FcmId id;
+  std::string name;
+  Level level = Level::kProcedure;
+  Attributes attributes;
+  /// The isolation techniques applied at this FCM's boundary.
+  IsolationConfig isolation;
+
+  /// Fault classes handled at this level per §3.1–3.3 (diagnostic label).
+  [[nodiscard]] const char* fault_class() const noexcept;
+};
+
+std::ostream& operator<<(std::ostream& os, const Fcm& fcm);
+
+}  // namespace fcm::core

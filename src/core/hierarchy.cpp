@@ -1,0 +1,226 @@
+#include "core/hierarchy.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/algorithms.h"
+
+namespace fcm::core {
+
+FcmId FcmHierarchy::create(std::string name, Level level,
+                           Attributes attributes,
+                           IsolationConfig isolation) {
+  FCM_REQUIRE(!name.empty(), "FCM name must not be empty");
+  Slot slot;
+  slot.fcm.id = FcmId(static_cast<std::uint32_t>(slots_.size()));
+  slot.fcm.name = std::move(name);
+  slot.fcm.level = level;
+  slot.fcm.attributes = attributes;
+  slot.fcm.isolation = std::move(isolation);
+  slots_.push_back(std::move(slot));
+  return slots_.back().fcm.id;
+}
+
+FcmId FcmHierarchy::create_child(FcmId parent, std::string name,
+                                 Attributes attributes,
+                                 IsolationConfig isolation) {
+  const Level level = child_level(get(parent).level);
+  const FcmId id =
+      create(std::move(name), level, attributes, std::move(isolation));
+  attach(id, parent);
+  return id;
+}
+
+FcmHierarchy::Slot& FcmHierarchy::slot(FcmId id) {
+  if (!id.valid() || id.value() >= slots_.size()) {
+    throw NotFound("unknown FCM id");
+  }
+  Slot& s = slots_[id.value()];
+  if (s.dead) throw NotFound("FCM " + s.fcm.name + " was merged away");
+  return s;
+}
+
+const FcmHierarchy::Slot& FcmHierarchy::slot(FcmId id) const {
+  return const_cast<FcmHierarchy*>(this)->slot(id);
+}
+
+void FcmHierarchy::attach(FcmId child, FcmId parent) {
+  Slot& c = slot(child);
+  Slot& p = slot(parent);
+  if (c.parent.valid()) {
+    throw RuleViolation(
+        "R2", "FCM " + c.fcm.name + " already has a parent; the integration "
+              "DAG must remain a tree (duplicate the FCM instead)");
+  }
+  if (parent_level(c.fcm.level) != p.fcm.level) {
+    throw RuleViolation(
+        "R1", "a " + std::string(to_string(c.fcm.level)) +
+                  " can only be integrated into a " +
+                  to_string(parent_level(c.fcm.level)) + ", not a " +
+                  to_string(p.fcm.level));
+  }
+  c.parent = parent;
+  p.children.push_back(child);
+}
+
+bool FcmHierarchy::alive(FcmId id) const noexcept {
+  return id.valid() && id.value() < slots_.size() &&
+         !slots_[id.value()].dead;
+}
+
+const Fcm& FcmHierarchy::get(FcmId id) const { return slot(id).fcm; }
+
+Fcm& FcmHierarchy::get_mutable(FcmId id) { return slot(id).fcm; }
+
+FcmId FcmHierarchy::parent(FcmId id) const { return slot(id).parent; }
+
+const std::vector<FcmId>& FcmHierarchy::children(FcmId id) const {
+  return slot(id).children;
+}
+
+std::vector<FcmId> FcmHierarchy::siblings(FcmId id) const {
+  const Slot& s = slot(id);
+  std::vector<FcmId> result;
+  if (s.parent.valid()) {
+    for (const FcmId sibling : slot(s.parent).children) {
+      if (sibling != id) result.push_back(sibling);
+    }
+  } else {
+    // Roots at the same level are siblings under the conceptual system root.
+    for (const Slot& other : slots_) {
+      if (other.dead || other.fcm.id == id) continue;
+      if (!other.parent.valid() && other.fcm.level == s.fcm.level) {
+        result.push_back(other.fcm.id);
+      }
+    }
+  }
+  return result;
+}
+
+FcmId FcmHierarchy::root_of(FcmId id) const {
+  FcmId current = id;
+  while (slot(current).parent.valid()) current = slot(current).parent;
+  return current;
+}
+
+std::vector<FcmId> FcmHierarchy::at_level(Level level) const {
+  std::vector<FcmId> result;
+  for (const Slot& s : slots_) {
+    if (!s.dead && s.fcm.level == level) result.push_back(s.fcm.id);
+  }
+  return result;
+}
+
+std::vector<FcmId> FcmHierarchy::all() const {
+  std::vector<FcmId> result;
+  for (const Slot& s : slots_) {
+    if (!s.dead) result.push_back(s.fcm.id);
+  }
+  return result;
+}
+
+std::vector<FcmId> FcmHierarchy::descendants(FcmId id) const {
+  std::vector<FcmId> result;
+  std::vector<FcmId> work{id};
+  while (!work.empty()) {
+    const FcmId current = work.back();
+    work.pop_back();
+    for (const FcmId child : slot(current).children) {
+      result.push_back(child);
+      work.push_back(child);
+    }
+  }
+  return result;
+}
+
+FcmId FcmHierarchy::clone_subtree(FcmId source, FcmId new_parent) {
+  const Fcm original = get(source);  // copy before slots_ may reallocate
+  ++clone_counter_;
+  const FcmId copy =
+      create(original.name + ".dup" + std::to_string(clone_counter_),
+             original.level, original.attributes, original.isolation);
+  attach(copy, new_parent);
+  // Children vector is copied up front: create() below invalidates the
+  // reference returned by children().
+  const std::vector<FcmId> kids = children(source);
+  for (const FcmId child : kids) clone_subtree(child, copy);
+  return copy;
+}
+
+FcmId FcmHierarchy::absorb_sibling(FcmId a, FcmId b,
+                                   const std::string& merged_name) {
+  FCM_REQUIRE(a != b, "cannot merge an FCM with itself");
+  // Validate before mutating.
+  {
+    const Slot& sa = slot(a);
+    const Slot& sb = slot(b);
+    FCM_REQUIRE(sa.fcm.level == sb.fcm.level,
+                "merge requires FCMs at the same level");
+  }
+  const std::vector<FcmId> kids = children(b);
+  for (const FcmId child : kids) {
+    Slot& c = slot(child);
+    c.parent = a;
+    slot(a).children.push_back(child);
+  }
+  Slot& sb = slot(b);
+  Slot& sa = slot(a);
+  sa.fcm.attributes = combine(sa.fcm.attributes, sb.fcm.attributes);
+  sa.fcm.name = merged_name.empty() ? sa.fcm.name + "+" + sb.fcm.name
+                                    : merged_name;
+  // Unlink b from its parent and tombstone it.
+  if (sb.parent.valid()) {
+    auto& parent_children = slot(sb.parent).children;
+    std::erase(parent_children, b);
+  }
+  sb.children.clear();
+  sb.dead = true;
+  return a;
+}
+
+graph::Digraph FcmHierarchy::structure_graph() const {
+  graph::Digraph g;
+  std::vector<std::int64_t> node_of(slots_.size(), -1);
+  for (const Slot& s : slots_) {
+    if (s.dead) continue;
+    node_of[s.fcm.id.value()] =
+        static_cast<std::int64_t>(g.add_node(s.fcm.name));
+  }
+  for (const Slot& s : slots_) {
+    if (s.dead || !s.parent.valid()) continue;
+    g.add_edge(
+        static_cast<graph::NodeIndex>(node_of[s.parent.value()]),
+        static_cast<graph::NodeIndex>(node_of[s.fcm.id.value()]), 1.0);
+  }
+  return g;
+}
+
+void FcmHierarchy::audit() const {
+  for (const Slot& s : slots_) {
+    if (s.dead) continue;
+    if (s.parent.valid()) {
+      const Slot& p = slot(s.parent);
+      FCM_REQUIRE(parent_level(s.fcm.level) == p.fcm.level,
+                  "R1 violated for " + s.fcm.name);
+      const auto& siblings = p.children;
+      FCM_REQUIRE(std::count(siblings.begin(), siblings.end(), s.fcm.id) == 1,
+                  "parent/child link inconsistency for " + s.fcm.name);
+    }
+    for (const FcmId child : s.children) {
+      FCM_REQUIRE(slot(child).parent == s.fcm.id,
+                  "child link inconsistency under " + s.fcm.name);
+    }
+  }
+  FCM_REQUIRE(graph::is_in_forest(structure_graph()),
+              "R2 violated: integration DAG is not a tree/forest");
+}
+
+std::size_t FcmHierarchy::size() const noexcept {
+  std::size_t count = 0;
+  for (const Slot& s : slots_) {
+    if (!s.dead) ++count;
+  }
+  return count;
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,110 @@
+// The FCM hierarchy: rules R1 and R2 enforced structurally.
+//
+// R1: "Any number of FCMs at one level can be integrated to form an FCM at
+//      the next higher level" — attach() admits any child count but checks
+//      levels are adjacent.
+// R2: "The integration DAG is a tree" — attach() rejects a second parent,
+//      so sharing a lower-level FCM between parents is impossible by
+//      construction; reuse requires explicit duplication (clone_subtree).
+//
+// FCMs removed by merging remain as tombstones so historical ids stay
+// resolvable in integration logs.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fcm.h"
+#include "graph/digraph.h"
+
+namespace fcm::core {
+
+/// Owns all FCMs of one system design and their parent/child structure.
+class FcmHierarchy {
+ public:
+  FcmHierarchy() = default;
+
+  /// Creates a new root FCM (no parent yet) and returns its id.
+  FcmId create(std::string name, Level level, Attributes attributes = {},
+               IsolationConfig isolation = {});
+
+  /// Convenience: create at the given level and immediately attach.
+  FcmId create_child(FcmId parent, std::string name,
+                     Attributes attributes = {},
+                     IsolationConfig isolation = {});
+
+  /// Groups `child` under `parent` (the paper's *grouping* composition).
+  /// Enforces R1 (adjacent levels) and R2 (single parent). Throws
+  /// RuleViolation on violations.
+  void attach(FcmId child, FcmId parent);
+
+  /// Whether the id refers to a live (non-merged-away) FCM.
+  [[nodiscard]] bool alive(FcmId id) const noexcept;
+
+  /// The FCM record; throws NotFound for dead/unknown ids.
+  [[nodiscard]] const Fcm& get(FcmId id) const;
+  [[nodiscard]] Fcm& get_mutable(FcmId id);
+
+  /// Parent id, or invalid id for roots.
+  [[nodiscard]] FcmId parent(FcmId id) const;
+
+  /// Children in attach order.
+  [[nodiscard]] const std::vector<FcmId>& children(FcmId id) const;
+
+  /// Siblings: other children of the same parent. Root FCMs of the same
+  /// level count as siblings of each other (they share the conceptual
+  /// "system" parent) — this is what allows two top-level processes to be
+  /// merged under R3.
+  [[nodiscard]] std::vector<FcmId> siblings(FcmId id) const;
+
+  /// The root ancestor of `id` (possibly `id` itself).
+  [[nodiscard]] FcmId root_of(FcmId id) const;
+
+  /// All live FCMs at a level.
+  [[nodiscard]] std::vector<FcmId> at_level(Level level) const;
+
+  /// All live FCM ids.
+  [[nodiscard]] std::vector<FcmId> all() const;
+
+  /// All live descendants of `id` (excluding `id`), pre-order.
+  [[nodiscard]] std::vector<FcmId> descendants(FcmId id) const;
+
+  /// Deep-copies the subtree rooted at `source` and attaches the copy under
+  /// `new_parent`. This is the paper's duplication escape hatch for reuse:
+  /// "if two tasks require the same procedure, then a copy of the procedure
+  /// can be inserted separately into each". Copies are suffixed `.dup<N>`.
+  FcmId clone_subtree(FcmId source, FcmId new_parent);
+
+  /// Merges sibling `b` into sibling `a` (rule R3 checked by the caller,
+  /// integration.h). Children of `b` are re-parented to `a`, attributes are
+  /// combined, `b` becomes a tombstone. Returns `a`.
+  FcmId absorb_sibling(FcmId a, FcmId b, const std::string& merged_name);
+
+  /// The parent->child structure as a graph over live FCMs (for R2 audits
+  /// and DOT export). Node names are FCM names.
+  [[nodiscard]] graph::Digraph structure_graph() const;
+
+  /// Verifies the stored structure still satisfies R1+R2 (tree-shaped,
+  /// adjacent levels). Cheap; intended for tests and post-merge audits.
+  void audit() const;
+
+  /// Number of live FCMs.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  struct Slot {
+    Fcm fcm;
+    FcmId parent;  // invalid for roots
+    std::vector<FcmId> children;
+    bool dead = false;
+  };
+
+  Slot& slot(FcmId id);
+  const Slot& slot(FcmId id) const;
+
+  std::vector<Slot> slots_;
+  int clone_counter_ = 0;
+};
+
+}  // namespace fcm::core

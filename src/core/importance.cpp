@@ -1,0 +1,36 @@
+#include "core/importance.h"
+
+#include <algorithm>
+
+namespace fcm::core {
+
+double timing_urgency(const Attributes& attrs) noexcept {
+  if (!attrs.timing.has_value()) return 0.0;
+  const TimingSpec& t = *attrs.timing;
+  const double window =
+      static_cast<double>((t.tcd - t.est).count());
+  if (window <= 0.0) return 1.0;
+  const double used = static_cast<double>(t.ct.count());
+  return std::clamp(used / window, 0.0, 1.0);
+}
+
+double importance(const Attributes& attrs, const ImportanceWeights& w) {
+  auto ratio = [](double value, double scale) {
+    return scale > 0.0 ? std::clamp(value / scale, 0.0, 1.0) : 0.0;
+  };
+  double sum = 0.0;
+  sum += w.criticality *
+         ratio(attrs.criticality, static_cast<double>(w.criticality_scale));
+  // Simplex (replication 1) is the baseline and contributes nothing; the
+  // scale maximum maps to a full contribution.
+  sum += w.replication * ratio(attrs.replication - 1,
+                               static_cast<double>(w.replication_scale - 1));
+  sum += w.timing * timing_urgency(attrs);
+  sum += w.throughput * ratio(attrs.throughput, w.throughput_scale);
+  sum += w.security *
+         ratio(attrs.security, static_cast<double>(w.security_scale));
+  sum += w.comm_rate * ratio(attrs.comm_rate, w.comm_rate_scale);
+  return sum;
+}
+
+}  // namespace fcm::core

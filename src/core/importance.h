@@ -1,0 +1,47 @@
+// Node importance.
+//
+// "Each node in the graph has an importance value, based on its attributes.
+// The importance I_i of node N_i is a weighted sum of its attribute values,
+// using predefined static relative weights." (paper §5.1)
+//
+// Attributes live on incommensurable scales (ordinal criticality, replica
+// counts, microsecond slacks, msgs/sec), so each contribution is normalized
+// before weighting: criticality/replication/security relative to a declared
+// scale maximum, timing as urgency = 1 − slack/window, throughput and comm
+// rate relative to declared capacity figures.
+#pragma once
+
+#include "core/attributes.h"
+
+namespace fcm::core {
+
+/// Static relative weights and normalization scales for the importance sum.
+/// Defaults emphasize criticality, then fault tolerance, then timing — the
+/// priority order the paper's Approach B walks through.
+struct ImportanceWeights {
+  double criticality = 0.50;
+  double replication = 0.20;
+  double timing = 0.15;
+  double throughput = 0.05;
+  double security = 0.05;
+  double comm_rate = 0.05;
+
+  /// Normalization scales: the attribute value that maps to 1.0. For
+  /// replication, simplex (1) maps to 0.0 and the scale maximum to 1.0.
+  Criticality criticality_scale = 10;
+  ReplicationDegree replication_scale = 3;
+  double throughput_scale = 1000.0;
+  SecurityLevel security_scale = 3;
+  double comm_rate_scale = 1000.0;
+};
+
+/// Timing urgency in [0,1]: 0 when the window is all slack, 1 when the
+/// computation exactly fills the [EST,TCD] window. Modules without timing
+/// constraints score 0.
+double timing_urgency(const Attributes& attrs) noexcept;
+
+/// The weighted attribute sum I_i. Monotone in every attribute.
+double importance(const Attributes& attrs,
+                  const ImportanceWeights& weights = {});
+
+}  // namespace fcm::core

@@ -1,0 +1,69 @@
+#include "core/influence_analysis.h"
+
+#include <algorithm>
+
+namespace fcm::core {
+
+const char* to_string(InfluenceRole role) noexcept {
+  switch (role) {
+    case InfluenceRole::kHazard:
+      return "hazard";
+    case InfluenceRole::kVictim:
+      return "victim";
+    case InfluenceRole::kCoupled:
+      return "coupled";
+    case InfluenceRole::kIsolated:
+      return "isolated";
+  }
+  return "?";
+}
+
+std::vector<InfluenceSummary> summarize_influence(
+    const InfluenceModel& model) {
+  const std::size_t n = model.member_count();
+  std::vector<InfluenceSummary> summaries(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    InfluenceSummary& s = summaries[i];
+    s.index = i;
+    s.id = model.member(i);
+    s.name = model.member_name(i);
+    double none_out = 1.0, none_in = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      none_out *= 1.0 - model.influence(s.id, model.member(j)).value();
+      none_in *= 1.0 - model.influence(model.member(j), s.id).value();
+    }
+    s.out_influence = 1.0 - none_out;
+    s.in_influence = 1.0 - none_in;
+  }
+  return summaries;
+}
+
+InfluenceRole classify(const InfluenceSummary& summary,
+                       double threshold) noexcept {
+  const bool out_high = summary.out_influence >= threshold;
+  const bool in_high = summary.in_influence >= threshold;
+  if (out_high && in_high) return InfluenceRole::kCoupled;
+  if (out_high) return InfluenceRole::kHazard;
+  if (in_high) return InfluenceRole::kVictim;
+  return InfluenceRole::kIsolated;
+}
+
+std::vector<InfluenceSummary> guard_priority(const InfluenceModel& model,
+                                             double threshold) {
+  std::vector<InfluenceSummary> summaries = summarize_influence(model);
+  std::erase_if(summaries, [&](const InfluenceSummary& s) {
+    const InfluenceRole role = classify(s, threshold);
+    return role != InfluenceRole::kVictim && role != InfluenceRole::kCoupled;
+  });
+  std::sort(summaries.begin(), summaries.end(),
+            [](const InfluenceSummary& a, const InfluenceSummary& b) {
+              if (a.in_influence != b.in_influence) {
+                return a.in_influence > b.in_influence;
+              }
+              return a.index < b.index;
+            });
+  return summaries;
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,59 @@
+// Influence asymmetry analysis (§4.2.4).
+//
+// "The value of influence may not be symmetric ... The unidirectional
+// nature of influence can distinguish a critical FCM from a non-critical
+// one." A module that exerts influence but receives little is a *hazard*
+// (contain it: strengthen its output isolation); one that receives much but
+// exerts little is a *victim* (protect it: acceptance-check its inputs);
+// high both ways is *coupled* (a merge candidate under H1); low both ways
+// is *isolated*. These roles drive where the §4.2.2/§4.2.3 reduction
+// techniques pay off.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/influence.h"
+
+namespace fcm::core {
+
+/// Directional influence exposure of one member.
+struct InfluenceSummary {
+  std::size_t index = 0;
+  FcmId id;
+  std::string name;
+  /// Probability of affecting at least one other member:
+  /// 1 − Π_j (1 − influence(i → j)).
+  double out_influence = 0.0;
+  /// Probability of being affected by at least one other member.
+  double in_influence = 0.0;
+
+  [[nodiscard]] double asymmetry() const noexcept {
+    return out_influence - in_influence;
+  }
+};
+
+/// The §4.2.4 role classification.
+enum class InfluenceRole : std::uint8_t {
+  kHazard,    ///< out high, in low — contain its outputs
+  kVictim,    ///< in high, out low — guard its inputs
+  kCoupled,   ///< both high — collocation/merge candidate
+  kIsolated,  ///< both low — already separated
+};
+
+const char* to_string(InfluenceRole role) noexcept;
+
+/// Per-member directional summaries, in member registration order.
+std::vector<InfluenceSummary> summarize_influence(const InfluenceModel& model);
+
+/// Classifies a summary against a threshold (default 0.3: an exposure
+/// above it counts as "high").
+InfluenceRole classify(const InfluenceSummary& summary,
+                       double threshold = 0.3) noexcept;
+
+/// Members whose inputs deserve acceptance checks first: victims and
+/// coupled members ordered by in-influence, descending.
+std::vector<InfluenceSummary> guard_priority(const InfluenceModel& model,
+                                             double threshold = 0.3);
+
+}  // namespace fcm::core

@@ -1,0 +1,159 @@
+#include "core/integration.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace fcm::core {
+
+const char* to_string(CompositionKind kind) noexcept {
+  switch (kind) {
+    case CompositionKind::kMerge:
+      return "merge";
+    case CompositionKind::kGroup:
+      return "group";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const IntegrationOp& op) {
+  os << to_string(op.kind) << '(';
+  for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+    if (i > 0) os << ',';
+    os << op.inputs[i];
+  }
+  os << ") -> " << op.result;
+  if (!op.note.empty()) os << " [" << op.note << ']';
+  return os;
+}
+
+void Integrator::require_siblings(FcmId a, FcmId b) const {
+  const auto sibs = hierarchy_->siblings(a);
+  if (std::find(sibs.begin(), sibs.end(), b) == sibs.end()) {
+    throw RuleViolation(
+        "R3",
+        "FCMs " + hierarchy_->get(a).name + " and " +
+            hierarchy_->get(b).name +
+            " are not siblings; merge only integrates siblings (use "
+            "integrate_across_parents to satisfy R4 first)");
+  }
+}
+
+void Integrator::push_retests_for(FcmId id, const std::string& reason) {
+  // R5: the FCM itself...
+  retests_.push_back(RetestObligation{id, FcmId::invalid(), reason});
+  const FcmId parent = hierarchy_->parent(id);
+  if (!parent.valid()) return;
+  // ...its parent (and only its parent)...
+  retests_.push_back(RetestObligation{
+      parent, FcmId::invalid(), reason + " (parent of modified FCM)"});
+  // ...including the interfaces with its siblings.
+  for (const FcmId sibling : hierarchy_->siblings(id)) {
+    retests_.push_back(
+        RetestObligation{id, sibling, reason + " (sibling interface)"});
+  }
+}
+
+FcmId Integrator::merge(FcmId a, FcmId b, const std::string& merged_name) {
+  require_siblings(a, b);
+  const FcmId result = hierarchy_->absorb_sibling(a, b, merged_name);
+  log_.push_back(IntegrationOp{CompositionKind::kMerge, {a, b}, result,
+                               "horizontal merge"});
+  push_retests_for(result, "merged " + hierarchy_->get(result).name);
+  return result;
+}
+
+FcmId Integrator::group(const std::vector<FcmId>& members,
+                        std::string parent_name,
+                        Attributes parent_attributes) {
+  FCM_REQUIRE(!members.empty(), "grouping requires at least one member");
+  const Level member_level = hierarchy_->get(members.front()).level;
+  Attributes attrs = parent_attributes;
+  for (const FcmId member : members) {
+    const Fcm& fcm = hierarchy_->get(member);
+    FCM_REQUIRE(fcm.level == member_level,
+                "grouped members must share one level");
+    attrs = combine(attrs, fcm.attributes);
+  }
+  const FcmId parent = hierarchy_->create(
+      std::move(parent_name), parent_level(member_level), attrs);
+  for (const FcmId member : members) hierarchy_->attach(member, parent);
+  log_.push_back(IntegrationOp{CompositionKind::kGroup, members, parent,
+                               "vertical grouping"});
+  push_retests_for(parent, "grouped new parent " +
+                               hierarchy_->get(parent).name);
+  return parent;
+}
+
+FcmId Integrator::integrate_across_parents(FcmId a, FcmId b,
+                                           const std::string& merged_name) {
+  const FcmId pa = hierarchy_->parent(a);
+  const FcmId pb = hierarchy_->parent(b);
+  FCM_REQUIRE(hierarchy_->get(a).level == hierarchy_->get(b).level,
+              "cross-parent integration requires FCMs at the same level");
+  if (pa != pb) {
+    FCM_REQUIRE(pa.valid() && pb.valid(),
+                "cross-parent integration requires both FCMs to have "
+                "parents (roots are already siblings)");
+    // R4: integrate the parents first, recursively up the hierarchy.
+    integrate_across_parents(pa, pb, {});
+  }
+  return merge(a, b, merged_name);
+}
+
+FcmId Integrator::convert_processes_to_tasks(
+    const std::vector<FcmId>& processes, std::string container_name) {
+  FCM_REQUIRE(processes.size() >= 2,
+              "communication demotion involves at least two processes");
+  for (const FcmId id : processes) {
+    const Fcm& fcm = hierarchy_->get(id);
+    FCM_REQUIRE(fcm.level == Level::kProcess,
+                fcm.name + " is not a process-level FCM");
+    FCM_REQUIRE(!hierarchy_->parent(id).valid(),
+                fcm.name + " already has a parent");
+    FCM_REQUIRE(hierarchy_->children(id).empty(),
+                fcm.name + " has internal structure; demote its tasks "
+                           "explicitly before converting");
+  }
+  // The container starts empty; absorbing each process folds its
+  // attributes in exactly once (combine aggregates throughput, so
+  // pre-combining would double-count).
+  const FcmId container =
+      hierarchy_->create(std::move(container_name), Level::kProcess);
+  std::vector<FcmId> tasks;
+  for (const FcmId id : processes) {
+    const Fcm original = hierarchy_->get(id);  // copy before mutation
+    const FcmId task = hierarchy_->create(original.name + ".task",
+                                          Level::kTask, original.attributes,
+                                          original.isolation);
+    hierarchy_->attach(task, container);
+    tasks.push_back(task);
+    // The old process FCM dissolves into the new task.
+    hierarchy_->absorb_sibling(container, id, hierarchy_->get(container).name);
+  }
+  log_.push_back(IntegrationOp{CompositionKind::kGroup, processes, container,
+                               "process-to-task communication demotion"});
+  push_retests_for(container, "converted " + std::to_string(tasks.size()) +
+                                  " processes into tasks");
+  return container;
+}
+
+FcmId Integrator::duplicate_for(FcmId source, FcmId new_parent) {
+  const FcmId copy = hierarchy_->clone_subtree(source, new_parent);
+  log_.push_back(IntegrationOp{
+      CompositionKind::kGroup, {source}, copy,
+      "duplicated into " + hierarchy_->get(new_parent).name});
+  push_retests_for(copy, "duplicated " + hierarchy_->get(source).name);
+  return copy;
+}
+
+std::vector<RetestObligation> Integrator::modify(FcmId id,
+                                                 const std::string& reason) {
+  const std::size_t before = retests_.size();
+  push_retests_for(id, reason);
+  return {retests_.begin() + static_cast<std::ptrdiff_t>(before),
+          retests_.end()};
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,122 @@
+// Integration operations: merging, grouping, and rules R3–R5.
+//
+// §4 defines two composition mechanisms — "In merging, boundaries between
+// constituent FCMs disappear ... In contrast, grouping allows FCMs to retain
+// their mutual interface" — and constrains them:
+//   R3: an FCM can be merged only with its siblings;
+//   R4: if children of different parents are integrated, their parents must
+//       be integrated;
+//   R5: whenever an FCM is modified, its parent (and only its parent) must
+//       be retested, including the interfaces with its siblings.
+// `Integrator` applies these operations against an FcmHierarchy, records an
+// audit log, and emits the R5 retest obligations for every mutation.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.h"
+
+namespace fcm::core {
+
+/// The two composition mechanisms of §4.
+enum class CompositionKind : std::uint8_t {
+  kMerge,  ///< boundaries disappear; primarily horizontal integration
+  kGroup,  ///< interfaces retained; usually vertical integration
+};
+
+const char* to_string(CompositionKind kind) noexcept;
+
+/// One recorded integration operation.
+struct IntegrationOp {
+  CompositionKind kind;
+  std::vector<FcmId> inputs;
+  FcmId result;
+  std::string note;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntegrationOp& op);
+
+/// An R5 retest obligation produced by a mutation.
+struct RetestObligation {
+  /// The FCM whose internals or interfaces must be re-verified.
+  FcmId subject;
+  /// Sibling whose interface with `subject` must be re-verified; invalid id
+  /// for a module-internal retest.
+  FcmId interface_with;
+  std::string reason;
+};
+
+/// Applies rule-checked integration operations to a hierarchy.
+class Integrator {
+ public:
+  explicit Integrator(FcmHierarchy& hierarchy) : hierarchy_(&hierarchy) {}
+
+  /// Horizontal integration by merging (R3). `a` and `b` must be siblings:
+  /// children of the same parent, or parentless FCMs of the same level.
+  /// Returns the surviving FCM id. Emits R5 obligations for the parent.
+  FcmId merge(FcmId a, FcmId b, const std::string& merged_name = {});
+
+  /// Vertical integration by grouping: creates a new FCM named
+  /// `parent_name` one level above the members and attaches them (R1/R2
+  /// enforced by the hierarchy). All members must be parentless and at the
+  /// same level.
+  FcmId group(const std::vector<FcmId>& members, std::string parent_name,
+              Attributes parent_attributes = {});
+
+  /// Integrates two FCMs whose parents differ, enforcing R4 by merging the
+  /// parent chains bottom-up first ("the parent FCMs can also be integrated
+  /// to form a single parent FCM"), then merging `a` and `b`.
+  FcmId integrate_across_parents(FcmId a, FcmId b,
+                                 const std::string& merged_name = {});
+
+  /// The duplication alternative to R4: clone `source`'s subtree under
+  /// `new_parent` instead of sharing it ("a copy of the procedure can be
+  /// inserted separately into each"). Returns the clone's id.
+  FcmId duplicate_for(FcmId source, FcmId new_parent);
+
+  /// §3.2's communication demotion: "If two process level FCMs need to
+  /// communicate, they are converted into two (or more) task level FCMs
+  /// within the same process. Thus, faults transmissible via direct
+  /// communication need to be addressed only at task level, not at process
+  /// level." Creates a process named `container_name`; each input process
+  /// becomes a task FCM under it carrying the process's attributes. Input
+  /// processes must be leaves (their internal structure would otherwise
+  /// shift levels, which the hierarchy forbids) and parentless. Returns the
+  /// new container process.
+  FcmId convert_processes_to_tasks(const std::vector<FcmId>& processes,
+                                   std::string container_name);
+
+  /// Records a modification of `id` and returns the R5 retest set: the FCM
+  /// itself, its parent, and the parent-level interfaces with the FCM's
+  /// siblings. "Whenever a FCM is modified, its parent FCM, and only its
+  /// parent, also needs to be tested, including the interfaces with its
+  /// siblings."
+  std::vector<RetestObligation> modify(FcmId id, const std::string& reason);
+
+  /// All operations applied so far, in order.
+  [[nodiscard]] const std::vector<IntegrationOp>& log() const noexcept {
+    return log_;
+  }
+
+  /// All outstanding retest obligations accumulated by mutations.
+  [[nodiscard]] const std::vector<RetestObligation>& pending_retests()
+      const noexcept {
+    return retests_;
+  }
+
+  /// Discharges (clears) all pending retest obligations, e.g. after a V&V
+  /// campaign has run them.
+  void discharge_retests() { retests_.clear(); }
+
+ private:
+  void require_siblings(FcmId a, FcmId b) const;
+  void push_retests_for(FcmId id, const std::string& reason);
+
+  FcmHierarchy* hierarchy_;
+  std::vector<IntegrationOp> log_;
+  std::vector<RetestObligation> retests_;
+};
+
+}  // namespace fcm::core

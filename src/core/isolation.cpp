@@ -1,0 +1,74 @@
+#include "core/isolation.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace fcm::core {
+
+const char* to_string(IsolationTechnique technique) noexcept {
+  switch (technique) {
+    case IsolationTechnique::kInformationHiding:
+      return "information-hiding";
+    case IsolationTechnique::kParameterChecking:
+      return "parameter-checking";
+    case IsolationTechnique::kStatelessProcedures:
+      return "stateless-procedures";
+    case IsolationTechnique::kRecoveryBlocks:
+      return "recovery-blocks";
+    case IsolationTechnique::kNVersionProgramming:
+      return "n-version-programming";
+    case IsolationTechnique::kPreemptiveScheduling:
+      return "preemptive-scheduling";
+    case IsolationTechnique::kMemorySeparation:
+      return "memory-separation";
+    case IsolationTechnique::kResourceQuotas:
+      return "resource-quotas";
+    case IsolationTechnique::kMessageChecking:
+      return "message-checking";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, IsolationTechnique technique) {
+  return os << to_string(technique);
+}
+
+void IsolationConfig::enable(IsolationTechnique technique,
+                             double reduction_factor) {
+  FCM_REQUIRE(reduction_factor >= 0.0 && reduction_factor <= 1.0,
+              "reduction factor must be in [0,1]");
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const Entry& e) { return e.technique == technique; });
+  if (it != entries_.end()) {
+    it->factor = reduction_factor;
+    return;
+  }
+  entries_.push_back(Entry{technique, reduction_factor});
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.technique < b.technique;
+            });
+}
+
+void IsolationConfig::disable(IsolationTechnique technique) {
+  std::erase_if(entries_,
+                [&](const Entry& e) { return e.technique == technique; });
+}
+
+bool IsolationConfig::enabled(IsolationTechnique technique) const noexcept {
+  return std::any_of(entries_.begin(), entries_.end(), [&](const Entry& e) {
+    return e.technique == technique;
+  });
+}
+
+double IsolationConfig::factor(IsolationTechnique technique) const noexcept {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const Entry& e) { return e.technique == technique; });
+  return it == entries_.end() ? 1.0 : it->factor;
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,72 @@
+// Isolation techniques per hierarchy level.
+//
+// "The isolation techniques are different for different levels (e.g., hiding
+// variables at the procedure level, or separating memory at the process
+// level)." (§3) and §4.2.2–4.2.3 enumerate the influence factors each
+// technique attacks. Each technique carries a transmission-reduction factor:
+// the multiplier applied to the relevant p_{i,2} (fault transmission
+// probability) when the technique is enabled. Values are configurable —
+// the paper leaves them to be "determined using field data and estimations".
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fcm::core {
+
+/// The isolation mechanisms the paper names, across all three levels.
+enum class IsolationTechnique : std::uint8_t {
+  // Procedure level (§3.3, §4.2.2)
+  kInformationHiding,   ///< OO information hiding on shared state
+  kParameterChecking,   ///< range checks on passed parameters
+  kStatelessProcedures, ///< no static variables -> freely replicable
+  // Task level (§3.2, §4.2.3)
+  kRecoveryBlocks,      ///< acceptance test + alternates
+  kNVersionProgramming, ///< diverse variants + voting
+  kPreemptiveScheduling,///< bounds timing-fault transmission
+  // Process level (§3.1)
+  kMemorySeparation,    ///< disjoint memory blocks ("memory footprints")
+  kResourceQuotas,      ///< guards against CPU/resource overuse
+  kMessageChecking,     ///< validity checks on inter-process messages
+};
+
+const char* to_string(IsolationTechnique technique) noexcept;
+std::ostream& operator<<(std::ostream& os, IsolationTechnique technique);
+
+/// The set of techniques active at one FCM boundary, with the configured
+/// effectiveness of each (the factor multiplying the transmission
+/// probability of the fault class the technique addresses; 0 = perfect
+/// isolation, 1 = no effect).
+class IsolationConfig {
+ public:
+  IsolationConfig() = default;
+
+  /// Enables `technique` with the given transmission-reduction factor in
+  /// [0,1]. Re-enabling overwrites the factor.
+  void enable(IsolationTechnique technique, double reduction_factor);
+
+  void disable(IsolationTechnique technique);
+
+  [[nodiscard]] bool enabled(IsolationTechnique technique) const noexcept;
+
+  /// The reduction factor for `technique` (1.0 when disabled).
+  [[nodiscard]] double factor(IsolationTechnique technique) const noexcept;
+
+  /// Number of enabled techniques.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  auto operator<=>(const IsolationConfig&) const = default;
+
+ private:
+  struct Entry {
+    IsolationTechnique technique;
+    double factor;
+    auto operator<=>(const Entry&) const = default;
+  };
+  // Sorted by technique; tiny vectors beat maps at this scale.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fcm::core

@@ -1,0 +1,65 @@
+#include "core/isolation_advisor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace fcm::core {
+
+std::vector<IsolationAdvice> advise(const InfluenceModel& model,
+                                    const AdvisorOptions& options) {
+  FCM_REQUIRE(options.assumed_factor >= 0.0 && options.assumed_factor <= 1.0,
+              "assumed factor must be in [0,1]");
+  std::vector<IsolationAdvice> advice;
+
+  for (std::size_t i = 0; i < model.member_count(); ++i) {
+    for (std::size_t j = 0; j < model.member_count(); ++j) {
+      if (i == j) continue;
+      const FcmId from = model.member(i);
+      const FcmId to = model.member(j);
+      const auto& factors = model.factors(from, to);
+      if (factors.empty()) continue;
+      const double before = model.influence(from, to).value();
+      if (before < options.min_influence) continue;
+
+      // Candidate techniques: the mitigations of the factors present.
+      std::set<IsolationTechnique> candidates;
+      for (const InfluenceFactor& factor : factors) {
+        if (const auto technique = mitigation_for(factor.kind)) {
+          candidates.insert(*technique);
+        }
+      }
+      for (const IsolationTechnique technique : candidates) {
+        IsolationConfig config;
+        config.enable(technique, options.assumed_factor);
+        const double after = model.influence(from, to, config).value();
+        if (after >= before) continue;  // no effect on this pair
+        IsolationAdvice item;
+        item.boundary = from;
+        item.boundary_name = model.member_name(i);
+        item.target = to;
+        item.target_name = model.member_name(j);
+        item.technique = technique;
+        item.influence_before = before;
+        item.influence_after = after;
+        advice.push_back(std::move(item));
+      }
+    }
+  }
+
+  std::sort(advice.begin(), advice.end(),
+            [](const IsolationAdvice& a, const IsolationAdvice& b) {
+              if (a.reduction() != b.reduction()) {
+                return a.reduction() > b.reduction();
+              }
+              if (a.boundary != b.boundary) return a.boundary < b.boundary;
+              return a.target < b.target;
+            });
+  if (options.top_k > 0 && advice.size() > options.top_k) {
+    advice.resize(options.top_k);
+  }
+  return advice;
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,54 @@
+// Isolation advice: which technique, at which boundary, buys how much.
+//
+// §4.2 closes with "Once influence values are determined, the next step is
+// to reduce influence between FCMs so that system dependability is
+// increased" and §4.2.2/§4.2.3 catalogue the techniques per factor
+// (information hiding for globals, preemptive scheduling for timing faults,
+// memory separation for shared memory, ...). `advise` evaluates, for every
+// influence-carrying pair, the influence drop each applicable technique
+// would deliver at a given effectiveness, and ranks the recommendations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/influence.h"
+
+namespace fcm::core {
+
+/// One ranked recommendation: apply `technique` at `boundary`'s outgoing
+/// interfaces to cut its influence on `target`.
+struct IsolationAdvice {
+  FcmId boundary;           ///< the influencing FCM to instrument
+  std::string boundary_name;
+  FcmId target;             ///< the protected FCM
+  std::string target_name;
+  IsolationTechnique technique;
+  double influence_before = 0.0;
+  double influence_after = 0.0;
+
+  [[nodiscard]] double reduction() const noexcept {
+    return influence_before - influence_after;
+  }
+};
+
+/// Options for the advisor.
+struct AdvisorOptions {
+  /// The transmission-reduction factor assumed when a technique is applied
+  /// (0 = perfect, 1 = useless). The §4.2 text leaves effectiveness to
+  /// "field data and estimations"; 0.1 is a conservative order-of-magnitude
+  /// default.
+  double assumed_factor = 0.1;
+  /// Only pairs whose current influence is at least this are considered.
+  double min_influence = 0.05;
+  /// Keep at most this many recommendations (0 = all).
+  std::size_t top_k = 0;
+};
+
+/// Evaluates every factor-backed pair and returns recommendations sorted by
+/// influence reduction, descending. Pairs modeled with set_direct carry no
+/// factor structure and yield no advice (their mechanism is unknown).
+std::vector<IsolationAdvice> advise(const InfluenceModel& model,
+                                    const AdvisorOptions& options = {});
+
+}  // namespace fcm::core

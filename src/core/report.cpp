@@ -1,0 +1,95 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/table.h"
+#include "core/importance.h"
+#include "core/influence_analysis.h"
+#include "core/isolation_advisor.h"
+#include "core/separation.h"
+
+namespace fcm::core {
+
+std::string system_report(const FcmHierarchy& hierarchy,
+                          const InfluenceModel& influence,
+                          const ReportOptions& options) {
+  std::ostringstream out;
+  out << "# System integration report\n\n";
+
+  // ---- Hierarchy census. ----
+  out << "## Hierarchy\n";
+  out << "  processes: " << hierarchy.at_level(Level::kProcess).size()
+      << "\n  tasks: " << hierarchy.at_level(Level::kTask).size()
+      << "\n  procedures: " << hierarchy.at_level(Level::kProcedure).size()
+      << '\n';
+  hierarchy.audit();
+  out << "  rules R1/R2: satisfied (audit passed)\n\n";
+
+  // ---- Member exposure and roles. ----
+  out << "## Influence exposure (Section 4.2.4)\n";
+  const auto summaries = summarize_influence(influence);
+  TextTable roles({"member", "importance", "out", "in", "role"});
+  for (const InfluenceSummary& s : summaries) {
+    double imp = 0.0;
+    if (hierarchy.alive(s.id)) {
+      imp = importance(hierarchy.get(s.id).attributes);
+    }
+    roles.add_row({s.name, fmt(imp), fmt(s.out_influence),
+                   fmt(s.in_influence),
+                   to_string(classify(s, options.role_threshold))});
+  }
+  out << roles.render() << '\n';
+
+  // ---- Weakest separations (Eq. 3). ----
+  if (influence.member_count() >= 2) {
+    out << "## Weakest separations (Eq. 3, order "
+        << options.separation_order << ")\n";
+    SeparationOptions sep_options;
+    sep_options.max_order = options.separation_order;
+    const SeparationAnalysis analysis(influence, sep_options);
+    struct Pair {
+      std::size_t i, j;
+      double separation;
+    };
+    std::vector<Pair> pairs;
+    for (std::size_t i = 0; i < influence.member_count(); ++i) {
+      for (std::size_t j = 0; j < influence.member_count(); ++j) {
+        if (i == j) continue;
+        pairs.push_back({i, j, analysis.separation(i, j).value()});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+      if (a.separation != b.separation) return a.separation < b.separation;
+      if (a.i != b.i) return a.i < b.i;
+      return a.j < b.j;
+    });
+    const std::size_t count =
+        std::min(options.weakest_separations, pairs.size());
+    for (std::size_t k = 0; k < count; ++k) {
+      out << "  " << influence.member_name(pairs[k].i) << " o "
+          << influence.member_name(pairs[k].j) << " = "
+          << fmt(pairs[k].separation) << '\n';
+    }
+    out << '\n';
+  }
+
+  // ---- Isolation recommendations. ----
+  AdvisorOptions advisor;
+  advisor.top_k = options.recommendations;
+  const auto advice = advise(influence, advisor);
+  out << "## Isolation recommendations\n";
+  if (advice.empty()) {
+    out << "  none (no factor-backed influence above the threshold)\n";
+  }
+  for (const IsolationAdvice& item : advice) {
+    out << "  " << to_string(item.technique) << " at "
+        << item.boundary_name << " -> " << item.target_name
+        << ": influence " << fmt(item.influence_before) << " -> "
+        << fmt(item.influence_after) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace fcm::core

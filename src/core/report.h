@@ -1,0 +1,35 @@
+// System report generation.
+//
+// Integration campaigns are reviewed by people; this assembles the
+// framework's views of one system — hierarchy census, influence exposure
+// and §4.2.4 roles, weakest separations, and the top isolation
+// recommendations — into a plain-text report suitable for design reviews
+// (or a CI artifact diffed across revisions).
+#pragma once
+
+#include <string>
+
+#include "core/hierarchy.h"
+#include "core/influence.h"
+
+namespace fcm::core {
+
+/// Report knobs.
+struct ReportOptions {
+  /// Threshold used for role classification (see influence_analysis.h).
+  double role_threshold = 0.3;
+  /// Number of weakest separations listed.
+  std::size_t weakest_separations = 5;
+  /// Number of isolation recommendations listed.
+  std::size_t recommendations = 5;
+  /// Eq. 3 truncation order.
+  int separation_order = 6;
+};
+
+/// Builds the report for a hierarchy plus the influence model over its
+/// members. Deterministic output (no timestamps) so reports diff cleanly.
+std::string system_report(const FcmHierarchy& hierarchy,
+                          const InfluenceModel& influence,
+                          const ReportOptions& options = {});
+
+}  // namespace fcm::core

@@ -1,0 +1,40 @@
+#include "core/separation.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fcm::core {
+
+SeparationAnalysis::SeparationAnalysis(const InfluenceModel& model,
+                                       SeparationOptions options)
+    : SeparationAnalysis(model.to_matrix(), options) {}
+
+SeparationAnalysis::SeparationAnalysis(const graph::Matrix& influence_matrix,
+                                       SeparationOptions options)
+    : series_(graph::power_series_sum(influence_matrix, options.max_order,
+                                      options.epsilon)) {}
+
+double SeparationAnalysis::interaction(std::size_t i, std::size_t j) const {
+  return series_.at(i, j);
+}
+
+Probability SeparationAnalysis::separation(std::size_t i,
+                                           std::size_t j) const {
+  if (i == j) return Probability::zero();
+  return Probability::clamped(1.0 - series_.at(i, j));
+}
+
+Probability SeparationAnalysis::min_separation() const {
+  FCM_REQUIRE(series_.size() >= 2, "separation needs at least two members");
+  double min_value = 1.0;
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    for (std::size_t j = 0; j < series_.size(); ++j) {
+      if (i == j) continue;
+      min_value = std::min(min_value, separation(i, j).value());
+    }
+  }
+  return Probability::clamped(min_value);
+}
+
+}  // namespace fcm::core

@@ -1,0 +1,57 @@
+// Separation: the transitive closure of influence (Eq. 3).
+//
+// "Separation of FCMs is the probability of one FCM *not* affecting another
+// if all other FCMs at the same level are considered":
+//   FCMi ∘ FCMj = 1 − (P_ij + Σ_k P_ik P_kj + Σ_l Σ_k P_ik P_kl P_lj + …)
+// The series is evaluated through matrix powers, truncated at a configured
+// order or once terms drop below epsilon ("at some point, higher-order terms
+// are likely to be small enough to be neglected"). The raw series can exceed
+// 1 for strongly coupled systems (it is a union bound, not a probability);
+// separation clamps at 0 accordingly.
+#pragma once
+
+#include "common/probability.h"
+#include "core/influence.h"
+#include "graph/matrix.h"
+
+namespace fcm::core {
+
+/// Truncation controls for the Eq. 3 series.
+struct SeparationOptions {
+  /// Highest matrix power included (1 = direct influence only).
+  int max_order = 6;
+  /// Stop early once a term's largest entry falls below this.
+  double epsilon = 1e-9;
+};
+
+/// Precomputed separation over one influence model.
+class SeparationAnalysis {
+ public:
+  /// Evaluates the series for every ordered member pair.
+  explicit SeparationAnalysis(const InfluenceModel& model,
+                              SeparationOptions options = {});
+
+  /// Evaluates from a raw influence matrix (members indexed 0..n-1).
+  explicit SeparationAnalysis(const graph::Matrix& influence_matrix,
+                              SeparationOptions options = {});
+
+  /// Number of members.
+  [[nodiscard]] std::size_t size() const noexcept { return series_.size(); }
+
+  /// The summed interaction term Σ (before complementing): the probability
+  /// bound on i affecting j through any chain.
+  [[nodiscard]] double interaction(std::size_t i, std::size_t j) const;
+
+  /// Separation FCMi ∘ FCMj = clamp(1 − interaction). Diagonal is 0 by
+  /// convention (a module is never separated from itself).
+  [[nodiscard]] Probability separation(std::size_t i, std::size_t j) const;
+
+  /// Smallest separation over all ordered pairs — the system's weakest
+  /// containment boundary.
+  [[nodiscard]] Probability min_separation() const;
+
+ private:
+  graph::Matrix series_;
+};
+
+}  // namespace fcm::core

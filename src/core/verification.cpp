@@ -1,0 +1,123 @@
+#include "core/verification.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace fcm::core {
+
+const char* to_string(ObligationKind kind) noexcept {
+  switch (kind) {
+    case ObligationKind::kModuleTest:
+      return "module-test";
+    case ObligationKind::kInterfaceTest:
+      return "interface-test";
+  }
+  return "?";
+}
+
+std::size_t VerificationCampaign::add(ObligationKind kind, FcmId subject,
+                                      FcmId counterpart, std::string reason) {
+  Obligation item;
+  item.id = items_.size();
+  item.kind = kind;
+  item.subject = subject;
+  item.counterpart = counterpart;
+  item.reason = std::move(reason);
+  items_.push_back(std::move(item));
+  return 1;
+}
+
+bool VerificationCampaign::has_pending(ObligationKind kind, FcmId subject,
+                                       FcmId counterpart) const noexcept {
+  return std::any_of(items_.begin(), items_.end(), [&](const Obligation& o) {
+    return o.status == ObligationStatus::kPending && o.kind == kind &&
+           o.subject == subject && o.counterpart == counterpart;
+  });
+}
+
+std::size_t VerificationCampaign::plan_initial_certification() {
+  std::size_t added = 0;
+  for (const FcmId id : hierarchy_->all()) {
+    added += add(ObligationKind::kModuleTest, id, FcmId::invalid(),
+                 "initial certification");
+    for (const FcmId sibling : hierarchy_->siblings(id)) {
+      added += add(ObligationKind::kInterfaceTest, id, sibling,
+                   "initial certification");
+    }
+  }
+  return added;
+}
+
+std::size_t VerificationCampaign::plan_modification(FcmId modified,
+                                                    const std::string& reason) {
+  std::size_t added = 0;
+  if (!has_pending(ObligationKind::kModuleTest, modified, FcmId::invalid())) {
+    added += add(ObligationKind::kModuleTest, modified, FcmId::invalid(),
+                 reason);
+  }
+  const FcmId parent = hierarchy_->parent(modified);
+  if (parent.valid() &&
+      !has_pending(ObligationKind::kModuleTest, parent, FcmId::invalid())) {
+    added += add(ObligationKind::kModuleTest, parent, FcmId::invalid(),
+                 reason + " (R5: parent of modified FCM)");
+  }
+  for (const FcmId sibling : hierarchy_->siblings(modified)) {
+    if (!has_pending(ObligationKind::kInterfaceTest, modified, sibling)) {
+      added += add(ObligationKind::kInterfaceTest, modified, sibling,
+                   reason + " (R5: sibling interface)");
+    }
+  }
+  return added;
+}
+
+std::size_t VerificationCampaign::import(
+    const std::vector<RetestObligation>& retests) {
+  std::size_t added = 0;
+  for (const RetestObligation& r : retests) {
+    const ObligationKind kind = r.interface_with.valid()
+                                    ? ObligationKind::kInterfaceTest
+                                    : ObligationKind::kModuleTest;
+    if (!has_pending(kind, r.subject, r.interface_with)) {
+      added += add(kind, r.subject, r.interface_with, r.reason);
+    }
+  }
+  return added;
+}
+
+void VerificationCampaign::record_result(std::size_t obligation_id,
+                                         bool passed) {
+  FCM_REQUIRE(obligation_id < items_.size(), "unknown obligation id");
+  items_[obligation_id].status =
+      passed ? ObligationStatus::kPassed : ObligationStatus::kFailed;
+}
+
+std::size_t VerificationCampaign::pending_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(), [](const Obligation& o) {
+        return o.status == ObligationStatus::kPending;
+      }));
+}
+
+std::size_t VerificationCampaign::failed_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(), [](const Obligation& o) {
+        return o.status == ObligationStatus::kFailed;
+      }));
+}
+
+bool VerificationCampaign::certified() const noexcept {
+  return !items_.empty() && pending_count() == 0 && failed_count() == 0;
+}
+
+std::string VerificationCampaign::summary() const {
+  std::ostringstream out;
+  const std::size_t passed =
+      items_.size() - pending_count() - failed_count();
+  out << passed << '/' << items_.size() << " passed, " << pending_count()
+      << " pending, " << failed_count() << " failed";
+  return out.str();
+}
+
+}  // namespace fcm::core

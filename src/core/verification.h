@@ -1,0 +1,88 @@
+// V&V obligation tracking.
+//
+// The hierarchy exists to localize verification: "each level represents a
+// different level of abstraction, which simplifies V&V of FCMs at each
+// level, by not having to consider lower levels; in addition, V&V of module
+// dependability can be performed independently of other modules at the same
+// level" (§4.1). `VerificationCampaign` materializes that: module
+// obligations per FCM, interface obligations per sibling pair, incremental
+// R5 re-certification after modifications, and a completion report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/integration.h"
+
+namespace fcm::core {
+
+/// Kinds of verification work items.
+enum class ObligationKind : std::uint8_t {
+  kModuleTest,     ///< the FCM in isolation (level-local fault class)
+  kInterfaceTest,  ///< one ordered sibling interface
+};
+
+const char* to_string(ObligationKind kind) noexcept;
+
+/// Status of one obligation.
+enum class ObligationStatus : std::uint8_t { kPending, kPassed, kFailed };
+
+/// A verification work item.
+struct Obligation {
+  std::size_t id = 0;
+  ObligationKind kind = ObligationKind::kModuleTest;
+  FcmId subject;
+  FcmId counterpart;  ///< interface partner; invalid for module tests
+  std::string reason;
+  ObligationStatus status = ObligationStatus::kPending;
+};
+
+/// Manages verification obligations over a hierarchy's lifetime.
+class VerificationCampaign {
+ public:
+  explicit VerificationCampaign(const FcmHierarchy& hierarchy)
+      : hierarchy_(&hierarchy) {}
+
+  /// Full initial certification: one module obligation per live FCM, one
+  /// interface obligation per ordered sibling pair. Returns the number of
+  /// obligations added.
+  std::size_t plan_initial_certification();
+
+  /// Incremental re-certification per R5 for a modified FCM: the module
+  /// itself, its parent module, and its sibling interfaces. Returns the
+  /// obligations added.
+  std::size_t plan_modification(FcmId modified, const std::string& reason);
+
+  /// Imports obligations emitted by an Integrator.
+  std::size_t import(const std::vector<RetestObligation>& retests);
+
+  /// Marks an obligation passed/failed.
+  void record_result(std::size_t obligation_id, bool passed);
+
+  [[nodiscard]] const std::vector<Obligation>& obligations() const noexcept {
+    return items_;
+  }
+
+  [[nodiscard]] std::size_t pending_count() const noexcept;
+  [[nodiscard]] std::size_t failed_count() const noexcept;
+
+  /// True when every obligation has passed.
+  [[nodiscard]] bool certified() const noexcept;
+
+  /// Human-readable summary ("12/14 passed, 1 pending, 1 failed").
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::size_t add(ObligationKind kind, FcmId subject, FcmId counterpart,
+                  std::string reason);
+  /// True when an equivalent pending obligation already exists.
+  [[nodiscard]] bool has_pending(ObligationKind kind, FcmId subject,
+                                 FcmId counterpart) const noexcept;
+
+  const FcmHierarchy* hierarchy_;
+  std::vector<Obligation> items_;
+};
+
+}  // namespace fcm::core

@@ -1,0 +1,130 @@
+#include "dependability/montecarlo.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fcm::dependability {
+
+DependabilityReport evaluate_mapping(
+    const mapping::SwGraph& sw, const mapping::ClusteringResult& clustering,
+    const mapping::Assignment& assignment, const mapping::HwGraph& hw,
+    const MissionModel& mission, std::uint64_t seed,
+    core::Criticality critical_threshold) {
+  FCM_REQUIRE(mission.trials > 0, "at least one trial required");
+  FCM_REQUIRE(assignment.hw_of.size() == clustering.partition.cluster_count,
+              "assignment does not cover every cluster");
+
+  // Group SW nodes by their origin process; record replication semantics.
+  struct ProcessInfo {
+    FcmId origin;
+    std::vector<graph::NodeIndex> replicas;
+    int replication = 1;
+    core::Criticality criticality = 0;
+  };
+  std::map<FcmId, std::size_t> index_of;
+  std::vector<ProcessInfo> processes;
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    const mapping::SwNode& node = sw.node(v);
+    auto [it, inserted] =
+        index_of.try_emplace(node.origin, processes.size());
+    if (inserted) {
+      ProcessInfo info;
+      info.origin = node.origin;
+      info.replication = node.attributes.replication;
+      info.criticality = node.attributes.criticality;
+      processes.push_back(std::move(info));
+    }
+    processes[it->second].replicas.push_back(v);
+  }
+
+  Rng rng(seed);
+  std::vector<std::uint32_t> survived(processes.size(), 0);
+  std::uint32_t all_ok = 0, critical_ok = 0;
+  double criticality_loss_sum = 0.0;
+
+  std::vector<bool> hw_failed(hw.node_count());
+  std::vector<bool> module_failed(sw.node_count());
+
+  for (std::uint32_t trial = 0; trial < mission.trials; ++trial) {
+    // 1. HW node failures.
+    for (std::size_t n = 0; n < hw.node_count(); ++n) {
+      hw_failed[n] = rng.chance(mission.hw_failure);
+    }
+    // 2. Module failures: host HW down, or intrinsic SW fault.
+    for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+      const std::uint32_t cluster = clustering.partition.cluster_of[v];
+      const HwNodeId host = assignment.hw_of[cluster];
+      module_failed[v] =
+          hw_failed[host.value()] || rng.chance(mission.sw_fault);
+    }
+    // 3. Propagation along influence edges to a fixed point. Each edge is
+    // sampled at most once per trial (a module corrupts a neighbor or not).
+    if (mission.propagate) {
+      bool changed = true;
+      std::vector<std::int8_t> edge_state(sw.influence_graph().edge_count(),
+                                          -1);  // -1 unsampled, 0 no, 1 yes
+      while (changed) {
+        changed = false;
+        const auto& edges = sw.influence_graph().edges();
+        for (std::size_t e = 0; e < edges.size(); ++e) {
+          const graph::Edge& edge = edges[e];
+          if (!module_failed[edge.from] || module_failed[edge.to]) continue;
+          if (edge.weight <= 0.0) continue;  // replica links don't propagate
+          if (edge_state[e] < 0) {
+            edge_state[e] =
+                rng.chance(Probability::clamped(edge.weight)) ? 1 : 0;
+          }
+          if (edge_state[e] == 1) {
+            module_failed[edge.to] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    // 4. FT semantics per process.
+    bool everything = true, critical = true;
+    double lost = 0.0;
+    for (std::size_t p = 0; p < processes.size(); ++p) {
+      const ProcessInfo& info = processes[p];
+      int ok = 0;
+      for (const graph::NodeIndex v : info.replicas) {
+        if (!module_failed[v]) ++ok;
+      }
+      bool delivered = false;
+      if (info.replication <= 2) {
+        delivered = ok >= 1;  // simplex / fail-stop duplex
+      } else {
+        const int voters = static_cast<int>(info.replicas.size());
+        delivered = 2 * ok > voters;  // majority vote
+      }
+      if (delivered) {
+        ++survived[p];
+      } else {
+        everything = false;
+        lost += info.criticality;
+        if (info.criticality >= critical_threshold) critical = false;
+      }
+    }
+    if (everything) ++all_ok;
+    if (critical) ++critical_ok;
+    criticality_loss_sum += lost;
+  }
+
+  DependabilityReport report;
+  report.trials = mission.trials;
+  report.process_survival.resize(processes.size());
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    report.process_survival[p] =
+        static_cast<double>(survived[p]) / mission.trials;
+  }
+  report.system_survival = static_cast<double>(all_ok) / mission.trials;
+  report.critical_survival =
+      static_cast<double>(critical_ok) / mission.trials;
+  report.expected_criticality_loss = criticality_loss_sum / mission.trials;
+  return report;
+}
+
+}  // namespace fcm::dependability

@@ -1,0 +1,58 @@
+#include "dependability/sensitivity.h"
+
+#include "common/error.h"
+
+namespace fcm::dependability {
+
+std::vector<SurvivalPoint> survival_curve(
+    const mapping::SwGraph& sw, const mapping::ClusteringResult& clustering,
+    const mapping::Assignment& assignment, const mapping::HwGraph& hw,
+    const SweepOptions& options) {
+  FCM_REQUIRE(!options.hw_failure_points.empty(),
+              "the sweep needs at least one sample point");
+  std::vector<SurvivalPoint> curve;
+  curve.reserve(options.hw_failure_points.size());
+  for (const double q : options.hw_failure_points) {
+    MissionModel mission = options.mission;
+    mission.hw_failure = Probability(q);
+    const DependabilityReport report = evaluate_mapping(
+        sw, clustering, assignment, hw, mission, options.seed);
+    SurvivalPoint point;
+    point.hw_failure = q;
+    point.system_survival = report.system_survival;
+    point.critical_survival = report.critical_survival;
+    point.expected_criticality_loss = report.expected_criticality_loss;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double crossover_point(const std::vector<SurvivalPoint>& a,
+                       const std::vector<SurvivalPoint>& b) {
+  FCM_REQUIRE(a.size() == b.size() && !a.empty(),
+              "curves must sample the same points");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    FCM_REQUIRE(a[i].hw_failure == b[i].hw_failure,
+                "curves must sample the same hw_failure values");
+  }
+  // Find the first sign change of (a - b) on critical survival; touching
+  // zero counts as a crossing at the touch point.
+  double prev_delta = a[0].critical_survival - b[0].critical_survival;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const double delta = a[i].critical_survival - b[i].critical_survival;
+    const bool crossed = (prev_delta > 0.0 && delta <= 0.0) ||
+                         (prev_delta < 0.0 && delta >= 0.0);
+    if (crossed) {
+      // Linear interpolation of the zero crossing in q (t = 1 when the
+      // curves touch exactly at the right sample).
+      const double q0 = a[i - 1].hw_failure;
+      const double q1 = a[i].hw_failure;
+      const double t = prev_delta / (prev_delta - delta);
+      return q0 + t * (q1 - q0);
+    }
+    prev_delta = delta;
+  }
+  return -1.0;
+}
+
+}  // namespace fcm::dependability

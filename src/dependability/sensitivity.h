@@ -1,0 +1,47 @@
+// Sensitivity analysis: survival as a function of component failure rates.
+//
+// The paper's "goodness" of a mapping is not one number — it depends on the
+// (unknown) per-node failure probability. `survival_curve` sweeps the HW
+// failure rate and reports the delivered survival metrics at each point, so
+// two candidate mappings can be compared across the whole operating regime
+// (mappings often cross: criticality dispersion wins at high q, containment
+// at low q).
+#pragma once
+
+#include <vector>
+
+#include "dependability/montecarlo.h"
+
+namespace fcm::dependability {
+
+/// One sample point of a survival curve.
+struct SurvivalPoint {
+  double hw_failure = 0.0;
+  double system_survival = 0.0;
+  double critical_survival = 0.0;
+  double expected_criticality_loss = 0.0;
+};
+
+/// Sweep parameters.
+struct SweepOptions {
+  /// HW failure probabilities to sample (ascending recommended).
+  std::vector<double> hw_failure_points{0.01, 0.02, 0.05, 0.1, 0.2, 0.4};
+  /// Base mission model; its hw_failure is overridden per point.
+  MissionModel mission;
+  std::uint64_t seed = 1;
+};
+
+/// Evaluates the mapping at each sweep point.
+std::vector<SurvivalPoint> survival_curve(
+    const mapping::SwGraph& sw, const mapping::ClusteringResult& clustering,
+    const mapping::Assignment& assignment, const mapping::HwGraph& hw,
+    const SweepOptions& options = {});
+
+/// The q value (linear interpolation between sample points) at which
+/// `metric_a` first drops below `metric_b` — the crossover between two
+/// curves; returns a negative value when they never cross. Curves must
+/// sample the same hw_failure points.
+double crossover_point(const std::vector<SurvivalPoint>& a,
+                       const std::vector<SurvivalPoint>& b);
+
+}  // namespace fcm::dependability

@@ -1,0 +1,77 @@
+#include "dependability/tradeoff.h"
+
+#include "common/error.h"
+
+namespace fcm::dependability {
+
+using mapping::HwGraph;
+using mapping::IntegrationPlanner;
+using mapping::Plan;
+
+int TradeoffAnalysis::integration_floor() const noexcept {
+  for (const IntegrationLevel& level : levels) {
+    if (level.feasible) return level.hw_nodes;
+  }
+  return -1;
+}
+
+int TradeoffAnalysis::best_survival_level() const noexcept {
+  int best = -1;
+  double best_survival = -1.0;
+  for (const IntegrationLevel& level : levels) {
+    if (level.feasible && level.system_survival > best_survival) {
+      best_survival = level.system_survival;
+      best = level.hw_nodes;
+    }
+  }
+  return best;
+}
+
+int TradeoffAnalysis::best_quality_level() const noexcept {
+  int best = -1;
+  double best_score = -1.0;
+  for (const IntegrationLevel& level : levels) {
+    if (level.feasible && level.quality_score > best_score) {
+      best_score = level.quality_score;
+      best = level.hw_nodes;
+    }
+  }
+  return best;
+}
+
+TradeoffAnalysis sweep_integration_levels(
+    const core::FcmHierarchy& hierarchy,
+    const core::InfluenceModel& influence,
+    const std::vector<FcmId>& processes, const TradeoffOptions& options) {
+  FCM_REQUIRE(options.min_nodes >= 1 &&
+                  options.min_nodes <= options.max_nodes,
+              "node range must be non-empty and positive");
+  TradeoffAnalysis analysis;
+  for (int nodes = options.min_nodes; nodes <= options.max_nodes; ++nodes) {
+    IntegrationLevel level;
+    level.hw_nodes = nodes;
+    const HwGraph hw = HwGraph::complete(nodes);
+    try {
+      IntegrationPlanner planner(hierarchy, influence, processes, hw);
+      const Plan plan = planner.best_plan(options.approach);
+      level.feasible = true;
+      level.heuristic = plan.heuristic;
+      level.quality_score = plan.quality.score();
+      level.cross_node_influence = plan.quality.cross_node_influence;
+      level.max_colocated_criticality =
+          plan.quality.max_colocated_criticality;
+      const DependabilityReport report =
+          evaluate_mapping(planner.sw_graph(),
+                                          plan.clustering, plan.assignment,
+                                          hw, options.mission, options.seed);
+      level.system_survival = report.system_survival;
+      level.expected_criticality_loss = report.expected_criticality_loss;
+    } catch (const FcmError&) {
+      level.feasible = false;
+    }
+    analysis.levels.push_back(level);
+  }
+  return analysis;
+}
+
+}  // namespace fcm::dependability

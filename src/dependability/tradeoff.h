@@ -1,0 +1,64 @@
+// Integration-level tradeoff analysis (§6): "Is there a limit to the level
+// of integration one should design for?"
+//
+// `sweep_integration_levels` plans the same SW system onto platforms of
+// every size in a range, evaluates each feasible plan (quality +
+// dependability), and reports the sweep so the caller can locate the
+// floor (below which replication/timing constraints make integration
+// infeasible) and the knee (where further consolidation starts costing
+// more dependability than it saves in hardware).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dependability/montecarlo.h"
+#include "mapping/planner.h"
+
+namespace fcm::dependability {
+
+using mapping::Approach;
+using mapping::Heuristic;
+
+/// One platform size's outcome.
+struct IntegrationLevel {
+  int hw_nodes = 0;
+  bool feasible = false;
+  /// Set when feasible:
+  std::optional<Heuristic> heuristic;
+  double quality_score = 0.0;
+  double cross_node_influence = 0.0;
+  double max_colocated_criticality = 0.0;
+  double system_survival = 0.0;
+  double expected_criticality_loss = 0.0;
+};
+
+/// Sweep parameters.
+struct TradeoffOptions {
+  int min_nodes = 2;
+  int max_nodes = 12;
+  Approach approach = Approach::kAImportance;
+  dependability::MissionModel mission;
+  std::uint64_t seed = 1;
+};
+
+/// The sweep result plus derived summary figures.
+struct TradeoffAnalysis {
+  std::vector<IntegrationLevel> levels;
+
+  /// Smallest feasible node count, or -1 when nothing is feasible.
+  [[nodiscard]] int integration_floor() const noexcept;
+  /// The feasible node count with the highest system survival.
+  [[nodiscard]] int best_survival_level() const noexcept;
+  /// The feasible node count with the highest quality score.
+  [[nodiscard]] int best_quality_level() const noexcept;
+};
+
+/// Runs the sweep. Infeasible platform sizes are recorded, not skipped.
+TradeoffAnalysis sweep_integration_levels(
+    const core::FcmHierarchy& hierarchy,
+    const core::InfluenceModel& influence,
+    const std::vector<FcmId>& processes, const TradeoffOptions& options = {});
+
+}  // namespace fcm::dependability

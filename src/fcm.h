@@ -1,0 +1,54 @@
+// Umbrella header: the framework's public API in one include.
+//
+//   #include "fcm.h"
+//
+// pulls in the FCM hierarchy and composition rules, the influence/
+// separation model, the isolation catalogue and advisor, HW/SW mapping,
+// dependability evaluation, and the simulated RT platform. Individual
+// headers remain includable for finer-grained builds.
+#pragma once
+
+// Foundations
+#include "common/error.h"       // IWYU pragma: export
+#include "common/ids.h"         // IWYU pragma: export
+#include "common/probability.h" // IWYU pragma: export
+#include "common/rng.h"         // IWYU pragma: export
+#include "common/time.h"        // IWYU pragma: export
+
+// The framework core (the paper's contribution)
+#include "core/attributes.h"         // IWYU pragma: export
+#include "core/example98.h"          // IWYU pragma: export
+#include "core/fcm.h"                // IWYU pragma: export
+#include "core/hierarchy.h"          // IWYU pragma: export
+#include "core/importance.h"         // IWYU pragma: export
+#include "core/influence.h"          // IWYU pragma: export
+#include "core/influence_analysis.h" // IWYU pragma: export
+#include "core/integration.h"        // IWYU pragma: export
+#include "core/isolation.h"          // IWYU pragma: export
+#include "core/isolation_advisor.h"  // IWYU pragma: export
+#include "core/separation.h"         // IWYU pragma: export
+#include "core/verification.h"       // IWYU pragma: export
+
+// HW/SW mapping
+#include "mapping/assignment.h" // IWYU pragma: export
+#include "mapping/clustering.h" // IWYU pragma: export
+#include "mapping/hw.h"         // IWYU pragma: export
+#include "mapping/planner.h"    // IWYU pragma: export
+#include "mapping/quality.h"    // IWYU pragma: export
+#include "mapping/swgraph.h"    // IWYU pragma: export
+
+// Dependability evaluation
+#include "dependability/montecarlo.h"  // IWYU pragma: export
+#include "dependability/reliability.h" // IWYU pragma: export
+
+// Fault-tolerance mechanisms
+#include "ftmech/checkpoint.h"     // IWYU pragma: export
+#include "ftmech/nversion.h"       // IWYU pragma: export
+#include "ftmech/recovery_block.h" // IWYU pragma: export
+#include "ftmech/voter.h"          // IWYU pragma: export
+
+// Simulated RT platform
+#include "sim/example98_platform.h"   // IWYU pragma: export
+#include "sim/influence_estimator.h"  // IWYU pragma: export
+#include "sim/platform.h"             // IWYU pragma: export
+#include "sim/usage_history.h"        // IWYU pragma: export

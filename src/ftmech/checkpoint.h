@@ -1,0 +1,57 @@
+// Checkpoint/rollback state management, the backward-recovery substrate
+// that recovery blocks (ftmech/recovery_block.h) assume: each alternate
+// starts from the state saved before the primary ran.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fcm::ftmech {
+
+/// Holds a value plus a stack of saved snapshots.
+template <typename T>
+class Checkpointed {
+ public:
+  explicit Checkpointed(T initial) : value_(std::move(initial)) {}
+
+  [[nodiscard]] const T& value() const noexcept { return value_; }
+  [[nodiscard]] T& value() noexcept { return value_; }
+
+  /// Pushes a snapshot of the current value.
+  void checkpoint() {
+    snapshots_.push_back(value_);
+    ++checkpoints_taken_;
+  }
+
+  /// Restores (and pops) the most recent snapshot. Throws when none exists.
+  void rollback() {
+    FCM_REQUIRE(!snapshots_.empty(), "no checkpoint to roll back to");
+    value_ = std::move(snapshots_.back());
+    snapshots_.pop_back();
+    ++rollbacks_;
+  }
+
+  /// Drops the most recent snapshot without restoring (commit).
+  void commit() {
+    FCM_REQUIRE(!snapshots_.empty(), "no checkpoint to commit");
+    snapshots_.pop_back();
+  }
+
+  [[nodiscard]] std::size_t depth() const noexcept {
+    return snapshots_.size();
+  }
+  [[nodiscard]] std::size_t checkpoints_taken() const noexcept {
+    return checkpoints_taken_;
+  }
+  [[nodiscard]] std::size_t rollbacks() const noexcept { return rollbacks_; }
+
+ private:
+  T value_;
+  std::vector<T> snapshots_;
+  std::size_t checkpoints_taken_ = 0;
+  std::size_t rollbacks_ = 0;
+};
+
+}  // namespace fcm::ftmech

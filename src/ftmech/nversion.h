@@ -1,0 +1,85 @@
+// N-version programming (§3.2): run diverse implementations concurrently
+// and vote on their results. Design diversity is the paper's imported
+// HW-style technique for SW fault containment at the task level.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "ftmech/voter.h"
+
+namespace fcm::ftmech {
+
+/// Thrown when the versions fail to reach a majority.
+class NoMajority : public FcmError {
+ public:
+  using FcmError::FcmError;
+};
+
+/// Executes N independently developed versions and majority-votes.
+template <typename T>
+class NVersionExecutor {
+ public:
+  using Version = std::function<T()>;
+
+  void add_version(std::string name, Version version) {
+    FCM_REQUIRE(version != nullptr, "version must be callable");
+    versions_.push_back({std::move(name), std::move(version)});
+  }
+
+  [[nodiscard]] std::size_t version_count() const noexcept {
+    return versions_.size();
+  }
+
+  /// Runs every version (versions that throw contribute no vote) and
+  /// returns the majority result. Throws NoMajority when fewer than a
+  /// strict majority agree.
+  T execute() {
+    FCM_REQUIRE(!versions_.empty(), "no versions registered");
+    std::vector<T> results;
+    results.reserve(versions_.size());
+    std::size_t crashed = 0;
+    for (const Entry& entry : versions_) {
+      try {
+        results.push_back(entry.version());
+      } catch (...) {
+        ++crashed;
+      }
+    }
+    // A crashed version still counts in the denominator: majority is over
+    // all N versions, not merely the survivors.
+    const auto winner = vote(std::span<const T>(results));
+    record_round(stats_, std::span<const T>(results));
+    if (!winner.has_value() ||
+        2 * count_matches(results, *winner) <= versions_.size()) {
+      throw NoMajority("n-version execution reached no majority (" +
+                       std::to_string(crashed) + " versions crashed)");
+    }
+    return *winner;
+  }
+
+  [[nodiscard]] const VoterStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Version version;
+  };
+
+  static std::size_t count_matches(const std::vector<T>& results,
+                                   const T& value) {
+    std::size_t count = 0;
+    for (const T& r : results) {
+      if (r == value) ++count;
+    }
+    return count;
+  }
+
+  std::vector<Entry> versions_;
+  VoterStats stats_;
+};
+
+}  // namespace fcm::ftmech

@@ -1,0 +1,116 @@
+// Recovery blocks (Randell 1975), the task-level containment mechanism the
+// paper names in §3.2: "Well-known SW techniques such as N-version
+// programming, or Recovery Blocks to contain faults, can be used at this
+// level."
+//
+// A recovery block runs the primary alternate, applies the acceptance test,
+// and on failure rolls back and tries the next alternate. The paper's
+// influence model uses "how good the recovery blocks are" as the driver of
+// the message-error transmission factor (§4.2.3), so the class exposes
+// per-alternate statistics for estimating that probability.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fcm::ftmech {
+
+/// Thrown when every alternate fails its acceptance test.
+class AllAlternatesFailed : public FcmError {
+ public:
+  using FcmError::FcmError;
+};
+
+/// A recovery block over results of type T.
+template <typename T>
+class RecoveryBlock {
+ public:
+  using Alternate = std::function<T()>;
+  using AcceptanceTest = std::function<bool(const T&)>;
+
+  /// `test` judges candidate results; alternates run in registration order.
+  explicit RecoveryBlock(AcceptanceTest test) : test_(std::move(test)) {
+    FCM_REQUIRE(test_ != nullptr, "acceptance test is required");
+  }
+
+  /// Registers an alternate (the first is the primary).
+  void add_alternate(std::string name, Alternate alternate) {
+    FCM_REQUIRE(alternate != nullptr, "alternate must be callable");
+    alternates_.push_back({std::move(name), std::move(alternate), 0, 0});
+  }
+
+  [[nodiscard]] std::size_t alternate_count() const noexcept {
+    return alternates_.size();
+  }
+
+  /// Runs alternates until one passes the acceptance test. An alternate
+  /// that throws counts as failed (the exception is contained — that is the
+  /// block's purpose). Throws AllAlternatesFailed when none passes.
+  T execute() {
+    FCM_REQUIRE(!alternates_.empty(), "recovery block has no alternates");
+    for (Entry& entry : alternates_) {
+      std::optional<T> candidate;
+      try {
+        candidate = entry.alternate();
+      } catch (...) {
+        ++entry.failures;
+        continue;
+      }
+      if (test_(*candidate)) {
+        ++entry.successes;
+        ++executions_;
+        return *std::move(candidate);
+      }
+      ++entry.failures;
+    }
+    ++executions_;
+    ++exhausted_;
+    throw AllAlternatesFailed("recovery block: every alternate failed");
+  }
+
+  /// Successful executions of the named alternate.
+  [[nodiscard]] std::size_t successes(const std::string& name) const {
+    return find(name).successes;
+  }
+  /// Failed attempts of the named alternate.
+  [[nodiscard]] std::size_t failures(const std::string& name) const {
+    return find(name).failures;
+  }
+  /// Executions where no alternate passed.
+  [[nodiscard]] std::size_t exhausted() const noexcept { return exhausted_; }
+
+  /// Estimated probability the block emits an erroneous/absent result —
+  /// the p_{i,2}-style figure §4.2.3 attributes to recovery block quality.
+  [[nodiscard]] double failure_rate() const noexcept {
+    return executions_ == 0 ? 0.0
+                            : static_cast<double>(exhausted_) /
+                                  static_cast<double>(executions_);
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    Alternate alternate;
+    std::size_t successes;
+    std::size_t failures;
+  };
+
+  const Entry& find(const std::string& name) const {
+    for (const Entry& entry : alternates_) {
+      if (entry.name == name) return entry;
+    }
+    throw NotFound("no alternate named " + name);
+  }
+
+  AcceptanceTest test_;
+  std::vector<Entry> alternates_;
+  std::size_t executions_ = 0;
+  std::size_t exhausted_ = 0;
+};
+
+}  // namespace fcm::ftmech

@@ -1,0 +1,29 @@
+#include "ftmech/voter.h"
+
+#include <algorithm>
+
+namespace fcm::ftmech {
+
+std::optional<double> vote_approximate(std::span<const double> replicas,
+                                       double tolerance) {
+  if (replicas.empty()) return std::nullopt;
+  std::vector<double> sorted(replicas.begin(), replicas.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  // Sliding window over the sorted values: the widest window with
+  // max - min <= tolerance is the best agreement group.
+  std::size_t best_begin = 0, best_size = 0;
+  std::size_t begin = 0;
+  for (std::size_t end = 0; end < sorted.size(); ++end) {
+    while (sorted[end] - sorted[begin] > tolerance) ++begin;
+    const std::size_t size = end - begin + 1;
+    if (size > best_size) {
+      best_size = size;
+      best_begin = begin;
+    }
+  }
+  if (2 * best_size <= sorted.size()) return std::nullopt;
+  return sorted[best_begin + best_size / 2];
+}
+
+}  // namespace fcm::ftmech

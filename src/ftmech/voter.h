@@ -1,0 +1,94 @@
+// Majority voting for replicated execution (TMR/NMR).
+//
+// The paper's process-level fault tolerance replicates FCMs ("three
+// concurrent copies ... run in a TMR mode") and assumes a voter collapses
+// replica outputs into one result. `vote` implements exact-match majority
+// (Boyer–Moore + verification); `vote_approximate` handles numeric replicas
+// whose correct results differ by rounding, using median agreement within a
+// tolerance band.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace fcm::ftmech {
+
+/// Exact-match majority vote: returns the value held by a strict majority
+/// of the replicas, or nullopt when no majority exists (including the empty
+/// case).
+template <typename T>
+std::optional<T> vote(std::span<const T> replicas) {
+  if (replicas.empty()) return std::nullopt;
+  // Boyer–Moore majority candidate.
+  std::size_t count = 0;
+  const T* candidate = nullptr;
+  for (const T& value : replicas) {
+    if (count == 0) {
+      candidate = &value;
+      count = 1;
+    } else if (*candidate == value) {
+      ++count;
+    } else {
+      --count;
+    }
+  }
+  // Verify the candidate is a strict majority.
+  std::size_t occurrences = 0;
+  for (const T& value : replicas) {
+    if (value == *candidate) ++occurrences;
+  }
+  if (2 * occurrences > replicas.size()) return *candidate;
+  return std::nullopt;
+}
+
+template <typename T>
+std::optional<T> vote(std::initializer_list<T> replicas) {
+  return vote(std::span<const T>(replicas.begin(), replicas.size()));
+}
+
+/// Approximate majority for numeric replicas: the largest group of values
+/// within `tolerance` of each other wins if it is a strict majority; the
+/// result is the group median. Returns nullopt when no such group exists.
+std::optional<double> vote_approximate(std::span<const double> replicas,
+                                       double tolerance);
+
+/// Outcome statistics a voter accumulates across rounds (used by the
+/// dependability evaluation to estimate delivered reliability).
+struct VoterStats {
+  std::size_t rounds = 0;
+  std::size_t unanimous = 0;
+  std::size_t majority = 0;   ///< non-unanimous majority
+  std::size_t no_majority = 0;
+
+  /// Fraction of rounds that produced an output.
+  [[nodiscard]] double availability() const noexcept {
+    return rounds == 0
+               ? 1.0
+               : static_cast<double>(unanimous + majority) /
+                     static_cast<double>(rounds);
+  }
+};
+
+/// Classifies one round's replica values into the stats buckets.
+template <typename T>
+void record_round(VoterStats& stats, std::span<const T> replicas) {
+  ++stats.rounds;
+  const auto result = vote(replicas);
+  if (!result.has_value()) {
+    ++stats.no_majority;
+    return;
+  }
+  bool all_equal = true;
+  for (const T& value : replicas) {
+    if (!(value == *result)) all_equal = false;
+  }
+  if (all_equal) {
+    ++stats.unanimous;
+  } else {
+    ++stats.majority;
+  }
+}
+
+}  // namespace fcm::ftmech

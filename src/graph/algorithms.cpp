@@ -1,0 +1,198 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <stack>
+
+#include "common/error.h"
+
+namespace fcm::graph {
+
+std::vector<NodeIndex> reachable_from(const Digraph& g, NodeIndex start) {
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeIndex> order;
+  std::stack<NodeIndex> work;
+  work.push(start);
+  seen[start] = true;
+  while (!work.empty()) {
+    const NodeIndex n = work.top();
+    work.pop();
+    order.push_back(n);
+    for (const NodeIndex m : g.successors(n)) {
+      if (!seen[m]) {
+        seen[m] = true;
+        work.push(m);
+      }
+    }
+  }
+  return order;
+}
+
+bool is_reachable(const Digraph& g, NodeIndex from, NodeIndex to) {
+  const auto reach = reachable_from(g, from);
+  return std::find(reach.begin(), reach.end(), to) != reach.end();
+}
+
+std::vector<NodeIndex> topological_order(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (const Edge& e : g.edges()) ++indegree[e.to];
+
+  std::vector<NodeIndex> queue;
+  queue.reserve(n);
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (indegree[v] == 0) queue.push_back(v);
+  }
+
+  std::vector<NodeIndex> order;
+  order.reserve(n);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeIndex v = queue[head];
+    order.push_back(v);
+    for (const NodeIndex w : g.successors(v)) {
+      if (--indegree[w] == 0) queue.push_back(w);
+    }
+  }
+  FCM_REQUIRE(order.size() == n, "graph has a directed cycle");
+  return order;
+}
+
+bool is_dag(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> indegree(n, 0);
+  for (const Edge& e : g.edges()) ++indegree[e.to];
+  std::vector<NodeIndex> queue;
+  for (NodeIndex v = 0; v < n; ++v) {
+    if (indegree[v] == 0) queue.push_back(v);
+  }
+  std::size_t processed = 0;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    ++processed;
+    for (const NodeIndex w : g.successors(queue[head])) {
+      if (--indegree[w] == 0) queue.push_back(w);
+    }
+  }
+  return processed == n;
+}
+
+namespace {
+
+// Iterative Tarjan SCC to stay safe on deep graphs.
+struct TarjanState {
+  const Digraph& g;
+  std::vector<std::int32_t> index;
+  std::vector<std::int32_t> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<NodeIndex> stack;
+  std::int32_t next_index = 0;
+  std::vector<std::vector<NodeIndex>> components;
+
+  explicit TarjanState(const Digraph& graph)
+      : g(graph),
+        index(graph.node_count(), -1),
+        lowlink(graph.node_count(), 0),
+        on_stack(graph.node_count(), false) {}
+
+  void run(NodeIndex root) {
+    struct Frame {
+      NodeIndex node;
+      std::size_t next_child;
+    };
+    std::vector<Frame> frames;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const auto& out = g.out_edges(frame.node);
+      if (frame.next_child < out.size()) {
+        const NodeIndex child = g.edges()[out[frame.next_child++]].to;
+        if (index[child] < 0) {
+          index[child] = lowlink[child] = next_index++;
+          stack.push_back(child);
+          on_stack[child] = true;
+          frames.push_back({child, 0});
+        } else if (on_stack[child]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[child]);
+        }
+      } else {
+        const NodeIndex done = frame.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] =
+              std::min(lowlink[frames.back().node], lowlink[done]);
+        }
+        if (lowlink[done] == index[done]) {
+          std::vector<NodeIndex> component;
+          for (;;) {
+            const NodeIndex w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == done) break;
+          }
+          components.push_back(std::move(component));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeIndex>> strongly_connected_components(
+    const Digraph& g) {
+  TarjanState state(g);
+  for (NodeIndex v = 0; v < g.node_count(); ++v) {
+    if (state.index[v] < 0) state.run(v);
+  }
+  return std::move(state.components);
+}
+
+std::vector<std::vector<NodeIndex>> weakly_connected_components(
+    const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::int32_t> component(n, -1);
+  std::vector<std::vector<NodeIndex>> result;
+  for (NodeIndex start = 0; start < n; ++start) {
+    if (component[start] >= 0) continue;
+    const auto id = static_cast<std::int32_t>(result.size());
+    result.emplace_back();
+    std::stack<NodeIndex> work;
+    work.push(start);
+    component[start] = id;
+    while (!work.empty()) {
+      const NodeIndex v = work.top();
+      work.pop();
+      result[static_cast<std::size_t>(id)].push_back(v);
+      auto visit = [&](NodeIndex w) {
+        if (component[w] < 0) {
+          component[w] = id;
+          work.push(w);
+        }
+      };
+      for (const NodeIndex w : g.successors(v)) visit(w);
+      for (const NodeIndex w : g.predecessors(v)) visit(w);
+    }
+  }
+  return result;
+}
+
+bool is_weakly_connected(const Digraph& g) {
+  return g.node_count() == 0 || weakly_connected_components(g).size() == 1;
+}
+
+bool is_strongly_connected(const Digraph& g) {
+  return g.node_count() == 0 ||
+         strongly_connected_components(g).size() == 1;
+}
+
+bool is_in_forest(const Digraph& g) {
+  for (NodeIndex v = 0; v < g.node_count(); ++v) {
+    if (g.in_edges(v).size() > 1) return false;
+  }
+  return is_dag(g);
+}
+
+}  // namespace fcm::graph

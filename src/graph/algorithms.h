@@ -1,0 +1,49 @@
+// Classic graph algorithms over Digraph.
+//
+// These back the structural checks of the integration rules (R2: the
+// integration DAG must be a tree), reachability questions in the influence
+// model, and connectivity validation of HW interconnection graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace fcm::graph {
+
+/// Nodes reachable from `start` following edge direction (includes `start`).
+std::vector<NodeIndex> reachable_from(const Digraph& g, NodeIndex start);
+
+/// True when `to` is reachable from `from` (following edge direction).
+bool is_reachable(const Digraph& g, NodeIndex from, NodeIndex to);
+
+/// True when the graph has no directed cycle.
+bool is_dag(const Digraph& g);
+
+/// Topological order; throws InvalidArgument when the graph has a cycle.
+std::vector<NodeIndex> topological_order(const Digraph& g);
+
+/// Strongly connected components (Tarjan). Returns one vector of node
+/// indices per component, in reverse topological order of the condensation.
+std::vector<std::vector<NodeIndex>> strongly_connected_components(
+    const Digraph& g);
+
+/// Connected components ignoring edge direction.
+std::vector<std::vector<NodeIndex>> weakly_connected_components(
+    const Digraph& g);
+
+/// True when the graph, viewed as undirected, is connected. Empty graphs
+/// count as connected.
+bool is_weakly_connected(const Digraph& g);
+
+/// True when every ordered pair of nodes is mutually reachable (the paper's
+/// "strongly connected network" HW assumption in §6).
+bool is_strongly_connected(const Digraph& g);
+
+/// True when the graph is a forest of rooted trees under edge direction
+/// parent -> child: acyclic and every node has at most one incoming edge.
+/// This is the shape rule R2 imposes on the integration DAG.
+bool is_in_forest(const Digraph& g);
+
+}  // namespace fcm::graph

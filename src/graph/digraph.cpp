@@ -1,0 +1,108 @@
+#include "graph/digraph.h"
+
+#include "common/error.h"
+
+namespace fcm::graph {
+
+namespace {
+std::uint64_t key(NodeIndex from, NodeIndex to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+}  // namespace
+
+NodeIndex Digraph::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeIndex>(names_.size() - 1);
+}
+
+void Digraph::check_node(NodeIndex n) const {
+  FCM_REQUIRE(n < names_.size(), "node index out of range");
+}
+
+const std::string& Digraph::name(NodeIndex n) const {
+  check_node(n);
+  return names_[n];
+}
+
+void Digraph::rename(NodeIndex n, std::string name) {
+  check_node(n);
+  names_[n] = std::move(name);
+}
+
+void Digraph::add_edge(NodeIndex from, NodeIndex to, double weight,
+                       std::string label) {
+  check_node(from);
+  check_node(to);
+  FCM_REQUIRE(from != to, "self-loops are not allowed (an FCM does not "
+                          "influence itself in the model)");
+  FCM_REQUIRE(index_.find(key(from, to)) == index_.end(),
+              "duplicate edge " + names_[from] + " -> " + names_[to]);
+  index_.emplace(key(from, to), static_cast<std::uint32_t>(edges_.size()));
+  out_[from].push_back(static_cast<std::uint32_t>(edges_.size()));
+  in_[to].push_back(static_cast<std::uint32_t>(edges_.size()));
+  edges_.push_back(Edge{from, to, weight, std::move(label)});
+}
+
+void Digraph::set_weight(NodeIndex from, NodeIndex to, double weight) {
+  const auto it = index_.find(key(from, to));
+  if (it == index_.end()) {
+    throw NotFound("no edge " + std::to_string(from) + " -> " +
+                   std::to_string(to));
+  }
+  edges_[it->second].weight = weight;
+}
+
+std::optional<double> Digraph::weight(NodeIndex from, NodeIndex to) const {
+  const auto it = index_.find(key(from, to));
+  if (it == index_.end()) return std::nullopt;
+  return edges_[it->second].weight;
+}
+
+bool Digraph::has_edge(NodeIndex from, NodeIndex to) const {
+  return index_.find(key(from, to)) != index_.end();
+}
+
+const Edge& Digraph::edge(NodeIndex from, NodeIndex to) const {
+  const auto it = index_.find(key(from, to));
+  if (it == index_.end()) {
+    throw NotFound("no edge " + std::to_string(from) + " -> " +
+                   std::to_string(to));
+  }
+  return edges_[it->second];
+}
+
+const std::vector<std::uint32_t>& Digraph::out_edges(NodeIndex n) const {
+  check_node(n);
+  return out_[n];
+}
+
+const std::vector<std::uint32_t>& Digraph::in_edges(NodeIndex n) const {
+  check_node(n);
+  return in_[n];
+}
+
+std::vector<NodeIndex> Digraph::successors(NodeIndex n) const {
+  check_node(n);
+  std::vector<NodeIndex> result;
+  result.reserve(out_[n].size());
+  for (const std::uint32_t e : out_[n]) result.push_back(edges_[e].to);
+  return result;
+}
+
+std::vector<NodeIndex> Digraph::predecessors(NodeIndex n) const {
+  check_node(n);
+  std::vector<NodeIndex> result;
+  result.reserve(in_[n].size());
+  for (const std::uint32_t e : in_[n]) result.push_back(edges_[e].from);
+  return result;
+}
+
+double Digraph::total_weight() const noexcept {
+  double sum = 0.0;
+  for (const Edge& e : edges_) sum += e.weight;
+  return sum;
+}
+
+}  // namespace fcm::graph

@@ -1,0 +1,104 @@
+// Directed weighted graph used for influence graphs, SW allocation graphs
+// and HW interconnection graphs.
+//
+// The paper represents FCM interaction as "a labeled directed graph ...
+// nodes represent FCMs ... with an edge for each influence pair, from the
+// influencing FCM to the FCM influenced. Edge labels include a tuple
+// representing the factors ... and an associated weight" (§4.2.4). `Digraph`
+// captures exactly that: append-only nodes with a name, at most one directed
+// edge per ordered pair carrying a weight and a free-form label.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fcm::graph {
+
+using NodeIndex = std::uint32_t;
+
+/// A directed edge with a scalar weight and an optional label (the paper's
+/// factor tuple, rendered as text).
+struct Edge {
+  NodeIndex from = 0;
+  NodeIndex to = 0;
+  double weight = 0.0;
+  std::string label;
+};
+
+/// Directed weighted simple graph (no parallel edges; self-loops rejected).
+/// Nodes are append-only; algorithms that shrink graphs build quotient
+/// graphs instead of mutating in place (see quotient.h).
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Adds a node and returns its index. Names need not be unique but help
+  /// debugging and DOT export.
+  NodeIndex add_node(std::string name);
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return names_.size();
+  }
+  /// Number of edges.
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+
+  [[nodiscard]] const std::string& name(NodeIndex n) const;
+  void rename(NodeIndex n, std::string name);
+
+  /// Adds a directed edge; throws InvalidArgument on self-loops, out-of-range
+  /// endpoints, or duplicate (from,to) pairs.
+  void add_edge(NodeIndex from, NodeIndex to, double weight,
+                std::string label = {});
+
+  /// Replaces the weight of an existing edge.
+  void set_weight(NodeIndex from, NodeIndex to, double weight);
+
+  /// Weight of the (from,to) edge, or nullopt when absent.
+  [[nodiscard]] std::optional<double> weight(NodeIndex from,
+                                             NodeIndex to) const;
+
+  /// Whether the directed edge exists.
+  [[nodiscard]] bool has_edge(NodeIndex from, NodeIndex to) const;
+
+  /// The edge record for (from,to); throws NotFound when absent.
+  [[nodiscard]] const Edge& edge(NodeIndex from, NodeIndex to) const;
+
+  /// All edges, in insertion order.
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// Outgoing edge indices of `n` (indices into edges()).
+  [[nodiscard]] const std::vector<std::uint32_t>& out_edges(
+      NodeIndex n) const;
+  /// Incoming edge indices of `n`.
+  [[nodiscard]] const std::vector<std::uint32_t>& in_edges(NodeIndex n) const;
+
+  /// Out-neighbors of `n`.
+  [[nodiscard]] std::vector<NodeIndex> successors(NodeIndex n) const;
+  /// In-neighbors of `n`.
+  [[nodiscard]] std::vector<NodeIndex> predecessors(NodeIndex n) const;
+
+  /// Sum of weights of all edges (used as a containment objective:
+  /// "group the nodes into sets such that the sum of weights between the
+  /// sets is minimized", §5.4).
+  [[nodiscard]] double total_weight() const noexcept;
+
+ private:
+  void check_node(NodeIndex n) const;
+
+  std::vector<std::string> names_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::uint32_t>> out_;
+  std::vector<std::vector<std::uint32_t>> in_;
+  // (from << 32 | to) -> edge index, for O(1) lookup.
+  std::unordered_map<std::uint64_t, std::uint32_t> index_;
+};
+
+}  // namespace fcm::graph

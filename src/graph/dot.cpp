@@ -1,0 +1,38 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace fcm::graph {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Digraph& g, const DotOptions& options) {
+  std::ostringstream out;
+  out << "digraph \"" << escape(options.graph_name) << "\" {\n";
+  for (NodeIndex v = 0; v < g.node_count(); ++v) {
+    out << "  n" << v << " [label=\"" << escape(g.name(v)) << "\"];\n";
+  }
+  out.setf(std::ios::fixed);
+  out.precision(options.weight_digits);
+  for (const Edge& e : g.edges()) {
+    out << "  n" << e.from << " -> n" << e.to;
+    if (options.show_weights) {
+      out << " [label=\"" << e.weight << "\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace fcm::graph

@@ -1,0 +1,23 @@
+// Graphviz DOT export for influence / SW / HW graphs.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace fcm::graph {
+
+/// Options controlling DOT rendering.
+struct DotOptions {
+  std::string graph_name = "g";
+  /// Render edge weights as labels.
+  bool show_weights = true;
+  /// Number of fractional digits for weights.
+  int weight_digits = 2;
+};
+
+/// Renders `g` as a DOT digraph (deterministic output: nodes and edges in
+/// index/insertion order), suitable for `dot -Tpng`.
+std::string to_dot(const Digraph& g, const DotOptions& options = {});
+
+}  // namespace fcm::graph

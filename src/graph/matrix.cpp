@@ -1,0 +1,73 @@
+#include "graph/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fcm::graph {
+
+Matrix::Matrix(std::size_t n) : n_(n), data_(n * n, 0.0) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t row, std::size_t col) {
+  FCM_REQUIRE(row < n_ && col < n_, "matrix index out of range");
+  return data_[row * n_ + col];
+}
+
+double Matrix::at(std::size_t row, std::size_t col) const {
+  FCM_REQUIRE(row < n_ && col < n_, "matrix index out of range");
+  return data_[row * n_ + col];
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  FCM_REQUIRE(n_ == other.n_, "matrix size mismatch");
+  Matrix result(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = 0; k < n_; ++k) {
+      const double a = data_[i * n_ + k];
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < n_; ++j) {
+        result.data_[i * n_ + j] += a * other.data_[k * n_ + j];
+      }
+    }
+  }
+  return result;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  Matrix result = *this;
+  result += other;
+  return result;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  FCM_REQUIRE(n_ == other.n_, "matrix size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+double Matrix::max_abs() const noexcept {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Matrix power_series_sum(const Matrix& p, int max_order, double epsilon) {
+  FCM_REQUIRE(max_order >= 1, "series needs at least the first-order term");
+  Matrix sum = p;
+  Matrix term = p;
+  for (int order = 2; order <= max_order; ++order) {
+    term = term * p;
+    if (epsilon > 0.0 && term.max_abs() < epsilon) break;
+    sum += term;
+  }
+  return sum;
+}
+
+}  // namespace fcm::graph

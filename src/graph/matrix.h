@@ -1,0 +1,47 @@
+// Dense square matrices for the separation power series (Eq. 3).
+//
+// The paper computes separation as
+//   FCMi ∘ FCMj = 1 − (P_ij + Σ_k P_ik P_kj + Σ_l Σ_k P_ik P_kl P_lj + …)
+// i.e. 1 minus the (i,j) entry of P + P² + P³ + … . `Matrix` provides the
+// multiply/accumulate needed to evaluate that series to a chosen order,
+// with a norm helper to decide when "higher-order terms are likely to be
+// small enough to be neglected" (paper, §4.2.4).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fcm::graph {
+
+/// Dense row-major square matrix of doubles.
+class Matrix {
+ public:
+  /// n-by-n zero matrix.
+  explicit Matrix(std::size_t n);
+
+  /// n-by-n identity.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  [[nodiscard]] double& at(std::size_t row, std::size_t col);
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  Matrix operator*(const Matrix& other) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix& operator+=(const Matrix& other);
+
+  /// Largest absolute entry (infinity-like norm on entries); used to truncate
+  /// the separation series once terms become negligible.
+  [[nodiscard]] double max_abs() const noexcept;
+
+ private:
+  std::size_t n_;
+  std::vector<double> data_;
+};
+
+/// P + P² + … + P^max_order, stopping early once a term's max_abs() drops
+/// below `epsilon`. `max_order` >= 1.
+Matrix power_series_sum(const Matrix& p, int max_order, double epsilon = 0.0);
+
+}  // namespace fcm::graph

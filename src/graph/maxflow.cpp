@@ -1,0 +1,115 @@
+#include "graph/maxflow.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/error.h"
+
+namespace fcm::graph {
+
+FlowNetwork::FlowNetwork(std::size_t node_count)
+    : n_(node_count), adj_(node_count) {}
+
+void FlowNetwork::add_edge(NodeIndex from, NodeIndex to, double capacity) {
+  FCM_REQUIRE(from < n_ && to < n_, "flow edge endpoint out of range");
+  FCM_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
+  adj_[from].push_back(static_cast<std::uint32_t>(arcs_.size()));
+  arcs_.push_back(Arc{to, capacity, 0.0});
+  adj_[to].push_back(static_cast<std::uint32_t>(arcs_.size()));
+  arcs_.push_back(Arc{from, 0.0, 0.0});
+}
+
+void FlowNetwork::add_undirected_edge(NodeIndex a, NodeIndex b,
+                                      double capacity) {
+  FCM_REQUIRE(a < n_ && b < n_, "flow edge endpoint out of range");
+  FCM_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
+  adj_[a].push_back(static_cast<std::uint32_t>(arcs_.size()));
+  arcs_.push_back(Arc{b, capacity, 0.0});
+  adj_[b].push_back(static_cast<std::uint32_t>(arcs_.size()));
+  arcs_.push_back(Arc{a, capacity, 0.0});
+}
+
+bool FlowNetwork::build_levels(NodeIndex source, NodeIndex sink) {
+  level_.assign(n_, -1);
+  std::queue<NodeIndex> queue;
+  queue.push(source);
+  level_[source] = 0;
+  while (!queue.empty()) {
+    const NodeIndex v = queue.front();
+    queue.pop();
+    for (const std::uint32_t a : adj_[v]) {
+      const Arc& arc = arcs_[a];
+      if (level_[arc.to] < 0 && arc.capacity - arc.flow > 1e-12) {
+        level_[arc.to] = level_[v] + 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+double FlowNetwork::push(NodeIndex v, NodeIndex sink, double limit) {
+  if (v == sink || limit <= 1e-12) return limit;
+  double pushed = 0.0;
+  for (std::uint32_t& i = next_arc_[v]; i < adj_[v].size(); ++i) {
+    const std::uint32_t a = adj_[v][i];
+    Arc& arc = arcs_[a];
+    if (level_[arc.to] != level_[v] + 1) continue;
+    const double residual = arc.capacity - arc.flow;
+    if (residual <= 1e-12) continue;
+    const double got =
+        push(arc.to, sink, std::min(limit - pushed, residual));
+    if (got > 0.0) {
+      arc.flow += got;
+      arcs_[a ^ 1u].flow -= got;
+      pushed += got;
+      if (pushed >= limit - 1e-12) return pushed;
+    }
+  }
+  return pushed;
+}
+
+double FlowNetwork::max_flow(NodeIndex source, NodeIndex sink) {
+  FCM_REQUIRE(source < n_ && sink < n_, "flow endpoint out of range");
+  FCM_REQUIRE(source != sink, "source must differ from sink");
+  for (Arc& arc : arcs_) arc.flow = 0.0;
+  double total = 0.0;
+  while (build_levels(source, sink)) {
+    next_arc_.assign(n_, 0);
+    total +=
+        push(source, sink, std::numeric_limits<double>::infinity());
+  }
+  return total;
+}
+
+std::vector<bool> FlowNetwork::min_cut_side(NodeIndex source) const {
+  std::vector<bool> side(n_, false);
+  std::queue<NodeIndex> queue;
+  queue.push(source);
+  side[source] = true;
+  while (!queue.empty()) {
+    const NodeIndex v = queue.front();
+    queue.pop();
+    for (const std::uint32_t a : adj_[v]) {
+      const Arc& arc = arcs_[a];
+      if (!side[arc.to] && arc.capacity - arc.flow > 1e-12) {
+        side[arc.to] = true;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return side;
+}
+
+StCutResult st_min_cut(const Digraph& g, NodeIndex source, NodeIndex sink) {
+  FlowNetwork net(g.node_count());
+  for (const Edge& e : g.edges()) {
+    net.add_undirected_edge(e.from, e.to, e.weight);
+  }
+  StCutResult result;
+  result.flow = net.max_flow(source, sink);
+  result.on_source_side = net.min_cut_side(source);
+  return result;
+}
+
+}  // namespace fcm::graph

@@ -1,0 +1,58 @@
+// s-t maximum flow / minimum cut (Dinic).
+//
+// Supports the H2 variation the paper mentions: "cut the graph using source
+// and target nodes". Capacities are the symmetrized influence weights, so
+// the returned cut minimizes mutual influence crossing it while separating
+// the two designated FCMs.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace fcm::graph {
+
+/// Result of an s-t min-cut: membership of the source side and the cut value.
+struct StCutResult {
+  std::vector<bool> on_source_side;
+  double flow = 0.0;
+};
+
+/// Dinic max-flow on a capacity network. Build with `add_edge` (directed
+/// capacity) or `add_undirected_edge` (capacity both ways).
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::size_t node_count);
+
+  void add_edge(NodeIndex from, NodeIndex to, double capacity);
+  void add_undirected_edge(NodeIndex a, NodeIndex b, double capacity);
+
+  /// Computes max flow from `source` to `sink`; afterwards `min_cut_side`
+  /// returns the source-side of a minimum cut. Resets any previous flow.
+  double max_flow(NodeIndex source, NodeIndex sink);
+
+  /// Source side of the min cut after `max_flow` has run.
+  [[nodiscard]] std::vector<bool> min_cut_side(NodeIndex source) const;
+
+ private:
+  struct Arc {
+    NodeIndex to;
+    double capacity;
+    double flow;
+  };
+
+  bool build_levels(NodeIndex source, NodeIndex sink);
+  double push(NodeIndex v, NodeIndex sink, double limit);
+
+  std::size_t n_;
+  std::vector<Arc> arcs_;                       // paired: arc i ^ 1 = reverse
+  std::vector<std::vector<std::uint32_t>> adj_;
+  std::vector<std::int32_t> level_;
+  std::vector<std::uint32_t> next_arc_;
+};
+
+/// Minimum cut separating `source` from `sink` on the undirected projection
+/// of `g` (capacities = symmetrized weights).
+StCutResult st_min_cut(const Digraph& g, NodeIndex source, NodeIndex sink);
+
+}  // namespace fcm::graph

@@ -1,0 +1,102 @@
+#include "graph/quotient.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace fcm::graph {
+
+Partition Partition::identity(std::size_t node_count) {
+  Partition p;
+  p.cluster_of.resize(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    p.cluster_of[i] = static_cast<std::uint32_t>(i);
+  }
+  p.cluster_count = static_cast<std::uint32_t>(node_count);
+  return p;
+}
+
+std::vector<std::vector<NodeIndex>> Partition::groups() const {
+  std::vector<std::vector<NodeIndex>> result(cluster_count);
+  for (std::size_t v = 0; v < cluster_of.size(); ++v) {
+    result[cluster_of[v]].push_back(static_cast<NodeIndex>(v));
+  }
+  return result;
+}
+
+void Partition::merge(NodeIndex a, NodeIndex b) {
+  FCM_REQUIRE(a < cluster_of.size() && b < cluster_of.size(),
+              "node out of range");
+  const std::uint32_t ca = cluster_of[a];
+  const std::uint32_t cb = cluster_of[b];
+  if (ca == cb) return;
+  const std::uint32_t keep = std::min(ca, cb);
+  const std::uint32_t drop = std::max(ca, cb);
+  for (std::uint32_t& c : cluster_of) {
+    if (c == drop) {
+      c = keep;
+    } else if (c > drop) {
+      --c;  // keep indices dense
+    }
+  }
+  --cluster_count;
+}
+
+void Partition::validate() const {
+  std::vector<bool> seen(cluster_count, false);
+  for (const std::uint32_t c : cluster_of) {
+    FCM_REQUIRE(c < cluster_count, "cluster index out of range");
+    seen[c] = true;
+  }
+  for (std::size_t c = 0; c < seen.size(); ++c) {
+    FCM_REQUIRE(seen[c],
+                "cluster " + std::to_string(c) + " has no members");
+  }
+}
+
+double combine_sum(const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  return sum;
+}
+
+double combine_probabilistic(const std::vector<double>& weights) {
+  double none = 1.0;
+  for (const double w : weights) none *= 1.0 - w;
+  return std::clamp(1.0 - none, 0.0, 1.0);
+}
+
+Digraph quotient_graph(const Digraph& g, const Partition& partition,
+                       const WeightCombiner& combiner) {
+  FCM_REQUIRE(partition.cluster_of.size() == g.node_count(),
+              "partition does not cover the graph");
+  partition.validate();
+
+  Digraph q;
+  const auto groups = partition.groups();
+  for (const auto& members : groups) {
+    std::string name;
+    for (const NodeIndex v : members) {
+      if (!name.empty()) name += ',';
+      name += g.name(v);
+    }
+    q.add_node(std::move(name));
+  }
+
+  // Gather parallel edge weights per ordered cluster pair.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>>
+      bundles;
+  for (const Edge& e : g.edges()) {
+    const std::uint32_t ca = partition.cluster_of[e.from];
+    const std::uint32_t cb = partition.cluster_of[e.to];
+    if (ca == cb) continue;  // internal influences disappear
+    bundles[{ca, cb}].push_back(e.weight);
+  }
+  for (const auto& [pair, weights] : bundles) {
+    q.add_edge(pair.first, pair.second, combiner(weights));
+  }
+  return q;
+}
+
+}  // namespace fcm::graph

@@ -1,0 +1,56 @@
+// Quotient (contracted) graphs.
+//
+// Combining SW nodes (paper §5.2, Fig. 2): "When nodes 1 through 4 are
+// combined, their internal influences are no longer visible; ... If several
+// cluster nodes had individual influences on a common neighbor, those
+// influence values need to be combined." The combination law is pluggable
+// because influence combines probabilistically (Eq. 4) while communication
+// cost combines additively.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace fcm::graph {
+
+/// A partition of graph nodes into clusters: `cluster_of[v]` is the cluster
+/// index of node v; cluster indices must be dense in [0, cluster_count).
+struct Partition {
+  std::vector<std::uint32_t> cluster_of;
+  std::uint32_t cluster_count = 0;
+
+  /// Builds the identity partition (each node its own cluster).
+  static Partition identity(std::size_t node_count);
+
+  /// Members of each cluster, in node order.
+  [[nodiscard]] std::vector<std::vector<NodeIndex>> groups() const;
+
+  /// Merge the clusters containing nodes `a` and `b`; re-densifies indices.
+  void merge(NodeIndex a, NodeIndex b);
+
+  /// Validates density/shape; throws InvalidArgument when malformed.
+  void validate() const;
+};
+
+/// How to fold multiple parallel edge weights between two clusters into one.
+/// Receives the weights of all original edges from cluster A to cluster B.
+using WeightCombiner = std::function<double(const std::vector<double>&)>;
+
+/// Σ w — additive combination (communication volume, costs).
+double combine_sum(const std::vector<double>& weights);
+
+/// 1 − Π(1 − w) — probabilistic combination of independent influences
+/// (Eq. 4). This is the default for influence graphs.
+double combine_probabilistic(const std::vector<double>& weights);
+
+/// Builds the quotient graph of `g` under `partition`. Internal edges
+/// disappear; parallel inter-cluster edges fold via `combiner`. Cluster
+/// names are the comma-joined member names, e.g. "p1,p2".
+Digraph quotient_graph(const Digraph& g, const Partition& partition,
+                       const WeightCombiner& combiner = combine_probabilistic);
+
+}  // namespace fcm::graph

@@ -1,0 +1,61 @@
+// Cluster-to-HW assignment: Approaches A and B (§5.4).
+//
+// After clustering, "the next step is to determine the mapping satisfying
+// the constraints of the SW node with the HW resources". Two satisficing
+// heuristics:
+//   Approach A ("importance of tasks"): assign the most important SW node
+//       first, onto a HW node where all its resource requirements hold;
+//   Approach B ("importance of attributes"): proceed lexicographically over
+//       attributes in decreasing importance — criticality first, then the
+//       next attribute, and so on.
+// Both prefer dilation-minimizing placements when communication matters
+// ("further heuristics can be used to map SW nodes with high communication
+// costs onto the same or neighboring HW nodes", §6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapping/clustering.h"
+#include "mapping/hw.h"
+
+namespace fcm::mapping {
+
+/// A cluster -> HW node assignment (injective).
+struct Assignment {
+  /// hw_of[c] is the HW node hosting cluster c.
+  std::vector<HwNodeId> hw_of;
+  /// Per-assignment explanation lines.
+  std::vector<std::string> steps;
+
+  [[nodiscard]] HwNodeId host(std::uint32_t cluster) const;
+};
+
+/// The lexicographic attribute priority used by Approach B.
+enum class AttributeKey : std::uint8_t {
+  kCriticality,
+  kReplication,
+  kTimingUrgency,
+  kThroughput,
+  kSecurity,
+};
+
+const char* to_string(AttributeKey key) noexcept;
+
+/// Approach A: clusters in decreasing importance (max member importance),
+/// each placed on the resource-feasible HW node that minimizes added
+/// dilation (influence x hop distance to already-placed clusters).
+/// Throws Infeasible when a cluster's resource requirements fit no node.
+Assignment assign_by_importance(const SwGraph& sw,
+                                const ClusteringResult& clustering,
+                                const HwGraph& hw);
+
+/// Approach B: clusters ordered lexicographically by the given attribute
+/// priority list (most important attribute first), then placed like A.
+Assignment assign_lexicographic(
+    const SwGraph& sw, const ClusteringResult& clustering, const HwGraph& hw,
+    const std::vector<AttributeKey>& priority = {
+        AttributeKey::kCriticality, AttributeKey::kReplication,
+        AttributeKey::kTimingUrgency, AttributeKey::kThroughput});
+
+}  // namespace fcm::mapping

@@ -1,0 +1,667 @@
+#include "mapping/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+#include "core/importance.h"
+#include "graph/maxflow.h"
+#include "graph/mincut.h"
+
+namespace fcm::mapping {
+
+namespace {
+
+std::string join_names(const SwGraph& sw,
+                       const std::vector<graph::NodeIndex>& members) {
+  std::string out;
+  for (const graph::NodeIndex m : members) {
+    if (!out.empty()) out += ',';
+    out += sw.node(m).name;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> ClusteringResult::cluster_names(
+    const SwGraph& sw) const {
+  std::vector<std::vector<std::string>> names(partition.cluster_count);
+  for (std::size_t v = 0; v < partition.cluster_of.size(); ++v) {
+    names[partition.cluster_of[v]].push_back(
+        sw.node(static_cast<graph::NodeIndex>(v)).name);
+  }
+  return names;
+}
+
+double ClusteringResult::cross_cluster_influence() const {
+  return quotient.total_weight();
+}
+
+ClusterEngine::ClusterEngine(const SwGraph& sw, ClusteringOptions options)
+    : sw_(&sw), options_(options), oracle_(options.policy) {
+  FCM_REQUIRE(options_.target_clusters >= 1,
+              "target cluster count must be positive");
+  // Replicas of one process need that many distinct clusters.
+  std::map<FcmId, int> degree;
+  for (const SwNode& n : sw.nodes()) {
+    degree[n.origin] = std::max(degree[n.origin], n.replica_index + 1);
+  }
+  for (const auto& [origin, count] : degree) {
+    FCM_REQUIRE(
+        options_.target_clusters >= static_cast<std::size_t>(count),
+        "replication degree " + std::to_string(count) +
+            " exceeds the target cluster count (" +
+            std::to_string(options_.target_clusters) +
+            "): replicas must map to distinct HW nodes");
+  }
+}
+
+bool ClusterEngine::members_schedulable(
+    const std::vector<graph::NodeIndex>& members) {
+  std::vector<sched::Job> jobs;
+  std::vector<sched::PeriodicTask> periodic;
+  for (const graph::NodeIndex v : members) {
+    const SwNode& node = sw_->node(v);
+    if (!node.attributes.timing.has_value()) continue;
+    const core::TimingSpec& timing = *node.attributes.timing;
+    if (timing.is_periodic()) {
+      periodic.push_back(timing.to_periodic_task(node.name));
+    } else {
+      jobs.push_back(timing.to_job(JobId(v), node.name));
+    }
+  }
+  if (periodic.empty()) return oracle_.feasible(jobs);
+  return sched::mixed_feasible(jobs, periodic);
+}
+
+bool ClusterEngine::resources_hostable(
+    const std::vector<graph::NodeIndex>& members) const {
+  std::set<std::string> combined;
+  for (const graph::NodeIndex v : members) {
+    const auto& req = sw_->node(v).attributes.required_resources;
+    combined.insert(req.begin(), req.end());
+  }
+  return combined.empty() || options_.resource_check(combined);
+}
+
+bool ClusterEngine::can_combine(const graph::Partition& partition,
+                                std::uint32_t cluster_a,
+                                std::uint32_t cluster_b) {
+  if (cluster_a == cluster_b) return false;
+  // Replica anti-affinity across the union.
+  std::vector<graph::NodeIndex> a_members, b_members;
+  for (std::size_t v = 0; v < partition.cluster_of.size(); ++v) {
+    if (partition.cluster_of[v] == cluster_a) {
+      a_members.push_back(static_cast<graph::NodeIndex>(v));
+    } else if (partition.cluster_of[v] == cluster_b) {
+      b_members.push_back(static_cast<graph::NodeIndex>(v));
+    }
+  }
+  for (const graph::NodeIndex a : a_members) {
+    for (const graph::NodeIndex b : b_members) {
+      if (sw_->replicas(a, b)) return false;
+    }
+  }
+  if (options_.resource_check) {
+    std::set<std::string> combined;
+    for (const graph::NodeIndex v : a_members) {
+      const auto& req = sw_->node(v).attributes.required_resources;
+      combined.insert(req.begin(), req.end());
+    }
+    for (const graph::NodeIndex v : b_members) {
+      const auto& req = sw_->node(v).attributes.required_resources;
+      combined.insert(req.begin(), req.end());
+    }
+    if (!combined.empty() && !options_.resource_check(combined)) return false;
+  }
+  if (!options_.enforce_schedulability) return true;
+  std::vector<graph::NodeIndex> all = a_members;
+  all.insert(all.end(), b_members.begin(), b_members.end());
+  return members_schedulable(all);
+}
+
+graph::Digraph ClusterEngine::influence_quotient(
+    const graph::Partition& partition) const {
+  const auto groups = partition.groups();
+  graph::Digraph q;
+  for (const auto& members : groups) q.add_node(join_names(*sw_, members));
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>>
+      bundles;
+  for (const graph::Edge& e : sw_->influence_graph().edges()) {
+    if (sw_->replicas(e.from, e.to)) continue;  // drop 0-weight replica links
+    const std::uint32_t ca = partition.cluster_of[e.from];
+    const std::uint32_t cb = partition.cluster_of[e.to];
+    if (ca == cb) continue;
+    bundles[{ca, cb}].push_back(e.weight);
+  }
+  for (const auto& [pair, weights] : bundles) {
+    q.add_edge(pair.first, pair.second,
+               graph::combine_probabilistic(weights));
+  }
+  return q;
+}
+
+double ClusterEngine::mutual(const graph::Digraph& quotient, std::uint32_t a,
+                             std::uint32_t b) {
+  return quotient.weight(a, b).value_or(0.0) +
+         quotient.weight(b, a).value_or(0.0);
+}
+
+ClusteringResult ClusterEngine::finish(graph::Partition partition,
+                                       std::vector<std::string> steps) const {
+  ClusteringResult result;
+  result.quotient = influence_quotient(partition);
+  result.partition = std::move(partition);
+  result.steps = std::move(steps);
+  return result;
+}
+
+ClusteringResult ClusterEngine::h1_greedy() {
+  graph::Partition partition =
+      graph::Partition::identity(sw_->node_count());
+  std::vector<std::string> steps;
+  while (partition.cluster_count > options_.target_clusters) {
+    const graph::Digraph quotient = influence_quotient(partition);
+    double best = -1.0;
+    std::uint32_t best_a = 0, best_b = 0;
+    for (std::uint32_t a = 0; a < partition.cluster_count; ++a) {
+      for (std::uint32_t b = a + 1; b < partition.cluster_count; ++b) {
+        const double m = mutual(quotient, a, b);
+        if (m > best && can_combine(partition, a, b)) {
+          best = m;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best < 0.0) {
+      throw Infeasible(
+          "H1: no combinable cluster pair remains at " +
+          std::to_string(partition.cluster_count) + " clusters (target " +
+          std::to_string(options_.target_clusters) + ")");
+    }
+    std::ostringstream step;
+    step << "combine " << quotient.name(best_a) << " + "
+         << quotient.name(best_b) << " (mutual influence "
+         << best << ")";
+    steps.push_back(step.str());
+    const auto groups = partition.groups();
+    partition.merge(groups[best_a].front(), groups[best_b].front());
+  }
+  return finish(std::move(partition), std::move(steps));
+}
+
+ClusteringResult ClusterEngine::h1_rounds() {
+  graph::Partition partition =
+      graph::Partition::identity(sw_->node_count());
+  std::vector<std::string> steps;
+  int round = 0;
+  while (partition.cluster_count > options_.target_clusters) {
+    ++round;
+    const graph::Digraph quotient = influence_quotient(partition);
+    // Rank all pairs by mutual influence.
+    struct Pair {
+      double m;
+      std::uint32_t a, b;
+    };
+    std::vector<Pair> pairs;
+    for (std::uint32_t a = 0; a < partition.cluster_count; ++a) {
+      for (std::uint32_t b = a + 1; b < partition.cluster_count; ++b) {
+        pairs.push_back({mutual(quotient, a, b), a, b});
+      }
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
+      if (x.m != y.m) return x.m > y.m;
+      if (x.a != y.a) return x.a < y.a;
+      return x.b < y.b;
+    });
+    // Greedily select disjoint combinable pairs for this round.
+    std::vector<bool> taken(partition.cluster_count, false);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> selected;
+    const std::size_t max_merges =
+        partition.cluster_count - options_.target_clusters;
+    for (const Pair& p : pairs) {
+      if (selected.size() >= max_merges) break;
+      if (taken[p.a] || taken[p.b]) continue;
+      if (!can_combine(partition, p.a, p.b)) continue;
+      taken[p.a] = taken[p.b] = true;
+      selected.emplace_back(p.a, p.b);
+      std::ostringstream step;
+      step << "round " << round << ": pair " << quotient.name(p.a) << " + "
+           << quotient.name(p.b) << " (mutual influence " << p.m << ")";
+      steps.push_back(step.str());
+    }
+    if (selected.empty()) {
+      throw Infeasible("H1-rounds: no combinable pair in round " +
+                       std::to_string(round));
+    }
+    const auto groups = partition.groups();
+    for (const auto& [a, b] : selected) {
+      partition.merge(groups[a].front(), groups[b].front());
+    }
+  }
+  return finish(std::move(partition), std::move(steps));
+}
+
+ClusteringResult ClusterEngine::h2_mincut() {
+  std::vector<graph::NodeIndex> all(sw_->node_count());
+  for (std::size_t v = 0; v < sw_->node_count(); ++v) {
+    all[v] = static_cast<graph::NodeIndex>(v);
+  }
+  return h2_driver({std::move(all)}, {});
+}
+
+ClusteringResult ClusterEngine::h2_st_cut(
+    std::optional<graph::NodeIndex> source,
+    std::optional<graph::NodeIndex> target) {
+  FCM_REQUIRE(sw_->node_count() >= 2, "s-t cut needs at least two nodes");
+  // Default endpoints: the two most important SW nodes (distinct).
+  if (!source.has_value() || !target.has_value()) {
+    graph::NodeIndex best = 0, second = 1;
+    for (graph::NodeIndex v = 0; v < sw_->node_count(); ++v) {
+      if (sw_->node(v).importance > sw_->node(best).importance) best = v;
+    }
+    second = best == 0 ? 1 : 0;
+    for (graph::NodeIndex v = 0; v < sw_->node_count(); ++v) {
+      if (v != best &&
+          sw_->node(v).importance > sw_->node(second).importance) {
+        second = v;
+      }
+    }
+    if (!source.has_value()) source = best;
+    if (!target.has_value()) target = second;
+  }
+  FCM_REQUIRE(*source != *target, "source and target must differ");
+  FCM_REQUIRE(*source < sw_->node_count() && *target < sw_->node_count(),
+              "s-t endpoints out of range");
+
+  const graph::StCutResult cut =
+      graph::st_min_cut(sw_->influence_graph(), *source, *target);
+  std::vector<graph::NodeIndex> first, second_side;
+  for (graph::NodeIndex v = 0; v < sw_->node_count(); ++v) {
+    (cut.on_source_side[v] ? first : second_side).push_back(v);
+  }
+  std::vector<std::string> steps;
+  std::ostringstream step;
+  step << "s-t cut separating " << sw_->node(*source).name << " from "
+       << sw_->node(*target).name << " (cut weight " << cut.flow << ")";
+  steps.push_back(step.str());
+  return h2_driver({std::move(first), std::move(second_side)},
+                   std::move(steps));
+}
+
+ClusteringResult ClusterEngine::h2_driver(
+    std::vector<std::vector<graph::NodeIndex>> parts,
+    std::vector<std::string> steps) {
+
+  auto part_valid = [&](const std::vector<graph::NodeIndex>& part) {
+    for (std::size_t i = 0; i < part.size(); ++i) {
+      for (std::size_t j = i + 1; j < part.size(); ++j) {
+        if (sw_->replicas(part[i], part[j])) return false;
+      }
+    }
+    if (options_.resource_check && !resources_hostable(part)) return false;
+    if (!options_.enforce_schedulability) return true;
+    return members_schedulable(part);
+  };
+
+  auto split_part = [&](std::size_t index) {
+    const std::vector<graph::NodeIndex> part = parts[index];
+    const graph::CutResult cut =
+        graph::global_min_cut_subset(sw_->influence_graph(), part);
+    std::vector<graph::NodeIndex> first, second;
+    for (const graph::NodeIndex v : part) {
+      (cut.in_first_side[v] ? first : second).push_back(v);
+    }
+    // A degenerate cut (everything on one side) cannot happen with
+    // Stoer–Wagner, but guard for safety.
+    FCM_REQUIRE(!first.empty() && !second.empty(),
+                "min-cut produced a degenerate split");
+    std::ostringstream step;
+    step << "cut {" << join_names(*sw_, part) << "} -> {"
+         << join_names(*sw_, first) << "} | {" << join_names(*sw_, second)
+         << "} (cut weight " << cut.weight << ")";
+    steps.push_back(step.str());
+    parts[index] = std::move(first);
+    parts.push_back(std::move(second));
+  };
+
+  // Phase 1: bisect the largest part until the target count.
+  while (parts.size() < options_.target_clusters) {
+    std::size_t largest = parts.size();
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].size() < 2) continue;
+      if (largest == parts.size() ||
+          parts[i].size() > parts[largest].size()) {
+        largest = i;
+      }
+    }
+    FCM_REQUIRE(largest < parts.size(),
+                "H2: cannot reach the target count (all parts singleton)");
+    split_part(largest);
+  }
+
+  // Phase 2: repair — split any part violating constraints.
+  for (int guard = 0; guard < 1000; ++guard) {
+    std::size_t violating = parts.size();
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].size() >= 2 && !part_valid(parts[i])) {
+        violating = i;
+        break;
+      }
+    }
+    if (violating == parts.size()) break;
+    split_part(violating);
+  }
+
+  // Build the partition from parts, then re-merge down to target with H1
+  // steps if the repair overshot.
+  graph::Partition partition =
+      graph::Partition::identity(sw_->node_count());
+  for (const auto& part : parts) {
+    for (std::size_t k = 1; k < part.size(); ++k) {
+      partition.merge(part[0], part[k]);
+    }
+  }
+  while (partition.cluster_count > options_.target_clusters) {
+    const graph::Digraph quotient = influence_quotient(partition);
+    double best = -1.0;
+    std::uint32_t best_a = 0, best_b = 0;
+    for (std::uint32_t a = 0; a < partition.cluster_count; ++a) {
+      for (std::uint32_t b = a + 1; b < partition.cluster_count; ++b) {
+        const double m = mutual(quotient, a, b);
+        if (m > best && can_combine(partition, a, b)) {
+          best = m;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (best < 0.0) {
+      throw Infeasible("H2: repair phase cannot re-merge to the target");
+    }
+    std::ostringstream step;
+    step << "repair-merge " << quotient.name(best_a) << " + "
+         << quotient.name(best_b);
+    steps.push_back(step.str());
+    const auto groups = partition.groups();
+    partition.merge(groups[best_a].front(), groups[best_b].front());
+  }
+  return finish(std::move(partition), std::move(steps));
+}
+
+ClusteringResult ClusterEngine::h3_importance(double importance_threshold,
+                                              double influence_threshold) {
+  const std::size_t n = sw_->node_count();
+  FCM_REQUIRE(options_.target_clusters <= n,
+              "more clusters requested than SW nodes");
+  // Seeds: the target_clusters most important nodes.
+  std::vector<graph::NodeIndex> order(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    order[v] = static_cast<graph::NodeIndex>(v);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeIndex a, graph::NodeIndex b) {
+              if (sw_->node(a).importance != sw_->node(b).importance) {
+                return sw_->node(a).importance > sw_->node(b).importance;
+              }
+              return a < b;
+            });
+  std::vector<bool> is_seed(n, false);
+  std::vector<std::string> steps;
+  for (std::size_t k = 0; k < options_.target_clusters; ++k) {
+    is_seed[order[k]] = true;
+    steps.push_back("seed " + sw_->node(order[k]).name + " (importance " +
+                    std::to_string(sw_->node(order[k]).importance) + ")");
+  }
+
+  graph::Partition partition = graph::Partition::identity(n);
+  // Attach non-seeds (most important first) to their best seed cluster.
+  for (std::size_t k = options_.target_clusters; k < n; ++k) {
+    const graph::NodeIndex v = order[k];
+    const graph::Digraph quotient = influence_quotient(partition);
+    const std::uint32_t v_cluster = partition.cluster_of[v];
+    double best = -1.0;
+    std::uint32_t best_cluster = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!is_seed[s]) continue;
+      const std::uint32_t c = partition.cluster_of[s];
+      if (c == v_cluster) continue;
+      const double m = mutual(quotient, v_cluster, c);
+      const bool admitted =
+          sw_->node(v).importance < importance_threshold ||
+          m > influence_threshold;
+      if (admitted && m > best && can_combine(partition, v_cluster, c)) {
+        best = m;
+        best_cluster = c;
+      }
+    }
+    if (best < 0.0) {
+      throw Infeasible("H3: node " + sw_->node(v).name +
+                       " fits no sphere of influence");
+    }
+    steps.push_back("attach " + sw_->node(v).name + " -> {" +
+                    quotient.name(best_cluster) + "} (mutual influence " +
+                    std::to_string(best) + ")");
+    const auto groups = partition.groups();
+    partition.merge(v, groups[best_cluster].front());
+  }
+  return finish(std::move(partition), std::move(steps));
+}
+
+ClusteringResult ClusterEngine::criticality_pairing() {
+  graph::Partition partition =
+      graph::Partition::identity(sw_->node_count());
+  std::vector<std::string> steps;
+
+  auto summary_criticality = [&](std::uint32_t cluster) {
+    core::Criticality crit = 0;
+    for (std::size_t v = 0; v < partition.cluster_of.size(); ++v) {
+      if (partition.cluster_of[v] == cluster) {
+        crit = std::max(crit, sw_->node(static_cast<graph::NodeIndex>(v))
+                                  .attributes.criticality);
+      }
+    }
+    return crit;
+  };
+
+  int round = 0;
+  while (partition.cluster_count > options_.target_clusters) {
+    ++round;
+    const graph::Digraph quotient = influence_quotient(partition);
+    // Clusters in descending summary criticality (stable on index).
+    std::vector<std::uint32_t> list(partition.cluster_count);
+    for (std::uint32_t c = 0; c < partition.cluster_count; ++c) list[c] = c;
+    std::sort(list.begin(), list.end(), [&](std::uint32_t a, std::uint32_t b) {
+      const auto ca = summary_criticality(a);
+      const auto cb = summary_criticality(b);
+      if (ca != cb) return ca > cb;
+      return a < b;
+    });
+
+    std::vector<bool> paired(list.size(), false);
+    // Pairs as positions into `list` (hi position, lo position).
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+
+    std::size_t hi = 0;
+    while (true) {
+      while (hi < list.size() && paired[hi]) ++hi;
+      // Find the last unpaired position beyond hi.
+      std::size_t lo = list.size();
+      for (std::size_t k = list.size(); k-- > hi + 1;) {
+        if (!paired[k]) {
+          lo = k;
+          break;
+        }
+      }
+      if (hi >= list.size() || lo == list.size()) break;
+
+      // Try lo, then the entries preceding lo on the criticality list
+      // ("combine ph with the process preceding pl").
+      std::size_t chosen = list.size();
+      for (std::size_t k = lo; k > hi; --k) {
+        if (paired[k]) continue;
+        if (can_combine(partition, list[hi], list[k])) {
+          chosen = k;
+          break;
+        }
+      }
+      if (chosen == list.size()) {
+        // hi pairs with nothing this round; it stays as-is.
+        paired[hi] = true;  // consumed, unpaired
+        continue;
+      }
+      paired[hi] = paired[chosen] = true;
+      pairs.emplace_back(hi, chosen);
+      steps.push_back("round " + std::to_string(round) + ": pair " +
+                      quotient.name(list[hi]) + " + " +
+                      quotient.name(list[chosen]));
+    }
+
+    // Narrated replicate resolution: if exactly two clusters remain
+    // unpaired and incompatible, dissolve the last formed pair and re-pair
+    // crosswise.
+    std::vector<std::size_t> leftover;
+    for (std::size_t k = 0; k < list.size(); ++k) {
+      bool in_pair = false;
+      for (const auto& [a, b] : pairs) {
+        if (k == a || k == b) in_pair = true;
+      }
+      if (!in_pair) leftover.push_back(k);
+    }
+    if (leftover.size() == 2 && !pairs.empty() &&
+        !can_combine(partition, list[leftover[0]], list[leftover[1]])) {
+      const auto [ph, pl] = pairs.back();
+      const std::size_t a = leftover[0], b = leftover[1];
+      auto try_resolution = [&](std::size_t x, std::size_t y) {
+        // (ph with x) and (y with pl)
+        if (can_combine(partition, list[ph], list[x]) &&
+            can_combine(partition, list[y], list[pl])) {
+          pairs.pop_back();
+          pairs.emplace_back(ph, x);
+          pairs.emplace_back(y, pl);
+          steps.push_back(
+              "round " + std::to_string(round) + ": conflict between " +
+              quotient.name(list[a]) + " and " + quotient.name(list[b]) +
+              " resolved by dissolving pair (" + quotient.name(list[ph]) +
+              "," + quotient.name(list[pl]) + ")");
+          return true;
+        }
+        return false;
+      };
+      if (!try_resolution(b, a)) (void)try_resolution(a, b);
+    }
+
+    if (pairs.empty()) {
+      throw Infeasible(
+          "criticality pairing: no combinable pair in round " +
+          std::to_string(round));
+    }
+
+    // Merge pairs (in formation order) until the target count is reached.
+    const auto groups = partition.groups();
+    std::size_t merges_allowed =
+        partition.cluster_count - options_.target_clusters;
+    for (const auto& [a, b] : pairs) {
+      if (merges_allowed == 0) break;
+      partition.merge(groups[list[a]].front(), groups[list[b]].front());
+      --merges_allowed;
+    }
+  }
+  return finish(std::move(partition), std::move(steps));
+}
+
+ClusteringResult ClusterEngine::timing_ordered(OrderKey key,
+                                               std::size_t max_per_cluster) {
+  const std::size_t n = sw_->node_count();
+  const std::size_t cap =
+      max_per_cluster > 0
+          ? max_per_cluster
+          : (n + options_.target_clusters - 1) / options_.target_clusters;
+
+  std::vector<graph::NodeIndex> order(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    order[v] = static_cast<graph::NodeIndex>(v);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](graph::NodeIndex a, graph::NodeIndex b) {
+              const SwNode& na = sw_->node(a);
+              const SwNode& nb = sw_->node(b);
+              switch (key) {
+                case OrderKey::kCriticality:
+                  if (na.attributes.criticality != nb.attributes.criticality)
+                    return na.attributes.criticality >
+                           nb.attributes.criticality;
+                  break;
+                case OrderKey::kEst: {
+                  const auto ea = na.attributes.timing
+                                      ? na.attributes.timing->est
+                                      : Instant::distant_future();
+                  const auto eb = nb.attributes.timing
+                                      ? nb.attributes.timing->est
+                                      : Instant::distant_future();
+                  if (ea != eb) return ea < eb;
+                  break;
+                }
+                case OrderKey::kUrgency: {
+                  const double ua = core::timing_urgency(na.attributes);
+                  const double ub = core::timing_urgency(nb.attributes);
+                  if (ua != ub) return ua > ub;
+                  break;
+                }
+              }
+              return a < b;
+            });
+
+  std::vector<std::vector<graph::NodeIndex>> bins;
+  std::vector<std::string> steps;
+  auto fits = [&](const std::vector<graph::NodeIndex>& bin,
+                  graph::NodeIndex v) {
+    if (bin.size() >= cap) return false;
+    for (const graph::NodeIndex m : bin) {
+      if (sw_->replicas(m, v)) return false;
+    }
+    std::vector<graph::NodeIndex> combined = bin;
+    combined.push_back(v);
+    if (options_.resource_check && !resources_hostable(combined)) {
+      return false;
+    }
+    if (!options_.enforce_schedulability) return true;
+    return members_schedulable(combined);
+  };
+
+  for (const graph::NodeIndex v : order) {
+    bool placed = false;
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (fits(bins[b], v)) {
+        bins[b].push_back(v);
+        steps.push_back("place " + sw_->node(v).name + " -> bin " +
+                        std::to_string(b + 1));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      if (bins.size() >= options_.target_clusters) {
+        throw Infeasible("timing-ordered packing: " + sw_->node(v).name +
+                         " fits no bin and the bin budget is exhausted");
+      }
+      bins.push_back({v});
+      steps.push_back("open bin " + std::to_string(bins.size()) + " with " +
+                      sw_->node(v).name);
+    }
+  }
+
+  graph::Partition partition = graph::Partition::identity(n);
+  for (const auto& bin : bins) {
+    for (std::size_t k = 1; k < bin.size(); ++k) {
+      partition.merge(bin[0], bin[k]);
+    }
+  }
+  return finish(std::move(partition), std::move(steps));
+}
+
+}  // namespace fcm::mapping

@@ -1,0 +1,164 @@
+// Clustering the SW graph down to the HW node count (§5.2, §5.4, §6).
+//
+// "Since, invariably, the SW graph has a much greater number of nodes than
+// the HW graph, the SW graph must be condensed ... The problem to be solved
+// is: Given a graph with directed weighted edges, group the nodes into sets
+// such that the sum of weights between the sets is minimized. Deterministic
+// solutions to this problem do not exist, or are analytically intractable."
+//
+// Implemented heuristics:
+//   H1  greedy: repeatedly combine the two combinable clusters with the
+//       highest mutual influence (§5.4), with the round-based "pair all
+//       nodes" variation;
+//   H2  recursive min-cut bisection (§5.4);
+//   H3  importance spheres: seed with the n most important nodes and attach
+//       neighbors below an importance threshold / above an influence
+//       threshold (§5.4);
+//   Approach-B criticality pairing (§6.2): most critical with least
+//       critical, with the narrated conflict fallbacks;
+//   timing-ordered first-fit (§6.2 closing technique, Fig. 8).
+//
+// Every combination step respects: replica anti-affinity ("two nodes
+// connected by an edge of weight 0 cannot be combined") and collocation
+// schedulability ("the processes in the cluster must all be schedulable").
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/quotient.h"
+#include "mapping/swgraph.h"
+#include "sched/feasibility.h"
+
+namespace fcm::mapping {
+
+/// Options shared by all clustering heuristics.
+struct ClusteringOptions {
+  /// Number of clusters to stop at (the HW node count).
+  std::size_t target_clusters = 1;
+  /// Scheduling policy assumed for a shared processor.
+  sched::Policy policy = sched::Policy::kPreemptiveEdf;
+  /// When false, timing feasibility is not checked (pure graph condensation).
+  bool enforce_schedulability = true;
+  /// Optional check that a cluster's combined resource requirements can be
+  /// hosted by at least one HW node (prevents merging modules whose joint
+  /// needs fit nowhere). Null = no resource constraint during clustering.
+  std::function<bool(const std::set<std::string>&)> resource_check;
+};
+
+/// Ordering keys for the timing-ordered technique.
+enum class OrderKey : std::uint8_t {
+  kCriticality,  ///< descending criticality (summary attribute)
+  kEst,          ///< ascending earliest start time
+  kUrgency,      ///< descending timing urgency (CT / window)
+};
+
+/// Result of a clustering run.
+struct ClusteringResult {
+  graph::Partition partition;
+  /// The condensed influence graph (Eq. 4 probabilistic edge combination;
+  /// replica links excluded).
+  graph::Digraph quotient;
+  /// Human-readable log of each combination step.
+  std::vector<std::string> steps;
+
+  /// Cluster member names, e.g. {"p1a","p2a"}, ordered by cluster index.
+  [[nodiscard]] std::vector<std::vector<std::string>> cluster_names(
+      const SwGraph& sw) const;
+  /// Sum of influence weights crossing cluster boundaries (the containment
+  /// objective being minimized).
+  [[nodiscard]] double cross_cluster_influence() const;
+};
+
+/// Stateful clustering engine over one SW graph.
+class ClusterEngine {
+ public:
+  ClusterEngine(const SwGraph& sw, ClusteringOptions options);
+
+  /// Whether the two clusters may combine: no replica pair across them and
+  /// (when enforced) the union is single-processor schedulable.
+  [[nodiscard]] bool can_combine(const graph::Partition& partition,
+                                 std::uint32_t cluster_a,
+                                 std::uint32_t cluster_b);
+
+  /// H1 greedy: merge the highest-mutual-influence combinable pair until
+  /// the target count. Throws Infeasible when no combinable pair remains
+  /// above the target count.
+  ClusteringResult h1_greedy();
+
+  /// H1 variation: "pair all nodes based on influence values and then
+  /// repeat the process" — each round forms disjoint pairs greedily, then
+  /// rounds repeat. May overshoot-stop exactly at target mid-round.
+  ClusteringResult h1_rounds();
+
+  /// H2: recursive min-cut bisection of the largest part until the target
+  /// count, then constraint repair (split invalid parts, re-merge best
+  /// pairs).
+  ClusteringResult h2_mincut();
+
+  /// The §5.4 H2 variation "cut the graph using source and target nodes":
+  /// the first split is the minimum cut separating the two given SW nodes
+  /// (e.g. two replicas, or two processes that must not share a fault
+  /// region); the recursion then proceeds as in h2_mincut. By default the
+  /// two most important SW nodes are separated.
+  ClusteringResult h2_st_cut(
+      std::optional<graph::NodeIndex> source = std::nullopt,
+      std::optional<graph::NodeIndex> target = std::nullopt);
+
+  /// H3: seed with the `target_clusters` most important nodes; attach every
+  /// other node to the combinable adjacent cluster of highest mutual
+  /// influence, provided the node's importance is below
+  /// `importance_threshold` or the influence is above `influence_threshold`.
+  ClusteringResult h3_importance(double importance_threshold = 1.0,
+                                 double influence_threshold = 0.0);
+
+  /// §6.2 Approach B: sort by criticality, combine most critical with least
+  /// critical; on timing conflict walk to the preceding process; on a final
+  /// replicate conflict, dissolve the previous pair as the paper narrates.
+  ClusteringResult criticality_pairing();
+
+  /// §6.2 closing technique (Fig. 8): order nodes by `key`, first-fit into
+  /// at most `target_clusters` bins of at most `max_per_cluster` members
+  /// (0 = ceil(n/target)), respecting replica and schedulability
+  /// constraints.
+  ClusteringResult timing_ordered(OrderKey key = OrderKey::kCriticality,
+                                  std::size_t max_per_cluster = 0);
+
+  /// Number of schedulability-oracle analyses performed so far.
+  [[nodiscard]] std::size_t oracle_analyses() const noexcept {
+    return oracle_.analyses();
+  }
+
+ private:
+  /// Whether the union of the members' resource requirements passes the
+  /// configured resource check (true when no check is configured).
+  [[nodiscard]] bool resources_hostable(
+      const std::vector<graph::NodeIndex>& members) const;
+  /// Whether the members can share one processor: one-shot jobs go through
+  /// the memoizing EDF oracle; mixtures with periodic tasks use
+  /// sched::mixed_feasible.
+  [[nodiscard]] bool members_schedulable(
+      const std::vector<graph::NodeIndex>& members);
+  /// Shared H2 machinery: bisect the largest part until the target count,
+  /// repair constraint violations, re-merge any overshoot.
+  ClusteringResult h2_driver(
+      std::vector<std::vector<graph::NodeIndex>> parts,
+      std::vector<std::string> steps);
+  [[nodiscard]] ClusteringResult finish(graph::Partition partition,
+                                        std::vector<std::string> steps) const;
+  /// Quotient with replica links dropped and probabilistic combination.
+  [[nodiscard]] graph::Digraph influence_quotient(
+      const graph::Partition& partition) const;
+  /// Mutual influence between two clusters in the current partition.
+  [[nodiscard]] static double mutual(const graph::Digraph& quotient,
+                                     std::uint32_t a, std::uint32_t b);
+
+  const SwGraph* sw_;
+  ClusteringOptions options_;
+  sched::FeasibilityOracle oracle_;
+};
+
+}  // namespace fcm::mapping

@@ -1,0 +1,87 @@
+// End-to-end integration planning.
+//
+// The paper's §5 realization is "a two-phase technique: first, clustering of
+// SW elements into FCMs; second, assigning these elements to processors".
+// `IntegrationPlanner` drives the whole pipeline — SW graph construction
+// with replication expansion, a chosen clustering heuristic, a chosen
+// assignment approach, and quality evaluation — and can compare heuristics
+// to pick the best-scoring feasible plan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/influence.h"
+#include "mapping/assignment.h"
+#include "mapping/clustering.h"
+#include "mapping/quality.h"
+
+namespace fcm::mapping {
+
+/// Clustering heuristic selector.
+enum class Heuristic : std::uint8_t {
+  kH1Greedy,
+  kH1Rounds,
+  kH2MinCut,
+  kH2StCut,
+  kH3Importance,
+  kCriticalityPairing,
+  kTimingOrdered,
+};
+
+const char* to_string(Heuristic heuristic) noexcept;
+
+/// Assignment approach selector.
+enum class Approach : std::uint8_t {
+  kAImportance,     ///< Approach A: importance of tasks
+  kBLexicographic,  ///< Approach B: importance of attributes
+};
+
+const char* to_string(Approach approach) noexcept;
+
+/// One complete plan.
+struct Plan {
+  Heuristic heuristic = Heuristic::kH1Greedy;
+  Approach approach = Approach::kAImportance;
+  ClusteringResult clustering;
+  Assignment assignment;
+  MappingQuality quality;
+
+  /// Multi-line description: clusters, hosts, quality report.
+  [[nodiscard]] std::string report(const SwGraph& sw,
+                                   const HwGraph& hw) const;
+};
+
+/// Options for planning.
+struct PlanOptions {
+  sched::Policy policy = sched::Policy::kPreemptiveEdf;
+  QualityOptions quality;
+};
+
+/// Plans the integration of `processes` onto `hw`.
+class IntegrationPlanner {
+ public:
+  IntegrationPlanner(const core::FcmHierarchy& hierarchy,
+                     const core::InfluenceModel& influence,
+                     std::vector<FcmId> processes, const HwGraph& hw,
+                     PlanOptions options = {});
+
+  /// The replication-expanded SW graph.
+  [[nodiscard]] const SwGraph& sw_graph() const noexcept { return sw_; }
+
+  /// Runs one heuristic + approach combination.
+  Plan plan(Heuristic heuristic, Approach approach);
+
+  /// Runs every heuristic with the given approach and returns the feasible
+  /// plan with the highest quality score. Throws Infeasible when no
+  /// heuristic produces a feasible plan.
+  Plan best_plan(Approach approach = Approach::kAImportance);
+
+ private:
+  const HwGraph* hw_;
+  PlanOptions options_;
+  SwGraph sw_;
+};
+
+}  // namespace fcm::mapping

@@ -1,0 +1,82 @@
+// Mapping quality: what makes a mapping "good" (§5.3).
+//
+// The paper names three criteria: satisfaction of constraints (always the
+// primary concern), containment of faults ("mapping of FCMs which influence
+// each other strongly onto the same node ... so the interaction between
+// FCMs on different nodes is minimized"), and criticality ("critical
+// processes should be assigned to distinct HW nodes"). `evaluate` computes
+// all three plus the communication-dilation figure used in the §6 tradeoff
+// discussion, and folds them into one comparable goodness score.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/probability.h"
+#include "mapping/assignment.h"
+#include "mapping/clustering.h"
+#include "mapping/hw.h"
+#include "sched/feasibility.h"
+
+namespace fcm::mapping {
+
+/// Relative weights folding the criteria into one score (higher = better).
+struct QualityWeights {
+  double containment = 0.5;   ///< 1 - normalized cross-node influence
+  double criticality = 0.3;   ///< criticality dispersion across nodes
+  double dilation = 0.2;      ///< 1 - normalized communication dilation
+};
+
+/// The evaluated quality of one clustering + assignment.
+struct MappingQuality {
+  // -- Satisfaction of constraints (primary; violations void the mapping) --
+  bool replica_separation_ok = false;
+  bool schedulable_ok = false;
+  bool resources_ok = false;
+  std::vector<std::string> violations;
+
+  // -- Containment of faults --
+  /// Σ of influence weights crossing HW nodes (lower = better containment).
+  double cross_node_influence = 0.0;
+  /// Σ of all influence weights in the unclustered SW graph (normalizer).
+  double total_influence = 0.0;
+  /// Smallest pairwise separation (Eq. 3) between distinct HW nodes.
+  Probability min_separation;
+
+  // -- Criticality dispersion --
+  /// Largest summed criticality hosted by any single HW node; a HW fault
+  /// there loses this much criticality at once.
+  double max_colocated_criticality = 0.0;
+  /// Number of critical-process pairs (criticality >= threshold) sharing a
+  /// node — §5.3 wants this zero.
+  int critical_pairs_colocated = 0;
+
+  // -- Communication performance --
+  /// Σ influence x hop-distance over HW node pairs (complete networks give
+  /// hop distance 1 everywhere, so this equals cross_node_influence there).
+  double dilation = 0.0;
+
+  [[nodiscard]] bool constraints_satisfied() const noexcept {
+    return replica_separation_ok && schedulable_ok && resources_ok;
+  }
+
+  /// Goodness in [0,1]; 0 when constraints are violated.
+  [[nodiscard]] double score(const QualityWeights& weights = {}) const;
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string report() const;
+};
+
+/// Criticality threshold above which a process counts as "critical" for the
+/// colocated-pairs metric.
+struct QualityOptions {
+  core::Criticality critical_threshold = 7;
+  sched::Policy policy = sched::Policy::kPreemptiveEdf;
+};
+
+/// Evaluates a complete mapping.
+MappingQuality evaluate(const SwGraph& sw, const ClusteringResult& clustering,
+                        const Assignment& assignment, const HwGraph& hw,
+                        const QualityOptions& options = {});
+
+}  // namespace fcm::mapping

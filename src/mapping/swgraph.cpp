@@ -1,0 +1,94 @@
+#include "mapping/swgraph.h"
+
+#include "common/error.h"
+
+namespace fcm::mapping {
+
+std::string replica_suffix(int index) {
+  FCM_REQUIRE(index >= 0, "replica index must be non-negative");
+  std::string suffix;
+  int n = index;
+  do {
+    suffix.insert(suffix.begin(), static_cast<char>('a' + n % 26));
+    n = n / 26 - 1;
+  } while (n >= 0);
+  return suffix;
+}
+
+SwGraph SwGraph::build(const core::FcmHierarchy& hierarchy,
+                       const core::InfluenceModel& influence,
+                       const std::vector<FcmId>& processes,
+                       const core::ImportanceWeights& weights) {
+  SwGraph sw;
+  // First pass: create replica nodes per process.
+  std::vector<std::vector<graph::NodeIndex>> replicas_of(processes.size());
+  for (std::size_t p = 0; p < processes.size(); ++p) {
+    const core::Fcm& fcm = hierarchy.get(processes[p]);
+    FCM_REQUIRE(fcm.level == core::Level::kProcess,
+                "SW allocation graph is built over process-level FCMs");
+    const int degree = fcm.attributes.replication;
+    FCM_REQUIRE(degree >= 1, "replication degree must be at least 1");
+    for (int r = 0; r < degree; ++r) {
+      SwNode node;
+      node.id = SwNodeId(static_cast<std::uint32_t>(sw.nodes_.size()));
+      node.name = degree == 1 ? fcm.name : fcm.name + replica_suffix(r);
+      node.origin = fcm.id;
+      node.replica_index = r;
+      node.attributes = fcm.attributes;
+      node.importance = core::importance(fcm.attributes, weights);
+      replicas_of[p].push_back(sw.graph_.add_node(node.name));
+      sw.nodes_.push_back(std::move(node));
+    }
+  }
+  // Influence edges, replicated across every (source replica, target
+  // replica) pair.
+  for (std::size_t from = 0; from < processes.size(); ++from) {
+    for (std::size_t to = 0; to < processes.size(); ++to) {
+      if (from == to) continue;
+      const Probability p =
+          influence.influence(processes[from], processes[to]);
+      if (p == Probability::zero()) continue;
+      for (const graph::NodeIndex a : replicas_of[from]) {
+        for (const graph::NodeIndex b : replicas_of[to]) {
+          sw.graph_.add_edge(a, b, p.value());
+        }
+      }
+    }
+  }
+  // Weight-0 links between replica pairs.
+  for (const auto& group : replicas_of) {
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.size(); ++j) {
+        sw.graph_.add_edge(group[i], group[j], 0.0, "replica");
+      }
+    }
+  }
+  return sw;
+}
+
+const SwNode& SwGraph::node(SwNodeId id) const {
+  FCM_REQUIRE(id.valid() && id.value() < nodes_.size(), "unknown SW node");
+  return nodes_[id.value()];
+}
+
+const SwNode& SwGraph::node(graph::NodeIndex index) const {
+  FCM_REQUIRE(index < nodes_.size(), "SW node index out of range");
+  return nodes_[index];
+}
+
+bool SwGraph::replicas(graph::NodeIndex a, graph::NodeIndex b) const {
+  return a != b && node(a).origin == node(b).origin;
+}
+
+sched::Job SwGraph::job_of(graph::NodeIndex index) const {
+  const SwNode& n = node(index);
+  FCM_REQUIRE(n.attributes.timing.has_value(),
+              "SW node " + n.name + " has no timing constraints");
+  return n.attributes.timing->to_job(JobId(index), n.name);
+}
+
+bool SwGraph::has_timing(graph::NodeIndex index) const {
+  return node(index).attributes.timing.has_value();
+}
+
+}  // namespace fcm::mapping

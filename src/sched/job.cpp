@@ -1,0 +1,58 @@
+#include "sched/job.h"
+
+#include <map>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace fcm::sched {
+
+std::ostream& operator<<(std::ostream& os, const Job& job) {
+  return os << job.name << "<" << job.release.since_epoch().count() << ","
+            << job.deadline.since_epoch().count() << "," << job.cost.count()
+            << ">";
+}
+
+std::vector<Job> expand_to_jobs(const std::vector<PeriodicTask>& tasks,
+                                Duration horizon) {
+  FCM_REQUIRE(horizon > Duration::zero(), "horizon must be positive");
+  std::vector<Job> jobs;
+  std::uint32_t next_id = 0;
+  for (const PeriodicTask& task : tasks) {
+    FCM_REQUIRE(task.period > Duration::zero(), "period must be positive");
+    FCM_REQUIRE(task.deadline <= task.period,
+                "constrained-deadline model requires deadline <= period");
+    for (Instant release = Instant::epoch() + task.offset;
+         release.since_epoch() < horizon; release += task.period) {
+      Job job;
+      job.id = JobId(next_id++);
+      job.name = task.name + "@" +
+                 std::to_string(release.since_epoch().count());
+      job.release = release;
+      job.deadline = release + task.deadline;
+      job.cost = task.cost;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+double total_utilization(const std::vector<PeriodicTask>& tasks) {
+  double u = 0.0;
+  for (const PeriodicTask& task : tasks) u += task.utilization();
+  return u;
+}
+
+Instant Schedule::completion(JobId job) const noexcept {
+  Instant last = Instant::distant_future();
+  bool found = false;
+  for (const Slice& s : slices) {
+    if (s.job == job) {
+      last = found ? std::max(last, s.end) : s.end;
+      found = true;
+    }
+  }
+  return found ? last : Instant::distant_future();
+}
+
+}  // namespace fcm::sched

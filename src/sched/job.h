@@ -1,0 +1,85 @@
+// Job and periodic-task models.
+//
+// The paper's per-module timing attributes are exactly a one-shot job:
+// "earliest start time (EST), task completion deadline (TCD), and
+// computation time (CT)" (Table 1). Collocation feasibility ("two nodes with
+// timing constraints ⟨begin, deadline, compute⟩ ... cannot be scheduled on
+// the same processor, and therefore cannot be combined", §6) reduces to
+// single-processor schedulability of the merged job set. A periodic model is
+// provided as well for the recurring workloads of the platform simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace fcm::sched {
+
+/// A one-shot job with a release time (EST), absolute deadline (TCD) and
+/// worst-case computation time (CT).
+struct Job {
+  JobId id;
+  std::string name;
+  Instant release;   ///< EST — earliest start time.
+  Instant deadline;  ///< TCD — task completion deadline.
+  Duration cost;     ///< CT — computation time.
+
+  /// Slack available to the job: deadline - release - cost.
+  [[nodiscard]] Duration slack() const noexcept {
+    return (deadline - release) - cost;
+  }
+
+  /// A job is well-formed when cost > 0 and it can individually meet its
+  /// deadline (slack >= 0).
+  [[nodiscard]] bool well_formed() const noexcept {
+    return cost > Duration::zero() && slack() >= Duration::zero();
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Job& job);
+
+/// A periodic task (implicit first release at `offset`). `deadline` is
+/// relative to each release (constrained-deadline model: deadline <= period).
+struct PeriodicTask {
+  std::string name;
+  Duration period;
+  Duration deadline;  ///< relative deadline
+  Duration cost;
+  Duration offset = Duration::zero();
+
+  [[nodiscard]] double utilization() const noexcept {
+    return static_cast<double>(cost.count()) /
+           static_cast<double>(period.count());
+  }
+};
+
+/// Expands periodic tasks into the job set covering [0, horizon).
+std::vector<Job> expand_to_jobs(const std::vector<PeriodicTask>& tasks,
+                                Duration horizon);
+
+/// Total utilization Σ C_i / T_i.
+double total_utilization(const std::vector<PeriodicTask>& tasks);
+
+/// One scheduled execution slice of a job on a processor.
+struct Slice {
+  JobId job;
+  Instant start;
+  Instant end;
+};
+
+/// A complete single-processor schedule: feasibility verdict, the slices in
+/// time order, and (when infeasible) the first job that misses its deadline.
+struct Schedule {
+  bool feasible = false;
+  std::vector<Slice> slices;
+  JobId first_miss;  ///< valid only when !feasible
+
+  /// Completion time of `job` in this schedule, or distant_future() if the
+  /// job never finishes.
+  [[nodiscard]] Instant completion(JobId job) const noexcept;
+};
+
+}  // namespace fcm::sched

@@ -1,0 +1,143 @@
+#include "sched/nonpreemptive.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fcm::sched {
+
+Schedule np_edf_schedule(const std::vector<Job>& jobs) {
+  Schedule schedule;
+  schedule.feasible = true;
+  if (jobs.empty()) return schedule;
+
+  std::vector<std::size_t> pending(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) pending[i] = i;
+
+  Instant now = Instant::epoch();
+  {
+    Instant earliest = jobs[0].release;
+    for (const Job& job : jobs) earliest = std::min(earliest, job.release);
+    now = earliest;
+  }
+
+  while (!pending.empty()) {
+    // Ready = released by now; pick earliest deadline (index tie-break).
+    std::size_t pick = pending.size();
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      const Job& job = jobs[pending[k]];
+      if (job.release > now) continue;
+      if (pick == pending.size() ||
+          job.deadline < jobs[pending[pick]].deadline ||
+          (job.deadline == jobs[pending[pick]].deadline &&
+           pending[k] < pending[pick])) {
+        pick = k;
+      }
+    }
+    if (pick == pending.size()) {
+      // Idle until the next release.
+      Instant next = Instant::distant_future();
+      for (const std::size_t i : pending) {
+        next = std::min(next, jobs[i].release);
+      }
+      now = next;
+      continue;
+    }
+    const std::size_t i = pending[pick];
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+    const Instant end = now + jobs[i].cost;
+    schedule.slices.push_back(Slice{jobs[i].id, now, end});
+    if (end > jobs[i].deadline && schedule.feasible) {
+      schedule.feasible = false;
+      schedule.first_miss = jobs[i].id;
+    }
+    now = end;
+  }
+  return schedule;
+}
+
+namespace {
+
+struct Search {
+  const std::vector<Job>& jobs;
+  std::size_t budget;
+  bool exhausted = false;
+
+  explicit Search(const std::vector<Job>& j, std::size_t max_nodes)
+      : jobs(j), budget(max_nodes) {}
+
+  // Returns true when the remaining jobs (bitmask `left`) can be completed
+  // starting no earlier than `now`.
+  bool solve(std::uint64_t left, Instant now) {
+    if (left == 0) return true;
+    if (budget == 0) {
+      exhausted = true;
+      return false;
+    }
+    --budget;
+
+    // Candidate set: try ready jobs in deadline order; also allow waiting
+    // for the next release when nothing is ready.
+    std::vector<std::size_t> candidates;
+    Instant next_release = Instant::distant_future();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (!(left & (1ULL << i))) continue;
+      if (jobs[i].release <= now) {
+        candidates.push_back(i);
+      } else {
+        next_release = std::min(next_release, jobs[i].release);
+      }
+    }
+    if (candidates.empty()) {
+      return solve(left, next_release);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t a, std::size_t b) {
+                return jobs[a].deadline < jobs[b].deadline;
+              });
+
+    // Prune: if some ready job already cannot make its deadline even if
+    // dispatched immediately, this branch is dead.
+    for (const std::size_t i : candidates) {
+      if (now + jobs[i].cost > jobs[i].deadline) return false;
+    }
+
+    for (const std::size_t i : candidates) {
+      if (solve(left & ~(1ULL << i), now + jobs[i].cost)) return true;
+      if (exhausted) return false;
+    }
+    // Deliberate idling can help non-preemptive schedules: also branch on
+    // waiting for the next release before dispatching anything.
+    if (next_release != Instant::distant_future()) {
+      return solve(left, next_release);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool np_feasible(const std::vector<Job>& jobs, std::size_t max_nodes,
+                 bool* exact) {
+  FCM_REQUIRE(jobs.size() <= 64, "branch-and-bound supports up to 64 jobs");
+  if (exact != nullptr) *exact = true;
+  if (jobs.empty()) return true;
+
+  // Fast accept: the heuristic schedule working is a certificate.
+  if (np_edf_schedule(jobs).feasible) return true;
+
+  Instant earliest = jobs[0].release;
+  for (const Job& job : jobs) earliest = std::min(earliest, job.release);
+
+  Search search(jobs, max_nodes);
+  const std::uint64_t all =
+      jobs.size() == 64 ? ~0ULL : ((1ULL << jobs.size()) - 1);
+  const bool ok = search.solve(all, earliest);
+  if (search.exhausted) {
+    if (exact != nullptr) *exact = false;
+    return false;  // budget exhausted: fall back to the heuristic's verdict
+  }
+  return ok;
+}
+
+}  // namespace fcm::sched

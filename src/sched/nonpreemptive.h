@@ -1,0 +1,33 @@
+// Non-preemptive single-processor scheduling.
+//
+// The paper contrasts scheduling policies as a lever on influence: "If
+// non-preemptive scheduling is used, then a timing fault (e.g., a task in an
+// infinite loop) can cause all other tasks also to fail. However, the
+// probability of transmission of the timing fault can be minimized by using
+// preemptive scheduling" (§4.2.3). To quantify that tradeoff we need both
+// oracles: exact preemptive feasibility (edf.h) and exact non-preemptive
+// feasibility, which is NP-hard in general — solved here by branch-and-bound
+// with an NP-EDF heuristic fast path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sched/job.h"
+
+namespace fcm::sched {
+
+/// Non-preemptive EDF heuristic: at each dispatch point run the ready job
+/// with the earliest deadline to completion. Sufficient but not necessary
+/// (may declare a feasible set infeasible).
+Schedule np_edf_schedule(const std::vector<Job>& jobs);
+
+/// Exact non-preemptive feasibility via branch-and-bound over dispatch
+/// orders with deadline/idle pruning. Exponential worst case, so the search
+/// is bounded by `max_nodes` explored branch nodes. If the budget runs out
+/// the NP-EDF heuristic verdict is returned instead and `*exact` (when
+/// non-null) is set to false; otherwise `*exact` is set to true.
+bool np_feasible(const std::vector<Job>& jobs,
+                 std::size_t max_nodes = 200'000, bool* exact = nullptr);
+
+}  // namespace fcm::sched

@@ -1,0 +1,135 @@
+#include "sched/rta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace fcm::sched {
+
+double liu_layland_bound(std::size_t task_count) {
+  if (task_count == 0) return 1.0;
+  const double n = static_cast<double>(task_count);
+  return n * (std::pow(2.0, 1.0 / n) - 1.0);
+}
+
+bool rm_utilization_test(const std::vector<PeriodicTask>& tasks) {
+  return total_utilization(tasks) <= liu_layland_bound(tasks.size());
+}
+
+std::vector<std::size_t> rate_monotonic_order(
+    const std::vector<PeriodicTask>& tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tasks[a].period != tasks[b].period)
+      return tasks[a].period < tasks[b].period;
+    return a < b;
+  });
+  return order;
+}
+
+std::optional<Duration> response_time(
+    const std::vector<PeriodicTask>& tasks,
+    const std::vector<std::size_t>& priority_order, std::size_t task_index) {
+  FCM_REQUIRE(priority_order.size() == tasks.size(),
+              "priority order must rank every task");
+  const PeriodicTask& task = tasks[task_index];
+
+  // Tasks strictly ahead of task_index in the order preempt it.
+  std::vector<std::size_t> higher;
+  for (const std::size_t t : priority_order) {
+    if (t == task_index) break;
+    higher.push_back(t);
+  }
+
+  Duration r = task.cost;
+  for (int iter = 0; iter < 10'000; ++iter) {
+    Duration interference = Duration::zero();
+    for (const std::size_t h : higher) {
+      // ceil(r / T_h) * C_h with integer arithmetic.
+      const std::int64_t releases =
+          (r.count() + tasks[h].period.count() - 1) /
+          tasks[h].period.count();
+      interference += tasks[h].cost * releases;
+    }
+    const Duration next = task.cost + interference;
+    if (next == r) return r;
+    if (next > task.deadline) return std::nullopt;
+    r = next;
+  }
+  return std::nullopt;  // did not converge within the iteration budget
+}
+
+bool fixed_priority_schedulable(
+    const std::vector<PeriodicTask>& tasks,
+    const std::vector<std::size_t>& priority_order) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto r = response_time(tasks, priority_order, i);
+    if (!r.has_value() || *r > tasks[i].deadline) return false;
+  }
+  return true;
+}
+
+bool rm_schedulable(const std::vector<PeriodicTask>& tasks) {
+  return fixed_priority_schedulable(tasks, rate_monotonic_order(tasks));
+}
+
+std::vector<std::size_t> deadline_monotonic_order(
+    const std::vector<PeriodicTask>& tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (tasks[a].deadline != tasks[b].deadline)
+      return tasks[a].deadline < tasks[b].deadline;
+    return a < b;
+  });
+  return order;
+}
+
+std::optional<std::vector<std::size_t>> audsley_assignment(
+    const std::vector<PeriodicTask>& tasks) {
+  // Audsley's algorithm: fill priority levels from the lowest upward. At
+  // each level, any task whose response time meets its deadline with all
+  // still-unassigned tasks above it can take the level; if none can, no
+  // fixed-priority assignment exists.
+  const std::size_t n = tasks.size();
+  std::vector<std::size_t> unassigned(n);
+  for (std::size_t i = 0; i < n; ++i) unassigned[i] = i;
+  // Order built lowest priority first, reversed at the end.
+  std::vector<std::size_t> lowest_first;
+
+  while (!unassigned.empty()) {
+    bool placed = false;
+    for (std::size_t k = 0; k < unassigned.size(); ++k) {
+      const std::size_t candidate = unassigned[k];
+      // Priority order for the trial: every other unassigned task above
+      // the candidate (their internal order is irrelevant for the
+      // candidate's response time), then the candidate, then the already-
+      // assigned lower-priority tasks (which cannot interfere with it).
+      std::vector<std::size_t> trial;
+      for (const std::size_t other : unassigned) {
+        if (other != candidate) trial.push_back(other);
+      }
+      trial.push_back(candidate);
+      for (auto it = lowest_first.rbegin(); it != lowest_first.rend();
+           ++it) {
+        trial.push_back(*it);
+      }
+      const auto response = response_time(tasks, trial, candidate);
+      if (response.has_value() &&
+          *response <= tasks[candidate].deadline) {
+        lowest_first.push_back(candidate);
+        unassigned.erase(unassigned.begin() +
+                         static_cast<std::ptrdiff_t>(k));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  std::reverse(lowest_first.begin(), lowest_first.end());
+  return lowest_first;
+}
+
+}  // namespace fcm::sched

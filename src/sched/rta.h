@@ -1,0 +1,59 @@
+// Fixed-priority schedulability analysis for periodic tasks.
+//
+// The platform simulator supports fixed-priority preemptive scheduling; this
+// module provides the classical admission tests: the Liu–Layland utilization
+// bound for rate-monotonic priorities and exact response-time analysis
+// (Joseph–Pandya / Audsley iteration). The paper cites the classical
+// scheduling results survey [Stankovic et al. 1995] for exactly these tests.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/job.h"
+
+namespace fcm::sched {
+
+/// Liu–Layland bound n(2^{1/n} − 1). A task set with utilization below this
+/// is rate-monotonic schedulable (sufficient, not necessary).
+double liu_layland_bound(std::size_t task_count);
+
+/// True when total utilization is under the Liu–Layland bound.
+bool rm_utilization_test(const std::vector<PeriodicTask>& tasks);
+
+/// Assigns rate-monotonic priorities (shorter period = higher priority) and
+/// returns task indices from highest to lowest priority. Ties break on the
+/// original index for determinism.
+std::vector<std::size_t> rate_monotonic_order(
+    const std::vector<PeriodicTask>& tasks);
+
+/// Worst-case response time of `task_index` under preemptive fixed-priority
+/// scheduling with the given priority order (highest first). Returns nullopt
+/// when the iteration diverges past the deadline (unschedulable).
+std::optional<Duration> response_time(
+    const std::vector<PeriodicTask>& tasks,
+    const std::vector<std::size_t>& priority_order, std::size_t task_index);
+
+/// Exact fixed-priority schedulability: every task's worst-case response
+/// time meets its relative deadline.
+bool fixed_priority_schedulable(const std::vector<PeriodicTask>& tasks,
+                                const std::vector<std::size_t>& priority_order);
+
+/// Rate-monotonic exact test (RM order + response-time analysis).
+bool rm_schedulable(const std::vector<PeriodicTask>& tasks);
+
+/// Deadline-monotonic priority order (shorter relative deadline = higher
+/// priority) — optimal among fixed-priority orders for constrained-deadline
+/// synchronous task sets.
+std::vector<std::size_t> deadline_monotonic_order(
+    const std::vector<PeriodicTask>& tasks);
+
+/// Audsley's optimal priority assignment: returns a priority order (highest
+/// first) under which every task meets its deadline, or nullopt when no
+/// fixed-priority order works. Strictly more powerful than RM/DM on
+/// offset-free analyses with arbitrary deadline structure; O(n²) response-
+/// time analyses.
+std::optional<std::vector<std::size_t>> audsley_assignment(
+    const std::vector<PeriodicTask>& tasks);
+
+}  // namespace fcm::sched

@@ -1,0 +1,68 @@
+#include "sim/event_queue.h"
+
+#include <memory>
+
+#include "common/error.h"
+
+namespace fcm::sim {
+
+std::uint64_t EventQueue::schedule_at(Instant when, Handler handler) {
+  FCM_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  FCM_REQUIRE(handler != nullptr, "event handler must be callable");
+  auto event = std::make_unique<Event>();
+  event->when = when;
+  event->seq = next_seq_++;
+  event->handler = std::move(handler);
+  Event* raw = event.get();
+  storage_.push_back(std::move(event));
+  queue_.push(raw);
+  return raw->seq;
+}
+
+std::uint64_t EventQueue::schedule_in(Duration delay, Handler handler) {
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool EventQueue::cancel(std::uint64_t token) {
+  // Linear scan over live storage; event counts are modest and cancels are
+  // rare (scheduler switches only).
+  for (const auto& event : storage_) {
+    if (event->seq == token && !event->cancelled) {
+      event->cancelled = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void EventQueue::run_until(Instant until) {
+  while (!queue_.empty()) {
+    Event* event = queue_.top();
+    if (event->when > until) break;
+    queue_.pop();
+    if (event->cancelled) continue;
+    now_ = event->when;
+    ++dispatched_;
+    // Move the handler out so re-entrant scheduling cannot touch it.
+    Handler handler = std::move(event->handler);
+    event->cancelled = true;
+    handler();
+  }
+  if (queue_.empty() || queue_.top()->when > until) {
+    now_ = std::max(now_, until);
+  }
+  // Compact storage when the queue has fully drained — the priority queue
+  // holds raw pointers into storage_, so eager compaction would dangle.
+  if (queue_.empty() && storage_.size() > 1024) {
+    storage_.clear();
+  }
+}
+
+void EventQueue::run() { run_until(Instant::distant_future()); }
+
+bool EventQueue::empty() const noexcept {
+  // The queue may hold cancelled entries; report emptiness conservatively.
+  return queue_.empty();
+}
+
+}  // namespace fcm::sim

@@ -1,0 +1,76 @@
+// Discrete-event simulation core.
+//
+// A deterministic event queue: events fire in (time, insertion-sequence)
+// order, so equal-time events execute exactly in the order they were
+// scheduled. All platform behaviour (job releases, completions, fault
+// injections) is expressed as events against this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace fcm::sim {
+
+/// The simulation clock and event dispatcher.
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated time.
+  [[nodiscard]] Instant now() const noexcept { return now_; }
+
+  /// Schedules `handler` at absolute time `when` (must not be in the past).
+  /// Returns a token that can be passed to `cancel`.
+  std::uint64_t schedule_at(Instant when, Handler handler);
+
+  /// Schedules `handler` `delay` after now.
+  std::uint64_t schedule_in(Duration delay, Handler handler);
+
+  /// Cancels a scheduled event; cancelling an already-fired or unknown
+  /// token is a no-op (returns false).
+  bool cancel(std::uint64_t token);
+
+  /// Runs events until the queue empties or the clock passes `until`.
+  /// Events exactly at `until` still fire.
+  void run_until(Instant until);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  /// Number of events dispatched so far.
+  [[nodiscard]] std::uint64_t dispatched() const noexcept {
+    return dispatched_;
+  }
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const noexcept;
+
+ private:
+  struct Event {
+    Instant when;
+    std::uint64_t seq;
+    Handler handler;
+    bool cancelled = false;
+  };
+  struct Order {
+    bool operator()(const Event* a, const Event* b) const noexcept {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
+    }
+  };
+
+  Instant now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  // Events are owned by this deque-like store; the priority queue holds
+  // pointers. Fired/cancelled events are lazily discarded.
+  std::vector<std::unique_ptr<Event>> storage_;
+  std::priority_queue<Event*, std::vector<Event*>, Order> queue_;
+};
+
+}  // namespace fcm::sim

@@ -1,0 +1,54 @@
+#include "sim/example98_platform.h"
+
+#include "core/example98.h"
+
+namespace fcm::sim {
+
+std::vector<Example98Edge> example98_edges() {
+  std::vector<Example98Edge> edges;
+  for (const auto& edge : core::example98::figure3_edges()) {
+    // Names are "pK": parse the 1-based index.
+    const auto parse = [](const std::string& name) {
+      return static_cast<TaskIndex>(std::stoi(name.substr(1)) - 1);
+    };
+    edges.push_back(
+        Example98Edge{parse(edge.from), parse(edge.to), edge.weight});
+  }
+  return edges;
+}
+
+PlatformSpec example98_platform() {
+  PlatformSpec spec;
+  // One processor per process keeps timing interference out of the
+  // data-flow influence measurement.
+  std::vector<ProcessorId> cpus;
+  for (int k = 1; k <= 8; ++k) {
+    cpus.push_back(spec.add_processor("cpu-p" + std::to_string(k)));
+  }
+  // Tasks: period 10ms, staggered offsets so writers complete before
+  // readers sample within each period.
+  for (int k = 1; k <= 8; ++k) {
+    TaskSpec task;
+    task.name = "p" + std::to_string(k);
+    task.processor = cpus[static_cast<std::size_t>(k - 1)];
+    task.period = Duration::millis(10);
+    task.deadline = Duration::millis(10);
+    task.cost = Duration::millis(1);
+    task.offset = Duration::millis(k - 1);  // p1 first, p8 last
+    task.manifestation = Probability::one();
+    spec.add_task(task);
+  }
+  // One dedicated region per Fig. 3 edge; the region's write-transmission
+  // probability realizes the edge weight.
+  for (const Example98Edge& edge : example98_edges()) {
+    const RegionId region = spec.add_region(
+        "r_" + spec.tasks[edge.from].name + "_" + spec.tasks[edge.to].name,
+        Probability(edge.weight));
+    spec.tasks[edge.from].writes.push_back(region);
+    spec.tasks[edge.to].reads.push_back(region);
+  }
+  spec.validate();
+  return spec;
+}
+
+}  // namespace fcm::sim

@@ -1,0 +1,112 @@
+#include "sim/model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fcm::sim {
+
+const char* to_string(SchedPolicy policy) noexcept {
+  switch (policy) {
+    case SchedPolicy::kPreemptiveEdf:
+      return "preemptive-EDF";
+    case SchedPolicy::kNonPreemptiveFifo:
+      return "non-preemptive-FIFO";
+    case SchedPolicy::kFixedPriorityDm:
+      return "fixed-priority-DM";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kValue:
+      return "value";
+    case FaultKind::kTiming:
+      return "timing";
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kMemoryScribble:
+      return "memory-scribble";
+  }
+  return "?";
+}
+
+ProcessorId PlatformSpec::add_processor(std::string name, SchedPolicy policy) {
+  processors.push_back(ProcessorSpec{std::move(name), policy});
+  return ProcessorId(static_cast<std::uint32_t>(processors.size() - 1));
+}
+
+RegionId PlatformSpec::add_region(std::string name,
+                                  Probability write_transmission) {
+  regions.push_back(RegionSpec{std::move(name), write_transmission});
+  return RegionId(static_cast<std::uint32_t>(regions.size() - 1));
+}
+
+ChannelId PlatformSpec::add_channel(std::string name, TaskIndex sender,
+                                    TaskIndex receiver,
+                                    Probability transmission,
+                                    Probability corruption) {
+  ChannelSpec channel;
+  channel.name = std::move(name);
+  channel.sender = sender;
+  channel.receiver = receiver;
+  channel.transmission = transmission;
+  channel.corruption = corruption;
+  channels.push_back(std::move(channel));
+  const ChannelId id(static_cast<std::uint32_t>(channels.size() - 1));
+  // Wire the endpoints' send/receive lists when the tasks already exist.
+  if (sender < tasks.size()) tasks[sender].sends.push_back(id);
+  if (receiver < tasks.size()) tasks[receiver].receives.push_back(id);
+  return id;
+}
+
+TaskIndex PlatformSpec::add_task(TaskSpec task) {
+  tasks.push_back(std::move(task));
+  return static_cast<TaskIndex>(tasks.size() - 1);
+}
+
+void PlatformSpec::validate() const {
+  FCM_REQUIRE(!processors.empty(), "platform needs at least one processor");
+  for (const TaskSpec& task : tasks) {
+    FCM_REQUIRE(task.processor.valid() &&
+                    task.processor.value() < processors.size(),
+                "task " + task.name + " references an unknown processor");
+    FCM_REQUIRE(task.period > Duration::zero(),
+                "task " + task.name + " needs a positive period");
+    FCM_REQUIRE(task.cost > Duration::zero(),
+                "task " + task.name + " needs a positive cost");
+    FCM_REQUIRE(task.deadline <= task.period,
+                "task " + task.name + " uses the constrained-deadline model");
+    FCM_REQUIRE(task.cost <= task.deadline,
+                "task " + task.name + " can never meet its deadline");
+    auto check_region = [&](RegionId id) {
+      FCM_REQUIRE(id.valid() && id.value() < regions.size(),
+                  "task " + task.name + " references an unknown region");
+    };
+    for (const RegionId id : task.reads) check_region(id);
+    for (const RegionId id : task.writes) check_region(id);
+    auto check_channel = [&](ChannelId id) {
+      FCM_REQUIRE(id.valid() && id.value() < channels.size(),
+                  "task " + task.name + " references an unknown channel");
+    };
+    for (const ChannelId id : task.sends) check_channel(id);
+    for (const ChannelId id : task.receives) check_channel(id);
+  }
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    const ChannelSpec& channel = channels[c];
+    FCM_REQUIRE(channel.sender < tasks.size() &&
+                    channel.receiver < tasks.size(),
+                "channel " + channel.name + " has an unknown endpoint");
+    const auto& sends = tasks[channel.sender].sends;
+    const auto& receives = tasks[channel.receiver].receives;
+    const ChannelId id(static_cast<std::uint32_t>(c));
+    FCM_REQUIRE(std::find(sends.begin(), sends.end(), id) != sends.end(),
+                "channel " + channel.name + " missing from sender's list");
+    FCM_REQUIRE(
+        std::find(receives.begin(), receives.end(), id) != receives.end(),
+        "channel " + channel.name + " missing from receiver's list");
+  }
+}
+
+}  // namespace fcm::sim

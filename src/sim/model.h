@@ -1,0 +1,136 @@
+// The simulated platform's workload model.
+//
+// The paper prescribes measuring influence parameters on a real embedded
+// platform: p_{i,1} from field data, p_{i,2} from the communication medium,
+// p_{i,3} by "injecting faults into the target FCM" (§4.2.1). No such
+// platform is available, so this model simulates the closest equivalent
+// (see DESIGN.md substitutions): periodic tasks on processors exchanging
+// data through shared memory regions and message channels, with error
+// propagation modeled as taint flow. Faults occur in a source module (p1),
+// cross a medium that may or may not carry them (p2), and manifest as a
+// target failure (p3) — exercising exactly the three-factor decomposition
+// the framework's analytic model assumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/probability.h"
+#include "common/time.h"
+
+namespace fcm::sim {
+
+/// Task identifier within a PlatformSpec (dense index).
+using TaskIndex = std::uint32_t;
+
+/// Scheduling discipline of one simulated processor.
+enum class SchedPolicy : std::uint8_t {
+  kPreemptiveEdf,     ///< earliest absolute deadline first, preemptive
+  kNonPreemptiveFifo, ///< run-to-completion in arrival order
+  kFixedPriorityDm,   ///< preemptive fixed priority, deadline-monotonic
+};
+
+const char* to_string(SchedPolicy policy) noexcept;
+
+/// A shared-memory region (process/task-level influence factor f: shared
+/// memory). Taint written here is visible to every reader.
+struct RegionSpec {
+  std::string name;
+  /// Probability a write transmits taint into the region when the writer's
+  /// state is erroneous (the medium component of p_{i,2}).
+  Probability write_transmission = Probability::one();
+};
+
+/// A point-to-point message channel (influence factor: message passing).
+struct ChannelSpec {
+  std::string name;
+  TaskIndex sender = 0;
+  TaskIndex receiver = 0;
+  /// Probability a message carries taint when the sender is erroneous.
+  Probability transmission = Probability::one();
+  /// Probability a message spontaneously corrupts in transit (medium
+  /// noise, independent of the sender's state).
+  Probability corruption = Probability::zero();
+};
+
+/// One periodic task.
+struct TaskSpec {
+  std::string name;
+  ProcessorId processor;
+  Duration period;
+  Duration deadline;  ///< relative deadline, <= period
+  Duration cost;
+  Duration offset = Duration::zero();
+
+  /// Regions read at the start / written at the end of each activation.
+  std::vector<RegionId> reads;
+  std::vector<RegionId> writes;
+  /// Channels this task sends on / receives from each activation.
+  std::vector<ChannelId> sends;
+  std::vector<ChannelId> receives;
+
+  /// p1: probability an activation spontaneously develops a value fault.
+  Probability fault_rate = Probability::zero();
+  /// p3: probability a tainted input manifests as a failure of this task.
+  Probability manifestation = Probability::one();
+  /// Probability an input acceptance check catches (and drops) taint
+  /// before it can manifest or propagate — the isolation lever.
+  Probability input_check = Probability::zero();
+  /// Probability erroneous internal state survives into the next
+  /// activation. Default 0: faults are transient, matching the paper's
+  /// stateless-procedure assumption; raise it to model modules with
+  /// persistent corrupted state (e.g. static variables).
+  Probability state_persistence = Probability::zero();
+};
+
+/// One simulated processor.
+struct ProcessorSpec {
+  std::string name;
+  SchedPolicy policy = SchedPolicy::kPreemptiveEdf;
+};
+
+/// A complete platform description.
+struct PlatformSpec {
+  std::vector<ProcessorSpec> processors;
+  std::vector<RegionSpec> regions;
+  std::vector<ChannelSpec> channels;
+  std::vector<TaskSpec> tasks;
+
+  ProcessorId add_processor(std::string name,
+                            SchedPolicy policy = SchedPolicy::kPreemptiveEdf);
+  RegionId add_region(std::string name,
+                      Probability write_transmission = Probability::one());
+  ChannelId add_channel(std::string name, TaskIndex sender,
+                        TaskIndex receiver,
+                        Probability transmission = Probability::one(),
+                        Probability corruption = Probability::zero());
+  TaskIndex add_task(TaskSpec task);
+
+  /// Structural validation (indices in range, deadlines <= periods,
+  /// channel endpoints consistent with task send/receive lists).
+  void validate() const;
+};
+
+/// Kinds of faults the injector can plant.
+enum class FaultKind : std::uint8_t {
+  kValue,   ///< the activation's outputs are erroneous
+  kTiming,  ///< the activation's cost is inflated
+  kCrash,   ///< the task stops running (no further activations)
+  kMemoryScribble,  ///< a random region the task can reach is corrupted
+};
+
+const char* to_string(FaultKind kind) noexcept;
+
+/// One planned fault injection.
+struct FaultInjection {
+  FaultKind kind = FaultKind::kValue;
+  TaskIndex target = 0;
+  /// The activation index (0-based) at which to inject.
+  std::uint32_t activation = 0;
+  /// For kTiming: the factor by which the cost inflates.
+  double cost_factor = 3.0;
+};
+
+}  // namespace fcm::sim

@@ -1,0 +1,288 @@
+#include "sim/platform.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fcm::sim {
+
+bool SimReport::propagated(TaskIndex from, TaskIndex to) const {
+  return std::any_of(propagations.begin(), propagations.end(),
+                     [&](const PropagationEvent& e) {
+                       return e.from == from && e.to == to;
+                     });
+}
+
+Platform::Platform(PlatformSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  spec_.validate();
+  processors_.resize(spec_.processors.size());
+  task_states_.resize(spec_.tasks.size());
+  regions_.resize(spec_.regions.size());
+  channel_queues_.resize(spec_.channels.size());
+  disturbance_.resize(spec_.processors.size());
+  report_.tasks.resize(spec_.tasks.size());
+}
+
+void Platform::inject(const FaultInjection& injection) {
+  FCM_REQUIRE(!ran_, "faults must be planted before the run");
+  FCM_REQUIRE(injection.target < spec_.tasks.size(),
+              "injection targets an unknown task");
+  injections_.push_back(injection);
+}
+
+const FaultInjection* Platform::injection_for(
+    TaskIndex task, std::uint32_t activation) const {
+  for (const FaultInjection& injection : injections_) {
+    if (injection.target == task && injection.activation == activation) {
+      return &injection;
+    }
+  }
+  return nullptr;
+}
+
+void Platform::release_job(TaskIndex task, std::uint32_t activation) {
+  const TaskSpec& spec = spec_.tasks[task];
+  if (task_states_[task].crashed) return;
+
+  Job job;
+  job.task = task;
+  job.activation = activation;
+  job.release = queue_.now();
+  job.absolute_deadline = job.release + spec.deadline;
+  job.remaining = spec.cost;
+  job.arrival_seq = next_arrival_seq_++;
+  ++report_.tasks[task].activations;
+
+  // Injected faults that act at release time.
+  if (const FaultInjection* injection = injection_for(task, activation)) {
+    switch (injection->kind) {
+      case FaultKind::kTiming:
+        job.remaining = Duration::ticks(static_cast<std::int64_t>(
+            static_cast<double>(spec.cost.count()) * injection->cost_factor));
+        break;
+      case FaultKind::kCrash:
+        task_states_[task].crashed = true;
+        ++report_.tasks[task].failures;
+        return;  // the job never runs
+      case FaultKind::kValue:
+      case FaultKind::kMemoryScribble:
+        break;  // handled at completion
+    }
+  }
+
+  const std::uint32_t processor = spec.processor.value();
+  ProcessorState& p = processors_[processor];
+
+  // Schedule the next periodic release.
+  const Instant next = job.release + spec.period;
+  if (next.since_epoch() < horizon_) {
+    queue_.schedule_at(next, [this, task, activation] {
+      release_job(task, activation + 1);
+    });
+  }
+
+  p.ready.push_back(job);
+  if (!p.current.has_value()) {
+    dispatch(processor);
+    return;
+  }
+  const SchedPolicy policy = spec_.processors[processor].policy;
+  bool preempts = false;
+  switch (policy) {
+    case SchedPolicy::kPreemptiveEdf:
+      preempts = job.absolute_deadline < p.current->absolute_deadline;
+      break;
+    case SchedPolicy::kFixedPriorityDm:
+      // Static priority: shorter relative deadline wins.
+      preempts = spec_.tasks[job.task].deadline <
+                 spec_.tasks[p.current->task].deadline;
+      break;
+    case SchedPolicy::kNonPreemptiveFifo:
+      break;
+  }
+  if (preempts) {
+    // Preempt: bank the current job's progress and re-queue it.
+    queue_.cancel(p.completion_token);
+    Job preempted = *p.current;
+    preempted.remaining -= queue_.now() - p.service_start;
+    p.current.reset();
+    p.ready.push_back(preempted);
+    dispatch(processor);
+  }
+}
+
+void Platform::dispatch(std::uint32_t processor) {
+  ProcessorState& p = processors_[processor];
+  FCM_REQUIRE(!p.current.has_value(), "dispatch on a busy processor");
+  if (p.ready.empty()) {
+    disturbance_[processor].reset();
+    return;
+  }
+  const SchedPolicy policy = spec_.processors[processor].policy;
+  auto best = p.ready.begin();
+  for (auto it = p.ready.begin(); it != p.ready.end(); ++it) {
+    bool better = false;
+    switch (policy) {
+      case SchedPolicy::kPreemptiveEdf:
+        better = it->absolute_deadline < best->absolute_deadline ||
+                 (it->absolute_deadline == best->absolute_deadline &&
+                  it->arrival_seq < best->arrival_seq);
+        break;
+      case SchedPolicy::kFixedPriorityDm: {
+        const Duration d_it = spec_.tasks[it->task].deadline;
+        const Duration d_best = spec_.tasks[best->task].deadline;
+        better = d_it < d_best ||
+                 (d_it == d_best && it->arrival_seq < best->arrival_seq);
+        break;
+      }
+      case SchedPolicy::kNonPreemptiveFifo:
+        better = it->arrival_seq < best->arrival_seq;
+        break;
+    }
+    if (better) best = it;
+  }
+  p.current = *best;
+  p.ready.erase(best);
+  p.service_start = queue_.now();
+
+  // Track whether a timing-inflated job is monopolizing this processor.
+  const FaultInjection* injection =
+      injection_for(p.current->task, p.current->activation);
+  if (injection != nullptr && injection->kind == FaultKind::kTiming) {
+    disturbance_[processor] = p.current->task;
+  }
+
+  p.completion_token = queue_.schedule_in(
+      p.current->remaining, [this, processor] { complete_current(processor); });
+}
+
+void Platform::complete_current(std::uint32_t processor) {
+  ProcessorState& p = processors_[processor];
+  FCM_REQUIRE(p.current.has_value(), "completion on an idle processor");
+  const Job job = *p.current;
+  p.current.reset();
+  finish_job(job);
+  dispatch(processor);
+}
+
+void Platform::finish_job(const Job& job) {
+  const TaskSpec& spec = spec_.tasks[job.task];
+  TaskStats& stats = report_.tasks[job.task];
+  TaskState& state = task_states_[job.task];
+  ++stats.completions;
+
+  // ---- Deadline check (timing failures). ----
+  if (queue_.now() > job.absolute_deadline) {
+    ++stats.deadline_misses;
+    ++stats.failures;
+    const std::uint32_t processor = spec.processor.value();
+    const auto& blame = disturbance_[processor];
+    if (blame.has_value() && *blame != job.task) {
+      ++stats.propagated_failures;
+      report_.propagations.push_back(
+          PropagationEvent{*blame, job.task, queue_.now()});
+    }
+  }
+
+  // ---- Gather input taint (p2 already applied at write/send time). ----
+  Taint input;
+  for (const RegionId region : spec.reads) {
+    const Taint& t = regions_[region.value()];
+    if (t.tainted && !input.tainted) input = t;
+  }
+  for (const ChannelId channel : spec.receives) {
+    auto& pending = channel_queues_[channel.value()];
+    for (const Taint& t : pending) {
+      if (t.tainted && !input.tainted) input = t;
+    }
+    pending.clear();
+  }
+
+  bool erroneous = state.carried.tainted;
+  Taint origin = state.carried;
+
+  if (input.tainted) {
+    ++stats.tainted_inputs;
+    if (rng_.chance(spec.input_check)) {
+      ++stats.detected_inputs;  // acceptance check drops the taint
+    } else {
+      // p3: does the erroneous input manifest as a failure here?
+      if (rng_.chance(spec.manifestation)) {
+        ++stats.failures;
+        ++stats.propagated_failures;
+        report_.propagations.push_back(
+            PropagationEvent{input.origin, job.task, queue_.now()});
+      }
+      erroneous = true;
+      if (!origin.tainted) origin = input;
+    }
+  }
+
+  // ---- Own fault (p1): spontaneous or injected value fault. ----
+  const FaultInjection* injection = injection_for(job.task, job.activation);
+  const bool injected_value =
+      injection != nullptr && injection->kind == FaultKind::kValue;
+  if (injected_value || rng_.chance(spec.fault_rate)) {
+    ++stats.own_faults;
+    ++stats.failures;
+    erroneous = true;
+    origin = Taint{true, job.task};
+  }
+
+  // ---- Produce outputs, transmitting taint per medium (p2). ----
+  for (const RegionId region : spec.writes) {
+    const RegionSpec& rspec = spec_.regions[region.value()];
+    if (erroneous && rng_.chance(rspec.write_transmission)) {
+      regions_[region.value()] = origin;
+    } else {
+      regions_[region.value()] = Taint{};  // clean overwrite
+    }
+  }
+  for (const ChannelId channel : spec.sends) {
+    const ChannelSpec& cspec = spec_.channels[channel.value()];
+    Taint message;
+    if (erroneous && rng_.chance(cspec.transmission)) {
+      message = origin;
+    } else if (rng_.chance(cspec.corruption)) {
+      message = Taint{true, job.task};  // medium noise, attributed to link
+    }
+    channel_queues_[channel.value()].push_back(message);
+  }
+
+  // Memory scribble: corrupt a reachable region outright.
+  if (injection != nullptr && injection->kind == FaultKind::kMemoryScribble &&
+      !spec.writes.empty()) {
+    const RegionId victim =
+        spec.writes[rng_.below(static_cast<std::uint32_t>(
+            spec.writes.size()))];
+    regions_[victim.value()] = Taint{true, job.task};
+    ++stats.own_faults;
+  }
+
+  // Erroneous internal state survives only with the configured
+  // persistence (default: transient faults, stateless across activations).
+  state.carried = erroneous && rng_.chance(spec.state_persistence)
+                      ? origin
+                      : Taint{};
+}
+
+SimReport Platform::run(Duration horizon) {
+  FCM_REQUIRE(!ran_, "a Platform instance runs exactly once");
+  FCM_REQUIRE(horizon > Duration::zero(), "horizon must be positive");
+  ran_ = true;
+  horizon_ = horizon;
+
+  for (TaskIndex task = 0; task < spec_.tasks.size(); ++task) {
+    const Duration offset = spec_.tasks[task].offset;
+    if (offset < horizon) {
+      queue_.schedule_at(Instant::epoch() + offset,
+                         [this, task] { release_job(task, 0); });
+    }
+  }
+  queue_.run();
+  report_.events_dispatched = queue_.dispatched();
+  return report_;
+}
+
+}  // namespace fcm::sim

@@ -1,0 +1,120 @@
+// The discrete-event RT platform: scheduling + dataflow + fault propagation.
+//
+// Executes a PlatformSpec: periodic tasks on processors (preemptive EDF or
+// non-preemptive FIFO), consuming and producing data through shared regions
+// and channels. Erroneous state propagates as taint with a tracked origin
+// task, which is what lets the influence estimator attribute a downstream
+// failure to the module whose fault started the chain — the simulated
+// equivalent of the paper's fault-injection campaigns (§4.2.1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/model.h"
+
+namespace fcm::sim {
+
+/// Per-task outcome counters for one run.
+struct TaskStats {
+  std::uint32_t activations = 0;
+  std::uint32_t completions = 0;
+  std::uint32_t deadline_misses = 0;
+  std::uint32_t own_faults = 0;       ///< p1 events (spontaneous + injected)
+  std::uint32_t tainted_inputs = 0;   ///< activations that consumed taint
+  std::uint32_t detected_inputs = 0;  ///< taint caught by the input check
+  std::uint32_t failures = 0;         ///< manifested failures of any cause
+  std::uint32_t propagated_failures = 0;  ///< failures caused by foreign taint
+
+  [[nodiscard]] bool failed() const noexcept { return failures > 0; }
+};
+
+/// One observed fault propagation: origin module -> failing module.
+struct PropagationEvent {
+  TaskIndex from = 0;
+  TaskIndex to = 0;
+  Instant when;
+};
+
+/// The outcome of one simulation run.
+struct SimReport {
+  std::vector<TaskStats> tasks;
+  std::vector<PropagationEvent> propagations;
+  std::uint64_t events_dispatched = 0;
+
+  /// Whether any failure of `to` traces back to a fault origin `from`.
+  [[nodiscard]] bool propagated(TaskIndex from, TaskIndex to) const;
+};
+
+/// One executable platform instance. Construct, optionally `inject`, then
+/// `run` exactly once.
+class Platform {
+ public:
+  /// `seed` drives every stochastic decision; identical (spec, seed,
+  /// injections) triples replay identically. The spec is copied, so
+  /// temporaries are safe to pass.
+  Platform(PlatformSpec spec, std::uint64_t seed);
+
+  /// Plants a fault before the run.
+  void inject(const FaultInjection& injection);
+
+  /// Simulates until no activation released before `horizon` remains
+  /// outstanding, and returns the report.
+  SimReport run(Duration horizon);
+
+ private:
+  struct Job {
+    TaskIndex task = 0;
+    std::uint32_t activation = 0;
+    Instant release;
+    Instant absolute_deadline;
+    Duration remaining;
+    std::uint64_t arrival_seq = 0;
+  };
+
+  struct Taint {
+    bool tainted = false;
+    TaskIndex origin = 0;
+  };
+
+  struct ProcessorState {
+    std::optional<Job> current;
+    Instant service_start;
+    std::uint64_t completion_token = 0;
+    std::vector<Job> ready;
+  };
+
+  struct TaskState {
+    bool crashed = false;
+    Taint carried;  ///< erroneous state carried across the activation
+  };
+
+  void release_job(TaskIndex task, std::uint32_t activation);
+  void dispatch(std::uint32_t processor);
+  void complete_current(std::uint32_t processor);
+  void finish_job(const Job& job);
+  const FaultInjection* injection_for(TaskIndex task,
+                                      std::uint32_t activation) const;
+
+  PlatformSpec spec_;
+  Rng rng_;
+  EventQueue queue_;
+  Duration horizon_ = Duration::zero();
+  std::uint64_t next_arrival_seq_ = 0;
+
+  std::vector<ProcessorState> processors_;
+  std::vector<TaskState> task_states_;
+  std::vector<Taint> regions_;
+  std::vector<std::vector<Taint>> channel_queues_;
+  std::vector<FaultInjection> injections_;
+  /// Task whose injected timing fault is currently inflating service on a
+  /// processor (for attributing downstream deadline misses).
+  std::vector<std::optional<TaskIndex>> disturbance_;
+
+  SimReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace fcm::sim

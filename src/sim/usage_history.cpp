@@ -1,0 +1,55 @@
+#include "sim/usage_history.h"
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fcm::sim {
+
+UsageHistory UsageHistory::observe(const PlatformSpec& spec,
+                                   Duration horizon, std::uint64_t seed,
+                                   std::uint32_t missions) {
+  FCM_REQUIRE(missions > 0, "at least one mission required");
+  UsageHistory history;
+  history.records_.resize(spec.tasks.size());
+  history.missions_ = missions;
+  Rng rng(seed);
+  for (std::uint32_t mission = 0; mission < missions; ++mission) {
+    Platform platform(spec, rng.fork()());
+    const SimReport report = platform.run(horizon);
+    for (TaskIndex task = 0; task < spec.tasks.size(); ++task) {
+      UsageRecord& record = history.records_[task];
+      const TaskStats& stats = report.tasks[task];
+      record.activations += stats.activations;
+      record.own_faults += stats.own_faults;
+      record.failures += stats.failures;
+      record.deadline_misses += stats.deadline_misses;
+    }
+  }
+  return history;
+}
+
+void UsageHistory::merge(const UsageHistory& other) {
+  FCM_REQUIRE(records_.size() == other.records_.size(),
+              "histories cover different platforms");
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    records_[i].activations += other.records_[i].activations;
+    records_[i].own_faults += other.records_[i].own_faults;
+    records_[i].failures += other.records_[i].failures;
+    records_[i].deadline_misses += other.records_[i].deadline_misses;
+  }
+  missions_ += other.missions_;
+}
+
+const UsageRecord& UsageHistory::record(TaskIndex task) const {
+  FCM_REQUIRE(task < records_.size(), "unknown task");
+  return records_[task];
+}
+
+Probability UsageHistory::estimated_p1(TaskIndex task) const {
+  const UsageRecord& r = record(task);
+  return Probability::clamped(
+      (static_cast<double>(r.own_faults) + 1.0) /
+      (static_cast<double>(r.activations) + 2.0));
+}
+
+}  // namespace fcm::sim

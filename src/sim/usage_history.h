@@ -1,0 +1,65 @@
+// Usage-history estimation of fault occurrence probabilities.
+//
+// §4.2.1: "Since p_{i,1} is the FCM fault occurrence probability, it can be
+// measured from previous usage of that FCM. If the FCM has not been used
+// previously, an equivalent probability can be derived by extensive
+// testing." `UsageHistory::observe` runs the platform without injections
+// (only its configured spontaneous fault processes) across one or more
+// missions and tallies per-module activation/fault counts, yielding
+// smoothed p1 estimates that feed the analytic influence model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/probability.h"
+#include "sim/platform.h"
+
+namespace fcm::sim {
+
+/// Accumulated operating history of one module.
+struct UsageRecord {
+  std::uint64_t activations = 0;
+  std::uint64_t own_faults = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t deadline_misses = 0;
+
+  /// Raw maximum-likelihood fault rate (own_faults / activations).
+  [[nodiscard]] double raw_fault_rate() const noexcept {
+    return activations == 0 ? 0.0
+                            : static_cast<double>(own_faults) /
+                                  static_cast<double>(activations);
+  }
+};
+
+/// Operating history across a platform's modules.
+class UsageHistory {
+ public:
+  /// Runs `missions` independent missions of length `horizon` and
+  /// accumulates per-task records. Deterministic in (spec, seed).
+  static UsageHistory observe(const PlatformSpec& spec, Duration horizon,
+                              std::uint64_t seed, std::uint32_t missions = 1);
+
+  /// Merges another history (e.g. from a different deployment) in.
+  void merge(const UsageHistory& other);
+
+  [[nodiscard]] const std::vector<UsageRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const UsageRecord& record(TaskIndex task) const;
+
+  /// Laplace-smoothed p1 estimate: (faults + 1) / (activations + 2).
+  /// Smoothing keeps unobserved-fault modules at a small nonzero rate,
+  /// matching the paper's insistence that absence of evidence is derived
+  /// "by extensive testing", not assumed perfect.
+  [[nodiscard]] Probability estimated_p1(TaskIndex task) const;
+
+  /// Total missions folded into this history.
+  [[nodiscard]] std::uint32_t missions() const noexcept { return missions_; }
+
+ private:
+  std::vector<UsageRecord> records_;
+  std::uint32_t missions_ = 0;
+};
+
+}  // namespace fcm::sim

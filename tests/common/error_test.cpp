@@ -1,0 +1,54 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace fcm {
+namespace {
+
+TEST(Errors, HierarchyRootedAtFcmError) {
+  EXPECT_THROW(throw InvalidArgument("x"), FcmError);
+  EXPECT_THROW(throw Infeasible("x"), FcmError);
+  EXPECT_THROW(throw NotFound("x"), FcmError);
+  EXPECT_THROW(throw RuleViolation("R1", "x"), FcmError);
+  // And all derive from std::runtime_error for generic handlers.
+  EXPECT_THROW(throw InvalidArgument("x"), std::runtime_error);
+}
+
+TEST(Errors, RuleViolationCarriesRuleId) {
+  try {
+    throw RuleViolation("R4", "parents must integrate");
+  } catch (const RuleViolation& e) {
+    EXPECT_EQ(e.rule(), "R4");
+    EXPECT_NE(std::string(e.what()).find("R4: parents must integrate"),
+              std::string::npos);
+  }
+}
+
+TEST(FcmRequire, PassesOnTrue) {
+  EXPECT_NO_THROW(FCM_REQUIRE(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(FcmRequire, ThrowsWithContextOnFalse) {
+  try {
+    FCM_REQUIRE(2 > 3, "custom detail");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("2 > 3"), std::string::npos);
+    EXPECT_NE(message.find("custom detail"), std::string::npos);
+    EXPECT_NE(message.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(FcmRequire, EmptyMessageOmitsSeparator) {
+  try {
+    FCM_REQUIRE(false, "");
+    FAIL();
+  } catch (const InvalidArgument& e) {
+    const std::string message = e.what();
+    EXPECT_EQ(message.find(" — "), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,50 @@
+#include "common/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <type_traits>
+#include <unordered_set>
+
+namespace fcm {
+namespace {
+
+TEST(Id, DefaultIsInvalid) {
+  EXPECT_FALSE(FcmId{}.valid());
+  EXPECT_EQ(FcmId{}, FcmId::invalid());
+}
+
+TEST(Id, ConstructedIsValid) {
+  const FcmId id(3);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 3u);
+}
+
+TEST(Id, Ordering) {
+  EXPECT_LT(FcmId(1), FcmId(2));
+  EXPECT_EQ(FcmId(5), FcmId(5));
+  EXPECT_NE(FcmId(5), FcmId(6));
+}
+
+TEST(Id, DistinctTagTypesAreNotInterconvertible) {
+  static_assert(!std::is_convertible_v<FcmId, ProcessorId>);
+  static_assert(!std::is_convertible_v<ProcessorId, FcmId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, FcmId>);
+}
+
+TEST(Id, Hashable) {
+  std::unordered_set<FcmId> set;
+  set.insert(FcmId(1));
+  set.insert(FcmId(2));
+  set.insert(FcmId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Id, StreamFormat) {
+  std::ostringstream out;
+  out << FcmId(7) << " " << FcmId::invalid();
+  EXPECT_EQ(out.str(), "#7 #invalid");
+}
+
+}  // namespace
+}  // namespace fcm

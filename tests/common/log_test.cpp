@@ -1,0 +1,69 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fcm {
+namespace {
+
+// Captures log lines and restores the logger on teardown.
+class LogCapture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::instance().level();
+    Logger::instance().set_level(LogLevel::kDebug);
+    Logger::instance().set_sink(
+        [this](LogLevel level, const std::string& message) {
+          lines_.push_back({level, message});
+        });
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(saved_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> lines_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogCapture, MessagesReachTheSink) {
+  FCM_INFO() << "hello " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(lines_[0].second, "hello 42");
+}
+
+TEST_F(LogCapture, LevelFilterSuppressesBelowThreshold) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  FCM_DEBUG() << "invisible";
+  FCM_INFO() << "also invisible";
+  FCM_WARN() << "visible";
+  FCM_ERROR() << "also visible";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0].first, LogLevel::kWarn);
+  EXPECT_EQ(lines_[1].first, LogLevel::kError);
+}
+
+TEST_F(LogCapture, SuppressedMessagesDoNotEvaluateTheStream) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "x";
+  };
+  FCM_DEBUG() << expensive();
+  EXPECT_EQ(evaluations, 0);
+  FCM_ERROR() << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(LogLevelNames, AllDistinct) {
+  EXPECT_STREQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace fcm

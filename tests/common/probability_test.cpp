@@ -1,0 +1,95 @@
+#include "common/probability.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace fcm {
+namespace {
+
+TEST(Probability, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(Probability{}.value(), 0.0);
+}
+
+TEST(Probability, ValidatesRange) {
+  EXPECT_NO_THROW(Probability(0.0));
+  EXPECT_NO_THROW(Probability(1.0));
+  EXPECT_NO_THROW(Probability(0.5));
+  EXPECT_THROW(Probability(-0.001), InvalidArgument);
+  EXPECT_THROW(Probability(1.001), InvalidArgument);
+}
+
+TEST(Probability, ClampedSaturates) {
+  EXPECT_DOUBLE_EQ(Probability::clamped(-3.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Probability::clamped(7.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Probability::clamped(0.25).value(), 0.25);
+}
+
+TEST(Probability, Complement) {
+  EXPECT_DOUBLE_EQ(Probability(0.3).complement().value(), 0.7);
+  EXPECT_DOUBLE_EQ(Probability::one().complement().value(), 0.0);
+}
+
+TEST(Probability, BothMultiplies) {
+  EXPECT_DOUBLE_EQ(Probability(0.5).both(Probability(0.4)).value(), 0.2);
+}
+
+TEST(Probability, EitherIsInclusionExclusion) {
+  // 1 - (1-0.5)(1-0.4) = 0.7
+  EXPECT_DOUBLE_EQ(Probability(0.5).either(Probability(0.4)).value(), 0.7);
+}
+
+TEST(Probability, EitherWithZeroIsIdentity) {
+  EXPECT_DOUBLE_EQ(Probability(0.37).either(Probability::zero()).value(),
+                   0.37);
+}
+
+TEST(Probability, EitherWithOneIsOne) {
+  EXPECT_DOUBLE_EQ(Probability(0.37).either(Probability::one()).value(), 1.0);
+}
+
+TEST(AnyOf, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(any_of({}).value(), 0.0);
+}
+
+TEST(AnyOf, MatchesPaperEquationTwo) {
+  // Eq. 2: influence = 1 - (1-p1)(1-p2)...(1-pn).
+  const std::vector<Probability> factors{Probability(0.1), Probability(0.2),
+                                         Probability(0.3)};
+  EXPECT_NEAR(any_of(factors).value(), 1.0 - 0.9 * 0.8 * 0.7, 1e-12);
+}
+
+TEST(AllOf, MatchesPaperEquationOne) {
+  // Eq. 1: p = p_{i,1} * p_{i,2} * p_{i,3}.
+  const std::vector<Probability> factors{Probability(0.5), Probability(0.5),
+                                         Probability(0.2)};
+  EXPECT_NEAR(all_of(factors).value(), 0.05, 1e-12);
+}
+
+TEST(AnyOf, NeverBelowMaxComponent) {
+  const std::vector<Probability> factors{Probability(0.6), Probability(0.1)};
+  EXPECT_GE(any_of(factors).value(), 0.6);
+}
+
+class AnyOfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AnyOfSweep, SingleFactorIsIdentity) {
+  const Probability p(GetParam());
+  const std::vector<Probability> one{p};
+  EXPECT_NEAR(any_of(one).value(), p.value(), 1e-15);
+}
+
+TEST_P(AnyOfSweep, SelfCombinationMatchesClosedForm) {
+  const double p = GetParam();
+  const std::vector<Probability> two{Probability(p), Probability(p)};
+  EXPECT_NEAR(any_of(two).value(), 1.0 - (1.0 - p) * (1.0 - p), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, AnyOfSweep,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.25, 0.5, 0.75,
+                                           0.9, 0.99, 1.0));
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,141 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fcm {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DistinctSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 32);
+}
+
+TEST(Rng, DistinctStreamsDiffer) {
+  Rng a(7, 0), b(7, 1);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 32);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(123);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversAll) {
+  Rng rng(5);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(Probability::zero()));
+    EXPECT_TRUE(rng.chance(Probability::one()));
+  }
+}
+
+TEST(Rng, ChanceFrequencyTracksProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(Probability(0.3))) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() != child()) ++differing;
+  }
+  EXPECT_GT(differing, 32);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<int> original = items;
+  rng.shuffle(std::span<int>(items));
+  EXPECT_TRUE(std::is_permutation(items.begin(), items.end(),
+                                  original.begin()));
+}
+
+TEST(SampleWithoutReplacement, ProducesDistinctInRange) {
+  Rng rng(31);
+  const auto sample = sample_without_replacement(rng, 10, 4);
+  EXPECT_EQ(sample.size(), 4u);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 4u);
+  for (const auto v : sample) EXPECT_LT(v, 10u);
+}
+
+TEST(SampleWithoutReplacement, FullPopulationIsPermutation) {
+  Rng rng(37);
+  const auto sample = sample_without_replacement(rng, 6, 6);
+  std::set<std::uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(SampleWithoutReplacement, RejectsOversizedRequest) {
+  Rng rng(41);
+  EXPECT_THROW(sample_without_replacement(rng, 3, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,45 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace fcm {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"Process", "C"});
+  table.add_row({"p1", "10"});
+  table.add_row({"p10", "3"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Process  C"), std::string::npos);
+  EXPECT_NE(out.find("-------  --"), std::string::npos);
+  EXPECT_NE(out.find("p1       10"), std::string::npos);
+  EXPECT_NE(out.find("p10      3"), std::string::npos);
+}
+
+TEST(TextTable, RowCountTracksRows) {
+  TextTable table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"x"});
+  table.add_row({"y"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, RejectsEmptyHeaderList) {
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(0.5), "0.500");
+  EXPECT_EQ(fmt(0.123456, 2), "0.12");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,72 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fcm {
+namespace {
+
+TEST(Duration, Constructors) {
+  EXPECT_EQ(Duration::micros(5).count(), 5);
+  EXPECT_EQ(Duration::millis(2).count(), 2000);
+  EXPECT_EQ(Duration::seconds(1).count(), 1'000'000);
+  EXPECT_EQ(Duration::zero().count(), 0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::micros(10);
+  const Duration b = Duration::micros(3);
+  EXPECT_EQ((a + b).count(), 13);
+  EXPECT_EQ((a - b).count(), 7);
+  EXPECT_EQ((a * 4).count(), 40);
+  EXPECT_EQ((-b).count(), -3);
+  EXPECT_EQ(a / b, 3);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::micros(5);
+  d += Duration::micros(2);
+  EXPECT_EQ(d.count(), 7);
+  d -= Duration::micros(10);
+  EXPECT_EQ(d.count(), -3);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::micros(1), Duration::micros(2));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+}
+
+TEST(Duration, AsSeconds) {
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).as_seconds(), 1.5);
+}
+
+TEST(Instant, EpochAndOffsets) {
+  const Instant t = Instant::epoch() + Duration::micros(100);
+  EXPECT_EQ(t.since_epoch().count(), 100);
+  EXPECT_EQ((t - Duration::micros(40)).since_epoch().count(), 60);
+  EXPECT_EQ((t - Instant::epoch()).count(), 100);
+}
+
+TEST(Instant, DistantFutureBeyondEverything) {
+  const Instant far = Instant::distant_future();
+  EXPECT_GT(far, Instant::epoch() + Duration::seconds(1'000'000));
+  // Adding a sane duration must not overflow.
+  EXPECT_GT(far + Duration::seconds(100), far);
+}
+
+TEST(Instant, Ordering) {
+  const Instant a = Instant::epoch() + Duration::micros(1);
+  const Instant b = Instant::epoch() + Duration::micros(2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, Instant::epoch() + Duration::micros(1));
+}
+
+TEST(TimeIo, StreamFormat) {
+  std::ostringstream out;
+  out << Duration::micros(42) << " " << (Instant::epoch() + Duration::micros(7));
+  EXPECT_EQ(out.str(), "42us t+7us");
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,111 @@
+#include "core/attributes.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fcm::core {
+namespace {
+
+TimingSpec make_timing(std::int64_t est, std::int64_t tcd, std::int64_t ct) {
+  TimingSpec t;
+  t.est = Instant::epoch() + Duration::millis(est);
+  t.tcd = Instant::epoch() + Duration::millis(tcd);
+  t.ct = Duration::millis(ct);
+  return t;
+}
+
+TEST(TimingSpec, WellFormed) {
+  EXPECT_TRUE(make_timing(0, 10, 5).well_formed());
+  EXPECT_TRUE(make_timing(0, 5, 5).well_formed());   // exactly tight
+  EXPECT_FALSE(make_timing(0, 4, 5).well_formed());  // cannot fit
+  EXPECT_FALSE(make_timing(0, 10, 0).well_formed()); // zero cost
+}
+
+TEST(TimingSpec, ToJobCarriesTriple) {
+  const sched::Job job = make_timing(2, 9, 3).to_job(JobId(7), "x");
+  EXPECT_EQ(job.release, Instant::epoch() + Duration::millis(2));
+  EXPECT_EQ(job.deadline, Instant::epoch() + Duration::millis(9));
+  EXPECT_EQ(job.cost, Duration::millis(3));
+  EXPECT_EQ(job.id, JobId(7));
+}
+
+TEST(TimingSpec, MergedTakesStringentValues) {
+  // §4.3: most stringent deadline (min), earliest start (min), summed CT.
+  const TimingSpec merged =
+      make_timing(0, 30, 5).merged_with(make_timing(2, 20, 6));
+  EXPECT_EQ(merged.est, Instant::epoch());
+  EXPECT_EQ(merged.tcd, Instant::epoch() + Duration::millis(20));
+  EXPECT_EQ(merged.ct, Duration::millis(11));
+}
+
+TEST(Attributes, CombineTakesMaxCriticality) {
+  Attributes a, b;
+  a.criticality = 10;
+  b.criticality = 3;
+  EXPECT_EQ(combine(a, b).criticality, 10);
+  EXPECT_EQ(combine(b, a).criticality, 10);
+}
+
+TEST(Attributes, CombineTakesMaxReplicationAndSecurity) {
+  Attributes a, b;
+  a.replication = 3;
+  b.replication = 1;
+  a.security = 1;
+  b.security = 2;
+  const Attributes c = combine(a, b);
+  EXPECT_EQ(c.replication, 3);
+  EXPECT_EQ(c.security, 2);
+}
+
+TEST(Attributes, CombineAggregatesThroughputAndCommRate) {
+  Attributes a, b;
+  a.throughput = 100.0;
+  b.throughput = 50.0;
+  a.comm_rate = 10.0;
+  b.comm_rate = 5.0;
+  const Attributes c = combine(a, b);
+  EXPECT_DOUBLE_EQ(c.throughput, 150.0);
+  EXPECT_DOUBLE_EQ(c.comm_rate, 15.0);
+}
+
+TEST(Attributes, CombineMergesTiming) {
+  Attributes a, b;
+  a.timing = make_timing(0, 30, 5);
+  b.timing = make_timing(2, 20, 6);
+  const Attributes c = combine(a, b);
+  ASSERT_TRUE(c.timing.has_value());
+  EXPECT_EQ(c.timing->ct, Duration::millis(11));
+}
+
+TEST(Attributes, CombineKeepsOnlyPresentTiming) {
+  Attributes a, b;
+  a.timing = make_timing(0, 30, 5);
+  const Attributes c = combine(a, b);
+  ASSERT_TRUE(c.timing.has_value());
+  EXPECT_EQ(c.timing->ct, Duration::millis(5));
+  const Attributes d = combine(b, b);
+  EXPECT_FALSE(d.timing.has_value());
+}
+
+TEST(Attributes, CombineUnionsRequiredResources) {
+  Attributes a, b;
+  a.required_resources = {"sensor-bus"};
+  b.required_resources = {"gps", "sensor-bus"};
+  const Attributes c = combine(a, b);
+  EXPECT_EQ(c.required_resources,
+            (std::set<std::string>{"gps", "sensor-bus"}));
+}
+
+TEST(Attributes, StreamOutput) {
+  Attributes a;
+  a.criticality = 5;
+  a.replication = 2;
+  std::ostringstream out;
+  out << a;
+  EXPECT_NE(out.str().find("C=5"), std::string::npos);
+  EXPECT_NE(out.str().find("FT=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcm::core

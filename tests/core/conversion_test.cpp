@@ -1,0 +1,113 @@
+// Tests for §3.2's process-to-task communication demotion.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/integration.h"
+
+namespace fcm::core {
+namespace {
+
+Attributes attrs(Criticality c, double throughput = 0.0) {
+  Attributes a;
+  a.criticality = c;
+  a.throughput = throughput;
+  return a;
+}
+
+TEST(ConvertProcessesToTasks, CreatesContainerWithTaskPerProcess) {
+  FcmHierarchy h;
+  Integrator integ(h);
+  const FcmId a = h.create("telemetry", Level::kProcess, attrs(5, 100));
+  const FcmId b = h.create("storage", Level::kProcess, attrs(3, 50));
+
+  const FcmId container =
+      integ.convert_processes_to_tasks({a, b}, "telemetry-subsystem");
+  EXPECT_EQ(h.get(container).level, Level::kProcess);
+  EXPECT_EQ(h.get(container).name, "telemetry-subsystem");
+  ASSERT_EQ(h.children(container).size(), 2u);
+  for (const FcmId task : h.children(container)) {
+    EXPECT_EQ(h.get(task).level, Level::kTask);
+  }
+  // The original process FCMs dissolved.
+  EXPECT_FALSE(h.alive(a));
+  EXPECT_FALSE(h.alive(b));
+  h.audit();
+}
+
+TEST(ConvertProcessesToTasks, TasksCarryOriginalAttributes) {
+  FcmHierarchy h;
+  Integrator integ(h);
+  const FcmId a = h.create("x", Level::kProcess, attrs(9, 10));
+  const FcmId b = h.create("y", Level::kProcess, attrs(2, 20));
+  const FcmId container = integ.convert_processes_to_tasks({a, b}, "xy");
+  const auto& kids = h.children(container);
+  EXPECT_EQ(h.get(kids[0]).name, "x.task");
+  EXPECT_EQ(h.get(kids[0]).attributes.criticality, 9);
+  EXPECT_EQ(h.get(kids[1]).name, "y.task");
+  EXPECT_EQ(h.get(kids[1]).attributes.criticality, 2);
+}
+
+TEST(ConvertProcessesToTasks, ContainerCombinesAttributesOnce) {
+  FcmHierarchy h;
+  Integrator integ(h);
+  const FcmId a = h.create("x", Level::kProcess, attrs(9, 10));
+  const FcmId b = h.create("y", Level::kProcess, attrs(2, 20));
+  const FcmId container = integ.convert_processes_to_tasks({a, b}, "xy");
+  EXPECT_EQ(h.get(container).attributes.criticality, 9);  // max
+  EXPECT_DOUBLE_EQ(h.get(container).attributes.throughput, 30.0);  // sum
+}
+
+TEST(ConvertProcessesToTasks, RejectsNonLeafProcesses) {
+  FcmHierarchy h;
+  Integrator integ(h);
+  const FcmId a = h.create("x", Level::kProcess);
+  const FcmId b = h.create("y", Level::kProcess);
+  h.create_child(a, "x.t1");  // internal structure
+  EXPECT_THROW(integ.convert_processes_to_tasks({a, b}, "xy"),
+               InvalidArgument);
+}
+
+TEST(ConvertProcessesToTasks, RejectsSingleProcess) {
+  FcmHierarchy h;
+  Integrator integ(h);
+  const FcmId a = h.create("x", Level::kProcess);
+  EXPECT_THROW(integ.convert_processes_to_tasks({a}, "solo"),
+               InvalidArgument);
+}
+
+TEST(ConvertProcessesToTasks, RejectsTaskLevelInputs) {
+  FcmHierarchy h;
+  Integrator integ(h);
+  const FcmId a = h.create("x", Level::kTask);
+  const FcmId b = h.create("y", Level::kTask);
+  EXPECT_THROW(integ.convert_processes_to_tasks({a, b}, "xy"),
+               InvalidArgument);
+}
+
+TEST(ConvertProcessesToTasks, EmitsRetestObligations) {
+  FcmHierarchy h;
+  Integrator integ(h);
+  const FcmId a = h.create("x", Level::kProcess);
+  const FcmId b = h.create("y", Level::kProcess);
+  integ.convert_processes_to_tasks({a, b}, "xy");
+  EXPECT_FALSE(integ.pending_retests().empty());
+  ASSERT_FALSE(integ.log().empty());
+  EXPECT_EQ(integ.log().back().note,
+            "process-to-task communication demotion");
+}
+
+TEST(ConvertProcessesToTasks, ThreeWayConversion) {
+  FcmHierarchy h;
+  Integrator integ(h);
+  const FcmId a = h.create("x", Level::kProcess, attrs(1));
+  const FcmId b = h.create("y", Level::kProcess, attrs(2));
+  const FcmId c = h.create("z", Level::kProcess, attrs(3));
+  const FcmId container =
+      integ.convert_processes_to_tasks({a, b, c}, "xyz");
+  EXPECT_EQ(h.children(container).size(), 3u);
+  EXPECT_EQ(h.get(container).attributes.criticality, 3);
+  h.audit();
+}
+
+}  // namespace
+}  // namespace fcm::core

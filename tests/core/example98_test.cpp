@@ -1,0 +1,179 @@
+// Validates that the reconstructed §6 dataset satisfies every constraint
+// the paper's text states (see core/example98.h for the inventory).
+#include "core/example98.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+#include "sched/edf.h"
+
+namespace fcm::core::example98 {
+namespace {
+
+std::vector<sched::Job> jobs_for(const Instance& instance,
+                                 std::initializer_list<int> ks) {
+  std::vector<sched::Job> jobs;
+  std::uint32_t next = 0;
+  for (const int k : ks) {
+    const Fcm& fcm = instance.hierarchy.get(instance.process(k));
+    jobs.push_back(fcm.attributes.timing->to_job(JobId(next++), fcm.name));
+  }
+  return jobs;
+}
+
+TEST(Table1, HasEightProcesses) {
+  EXPECT_EQ(table1().size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(table1()[i].name, "p" + std::to_string(i + 1));
+  }
+}
+
+TEST(Table1, ReplicationMatchesNarrative) {
+  // "Process p1 has a high criticality value and has to be replicated three
+  // times to be run in a TMR mode (FT=3). Processes p2 and p3 are of
+  // intermediate criticality, with FT=2. The rest require no duplication."
+  const auto& t = table1();
+  EXPECT_EQ(t[0].replication, 3);
+  EXPECT_EQ(t[1].replication, 2);
+  EXPECT_EQ(t[2].replication, 2);
+  for (std::size_t i = 3; i < 8; ++i) EXPECT_EQ(t[i].replication, 1);
+}
+
+TEST(Table1, CriticalityStrictlyDecreasing) {
+  const auto& t = table1();
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GT(t[i - 1].criticality, t[i].criticality);
+  }
+  EXPECT_GT(t[0].criticality, t[1].criticality + 1);  // p1 clearly highest
+}
+
+TEST(Table1, EveryTimingTripleIndividuallyFeasible) {
+  for (const ProcessSpec& spec : table1()) {
+    const Attributes attrs = spec.to_attributes();
+    ASSERT_TRUE(attrs.timing.has_value());
+    EXPECT_TRUE(attrs.timing->well_formed()) << spec.name;
+  }
+}
+
+TEST(Table1, ReplicationExpandsToTwelveNodes) {
+  // "The total number of nodes of this graph is now 12." (Fig. 4)
+  int total = 0;
+  for (const ProcessSpec& spec : table1()) total += spec.replication;
+  EXPECT_EQ(total, 12);
+}
+
+TEST(Figure3, TwelveEdgesWithThePaperWeightMultiset) {
+  const auto& edges = figure3_edges();
+  ASSERT_EQ(edges.size(), 12u);
+  std::multiset<double> weights;
+  for (const InfluenceEdge& e : edges) weights.insert(e.weight);
+  const std::multiset<double> expected{0.1, 0.1, 0.2, 0.2, 0.2, 0.2,
+                                       0.3, 0.3, 0.5, 0.6, 0.7, 0.7};
+  EXPECT_EQ(weights, expected);
+}
+
+TEST(Figure3, P1P2IsTheHighestMutualInfluencePair) {
+  // §6.1: the two nodes with the highest mutual influence are combined
+  // first; the reconstruction pins that pair to (p1, p2).
+  const Instance instance = make_instance();
+  std::map<std::pair<int, int>, double> mutual;
+  for (int i = 1; i <= 8; ++i) {
+    for (int j = i + 1; j <= 8; ++j) {
+      mutual[{i, j}] = instance.influence.mutual_influence(
+          instance.process(i), instance.process(j));
+    }
+  }
+  const double p1p2 = mutual[{1, 2}];
+  for (const auto& [pair, value] : mutual) {
+    if (pair != std::make_pair(1, 2)) {
+      EXPECT_LT(value, p1p2);
+    }
+  }
+  // And (p2,p3) is the second highest.
+  const double p2p3 = mutual[{2, 3}];
+  for (const auto& [pair, value] : mutual) {
+    if (pair != std::make_pair(1, 2) && pair != std::make_pair(2, 3)) {
+      EXPECT_LT(value, p2p3);
+    }
+  }
+}
+
+TEST(Timing, PairwiseDeviceP3P5CannotShareAProcessor) {
+  // "Two nodes with timing constraints <b,d,c> and <b,d,c> cannot be
+  // scheduled on the same processor, and therefore cannot be combined."
+  const Instance instance = make_instance();
+  EXPECT_FALSE(sched::edf_feasible(jobs_for(instance, {3, 5})));
+}
+
+TEST(Timing, TripleDeviceP2P3ExcludeP4) {
+  // "If p2 and p3 are scheduled on the same processor, then p4 cannot be
+  // scheduled on that processor due to conflicting timing requirements."
+  const Instance instance = make_instance();
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {2, 3})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {2, 4})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {3, 4})));
+  EXPECT_FALSE(sched::edf_feasible(jobs_for(instance, {2, 3, 4})));
+}
+
+TEST(Timing, ApproachBPairingsAreFeasible) {
+  // Every pair Approach B forms (§6.2 narration) must be schedulable:
+  // (p1,p8) (p1,p7) (p1,p6) (p2,p5) (p2,p4) then the resolution pairs
+  // (p2,p3) and (p3,p4).
+  const Instance instance = make_instance();
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {1, 8})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {1, 7})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {1, 6})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {2, 5})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {2, 4})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {2, 3})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {3, 4})));
+}
+
+TEST(Timing, Figure8ClustersAreFeasible) {
+  // Fig. 8 four-node mapping: {p1,p2,p3} {p1,p2,p3} {p1,p4,p5} {p6,p7,p8}.
+  const Instance instance = make_instance();
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {1, 2, 3})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {1, 4, 5})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {6, 7, 8})));
+  // p4+p5 alone must also be feasible (they share the p1c node).
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {4, 5})));
+}
+
+TEST(Timing, H1ClustersAreFeasible) {
+  // §6.1 H1 result: {p1,p2,p3} twice, {p1c}, {p4}, {p5,p7,p8}, {p6}.
+  const Instance instance = make_instance();
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {1, 2})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {1, 2, 3})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {5, 7, 8})));
+  EXPECT_TRUE(sched::edf_feasible(jobs_for(instance, {7, 8})));
+}
+
+TEST(Instance, ProcessAccessorBounds) {
+  const Instance instance = make_instance();
+  EXPECT_NO_THROW((void)instance.process(1));
+  EXPECT_NO_THROW((void)instance.process(8));
+  EXPECT_THROW((void)instance.process(0), fcm::InvalidArgument);
+  EXPECT_THROW((void)instance.process(9), fcm::InvalidArgument);
+}
+
+TEST(Instance, InfluenceModelHasAllEdges) {
+  const Instance instance = make_instance();
+  int nonzero = 0;
+  for (int i = 1; i <= 8; ++i) {
+    for (int j = 1; j <= 8; ++j) {
+      if (i == j) continue;
+      if (instance.influence
+              .influence(instance.process(i), instance.process(j))
+              .value() > 0.0) {
+        ++nonzero;
+      }
+    }
+  }
+  EXPECT_EQ(nonzero, 12);
+}
+
+}  // namespace
+}  // namespace fcm::core::example98

@@ -1,0 +1,96 @@
+#include "core/fcm.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/influence.h"
+#include "core/influence_analysis.h"
+
+namespace fcm::core {
+namespace {
+
+TEST(Level, Names) {
+  EXPECT_STREQ(to_string(Level::kProcedure), "procedure");
+  EXPECT_STREQ(to_string(Level::kTask), "task");
+  EXPECT_STREQ(to_string(Level::kProcess), "process");
+}
+
+TEST(Level, StreamOutput) {
+  std::ostringstream out;
+  out << Level::kTask;
+  EXPECT_EQ(out.str(), "task");
+}
+
+TEST(Fcm, FaultClassesPerLevelAreDistinct) {
+  // §3.1–3.3: each level handles its own class of faults.
+  Fcm procedure;
+  procedure.level = Level::kProcedure;
+  Fcm task;
+  task.level = Level::kTask;
+  Fcm process;
+  process.level = Level::kProcess;
+  const std::set<std::string> classes{procedure.fault_class(),
+                                      task.fault_class(),
+                                      process.fault_class()};
+  EXPECT_EQ(classes.size(), 3u);
+  EXPECT_NE(std::string(procedure.fault_class()).find("erroneous data"),
+            std::string::npos);
+  EXPECT_NE(std::string(process.fault_class()).find("HW resource"),
+            std::string::npos);
+}
+
+TEST(Fcm, StreamOutputIncludesLevelNameAndAttributes) {
+  Fcm fcm;
+  fcm.id = FcmId(3);
+  fcm.name = "nav";
+  fcm.level = Level::kProcess;
+  fcm.attributes.criticality = 7;
+  std::ostringstream out;
+  out << fcm;
+  EXPECT_NE(out.str().find("process"), std::string::npos);
+  EXPECT_NE(out.str().find("nav"), std::string::npos);
+  EXPECT_NE(out.str().find("C=7"), std::string::npos);
+}
+
+TEST(IsolationTechniqueNames, AllDistinct) {
+  const std::set<std::string> names{
+      to_string(IsolationTechnique::kInformationHiding),
+      to_string(IsolationTechnique::kParameterChecking),
+      to_string(IsolationTechnique::kStatelessProcedures),
+      to_string(IsolationTechnique::kRecoveryBlocks),
+      to_string(IsolationTechnique::kNVersionProgramming),
+      to_string(IsolationTechnique::kPreemptiveScheduling),
+      to_string(IsolationTechnique::kMemorySeparation),
+      to_string(IsolationTechnique::kResourceQuotas),
+      to_string(IsolationTechnique::kMessageChecking),
+  };
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(FactorKindNames, AllDistinct) {
+  const std::set<std::string> names{
+      to_string(FactorKind::kParameterPassing),
+      to_string(FactorKind::kGlobalVariables),
+      to_string(FactorKind::kSharedMemory),
+      to_string(FactorKind::kMessagePassing),
+      to_string(FactorKind::kTiming),
+      to_string(FactorKind::kResourceContention),
+      to_string(FactorKind::kOther),
+  };
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(RoleNames, AllDistinct) {
+  const std::set<std::string> names{
+      to_string(InfluenceRole::kHazard),
+      to_string(InfluenceRole::kVictim),
+      to_string(InfluenceRole::kCoupled),
+      to_string(InfluenceRole::kIsolated),
+  };
+  EXPECT_EQ(names.size(), 4u);
+}
+
+}  // namespace
+}  // namespace fcm::core

@@ -1,0 +1,113 @@
+// Randomized rule fuzzing: any sequence of *accepted* integration
+// operations leaves the hierarchy satisfying R1+R2 (audit), and the
+// operations the rules forbid always throw without corrupting state.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/integration.h"
+
+namespace fcm::core {
+namespace {
+
+Level random_level(Rng& rng) {
+  switch (rng.below(3)) {
+    case 0:
+      return Level::kProcedure;
+    case 1:
+      return Level::kTask;
+    default:
+      return Level::kProcess;
+  }
+}
+
+class HierarchyFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HierarchyFuzz, AcceptedOperationsPreserveInvariants) {
+  Rng rng(GetParam());
+  FcmHierarchy h;
+  Integrator integ(h);
+  std::vector<FcmId> created;
+
+  auto random_live = [&]() -> FcmId {
+    std::vector<FcmId> live;
+    for (const FcmId id : created) {
+      if (h.alive(id)) live.push_back(id);
+    }
+    if (live.empty()) return FcmId::invalid();
+    return live[rng.below(static_cast<std::uint32_t>(live.size()))];
+  };
+
+  int accepted = 0, rejected = 0;
+  for (int step = 0; step < 300; ++step) {
+    const std::uint32_t op = rng.below(5);
+    try {
+      switch (op) {
+        case 0: {  // create
+          created.push_back(h.create("n" + std::to_string(step),
+                                     random_level(rng)));
+          break;
+        }
+        case 1: {  // attach (random pair; often violates R1/R2)
+          const FcmId child = random_live();
+          const FcmId parent = random_live();
+          if (!child.valid() || !parent.valid() || child == parent) break;
+          h.attach(child, parent);
+          break;
+        }
+        case 2: {  // merge (random pair; often violates R3)
+          const FcmId a = random_live();
+          const FcmId b = random_live();
+          if (!a.valid() || !b.valid() || a == b) break;
+          integ.merge(a, b);
+          break;
+        }
+        case 3: {  // clone into a random parent
+          const FcmId source = random_live();
+          const FcmId parent = random_live();
+          if (!source.valid() || !parent.valid()) break;
+          created.push_back(integ.duplicate_for(source, parent));
+          break;
+        }
+        case 4: {  // modify (always legal)
+          const FcmId target = random_live();
+          if (!target.valid()) break;
+          integ.modify(target, "fuzz");
+          break;
+        }
+      }
+      ++accepted;
+    } catch (const FcmError&) {
+      ++rejected;
+    }
+    // The invariant: whatever happened, the structure stays legal.
+    ASSERT_NO_THROW(h.audit()) << "step " << step << " op " << op;
+  }
+  // The fuzz must exercise both paths to be meaningful.
+  EXPECT_GT(accepted, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyFuzz,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+TEST(HierarchyFuzz, RejectedOperationsLeaveStateUntouched) {
+  FcmHierarchy h;
+  Integrator integ(h);
+  const FcmId p1 = h.create("p1", Level::kProcess);
+  const FcmId p2 = h.create("p2", Level::kProcess);
+  const FcmId t1 = h.create_child(p1, "t1");
+  const FcmId t2 = h.create_child(p2, "t2");
+
+  const std::size_t size_before = h.size();
+  const std::size_t log_before = integ.log().size();
+  EXPECT_THROW(integ.merge(t1, t2), RuleViolation);  // R3
+  EXPECT_THROW(h.attach(t1, p2), RuleViolation);     // R2
+  EXPECT_EQ(h.size(), size_before);
+  EXPECT_EQ(integ.log().size(), log_before);
+  EXPECT_EQ(h.parent(t1), p1);
+  h.audit();
+}
+
+}  // namespace
+}  // namespace fcm::core

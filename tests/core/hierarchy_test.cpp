@@ -1,0 +1,201 @@
+#include "core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "graph/algorithms.h"
+
+namespace fcm::core {
+namespace {
+
+TEST(Levels, ParentChildArithmetic) {
+  EXPECT_EQ(parent_level(Level::kProcedure), Level::kTask);
+  EXPECT_EQ(parent_level(Level::kTask), Level::kProcess);
+  EXPECT_THROW(parent_level(Level::kProcess), InvalidArgument);
+  EXPECT_EQ(child_level(Level::kProcess), Level::kTask);
+  EXPECT_EQ(child_level(Level::kTask), Level::kProcedure);
+  EXPECT_THROW(child_level(Level::kProcedure), InvalidArgument);
+}
+
+TEST(Hierarchy, CreateAndLookup) {
+  FcmHierarchy h;
+  const FcmId p = h.create("proc", Level::kProcess);
+  EXPECT_TRUE(h.alive(p));
+  EXPECT_EQ(h.get(p).name, "proc");
+  EXPECT_EQ(h.get(p).level, Level::kProcess);
+  EXPECT_FALSE(h.parent(p).valid());
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(Hierarchy, RejectsEmptyName) {
+  FcmHierarchy h;
+  EXPECT_THROW(h.create("", Level::kTask), InvalidArgument);
+}
+
+TEST(Hierarchy, UnknownIdThrows) {
+  FcmHierarchy h;
+  EXPECT_THROW((void)h.get(FcmId(99)), NotFound);
+  EXPECT_THROW((void)h.get(FcmId::invalid()), NotFound);
+}
+
+TEST(Hierarchy, AttachEnforcesR1AdjacentLevels) {
+  FcmHierarchy h;
+  const FcmId process = h.create("P", Level::kProcess);
+  const FcmId procedure = h.create("f", Level::kProcedure);
+  // A procedure cannot be integrated directly into a process.
+  EXPECT_THROW(h.attach(procedure, process), RuleViolation);
+  const FcmId task = h.create("T", Level::kTask);
+  EXPECT_NO_THROW(h.attach(task, process));
+  EXPECT_NO_THROW(h.attach(procedure, task));
+}
+
+TEST(Hierarchy, AttachEnforcesR2SingleParent) {
+  FcmHierarchy h;
+  const FcmId t1 = h.create("T1", Level::kTask);
+  const FcmId t2 = h.create("T2", Level::kTask);
+  const FcmId f = h.create("f", Level::kProcedure);
+  h.attach(f, t1);
+  // Sharing f with a second task would give the integration DAG two
+  // parents — exactly what R2 forbids.
+  try {
+    h.attach(f, t2);
+    FAIL() << "expected RuleViolation";
+  } catch (const RuleViolation& e) {
+    EXPECT_EQ(e.rule(), "R2");
+  }
+}
+
+TEST(Hierarchy, CreateChildDerivesLevel) {
+  FcmHierarchy h;
+  const FcmId p = h.create("P", Level::kProcess);
+  const FcmId t = h.create_child(p, "T");
+  EXPECT_EQ(h.get(t).level, Level::kTask);
+  EXPECT_EQ(h.parent(t), p);
+  EXPECT_EQ(h.children(p), std::vector<FcmId>{t});
+}
+
+TEST(Hierarchy, SiblingsWithinParent) {
+  FcmHierarchy h;
+  const FcmId p = h.create("P", Level::kProcess);
+  const FcmId t1 = h.create_child(p, "T1");
+  const FcmId t2 = h.create_child(p, "T2");
+  const FcmId t3 = h.create_child(p, "T3");
+  const auto sibs = h.siblings(t1);
+  EXPECT_EQ(sibs.size(), 2u);
+  EXPECT_NE(std::find(sibs.begin(), sibs.end(), t2), sibs.end());
+  EXPECT_NE(std::find(sibs.begin(), sibs.end(), t3), sibs.end());
+}
+
+TEST(Hierarchy, RootsOfSameLevelAreSiblings) {
+  FcmHierarchy h;
+  const FcmId p1 = h.create("P1", Level::kProcess);
+  const FcmId p2 = h.create("P2", Level::kProcess);
+  const FcmId t = h.create("T", Level::kTask);  // different level: no
+  const auto sibs = h.siblings(p1);
+  EXPECT_EQ(sibs, std::vector<FcmId>{p2});
+  (void)t;
+}
+
+TEST(Hierarchy, RootOfWalksUp) {
+  FcmHierarchy h;
+  const FcmId p = h.create("P", Level::kProcess);
+  const FcmId t = h.create_child(p, "T");
+  const FcmId f = h.create_child(t, "f");
+  EXPECT_EQ(h.root_of(f), p);
+  EXPECT_EQ(h.root_of(p), p);
+}
+
+TEST(Hierarchy, DescendantsCoverSubtree) {
+  FcmHierarchy h;
+  const FcmId p = h.create("P", Level::kProcess);
+  const FcmId t1 = h.create_child(p, "T1");
+  const FcmId t2 = h.create_child(p, "T2");
+  const FcmId f = h.create_child(t1, "f");
+  const auto desc = h.descendants(p);
+  EXPECT_EQ(desc.size(), 3u);
+  EXPECT_NE(std::find(desc.begin(), desc.end(), f), desc.end());
+  (void)t2;
+}
+
+TEST(Hierarchy, AtLevelFilters) {
+  FcmHierarchy h;
+  h.create("P1", Level::kProcess);
+  h.create("P2", Level::kProcess);
+  h.create("T", Level::kTask);
+  EXPECT_EQ(h.at_level(Level::kProcess).size(), 2u);
+  EXPECT_EQ(h.at_level(Level::kTask).size(), 1u);
+  EXPECT_EQ(h.at_level(Level::kProcedure).size(), 0u);
+}
+
+TEST(Hierarchy, CloneSubtreeDeepCopies) {
+  FcmHierarchy h;
+  const FcmId p1 = h.create("P1", Level::kProcess);
+  const FcmId p2 = h.create("P2", Level::kProcess);
+  const FcmId t1 = h.create_child(p1, "T1");
+  h.create_child(t1, "util");
+  const FcmId t2 = h.create_child(p2, "T2");
+
+  // "If two tasks require the same procedure, a copy of the procedure can
+  // be inserted separately into each."
+  const FcmId copy = h.clone_subtree(t1, p2);
+  EXPECT_EQ(h.get(copy).level, Level::kTask);
+  EXPECT_EQ(h.parent(copy), p2);
+  ASSERT_EQ(h.children(copy).size(), 1u);
+  EXPECT_NE(h.children(copy)[0], h.children(t1)[0]);  // distinct copies
+  h.audit();
+  (void)t2;
+}
+
+TEST(Hierarchy, AbsorbSiblingCombinesAttributesAndChildren) {
+  FcmHierarchy h;
+  Attributes attrs_a;
+  attrs_a.criticality = 3;
+  Attributes attrs_b;
+  attrs_b.criticality = 9;
+  const FcmId p = h.create("P", Level::kProcess);
+  const FcmId a = h.create("A", Level::kTask, attrs_a);
+  const FcmId b = h.create("B", Level::kTask, attrs_b);
+  h.attach(a, p);
+  h.attach(b, p);
+  const FcmId fa = h.create_child(a, "fa");
+  const FcmId fb = h.create_child(b, "fb");
+
+  h.absorb_sibling(a, b, "AB");
+  EXPECT_FALSE(h.alive(b));
+  EXPECT_TRUE(h.alive(a));
+  EXPECT_EQ(h.get(a).name, "AB");
+  EXPECT_EQ(h.get(a).attributes.criticality, 9);
+  const auto& kids = h.children(a);
+  EXPECT_EQ(kids.size(), 2u);
+  EXPECT_EQ(h.parent(fb), a);
+  EXPECT_EQ(h.children(p).size(), 1u);
+  h.audit();
+  (void)fa;
+}
+
+TEST(Hierarchy, DeadIdsThrow) {
+  FcmHierarchy h;
+  const FcmId a = h.create("A", Level::kTask);
+  const FcmId b = h.create("B", Level::kTask);
+  h.absorb_sibling(a, b, "");
+  EXPECT_THROW((void)h.get(b), NotFound);
+  EXPECT_THROW(h.attach(b, a), NotFound);
+}
+
+TEST(Hierarchy, StructureGraphIsForest) {
+  FcmHierarchy h;
+  const FcmId p = h.create("P", Level::kProcess);
+  const FcmId t = h.create_child(p, "T");
+  h.create_child(t, "f1");
+  h.create_child(t, "f2");
+  h.create("Q", Level::kProcess);
+  const auto g = h.structure_graph();
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(graph::is_in_forest(g));
+}
+
+}  // namespace
+}  // namespace fcm::core

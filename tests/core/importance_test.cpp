@@ -1,0 +1,105 @@
+#include "core/importance.h"
+
+#include <gtest/gtest.h>
+
+namespace fcm::core {
+namespace {
+
+TimingSpec make_timing(std::int64_t est, std::int64_t tcd, std::int64_t ct) {
+  TimingSpec t;
+  t.est = Instant::epoch() + Duration::millis(est);
+  t.tcd = Instant::epoch() + Duration::millis(tcd);
+  t.ct = Duration::millis(ct);
+  return t;
+}
+
+TEST(TimingUrgency, NoTimingIsZero) {
+  EXPECT_DOUBLE_EQ(timing_urgency(Attributes{}), 0.0);
+}
+
+TEST(TimingUrgency, FullWindowIsOne) {
+  Attributes a;
+  a.timing = make_timing(0, 5, 5);
+  EXPECT_DOUBLE_EQ(timing_urgency(a), 1.0);
+}
+
+TEST(TimingUrgency, HalfWindowIsHalf) {
+  Attributes a;
+  a.timing = make_timing(0, 10, 5);
+  EXPECT_DOUBLE_EQ(timing_urgency(a), 0.5);
+}
+
+TEST(Importance, ZeroAttributesScoreZero) {
+  EXPECT_DOUBLE_EQ(importance(Attributes{}), 0.0);
+}
+
+TEST(Importance, MaximalAttributesScoreFullWeightSum) {
+  const ImportanceWeights w;
+  Attributes a;
+  a.criticality = w.criticality_scale;
+  a.replication = w.replication_scale;
+  a.timing = make_timing(0, 5, 5);
+  a.throughput = w.throughput_scale;
+  a.security = w.security_scale;
+  a.comm_rate = w.comm_rate_scale;
+  EXPECT_NEAR(importance(a, w),
+              w.criticality + w.replication + w.timing + w.throughput +
+                  w.security + w.comm_rate,
+              1e-12);
+}
+
+TEST(Importance, MonotoneInCriticality) {
+  Attributes lo, hi;
+  lo.criticality = 2;
+  hi.criticality = 9;
+  EXPECT_LT(importance(lo), importance(hi));
+}
+
+TEST(Importance, MonotoneInReplication) {
+  Attributes lo, hi;
+  lo.replication = 1;
+  hi.replication = 3;
+  EXPECT_LT(importance(lo), importance(hi));
+}
+
+TEST(Importance, ValuesAboveScaleSaturate) {
+  const ImportanceWeights w;
+  Attributes a;
+  a.criticality = w.criticality_scale * 10;
+  Attributes b;
+  b.criticality = w.criticality_scale;
+  EXPECT_DOUBLE_EQ(importance(a, w), importance(b, w));
+}
+
+TEST(Importance, CustomWeightsRespected) {
+  ImportanceWeights w;
+  w.criticality = 1.0;
+  w.replication = 0.0;
+  w.timing = 0.0;
+  w.throughput = 0.0;
+  w.security = 0.0;
+  w.comm_rate = 0.0;
+  Attributes a;
+  a.criticality = 5;
+  a.replication = 3;  // must not matter
+  EXPECT_NEAR(importance(a, w), 0.5, 1e-12);
+}
+
+TEST(Importance, Example98OrderingMatchesCriticality) {
+  // With default weights the §6 processes order p1 > p2 > ... > p8 by
+  // importance, since criticality dominates and follows that order.
+  const int crit[] = {10, 8, 7, 5, 4, 3, 2, 1};
+  const int rep[] = {3, 2, 2, 1, 1, 1, 1, 1};
+  double last = 2.0;  // above any reachable importance
+  for (int i = 0; i < 8; ++i) {
+    Attributes a;
+    a.criticality = crit[i];
+    a.replication = rep[i];
+    const double now = importance(a);
+    EXPECT_LT(now, last) << "process p" << (i + 1);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace fcm::core

@@ -1,0 +1,96 @@
+#include "core/influence_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/example98.h"
+
+namespace fcm::core {
+namespace {
+
+InfluenceModel star_model() {
+  // hub -> a,b,c (hazard); a,b,c -> sink (sink is the victim).
+  InfluenceModel model;
+  const FcmId hub(0), a(1), b(2), c(3), sink(4);
+  model.add_member(hub, "hub");
+  model.add_member(a, "a");
+  model.add_member(b, "b");
+  model.add_member(c, "c");
+  model.add_member(sink, "sink");
+  model.set_direct(hub, a, Probability(0.4));
+  model.set_direct(hub, b, Probability(0.4));
+  model.set_direct(hub, c, Probability(0.4));
+  model.set_direct(a, sink, Probability(0.3));
+  model.set_direct(b, sink, Probability(0.3));
+  model.set_direct(c, sink, Probability(0.3));
+  return model;
+}
+
+TEST(InfluenceAnalysis, OutExposureCombinesProbabilistically) {
+  const auto summaries = summarize_influence(star_model());
+  // hub: 1 - 0.6^3 = 0.784
+  EXPECT_NEAR(summaries[0].out_influence, 1.0 - 0.6 * 0.6 * 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(summaries[0].in_influence, 0.0);
+}
+
+TEST(InfluenceAnalysis, InExposureCombinesProbabilistically) {
+  const auto summaries = summarize_influence(star_model());
+  // sink: 1 - 0.7^3 = 0.657
+  EXPECT_NEAR(summaries[4].in_influence, 1.0 - 0.7 * 0.7 * 0.7, 1e-12);
+  EXPECT_DOUBLE_EQ(summaries[4].out_influence, 0.0);
+}
+
+TEST(InfluenceAnalysis, RolesFollowAsymmetry) {
+  const auto summaries = summarize_influence(star_model());
+  EXPECT_EQ(classify(summaries[0]), InfluenceRole::kHazard);   // hub
+  EXPECT_EQ(classify(summaries[4]), InfluenceRole::kVictim);   // sink
+  EXPECT_EQ(classify(summaries[1]), InfluenceRole::kCoupled);  // a: in 0.4/out 0.3
+}
+
+TEST(InfluenceAnalysis, IsolatedWhenBothLow) {
+  InfluenceModel model;
+  model.add_member(FcmId(0), "x");
+  model.add_member(FcmId(1), "y");
+  model.set_direct(FcmId(0), FcmId(1), Probability(0.05));
+  const auto summaries = summarize_influence(model);
+  EXPECT_EQ(classify(summaries[0]), InfluenceRole::kIsolated);
+  EXPECT_EQ(classify(summaries[1]), InfluenceRole::kIsolated);
+}
+
+TEST(InfluenceAnalysis, ThresholdShiftsClassification) {
+  const auto summaries = summarize_influence(star_model());
+  // At a 0.9 threshold, nothing is "high".
+  EXPECT_EQ(classify(summaries[0], 0.9), InfluenceRole::kIsolated);
+  // At 0.01, everything connected is coupled/hazard/victim.
+  EXPECT_EQ(classify(summaries[0], 0.01), InfluenceRole::kHazard);
+}
+
+TEST(InfluenceAnalysis, GuardPriorityOrdersByInInfluence) {
+  const auto guards = guard_priority(star_model());
+  ASSERT_FALSE(guards.empty());
+  EXPECT_EQ(guards.front().name, "sink");
+  for (std::size_t i = 1; i < guards.size(); ++i) {
+    EXPECT_GE(guards[i - 1].in_influence, guards[i].in_influence);
+  }
+  // The hub exerts but never receives: not a guard candidate.
+  for (const auto& g : guards) {
+    EXPECT_NE(g.name, "hub");
+  }
+}
+
+TEST(InfluenceAnalysis, Example98RolesMatchTheFigure) {
+  const example98::Instance instance = example98::make_instance();
+  const auto summaries = summarize_influence(instance.influence);
+  // p1 and p2 are strongly coupled in both directions.
+  EXPECT_EQ(classify(summaries[0]), InfluenceRole::kCoupled);
+  EXPECT_EQ(classify(summaries[1]), InfluenceRole::kCoupled);
+  // p8 only receives (p7->p8, p5->p8): a victim.
+  EXPECT_EQ(classify(summaries[7]), InfluenceRole::kVictim);
+  EXPECT_DOUBLE_EQ(summaries[7].out_influence, 0.0);
+  // p7 both receives (p5) and exerts (0.7 on p8).
+  EXPECT_GT(summaries[6].out_influence, 0.5);
+  // Asymmetry is signed.
+  EXPECT_LT(summaries[7].asymmetry(), 0.0);
+}
+
+}  // namespace
+}  // namespace fcm::core

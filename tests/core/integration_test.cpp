@@ -1,0 +1,174 @@
+#include "core/integration.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fcm::core {
+namespace {
+
+struct Fixture {
+  FcmHierarchy h;
+  Integrator integ{h};
+};
+
+TEST(Integrator, MergeRequiresSiblingsR3) {
+  Fixture fx;
+  const FcmId p1 = fx.h.create("P1", Level::kProcess);
+  const FcmId p2 = fx.h.create("P2", Level::kProcess);
+  const FcmId t1 = fx.h.create_child(p1, "T1");
+  const FcmId t2 = fx.h.create_child(p2, "T2");
+  // "Two tasks in different processes cannot be integrated."
+  try {
+    fx.integ.merge(t1, t2);
+    FAIL() << "expected RuleViolation";
+  } catch (const RuleViolation& e) {
+    EXPECT_EQ(e.rule(), "R3");
+  }
+}
+
+TEST(Integrator, MergeSiblingsWorks) {
+  Fixture fx;
+  const FcmId p = fx.h.create("P", Level::kProcess);
+  const FcmId t1 = fx.h.create_child(p, "T1");
+  const FcmId t2 = fx.h.create_child(p, "T2");
+  const FcmId merged = fx.integ.merge(t1, t2, "T12");
+  EXPECT_EQ(merged, t1);
+  EXPECT_EQ(fx.h.get(merged).name, "T12");
+  EXPECT_FALSE(fx.h.alive(t2));
+  ASSERT_EQ(fx.integ.log().size(), 1u);
+  EXPECT_EQ(fx.integ.log()[0].kind, CompositionKind::kMerge);
+}
+
+TEST(Integrator, MergeRootProcessesOfSameLevel) {
+  Fixture fx;
+  const FcmId p1 = fx.h.create("P1", Level::kProcess);
+  const FcmId p2 = fx.h.create("P2", Level::kProcess);
+  EXPECT_NO_THROW(fx.integ.merge(p1, p2));
+  EXPECT_EQ(fx.h.size(), 1u);
+}
+
+TEST(Integrator, GroupCreatesParentAndCombinesAttributes) {
+  Fixture fx;
+  Attributes a1;
+  a1.criticality = 3;
+  a1.throughput = 10;
+  Attributes a2;
+  a2.criticality = 8;
+  a2.throughput = 20;
+  const FcmId f1 = fx.h.create("f1", Level::kProcedure, a1);
+  const FcmId f2 = fx.h.create("f2", Level::kProcedure, a2);
+  const FcmId task = fx.integ.group({f1, f2}, "T");
+  EXPECT_EQ(fx.h.get(task).level, Level::kTask);
+  EXPECT_EQ(fx.h.get(task).attributes.criticality, 8);
+  EXPECT_DOUBLE_EQ(fx.h.get(task).attributes.throughput, 30.0);
+  EXPECT_EQ(fx.h.parent(f1), task);
+  EXPECT_EQ(fx.h.parent(f2), task);
+  fx.h.audit();
+}
+
+TEST(Integrator, GroupRejectsMixedLevels) {
+  Fixture fx;
+  const FcmId f = fx.h.create("f", Level::kProcedure);
+  const FcmId t = fx.h.create("T", Level::kTask);
+  EXPECT_THROW(fx.integ.group({f, t}, "X"), InvalidArgument);
+}
+
+TEST(Integrator, IntegrateAcrossParentsMergesParentsFirstR4) {
+  Fixture fx;
+  // Two processes, each with one task; the tasks need to communicate.
+  const FcmId p1 = fx.h.create("P1", Level::kProcess);
+  const FcmId p2 = fx.h.create("P2", Level::kProcess);
+  const FcmId t1 = fx.h.create_child(p1, "T1");
+  const FcmId t2 = fx.h.create_child(p2, "T2");
+  // "If two tasks in different processes need to communicate, all tasks of
+  // the two parent processes can be combined into one parent FCM."
+  const FcmId merged = fx.integ.integrate_across_parents(t1, t2, "T12");
+  EXPECT_TRUE(fx.h.alive(merged));
+  EXPECT_FALSE(fx.h.alive(p2));  // parents were merged (R4)
+  EXPECT_EQ(fx.h.parent(merged), p1);
+  fx.h.audit();
+}
+
+TEST(Integrator, IntegrateAcrossParentsTwoLevelsDeep) {
+  Fixture fx;
+  const FcmId p1 = fx.h.create("P1", Level::kProcess);
+  const FcmId p2 = fx.h.create("P2", Level::kProcess);
+  const FcmId t1 = fx.h.create_child(p1, "T1");
+  const FcmId t2 = fx.h.create_child(p2, "T2");
+  const FcmId f1 = fx.h.create_child(t1, "f1");
+  const FcmId f2 = fx.h.create_child(t2, "f2");
+  // Merging procedures of different tasks in different processes must
+  // cascade R4 all the way up.
+  fx.integ.integrate_across_parents(f1, f2, "f12");
+  EXPECT_FALSE(fx.h.alive(p2));
+  EXPECT_FALSE(fx.h.alive(t2));
+  EXPECT_TRUE(fx.h.alive(f1));
+  fx.h.audit();
+}
+
+TEST(Integrator, IntegrateAcrossParentsSameParentJustMerges) {
+  Fixture fx;
+  const FcmId p = fx.h.create("P", Level::kProcess);
+  const FcmId t1 = fx.h.create_child(p, "T1");
+  const FcmId t2 = fx.h.create_child(p, "T2");
+  EXPECT_NO_THROW(fx.integ.integrate_across_parents(t1, t2));
+  EXPECT_EQ(fx.h.children(p).size(), 1u);
+}
+
+TEST(Integrator, DuplicateForClonesIntoNewParent) {
+  Fixture fx;
+  const FcmId t1 = fx.h.create("T1", Level::kTask);
+  const FcmId t2 = fx.h.create("T2", Level::kTask);
+  const FcmId util = fx.h.create_child(t1, "util");
+  const FcmId copy = fx.integ.duplicate_for(util, t2);
+  EXPECT_NE(copy, util);
+  EXPECT_EQ(fx.h.parent(copy), t2);
+  EXPECT_EQ(fx.h.parent(util), t1);
+  fx.h.audit();
+}
+
+TEST(Integrator, ModifyEmitsR5RetestSet) {
+  Fixture fx;
+  const FcmId p = fx.h.create("P", Level::kProcess);
+  const FcmId t1 = fx.h.create_child(p, "T1");
+  const FcmId t2 = fx.h.create_child(p, "T2");
+  const FcmId t3 = fx.h.create_child(p, "T3");
+  const auto retests = fx.integ.modify(t1, "bugfix");
+
+  // Expected: T1 itself, parent P, interfaces T1-T2 and T1-T3.
+  ASSERT_EQ(retests.size(), 4u);
+  EXPECT_EQ(retests[0].subject, t1);
+  EXPECT_FALSE(retests[0].interface_with.valid());
+  EXPECT_EQ(retests[1].subject, p);
+  const bool has_t2 = std::any_of(
+      retests.begin(), retests.end(),
+      [&](const RetestObligation& r) { return r.interface_with == t2; });
+  const bool has_t3 = std::any_of(
+      retests.begin(), retests.end(),
+      [&](const RetestObligation& r) { return r.interface_with == t3; });
+  EXPECT_TRUE(has_t2);
+  EXPECT_TRUE(has_t3);
+}
+
+TEST(Integrator, ModifyRootHasNoParentObligation) {
+  Fixture fx;
+  const FcmId p = fx.h.create("P", Level::kProcess);
+  const auto retests = fx.integ.modify(p, "change");
+  ASSERT_EQ(retests.size(), 1u);
+  EXPECT_EQ(retests[0].subject, p);
+}
+
+TEST(Integrator, DischargeClearsPending) {
+  Fixture fx;
+  const FcmId p = fx.h.create("P", Level::kProcess);
+  fx.integ.modify(p, "x");
+  EXPECT_FALSE(fx.integ.pending_retests().empty());
+  fx.integ.discharge_retests();
+  EXPECT_TRUE(fx.integ.pending_retests().empty());
+}
+
+}  // namespace
+}  // namespace fcm::core

@@ -1,0 +1,112 @@
+#include "core/isolation_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace fcm::core {
+namespace {
+
+InfluenceFactor make_factor(FactorKind kind, double p1, double p2,
+                            double p3) {
+  InfluenceFactor f;
+  f.kind = kind;
+  f.occurrence = Probability(p1);
+  f.transmission = Probability(p2);
+  f.effect = Probability(p3);
+  return f;
+}
+
+struct Fixture {
+  InfluenceModel model;
+  FcmId a{0}, b{1}, c{2};
+
+  Fixture() {
+    model.add_member(a, "a");
+    model.add_member(b, "b");
+    model.add_member(c, "c");
+  }
+};
+
+TEST(IsolationAdvisor, RecommendsTheMatchingTechnique) {
+  Fixture fx;
+  fx.model.add_factor(fx.a, fx.b,
+                      make_factor(FactorKind::kSharedMemory, 0.5, 0.8, 0.9));
+  const auto advice = advise(fx.model);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].technique, IsolationTechnique::kMemorySeparation);
+  EXPECT_EQ(advice[0].boundary, fx.a);
+  EXPECT_EQ(advice[0].target, fx.b);
+  EXPECT_NEAR(advice[0].influence_before, 0.36, 1e-12);
+  EXPECT_NEAR(advice[0].influence_after, 0.036, 1e-12);
+  EXPECT_NEAR(advice[0].reduction(), 0.324, 1e-12);
+}
+
+TEST(IsolationAdvisor, RanksByReduction) {
+  Fixture fx;
+  fx.model.add_factor(fx.a, fx.b,
+                      make_factor(FactorKind::kSharedMemory, 0.9, 0.9, 0.9));
+  fx.model.add_factor(fx.a, fx.c,
+                      make_factor(FactorKind::kMessagePassing, 0.2, 0.2, 0.2));
+  const auto advice = advise(fx.model);
+  ASSERT_EQ(advice.size(), 1u);  // a->c influence 0.008 < min_influence
+  EXPECT_EQ(advice[0].target, fx.b);
+}
+
+TEST(IsolationAdvisor, MultipleFactorsYieldMultipleOptions) {
+  Fixture fx;
+  fx.model.add_factor(fx.a, fx.b,
+                      make_factor(FactorKind::kSharedMemory, 0.5, 0.6, 0.9));
+  fx.model.add_factor(fx.a, fx.b,
+                      make_factor(FactorKind::kTiming, 0.5, 0.4, 0.9));
+  const auto advice = advise(fx.model);
+  ASSERT_EQ(advice.size(), 2u);
+  EXPECT_EQ(advice[0].technique, IsolationTechnique::kMemorySeparation);
+  EXPECT_EQ(advice[1].technique,
+            IsolationTechnique::kPreemptiveScheduling);
+  // The shared-memory factor is bigger, so suppressing it reduces more.
+  EXPECT_GT(advice[0].reduction(), advice[1].reduction());
+}
+
+TEST(IsolationAdvisor, DirectValuedPairsYieldNoAdvice) {
+  Fixture fx;
+  fx.model.set_direct(fx.a, fx.b, Probability(0.9));
+  EXPECT_TRUE(advise(fx.model).empty());
+}
+
+TEST(IsolationAdvisor, TopKTruncates) {
+  Fixture fx;
+  fx.model.add_factor(fx.a, fx.b,
+                      make_factor(FactorKind::kSharedMemory, 0.5, 0.6, 0.9));
+  fx.model.add_factor(fx.b, fx.c,
+                      make_factor(FactorKind::kMessagePassing, 0.5, 0.6, 0.9));
+  AdvisorOptions options;
+  options.top_k = 1;
+  const auto advice = advise(fx.model, options);
+  EXPECT_EQ(advice.size(), 1u);
+}
+
+TEST(IsolationAdvisor, AssumedFactorScalesTheProjection) {
+  Fixture fx;
+  fx.model.add_factor(fx.a, fx.b,
+                      make_factor(FactorKind::kSharedMemory, 1.0, 0.5, 1.0));
+  AdvisorOptions strong;
+  strong.assumed_factor = 0.0;  // perfect isolation
+  const auto perfect = advise(fx.model, strong);
+  ASSERT_EQ(perfect.size(), 1u);
+  EXPECT_DOUBLE_EQ(perfect[0].influence_after, 0.0);
+
+  AdvisorOptions weak;
+  weak.assumed_factor = 1.0;  // useless technique: filtered out
+  EXPECT_TRUE(advise(fx.model, weak).empty());
+}
+
+TEST(IsolationAdvisor, RejectsBadFactor) {
+  Fixture fx;
+  AdvisorOptions options;
+  options.assumed_factor = 1.5;
+  EXPECT_THROW(advise(fx.model, options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fcm::core

@@ -1,0 +1,78 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/example98.h"
+
+namespace fcm::core {
+namespace {
+
+InfluenceFactor make_factor(double p1, double p2, double p3) {
+  InfluenceFactor f;
+  f.kind = FactorKind::kSharedMemory;
+  f.occurrence = Probability(p1);
+  f.transmission = Probability(p2);
+  f.effect = Probability(p3);
+  return f;
+}
+
+TEST(SystemReport, CoversAllSectionsOnTheExample) {
+  const example98::Instance instance = example98::make_instance();
+  const std::string report =
+      system_report(instance.hierarchy, instance.influence);
+  EXPECT_NE(report.find("# System integration report"), std::string::npos);
+  EXPECT_NE(report.find("processes: 8"), std::string::npos);
+  EXPECT_NE(report.find("rules R1/R2: satisfied"), std::string::npos);
+  EXPECT_NE(report.find("Influence exposure"), std::string::npos);
+  EXPECT_NE(report.find("p1"), std::string::npos);
+  EXPECT_NE(report.find("Weakest separations"), std::string::npos);
+  // The example uses direct influence values: no factor-backed advice.
+  EXPECT_NE(report.find("none (no factor-backed influence"),
+            std::string::npos);
+}
+
+TEST(SystemReport, Deterministic) {
+  const example98::Instance instance = example98::make_instance();
+  EXPECT_EQ(system_report(instance.hierarchy, instance.influence),
+            system_report(instance.hierarchy, instance.influence));
+}
+
+TEST(SystemReport, FactorBackedModelGetsRecommendations) {
+  FcmHierarchy h;
+  InfluenceModel influence;
+  const FcmId a = h.create("writer", Level::kProcess);
+  const FcmId b = h.create("reader", Level::kProcess);
+  influence.add_member(a, "writer");
+  influence.add_member(b, "reader");
+  influence.add_factor(a, b, make_factor(0.5, 0.8, 0.9));
+  const std::string report = system_report(h, influence);
+  EXPECT_NE(report.find("memory-separation at writer -> reader"),
+            std::string::npos);
+}
+
+TEST(SystemReport, WeakestSeparationCountRespectsOption) {
+  const example98::Instance instance = example98::make_instance();
+  ReportOptions options;
+  options.weakest_separations = 2;
+  const std::string report =
+      system_report(instance.hierarchy, instance.influence, options);
+  // Exactly two " o " separation lines.
+  std::size_t count = 0, pos = 0;
+  while ((pos = report.find(" o ", pos)) != std::string::npos) {
+    ++count;
+    pos += 3;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SystemReport, SingleMemberSkipsSeparationSection) {
+  FcmHierarchy h;
+  InfluenceModel influence;
+  const FcmId solo = h.create("solo", Level::kProcess);
+  influence.add_member(solo, "solo");
+  const std::string report = system_report(h, influence);
+  EXPECT_EQ(report.find("Weakest separations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcm::core

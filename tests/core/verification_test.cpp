@@ -1,0 +1,107 @@
+#include "core/verification.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace fcm::core {
+namespace {
+
+struct Fixture {
+  FcmHierarchy h;
+  FcmId p, t1, t2, f1;
+
+  Fixture() {
+    p = h.create("P", Level::kProcess);
+    t1 = h.create_child(p, "T1");
+    t2 = h.create_child(p, "T2");
+    f1 = h.create_child(t1, "f1");
+  }
+};
+
+TEST(Verification, InitialCertificationCoversModulesAndInterfaces) {
+  Fixture fx;
+  VerificationCampaign campaign(fx.h);
+  const std::size_t added = campaign.plan_initial_certification();
+  // 4 module tests + interfaces: T1-T2 and T2-T1 (ordered).
+  EXPECT_EQ(added, 6u);
+  EXPECT_EQ(campaign.pending_count(), 6u);
+  EXPECT_FALSE(campaign.certified());
+}
+
+TEST(Verification, ModificationPlansR5Set) {
+  Fixture fx;
+  VerificationCampaign campaign(fx.h);
+  const std::size_t added = campaign.plan_modification(fx.t1, "bugfix");
+  // T1 module, P module (parent), T1-T2 interface.
+  EXPECT_EQ(added, 3u);
+}
+
+TEST(Verification, ModificationOfLeafReachesOnlyParent) {
+  Fixture fx;
+  VerificationCampaign campaign(fx.h);
+  const std::size_t added = campaign.plan_modification(fx.f1, "tweak");
+  // f1 module + T1 module; f1 has no siblings.
+  EXPECT_EQ(added, 2u);
+  // Critically, R5 does NOT reach the grandparent process P.
+  for (const Obligation& o : campaign.obligations()) {
+    EXPECT_NE(o.subject, fx.p);
+  }
+}
+
+TEST(Verification, DuplicatePendingObligationsNotAdded) {
+  Fixture fx;
+  VerificationCampaign campaign(fx.h);
+  campaign.plan_modification(fx.t1, "first");
+  const std::size_t again = campaign.plan_modification(fx.t1, "second");
+  EXPECT_EQ(again, 0u);
+}
+
+TEST(Verification, RecordResultsAndCertify) {
+  Fixture fx;
+  VerificationCampaign campaign(fx.h);
+  campaign.plan_modification(fx.f1, "tweak");
+  for (const Obligation& o : campaign.obligations()) {
+    campaign.record_result(o.id, true);
+  }
+  EXPECT_TRUE(campaign.certified());
+  EXPECT_EQ(campaign.summary(), "2/2 passed, 0 pending, 0 failed");
+}
+
+TEST(Verification, FailedObligationBlocksCertification) {
+  Fixture fx;
+  VerificationCampaign campaign(fx.h);
+  campaign.plan_modification(fx.f1, "tweak");
+  campaign.record_result(0, true);
+  campaign.record_result(1, false);
+  EXPECT_FALSE(campaign.certified());
+  EXPECT_EQ(campaign.failed_count(), 1u);
+}
+
+TEST(Verification, AfterFailureReplanningAddsFreshObligation) {
+  Fixture fx;
+  VerificationCampaign campaign(fx.h);
+  campaign.plan_modification(fx.f1, "tweak");
+  campaign.record_result(0, false);
+  // The failed obligation is no longer pending, so replanning re-adds it.
+  const std::size_t added = campaign.plan_modification(fx.f1, "retry");
+  EXPECT_GE(added, 1u);
+}
+
+TEST(Verification, ImportFromIntegrator) {
+  Fixture fx;
+  Integrator integ(fx.h);
+  integ.modify(fx.t1, "interface change");
+  VerificationCampaign campaign(fx.h);
+  const std::size_t added = campaign.import(integ.pending_retests());
+  EXPECT_EQ(added, 3u);  // module T1, module P, interface T1-T2
+}
+
+TEST(Verification, RecordOutOfRangeThrows) {
+  Fixture fx;
+  VerificationCampaign campaign(fx.h);
+  EXPECT_THROW(campaign.record_result(0, true), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fcm::core

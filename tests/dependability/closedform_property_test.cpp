@@ -1,0 +1,87 @@
+// Property: with propagation off and no intrinsic SW faults, every
+// process's Monte Carlo survival must match the closed form
+// replicated_process_reliability(1 - q, FT) — for any system, any feasible
+// mapping, any q — because replicas always land on distinct HW nodes and
+// node failures are independent.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dependability/montecarlo.h"
+#include "dependability/reliability.h"
+#include "mapping/clustering.h"
+
+namespace fcm::dependability {
+namespace {
+
+struct RandomSystem {
+  core::FcmHierarchy hierarchy;
+  core::InfluenceModel influence;
+  std::vector<FcmId> processes;
+  std::vector<int> replication;
+};
+
+RandomSystem make_system(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomSystem sys;
+  const std::size_t n = 3 + rng.below(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::Attributes attrs;
+    attrs.criticality = static_cast<core::Criticality>(rng.range(1, 10));
+    attrs.replication = static_cast<int>(rng.range(1, 3));
+    const FcmId id = sys.hierarchy.create("p" + std::to_string(i + 1),
+                                          core::Level::kProcess, attrs);
+    sys.influence.add_member(id, sys.hierarchy.get(id).name);
+    sys.processes.push_back(id);
+    sys.replication.push_back(attrs.replication);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.uniform() < 0.4) {
+        sys.influence.set_direct(sys.processes[i], sys.processes[j],
+                                 Probability(rng.uniform(0.1, 0.7)));
+      }
+    }
+  }
+  return sys;
+}
+
+class ClosedFormProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosedFormProperty, MonteCarloMatchesReplicationClosedForm) {
+  const RandomSystem sys = make_system(GetParam());
+  const mapping::SwGraph sw = mapping::SwGraph::build(
+      sys.hierarchy, sys.influence, sys.processes);
+  // Singleton clustering on one HW node per SW node: replicas trivially
+  // separated, survival independent per node.
+  const std::size_t nodes = sw.node_count();
+  const mapping::HwGraph hw =
+      mapping::HwGraph::complete(static_cast<int>(nodes));
+  mapping::ClusteringOptions options;
+  options.target_clusters = nodes;
+  mapping::ClusterEngine engine(sw, options);
+  const mapping::ClusteringResult clustering = engine.h1_greedy();
+  const mapping::Assignment assignment =
+      mapping::assign_by_importance(sw, clustering, hw);
+
+  const double q = 0.1 + 0.05 * static_cast<double>(GetParam() % 5);
+  MissionModel mission;
+  mission.hw_failure = Probability(q);
+  mission.propagate = false;
+  mission.trials = 40'000;
+  const DependabilityReport report = evaluate_mapping(
+      sw, clustering, assignment, hw, mission, GetParam());
+
+  ASSERT_EQ(report.process_survival.size(), sys.processes.size());
+  for (std::size_t p = 0; p < sys.processes.size(); ++p) {
+    const double expected =
+        replicated_process_reliability(1.0 - q, sys.replication[p]);
+    EXPECT_NEAR(report.process_survival[p], expected, 0.015)
+        << "process " << p << " FT=" << sys.replication[p] << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosedFormProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace fcm::dependability

@@ -1,0 +1,89 @@
+#include "dependability/reliability.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace fcm::dependability {
+namespace {
+
+TEST(Tmr, KnownValues) {
+  EXPECT_DOUBLE_EQ(tmr_reliability(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(tmr_reliability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tmr_reliability(0.5), 0.5);  // TMR crossover point
+  EXPECT_NEAR(tmr_reliability(0.9), 0.972, 1e-12);
+}
+
+TEST(Tmr, BeatsSimplexAboveCrossover) {
+  for (double r = 0.55; r < 1.0; r += 0.05) {
+    EXPECT_GT(tmr_reliability(r), r) << r;
+  }
+  // Below 0.5 TMR is WORSE than simplex — the classic result.
+  for (double r = 0.05; r < 0.5; r += 0.05) {
+    EXPECT_LT(tmr_reliability(r), r) << r;
+  }
+}
+
+TEST(Nmr, ThreeEqualsTmr) {
+  for (double r = 0.0; r <= 1.0; r += 0.1) {
+    EXPECT_NEAR(nmr_reliability(r, 3), tmr_reliability(r), 1e-12);
+  }
+}
+
+TEST(Nmr, OneIsSimplex) {
+  EXPECT_NEAR(nmr_reliability(0.7, 1), 0.7, 1e-12);
+}
+
+TEST(Nmr, FiveOfNineIsBinomialTail) {
+  // P(X >= 3), X ~ Bin(5, 0.8) = 0.94208
+  EXPECT_NEAR(nmr_reliability(0.8, 5), 0.94208, 1e-9);
+}
+
+TEST(Nmr, RejectsEvenCounts) {
+  EXPECT_THROW(nmr_reliability(0.9, 2), InvalidArgument);
+  EXPECT_THROW(nmr_reliability(0.9, 0), InvalidArgument);
+}
+
+TEST(Parallel, OneMinusProductOfComplements) {
+  const std::vector<double> rs{0.9, 0.8};
+  EXPECT_NEAR(parallel_reliability(rs), 1.0 - 0.1 * 0.2, 1e-12);
+}
+
+TEST(Series, ProductOfReliabilities) {
+  const std::vector<double> rs{0.9, 0.8, 0.5};
+  EXPECT_NEAR(series_reliability(rs), 0.36, 1e-12);
+}
+
+TEST(Series, EmptyIsPerfect) {
+  EXPECT_DOUBLE_EQ(series_reliability({}), 1.0);
+  EXPECT_DOUBLE_EQ(parallel_reliability({}), 0.0);
+}
+
+TEST(ReplicatedProcess, FtSemantics) {
+  const double r = 0.9;
+  EXPECT_DOUBLE_EQ(replicated_process_reliability(r, 1), r);
+  EXPECT_NEAR(replicated_process_reliability(r, 2), 1.0 - 0.01, 1e-12);
+  EXPECT_NEAR(replicated_process_reliability(r, 3), tmr_reliability(r),
+              1e-12);
+  // Even degree 4 votes over 3.
+  EXPECT_NEAR(replicated_process_reliability(r, 4), tmr_reliability(r),
+              1e-12);
+  EXPECT_NEAR(replicated_process_reliability(r, 5), nmr_reliability(r, 5),
+              1e-12);
+}
+
+TEST(ReplicatedProcess, RejectsBadInputs) {
+  EXPECT_THROW(replicated_process_reliability(1.5, 1), InvalidArgument);
+  EXPECT_THROW(replicated_process_reliability(0.9, 0), InvalidArgument);
+}
+
+TEST(Duplex, BeatsSimplexAlways) {
+  for (double r = 0.1; r < 1.0; r += 0.1) {
+    EXPECT_GT(replicated_process_reliability(r, 2), r);
+  }
+}
+
+}  // namespace
+}  // namespace fcm::dependability

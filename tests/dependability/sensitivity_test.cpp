@@ -1,0 +1,146 @@
+#include "dependability/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/example98.h"
+#include "dependability/tradeoff.h"
+
+namespace fcm::dependability {
+namespace {
+
+struct Fixture {
+  core::example98::Instance instance = core::example98::make_instance();
+  mapping::SwGraph sw = mapping::SwGraph::build(
+      instance.hierarchy, instance.influence, instance.processes);
+  mapping::HwGraph hw = mapping::HwGraph::complete(6);
+  mapping::ClusteringResult clustering;
+  mapping::Assignment assignment;
+
+  explicit Fixture(bool criticality_pairing = false) {
+    mapping::ClusteringOptions options;
+    options.target_clusters = 6;
+    mapping::ClusterEngine engine(sw, options);
+    clustering = criticality_pairing ? engine.criticality_pairing()
+                                     : engine.h1_greedy();
+    assignment = mapping::assign_by_importance(sw, clustering, hw);
+  }
+};
+
+TEST(SurvivalCurve, MonotoneNonIncreasingInFailureRate) {
+  Fixture fx;
+  SweepOptions options;
+  options.mission.trials = 15'000;
+  options.mission.propagate = false;
+  const auto curve =
+      survival_curve(fx.sw, fx.clustering, fx.assignment, fx.hw, options);
+  ASSERT_EQ(curve.size(), options.hw_failure_points.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].system_survival,
+              curve[i - 1].system_survival + 0.02);
+    EXPECT_GE(curve[i].expected_criticality_loss,
+              curve[i - 1].expected_criticality_loss - 0.2);
+  }
+}
+
+TEST(SurvivalCurve, EndpointsSane) {
+  Fixture fx;
+  SweepOptions options;
+  options.hw_failure_points = {0.0, 1.0};
+  options.mission.trials = 2000;
+  const auto curve =
+      survival_curve(fx.sw, fx.clustering, fx.assignment, fx.hw, options);
+  EXPECT_DOUBLE_EQ(curve[0].system_survival, 1.0);
+  EXPECT_DOUBLE_EQ(curve[1].system_survival, 0.0);
+}
+
+TEST(SurvivalCurve, EmptySweepRejected) {
+  Fixture fx;
+  SweepOptions options;
+  options.hw_failure_points = {};
+  EXPECT_THROW(
+      survival_curve(fx.sw, fx.clustering, fx.assignment, fx.hw, options),
+      InvalidArgument);
+}
+
+TEST(Crossover, DetectsSignChange) {
+  std::vector<SurvivalPoint> a(3), b(3);
+  for (int i = 0; i < 3; ++i) {
+    a[static_cast<std::size_t>(i)].hw_failure = 0.1 * (i + 1);
+    b[static_cast<std::size_t>(i)].hw_failure = 0.1 * (i + 1);
+  }
+  a[0].critical_survival = 0.9;
+  b[0].critical_survival = 0.8;  // a above
+  a[1].critical_survival = 0.7;
+  b[1].critical_survival = 0.7;  // touching
+  a[2].critical_survival = 0.4;
+  b[2].critical_survival = 0.6;  // a below
+  const double q = crossover_point(a, b);
+  EXPECT_GT(q, 0.1);
+  EXPECT_LT(q, 0.3);
+}
+
+TEST(Crossover, NoCrossReturnsNegative) {
+  std::vector<SurvivalPoint> a(2), b(2);
+  a[0].hw_failure = b[0].hw_failure = 0.1;
+  a[1].hw_failure = b[1].hw_failure = 0.2;
+  a[0].critical_survival = 0.9;
+  a[1].critical_survival = 0.8;
+  b[0].critical_survival = 0.5;
+  b[1].critical_survival = 0.4;
+  EXPECT_LT(crossover_point(a, b), 0.0);
+}
+
+TEST(Crossover, MismatchedSamplingRejected) {
+  std::vector<SurvivalPoint> a(2), b(2);
+  a[0].hw_failure = 0.1;
+  b[0].hw_failure = 0.2;
+  a[1].hw_failure = b[1].hw_failure = 0.3;
+  EXPECT_THROW((void)crossover_point(a, b), InvalidArgument);
+}
+
+TEST(Tradeoff, SweepFindsTheSection6Floor) {
+  core::example98::Instance instance = core::example98::make_instance();
+  TradeoffOptions options;
+  options.min_nodes = 2;
+  options.max_nodes = 8;
+  options.mission.hw_failure = Probability(0.1);
+  options.mission.trials = 5000;
+  const TradeoffAnalysis analysis = sweep_integration_levels(
+      instance.hierarchy, instance.influence, instance.processes, options);
+  ASSERT_EQ(analysis.levels.size(), 7u);
+  // 2 nodes cannot separate p1's TMR replicas.
+  EXPECT_FALSE(analysis.levels[0].feasible);
+  EXPECT_EQ(analysis.integration_floor(), 3);
+  // Every feasible level carries a plan and sane metrics.
+  for (const IntegrationLevel& level : analysis.levels) {
+    if (!level.feasible) continue;
+    EXPECT_TRUE(level.heuristic.has_value());
+    EXPECT_GT(level.quality_score, 0.0);
+    EXPECT_GE(level.system_survival, 0.0);
+    EXPECT_LE(level.system_survival, 1.0);
+  }
+  EXPECT_GE(analysis.best_survival_level(), 3);
+  EXPECT_GE(analysis.best_quality_level(), 3);
+}
+
+TEST(Tradeoff, InvalidRangeRejected) {
+  core::example98::Instance instance = core::example98::make_instance();
+  TradeoffOptions options;
+  options.min_nodes = 5;
+  options.max_nodes = 3;
+  EXPECT_THROW(
+      sweep_integration_levels(instance.hierarchy, instance.influence,
+                               instance.processes, options),
+      InvalidArgument);
+}
+
+TEST(Tradeoff, EmptyAnalysisSummaries) {
+  TradeoffAnalysis analysis;
+  EXPECT_EQ(analysis.integration_floor(), -1);
+  EXPECT_EQ(analysis.best_survival_level(), -1);
+  EXPECT_EQ(analysis.best_quality_level(), -1);
+}
+
+}  // namespace
+}  // namespace fcm::dependability

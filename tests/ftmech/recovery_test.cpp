@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ftmech/checkpoint.h"
+#include "ftmech/nversion.h"
+#include "ftmech/recovery_block.h"
+
+namespace fcm::ftmech {
+namespace {
+
+TEST(RecoveryBlock, PrimarySucceeds) {
+  RecoveryBlock<int> block([](const int& v) { return v > 0; });
+  block.add_alternate("primary", [] { return 5; });
+  block.add_alternate("backup", [] { return 1; });
+  EXPECT_EQ(block.execute(), 5);
+  EXPECT_EQ(block.successes("primary"), 1u);
+  EXPECT_EQ(block.failures("backup"), 0u);
+}
+
+TEST(RecoveryBlock, FallsBackWhenAcceptanceFails) {
+  RecoveryBlock<int> block([](const int& v) { return v > 0; });
+  block.add_alternate("primary", [] { return -1; });  // fails the test
+  block.add_alternate("backup", [] { return 2; });
+  EXPECT_EQ(block.execute(), 2);
+  EXPECT_EQ(block.failures("primary"), 1u);
+  EXPECT_EQ(block.successes("backup"), 1u);
+}
+
+TEST(RecoveryBlock, ContainsThrowingAlternate) {
+  RecoveryBlock<int> block([](const int&) { return true; });
+  block.add_alternate("primary",
+                      []() -> int { throw std::runtime_error("crash"); });
+  block.add_alternate("backup", [] { return 9; });
+  EXPECT_EQ(block.execute(), 9);
+  EXPECT_EQ(block.failures("primary"), 1u);
+}
+
+TEST(RecoveryBlock, AllAlternatesFailing) {
+  RecoveryBlock<int> block([](const int& v) { return v > 100; });
+  block.add_alternate("a", [] { return 1; });
+  block.add_alternate("b", [] { return 2; });
+  EXPECT_THROW(block.execute(), AllAlternatesFailed);
+  EXPECT_EQ(block.exhausted(), 1u);
+  EXPECT_DOUBLE_EQ(block.failure_rate(), 1.0);
+}
+
+TEST(RecoveryBlock, FailureRateTracksMix) {
+  int calls = 0;
+  RecoveryBlock<int> block([](const int& v) { return v >= 0; });
+  // Fails every second execution.
+  block.add_alternate("flaky", [&calls] {
+    ++calls;
+    return calls % 2 == 0 ? 1 : -1;
+  });
+  EXPECT_THROW(block.execute(), AllAlternatesFailed);  // calls=1 -> -1
+  EXPECT_EQ(block.execute(), 1);                       // calls=2 -> ok
+  EXPECT_NEAR(block.failure_rate(), 0.5, 1e-12);
+}
+
+TEST(RecoveryBlock, RequiresAcceptanceTestAndAlternates) {
+  EXPECT_THROW(RecoveryBlock<int>(nullptr), InvalidArgument);
+  RecoveryBlock<int> block([](const int&) { return true; });
+  EXPECT_THROW(block.execute(), InvalidArgument);
+  EXPECT_THROW((void)block.successes("nope"), NotFound);
+}
+
+TEST(NVersion, UnanimousMajority) {
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 3; });
+  nv.add_version("v2", [] { return 3; });
+  nv.add_version("v3", [] { return 3; });
+  EXPECT_EQ(nv.execute(), 3);
+  EXPECT_EQ(nv.stats().unanimous, 1u);
+}
+
+TEST(NVersion, OutvotesOneDivergentVersion) {
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 3; });
+  nv.add_version("buggy", [] { return 8; });
+  nv.add_version("v3", [] { return 3; });
+  EXPECT_EQ(nv.execute(), 3);
+  EXPECT_EQ(nv.stats().majority, 1u);
+}
+
+TEST(NVersion, CrashedVersionCountsAgainstMajority) {
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 3; });
+  nv.add_version("crasher", []() -> int { throw std::runtime_error("x"); });
+  // 1 of 2 agreeing is not a strict majority of all versions.
+  EXPECT_THROW(nv.execute(), NoMajority);
+}
+
+TEST(NVersion, TwoOfThreeWithOneCrash) {
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 3; });
+  nv.add_version("crasher", []() -> int { throw std::runtime_error("x"); });
+  nv.add_version("v3", [] { return 3; });
+  EXPECT_EQ(nv.execute(), 3);
+}
+
+TEST(NVersion, SplitVoteThrows) {
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 1; });
+  nv.add_version("v2", [] { return 2; });
+  nv.add_version("v3", [] { return 3; });
+  EXPECT_THROW(nv.execute(), NoMajority);
+}
+
+TEST(Checkpoint, SaveRestoreRoundTrip) {
+  Checkpointed<int> state(10);
+  state.checkpoint();
+  state.value() = 99;
+  state.rollback();
+  EXPECT_EQ(state.value(), 10);
+  EXPECT_EQ(state.rollbacks(), 1u);
+}
+
+TEST(Checkpoint, NestedCheckpoints) {
+  Checkpointed<std::string> state("a");
+  state.checkpoint();
+  state.value() = "b";
+  state.checkpoint();
+  state.value() = "c";
+  EXPECT_EQ(state.depth(), 2u);
+  state.rollback();
+  EXPECT_EQ(state.value(), "b");
+  state.rollback();
+  EXPECT_EQ(state.value(), "a");
+}
+
+TEST(Checkpoint, CommitDropsSnapshotWithoutRestoring) {
+  Checkpointed<int> state(1);
+  state.checkpoint();
+  state.value() = 2;
+  state.commit();
+  EXPECT_EQ(state.value(), 2);
+  EXPECT_EQ(state.depth(), 0u);
+  EXPECT_THROW(state.rollback(), InvalidArgument);
+}
+
+TEST(Checkpoint, RecoveryBlockIntegration) {
+  // Recovery block semantics: roll back state before each alternate.
+  Checkpointed<int> state(100);
+  RecoveryBlock<int> block([](const int& v) { return v >= 0; });
+  block.add_alternate("primary", [&state] {
+    state.value() -= 500;  // corrupts state and produces a bad result
+    return state.value();
+  });
+  block.add_alternate("backup", [&state] {
+    state.rollback();  // restore the pre-primary state
+    state.checkpoint();
+    state.value() -= 1;
+    return state.value();
+  });
+  state.checkpoint();
+  EXPECT_EQ(block.execute(), 99);
+  EXPECT_EQ(state.value(), 99);
+}
+
+}  // namespace
+}  // namespace fcm::ftmech

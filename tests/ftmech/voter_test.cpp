@@ -1,0 +1,89 @@
+#include "ftmech/voter.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace fcm::ftmech {
+namespace {
+
+TEST(Vote, EmptyHasNoMajority) {
+  EXPECT_FALSE(vote<int>({}).has_value());
+}
+
+TEST(Vote, SingletonWins) {
+  EXPECT_EQ(vote({42}).value(), 42);
+}
+
+TEST(Vote, TmrTwoOfThree) {
+  EXPECT_EQ(vote({7, 7, 9}).value(), 7);
+  EXPECT_EQ(vote({9, 7, 7}).value(), 7);
+  EXPECT_EQ(vote({7, 9, 7}).value(), 7);
+}
+
+TEST(Vote, AllDistinctNoMajority) {
+  EXPECT_FALSE(vote({1, 2, 3}).has_value());
+}
+
+TEST(Vote, ExactTieIsNotAMajority) {
+  EXPECT_FALSE(vote({1, 1, 2, 2}).has_value());
+}
+
+TEST(Vote, WorksForStrings) {
+  const std::vector<std::string> replicas{"ok", "ok", "bad"};
+  EXPECT_EQ(vote(std::span<const std::string>(replicas)).value(), "ok");
+}
+
+TEST(Vote, FiveOfNine) {
+  const std::vector<int> replicas{3, 1, 3, 2, 3, 4, 3, 5, 3};
+  EXPECT_EQ(vote(std::span<const int>(replicas)).value(), 3);
+}
+
+TEST(VoteApproximate, AgreementWithinTolerance) {
+  const std::vector<double> replicas{1.00, 1.01, 5.0};
+  const auto result =
+      vote_approximate(std::span<const double>(replicas), 0.05);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(*result, 1.01, 0.02);
+}
+
+TEST(VoteApproximate, NoGroupIsMajority) {
+  const std::vector<double> replicas{1.0, 2.0, 3.0};
+  EXPECT_FALSE(
+      vote_approximate(std::span<const double>(replicas), 0.1).has_value());
+}
+
+TEST(VoteApproximate, ToleranceZeroIsExactMatch) {
+  const std::vector<double> replicas{2.0, 2.0, 9.0};
+  const auto result =
+      vote_approximate(std::span<const double>(replicas), 0.0);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(*result, 2.0);
+}
+
+TEST(VoteApproximate, EmptyHasNoMajority) {
+  EXPECT_FALSE(vote_approximate({}, 1.0).has_value());
+}
+
+TEST(VoterStats, ClassifiesRounds) {
+  VoterStats stats;
+  const std::vector<int> unanimous{5, 5, 5};
+  const std::vector<int> majority{5, 5, 6};
+  const std::vector<int> split{4, 5, 6};
+  record_round(stats, std::span<const int>(unanimous));
+  record_round(stats, std::span<const int>(majority));
+  record_round(stats, std::span<const int>(split));
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.unanimous, 1u);
+  EXPECT_EQ(stats.majority, 1u);
+  EXPECT_EQ(stats.no_majority, 1u);
+  EXPECT_NEAR(stats.availability(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(VoterStats, FreshStatsFullyAvailable) {
+  EXPECT_DOUBLE_EQ(VoterStats{}.availability(), 1.0);
+}
+
+}  // namespace
+}  // namespace fcm::ftmech

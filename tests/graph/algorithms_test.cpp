@@ -1,0 +1,130 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace fcm::graph {
+namespace {
+
+Digraph chain(std::size_t n) {
+  Digraph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_node("n" + std::to_string(i));
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(i + 1), 1.0);
+  }
+  return g;
+}
+
+Digraph cycle(std::size_t n) {
+  Digraph g = chain(n);
+  g.add_edge(static_cast<NodeIndex>(n - 1), 0, 1.0);
+  return g;
+}
+
+TEST(Reachability, ChainForward) {
+  const Digraph g = chain(4);
+  EXPECT_TRUE(is_reachable(g, 0, 3));
+  EXPECT_FALSE(is_reachable(g, 3, 0));
+  EXPECT_EQ(reachable_from(g, 1).size(), 3u);
+}
+
+TEST(Dag, ChainIsDagCycleIsNot) {
+  EXPECT_TRUE(is_dag(chain(5)));
+  EXPECT_FALSE(is_dag(cycle(5)));
+}
+
+TEST(Topological, OrderRespectsEdges) {
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node(std::to_string(i));
+  g.add_edge(2, 0, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const auto order = topological_order(g);
+  auto pos = [&](NodeIndex v) {
+    return std::find(order.begin(), order.end(), v) - order.begin();
+  };
+  EXPECT_LT(pos(2), pos(0));
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(Topological, ThrowsOnCycle) {
+  EXPECT_THROW(topological_order(cycle(3)), InvalidArgument);
+}
+
+TEST(Scc, CycleIsOneComponent) {
+  const auto comps = strongly_connected_components(cycle(4));
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), 4u);
+}
+
+TEST(Scc, ChainIsSingletonComponents) {
+  const auto comps = strongly_connected_components(chain(4));
+  EXPECT_EQ(comps.size(), 4u);
+}
+
+TEST(Scc, MixedGraph) {
+  // 0 <-> 1 cycle feeding node 2.
+  Digraph g;
+  g.add_node("0");
+  g.add_node("1");
+  g.add_node("2");
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const auto comps = strongly_connected_components(g);
+  ASSERT_EQ(comps.size(), 2u);
+  std::size_t sizes[2] = {comps[0].size(), comps[1].size()};
+  std::sort(sizes, sizes + 2);
+  EXPECT_EQ(sizes[0], 1u);
+  EXPECT_EQ(sizes[1], 2u);
+}
+
+TEST(WeakComponents, DisconnectedPieces) {
+  Digraph g = chain(3);
+  g.add_node("island");
+  const auto comps = weakly_connected_components(g);
+  EXPECT_EQ(comps.size(), 2u);
+  EXPECT_FALSE(is_weakly_connected(g));
+  EXPECT_TRUE(is_weakly_connected(chain(3)));
+}
+
+TEST(StrongConnectivity, CycleYesChainNo) {
+  EXPECT_TRUE(is_strongly_connected(cycle(5)));
+  EXPECT_FALSE(is_strongly_connected(chain(5)));
+  EXPECT_TRUE(is_strongly_connected(Digraph{}));
+}
+
+TEST(InForest, ChainIsForest) {
+  EXPECT_TRUE(is_in_forest(chain(4)));
+}
+
+TEST(InForest, SharedChildViolates) {
+  // R2's forbidden shape: one child with two parents.
+  Digraph g;
+  g.add_node("parent1");
+  g.add_node("parent2");
+  g.add_node("child");
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 2, 1.0);
+  EXPECT_FALSE(is_in_forest(g));
+}
+
+TEST(InForest, CycleViolates) { EXPECT_FALSE(is_in_forest(cycle(3))); }
+
+TEST(InForest, MultipleRootsAllowed) {
+  Digraph g;
+  g.add_node("r1");
+  g.add_node("r2");
+  g.add_node("c1");
+  g.add_node("c2");
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 3, 1.0);
+  EXPECT_TRUE(is_in_forest(g));
+}
+
+}  // namespace
+}  // namespace fcm::graph

@@ -1,0 +1,88 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace fcm::graph {
+namespace {
+
+Digraph triangle() {
+  Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_node("c");
+  g.add_edge(0, 1, 0.5);
+  g.add_edge(1, 2, 0.2);
+  g.add_edge(2, 0, 0.1);
+  return g;
+}
+
+TEST(Digraph, NodeBookkeeping) {
+  Digraph g;
+  const NodeIndex a = g.add_node("alpha");
+  const NodeIndex b = g.add_node("beta");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.name(a), "alpha");
+  EXPECT_EQ(g.name(b), "beta");
+  g.rename(a, "gamma");
+  EXPECT_EQ(g.name(a), "gamma");
+}
+
+TEST(Digraph, EdgeLookup) {
+  const Digraph g = triangle();
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(g.weight(0, 1).value(), 0.5);
+  EXPECT_FALSE(g.weight(1, 0).has_value());
+  EXPECT_DOUBLE_EQ(g.edge(2, 0).weight, 0.1);
+}
+
+TEST(Digraph, SetWeight) {
+  Digraph g = triangle();
+  g.set_weight(0, 1, 0.9);
+  EXPECT_DOUBLE_EQ(g.weight(0, 1).value(), 0.9);
+  EXPECT_THROW(g.set_weight(1, 0, 0.5), NotFound);
+}
+
+TEST(Digraph, RejectsSelfLoop) {
+  Digraph g;
+  g.add_node("a");
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), InvalidArgument);
+}
+
+TEST(Digraph, RejectsDuplicateEdge) {
+  Digraph g = triangle();
+  EXPECT_THROW(g.add_edge(0, 1, 0.3), InvalidArgument);
+}
+
+TEST(Digraph, RejectsOutOfRange) {
+  Digraph g = triangle();
+  EXPECT_THROW(g.add_edge(0, 9, 0.3), InvalidArgument);
+  EXPECT_THROW((void)g.name(9), InvalidArgument);
+}
+
+TEST(Digraph, AdjacencyLists) {
+  const Digraph g = triangle();
+  EXPECT_EQ(g.successors(0), std::vector<NodeIndex>{1});
+  EXPECT_EQ(g.predecessors(0), std::vector<NodeIndex>{2});
+  EXPECT_EQ(g.out_edges(0).size(), 1u);
+  EXPECT_EQ(g.in_edges(1).size(), 1u);
+}
+
+TEST(Digraph, TotalWeight) {
+  const Digraph g = triangle();
+  EXPECT_DOUBLE_EQ(g.total_weight(), 0.8);
+}
+
+TEST(Digraph, EdgeLabelsPreserved) {
+  Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_edge(0, 1, 0.4, "shared-memory,f3");
+  EXPECT_EQ(g.edge(0, 1).label, "shared-memory,f3");
+}
+
+}  // namespace
+}  // namespace fcm::graph

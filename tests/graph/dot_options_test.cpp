@@ -1,0 +1,51 @@
+#include "graph/dot.h"
+
+#include <gtest/gtest.h>
+
+namespace fcm::graph {
+namespace {
+
+Digraph sample() {
+  Digraph g;
+  g.add_node("alpha \"quoted\"");
+  g.add_node("beta\\slash");
+  g.add_edge(0, 1, 0.123456);
+  return g;
+}
+
+TEST(DotOptions, GraphNameRendered) {
+  DotOptions options;
+  options.graph_name = "influence";
+  const std::string dot = to_dot(sample(), options);
+  EXPECT_NE(dot.find("digraph \"influence\""), std::string::npos);
+}
+
+TEST(DotOptions, SpecialCharactersEscaped) {
+  const std::string dot = to_dot(sample());
+  EXPECT_NE(dot.find("alpha \\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(dot.find("beta\\\\slash"), std::string::npos);
+}
+
+TEST(DotOptions, WeightDigitsControlPrecision) {
+  DotOptions options;
+  options.weight_digits = 4;
+  const std::string dot = to_dot(sample(), options);
+  EXPECT_NE(dot.find("0.1235"), std::string::npos);
+}
+
+TEST(DotOptions, WeightsCanBeSuppressed) {
+  DotOptions options;
+  options.show_weights = false;
+  const std::string dot = to_dot(sample(), options);
+  EXPECT_EQ(dot.find("label=\"0."), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+}
+
+TEST(DotOptions, EmptyGraphStillValidDot) {
+  const std::string dot = to_dot(Digraph{});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcm::graph

@@ -1,0 +1,111 @@
+#include "graph/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace fcm::graph {
+namespace {
+
+TEST(MaxFlow, SingleEdge) {
+  FlowNetwork net(2);
+  net.add_edge(0, 1, 3.5);
+  EXPECT_NEAR(net.max_flow(0, 1), 3.5, 1e-12);
+}
+
+TEST(MaxFlow, SeriesBottleneck) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 5.0);
+  net.add_edge(1, 2, 2.0);
+  EXPECT_NEAR(net.max_flow(0, 2), 2.0, 1e-12);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 3.0);
+  net.add_edge(1, 3, 3.0);
+  net.add_edge(0, 2, 2.0);
+  net.add_edge(2, 3, 2.0);
+  EXPECT_NEAR(net.max_flow(0, 3), 5.0, 1e-12);
+}
+
+TEST(MaxFlow, ClassicTextbookNetwork) {
+  // CLRS-style example with a known max flow of 23.
+  FlowNetwork net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_NEAR(net.max_flow(0, 5), 23.0, 1e-9);
+}
+
+TEST(MaxFlow, MinCutSideSeparatesSourceFromSink) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 5.0);
+  net.add_edge(1, 2, 2.0);
+  net.max_flow(0, 2);
+  const auto side = net.min_cut_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[2]);
+}
+
+TEST(MaxFlow, RejectsEqualEndpoints) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.max_flow(0, 0), InvalidArgument);
+}
+
+TEST(MaxFlow, RejectsNegativeCapacity) {
+  FlowNetwork net(2);
+  EXPECT_THROW(net.add_edge(0, 1, -1.0), InvalidArgument);
+}
+
+TEST(StMinCut, SeparatesDesignatedNodes) {
+  // a--b heavy, b--c light, c--d heavy; cutting b|c is cheapest.
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node(std::to_string(i));
+  g.add_edge(0, 1, 4.0);
+  g.add_edge(1, 2, 0.5);
+  g.add_edge(2, 3, 4.0);
+  const StCutResult cut = st_min_cut(g, 0, 3);
+  EXPECT_NEAR(cut.flow, 0.5, 1e-12);
+  EXPECT_TRUE(cut.on_source_side[0]);
+  EXPECT_TRUE(cut.on_source_side[1]);
+  EXPECT_FALSE(cut.on_source_side[2]);
+  EXPECT_FALSE(cut.on_source_side[3]);
+}
+
+TEST(StMinCut, MaxFlowEqualsMinCutOnRandomGraphs) {
+  // Flow conservation sanity: cut crossing weight equals returned flow.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    Digraph g;
+    const std::size_t n = 6;
+    for (std::size_t i = 0; i < n; ++i) g.add_node(std::to_string(i));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.uniform() < 0.6) {
+          g.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(j),
+                     rng.uniform(0.1, 2.0));
+        }
+      }
+    }
+    const StCutResult cut = st_min_cut(g, 0, static_cast<NodeIndex>(n - 1));
+    double crossing = 0.0;
+    for (const Edge& e : g.edges()) {
+      if (cut.on_source_side[e.from] != cut.on_source_side[e.to]) {
+        crossing += e.weight;
+      }
+    }
+    EXPECT_NEAR(crossing, cut.flow, 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fcm::graph

@@ -1,0 +1,130 @@
+#include "graph/quotient.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "graph/dot.h"
+
+namespace fcm::graph {
+namespace {
+
+TEST(Partition, IdentityShape) {
+  const Partition p = Partition::identity(4);
+  EXPECT_EQ(p.cluster_count, 4u);
+  EXPECT_EQ(p.groups().size(), 4u);
+  p.validate();
+}
+
+TEST(Partition, MergeReducesCount) {
+  Partition p = Partition::identity(4);
+  p.merge(1, 3);
+  EXPECT_EQ(p.cluster_count, 3u);
+  EXPECT_EQ(p.cluster_of[1], p.cluster_of[3]);
+  p.validate();
+}
+
+TEST(Partition, MergeSameClusterIsNoop) {
+  Partition p = Partition::identity(3);
+  p.merge(0, 1);
+  p.merge(1, 0);
+  EXPECT_EQ(p.cluster_count, 2u);
+  p.validate();
+}
+
+TEST(Partition, TransitiveMerges) {
+  Partition p = Partition::identity(5);
+  p.merge(0, 1);
+  p.merge(1, 2);
+  p.merge(3, 4);
+  EXPECT_EQ(p.cluster_count, 2u);
+  EXPECT_EQ(p.cluster_of[0], p.cluster_of[2]);
+  EXPECT_NE(p.cluster_of[0], p.cluster_of[3]);
+  p.validate();
+}
+
+TEST(Combiners, Sum) {
+  EXPECT_DOUBLE_EQ(combine_sum({0.5, 0.25, 0.25}), 1.0);
+}
+
+TEST(Combiners, ProbabilisticMatchesEquationFour) {
+  // Eq. 4: 1 - (1-Px)(1-Py).
+  EXPECT_NEAR(combine_probabilistic({0.3, 0.1}), 1.0 - 0.7 * 0.9, 1e-12);
+}
+
+TEST(Quotient, InternalEdgesDisappear) {
+  // Fig. 2's property: merging 0 and 1 hides their mutual influence.
+  Digraph g;
+  g.add_node("p1");
+  g.add_node("p2");
+  g.add_node("p3");
+  g.add_edge(0, 1, 0.9);
+  g.add_edge(1, 0, 0.8);
+  g.add_edge(0, 2, 0.2);
+  Partition p = Partition::identity(3);
+  p.merge(0, 1);
+  const Digraph q = quotient_graph(g, p);
+  EXPECT_EQ(q.node_count(), 2u);
+  EXPECT_EQ(q.edge_count(), 1u);
+  EXPECT_NEAR(q.weight(p.cluster_of[0], p.cluster_of[2]).value(), 0.2,
+              1e-12);
+}
+
+TEST(Quotient, ParallelEdgesCombineProbabilistically) {
+  // Nodes 0,1 both influence 2; merged cluster influence follows Eq. 4.
+  Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_node("t");
+  g.add_edge(0, 2, 0.3);
+  g.add_edge(1, 2, 0.1);
+  Partition p = Partition::identity(3);
+  p.merge(0, 1);
+  const Digraph q = quotient_graph(g, p);
+  EXPECT_NEAR(q.weight(p.cluster_of[0], p.cluster_of[2]).value(),
+              1.0 - 0.7 * 0.9, 1e-12);
+}
+
+TEST(Quotient, SumCombinerForCommCosts) {
+  Digraph g;
+  g.add_node("a");
+  g.add_node("b");
+  g.add_node("t");
+  g.add_edge(0, 2, 3.0);
+  g.add_edge(1, 2, 4.0);
+  Partition p = Partition::identity(3);
+  p.merge(0, 1);
+  const Digraph q = quotient_graph(g, p, combine_sum);
+  EXPECT_DOUBLE_EQ(q.weight(p.cluster_of[0], p.cluster_of[2]).value(), 7.0);
+}
+
+TEST(Quotient, ClusterNamesJoinMembers) {
+  Digraph g;
+  g.add_node("p1");
+  g.add_node("p2");
+  Partition p = Partition::identity(2);
+  p.merge(0, 1);
+  const Digraph q = quotient_graph(g, p);
+  EXPECT_EQ(q.name(0), "p1,p2");
+}
+
+TEST(Quotient, RejectsMismatchedPartition) {
+  Digraph g;
+  g.add_node("a");
+  Partition p = Partition::identity(2);
+  EXPECT_THROW(quotient_graph(g, p), InvalidArgument);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  Digraph g;
+  g.add_node("p1");
+  g.add_node("p2");
+  g.add_edge(0, 1, 0.5);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"p1\""), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("0.50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fcm::graph

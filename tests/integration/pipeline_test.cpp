@@ -1,0 +1,227 @@
+// End-to-end integration tests: the complete framework pipeline from SW
+// inventory to evaluated mapping, crossing every library boundary.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/example98.h"
+#include "core/integration.h"
+#include "core/separation.h"
+#include "core/verification.h"
+#include "dependability/montecarlo.h"
+#include "dependability/reliability.h"
+#include "mapping/planner.h"
+#include "sim/influence_estimator.h"
+#include "sim/usage_history.h"
+
+namespace fcm {
+namespace {
+
+TEST(Pipeline, Section6EndToEnd) {
+  // Inventory -> hierarchy -> influence -> clustering -> assignment ->
+  // quality -> dependability, on the paper's own example.
+  core::example98::Instance instance = core::example98::make_instance();
+  instance.hierarchy.audit();
+
+  const mapping::HwGraph hw =
+      mapping::HwGraph::complete(core::example98::kHwNodes);
+  ASSERT_TRUE(hw.strongly_connected());
+
+  mapping::IntegrationPlanner planner(instance.hierarchy, instance.influence,
+                                      instance.processes, hw);
+  const mapping::Plan plan = planner.best_plan();
+  ASSERT_TRUE(plan.quality.constraints_satisfied());
+
+  dependability::MissionModel mission;
+  mission.hw_failure = Probability(0.05);
+  mission.sw_fault = Probability(0.01);
+  mission.trials = 10'000;
+
+  // Without propagation, replication dominates: TMR p1 beats every
+  // simplex process.
+  mission.propagate = false;
+  const auto isolated = dependability::evaluate_mapping(
+      planner.sw_graph(), plan.clustering, plan.assignment, hw, mission, 1);
+  for (const std::size_t simplex : {3u, 4u, 5u, 6u, 7u}) {  // p4..p8
+    EXPECT_GT(isolated.process_survival[0],
+              isolated.process_survival[simplex])
+        << "p" << (simplex + 1);
+  }
+
+  // With propagation, p1 — the most influenced module in Fig. 3 — loses
+  // its TMR edge: correlated fault propagation reaches all replicas, the
+  // exact correlated-fault concern the paper's containment rules target.
+  mission.propagate = true;
+  const auto propagated = dependability::evaluate_mapping(
+      planner.sw_graph(), plan.clustering, plan.assignment, hw, mission, 1);
+  EXPECT_LT(propagated.process_survival[0], isolated.process_survival[0]);
+  EXPECT_LT(propagated.system_survival, isolated.system_survival + 1e-9);
+  EXPECT_GT(propagated.system_survival, 0.3);
+  EXPECT_LT(propagated.expected_criticality_loss, 10.0);
+}
+
+TEST(Pipeline, MeasuredInfluenceFeedsAnalyticModel) {
+  // Simulator campaign -> InfluenceModel -> separation -> clustering.
+  sim::PlatformSpec spec;
+  const ProcessorId cpu = spec.add_processor("cpu0");
+  const RegionId r1 = spec.add_region("r1", Probability(0.8));
+  const RegionId r2 = spec.add_region("r2", Probability(0.6));
+  auto add_task = [&](std::string name, std::int64_t offset,
+                      std::vector<RegionId> reads,
+                      std::vector<RegionId> writes) {
+    sim::TaskSpec task;
+    task.name = std::move(name);
+    task.processor = cpu;
+    task.period = Duration::millis(10);
+    task.deadline = Duration::millis(10);
+    task.cost = Duration::millis(1);
+    task.offset = Duration::millis(offset);
+    task.reads = std::move(reads);
+    task.writes = std::move(writes);
+    task.manifestation = Probability(0.9);
+    return spec.add_task(task);
+  };
+  add_task("src", 0, {}, {r1});
+  add_task("mid", 3, {r1}, {r2});
+  add_task("sink", 6, {r2}, {});
+
+  sim::InfluenceEstimator estimator(spec, 11);
+  sim::EstimatorOptions options;
+  options.trials = 150;
+  const sim::EstimationResult measured = estimator.estimate_all(options);
+
+  // Build process FCMs whose influence is the measured matrix.
+  core::FcmHierarchy h;
+  core::InfluenceModel influence;
+  std::vector<FcmId> processes;
+  for (const char* name : {"src", "mid", "sink"}) {
+    core::Attributes attrs;
+    attrs.criticality = 5;
+    const FcmId id = h.create(name, core::Level::kProcess, attrs);
+    influence.add_member(id, name);
+    processes.push_back(id);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) continue;
+      const double p = measured.influence.at(i, j);
+      if (p > 0.0) {
+        influence.set_direct(processes[i], processes[j],
+                             Probability::clamped(p));
+      }
+    }
+  }
+
+  // The chain shape must survive the round trip: src->mid->sink measured,
+  // and separation(src, sink) < 1 via the transitive term.
+  EXPECT_GT(influence.influence(processes[0], processes[1]).value(), 0.3);
+  EXPECT_GT(influence.influence(processes[1], processes[2]).value(), 0.3);
+  const core::SeparationAnalysis separation(influence);
+  EXPECT_LT(separation.separation(0, 2).value(), 1.0);
+  EXPECT_DOUBLE_EQ(separation.separation(2, 0).value(), 1.0);
+
+  // And the mapping layer accepts the measured model: clustering to two
+  // nodes keeps the strongest pair together.
+  const mapping::HwGraph hw = mapping::HwGraph::complete(2);
+  mapping::IntegrationPlanner planner(h, influence, processes, hw);
+  const mapping::Plan plan =
+      planner.plan(mapping::Heuristic::kH1Greedy,
+                   mapping::Approach::kAImportance);
+  EXPECT_TRUE(plan.quality.constraints_satisfied());
+}
+
+TEST(Pipeline, UsageHistoryCalibratesFaultRates) {
+  // Observe a platform in operation, recover p1 estimates, and use them as
+  // factor occurrences in an analytic model.
+  sim::PlatformSpec spec;
+  const ProcessorId cpu = spec.add_processor("cpu0");
+  sim::TaskSpec flaky;
+  flaky.name = "flaky";
+  flaky.processor = cpu;
+  flaky.period = Duration::millis(5);
+  flaky.deadline = Duration::millis(5);
+  flaky.cost = Duration::millis(1);
+  flaky.fault_rate = Probability(0.15);
+  spec.add_task(flaky);
+  sim::TaskSpec solid = flaky;
+  solid.name = "solid";
+  solid.offset = Duration::millis(2);
+  solid.fault_rate = Probability::zero();
+  spec.add_task(solid);
+
+  const sim::UsageHistory history =
+      sim::UsageHistory::observe(spec, Duration::seconds(2), 3, 5);
+  const Probability p1_flaky = history.estimated_p1(0);
+  const Probability p1_solid = history.estimated_p1(1);
+  EXPECT_NEAR(p1_flaky.value(), 0.15, 0.03);
+  EXPECT_LT(p1_solid.value(), 0.01);
+
+  core::InfluenceFactor factor;
+  factor.kind = core::FactorKind::kSharedMemory;
+  factor.occurrence = p1_flaky;  // measured, not assumed
+  factor.transmission = Probability(0.5);
+  factor.effect = Probability(0.4);
+  EXPECT_NEAR(factor.probability().value(), p1_flaky.value() * 0.2, 1e-9);
+}
+
+TEST(Pipeline, EvolutionWithRecertification) {
+  // Integrate, certify, modify, re-certify — the maintenance loop of §1.1.
+  core::FcmHierarchy h;
+  core::Integrator integ(h);
+  const FcmId p1 = h.create("p1", core::Level::kProcess);
+  const FcmId p2 = h.create("p2", core::Level::kProcess);
+  const FcmId t1 = h.create_child(p1, "t1");
+  const FcmId t2 = h.create_child(p1, "t2");
+  h.create_child(p2, "t3");
+
+  core::VerificationCampaign campaign(h);
+  const std::size_t initial = campaign.plan_initial_certification();
+  for (const auto& o : campaign.obligations()) {
+    campaign.record_result(o.id, true);
+  }
+  EXPECT_TRUE(campaign.certified());
+
+  // A cross-process integration (R4) both restructures and obligates.
+  integ.integrate_across_parents(t1, h.children(p2).front(), "t13");
+  h.audit();
+  const std::size_t imported = campaign.import(integ.pending_retests());
+  EXPECT_GT(imported, 0u);
+  EXPECT_FALSE(campaign.certified());
+  for (const auto& o : campaign.obligations()) {
+    if (o.status == core::ObligationStatus::kPending) {
+      campaign.record_result(o.id, true);
+    }
+  }
+  EXPECT_TRUE(campaign.certified());
+  EXPECT_GT(initial, 0u);
+  (void)t2;
+}
+
+TEST(Pipeline, ReplicationSemanticsConsistentAcrossLayers) {
+  // The FT attribute means the same thing to the SW graph (replica count),
+  // the clusterer (anti-affinity), and the dependability evaluator
+  // (voting): TMR with two dead replicas is DOWN even though one survives,
+  // while duplex with one dead replica is UP.
+  core::example98::Instance instance = core::example98::make_instance();
+  const mapping::SwGraph sw = mapping::SwGraph::build(
+      instance.hierarchy, instance.influence, instance.processes);
+  const mapping::HwGraph hw = mapping::HwGraph::complete(12);
+  mapping::ClusteringOptions options;
+  options.target_clusters = 12;
+  mapping::ClusterEngine engine(sw, options);
+  const auto clustering = engine.h1_greedy();
+  const auto assignment = mapping::assign_by_importance(sw, clustering, hw);
+
+  dependability::MissionModel mission;
+  mission.hw_failure = Probability(0.5);
+  mission.propagate = false;
+  mission.trials = 40'000;
+  const auto report = dependability::evaluate_mapping(
+      sw, clustering, assignment, hw, mission, 9);
+  // p1 (TMR): 3r^2-2r^3 at r=0.5 -> 0.5. p2 (duplex): 1-q^2 = 0.75.
+  EXPECT_NEAR(report.process_survival[0], 0.5, 0.02);
+  EXPECT_NEAR(report.process_survival[1], 0.75, 0.02);
+  EXPECT_NEAR(report.process_survival[3], 0.5, 0.02);  // simplex p4
+}
+
+}  // namespace
+}  // namespace fcm

@@ -1,0 +1,178 @@
+#include "mapping/assignment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "core/example98.h"
+
+namespace fcm::mapping {
+namespace {
+
+using core::example98::make_instance;
+
+struct Fixture {
+  core::example98::Instance instance = make_instance();
+  SwGraph sw = SwGraph::build(instance.hierarchy, instance.influence,
+                              instance.processes);
+  HwGraph hw = HwGraph::complete(6);
+
+  ClusteringResult clustering() {
+    ClusteringOptions options;
+    options.target_clusters = 6;
+    ClusterEngine engine(sw, options);
+    return engine.h1_greedy();
+  }
+};
+
+TEST(AssignByImportance, IsInjectiveAndComplete) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, fx.hw);
+  ASSERT_EQ(assignment.hw_of.size(), 6u);
+  std::set<HwNodeId> used;
+  for (const HwNodeId id : assignment.hw_of) {
+    EXPECT_TRUE(id.valid());
+    used.insert(id);
+  }
+  EXPECT_EQ(used.size(), 6u);
+}
+
+TEST(AssignByImportance, StepsNameEveryCluster) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, fx.hw);
+  EXPECT_EQ(assignment.steps.size(), 6u);
+}
+
+TEST(AssignLexicographic, IsInjectiveAndComplete) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  const Assignment assignment =
+      assign_lexicographic(fx.sw, clustering, fx.hw);
+  std::set<HwNodeId> used(assignment.hw_of.begin(), assignment.hw_of.end());
+  EXPECT_EQ(used.size(), 6u);
+}
+
+TEST(AssignLexicographic, EmptyPriorityRejected) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  EXPECT_THROW(assign_lexicographic(fx.sw, clustering, fx.hw, {}),
+               InvalidArgument);
+}
+
+TEST(Assignment, MoreClustersThanHwNodesRejected) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();  // 6 clusters
+  const HwGraph small = HwGraph::complete(5);
+  EXPECT_THROW(assign_by_importance(fx.sw, clustering, small), FcmError);
+}
+
+TEST(Assignment, ResourceRequirementRoutesToEquippedNode) {
+  // One process demands "sensor-bus", present on exactly one HW node.
+  core::FcmHierarchy h;
+  core::InfluenceModel influence;
+  core::Attributes plain;
+  plain.criticality = 1;
+  core::Attributes needs_bus;
+  needs_bus.criticality = 9;
+  needs_bus.required_resources = {"sensor-bus"};
+  const FcmId a = h.create("sensor", core::Level::kProcess, needs_bus);
+  const FcmId b = h.create("logger", core::Level::kProcess, plain);
+  influence.add_member(a, "sensor");
+  influence.add_member(b, "logger");
+  influence.set_direct(a, b, Probability(0.2));
+  const SwGraph sw = SwGraph::build(h, influence, {a, b});
+
+  HwGraph hw;
+  const HwNodeId plain_node = hw.add_node("hw1");
+  const HwNodeId bus_node = hw.add_node("hw2", 0.0, {"sensor-bus"});
+  hw.add_link(plain_node, bus_node, 1.0);
+
+  ClusteringOptions options;
+  options.target_clusters = 2;
+  ClusterEngine engine(sw, options);
+  const ClusteringResult clustering = engine.h1_greedy();
+  const Assignment assignment = assign_by_importance(sw, clustering, hw);
+
+  // Find the cluster holding "sensor" and check its host has the bus.
+  for (std::uint32_t c = 0; c < clustering.partition.cluster_count; ++c) {
+    if (clustering.quotient.name(c) == "sensor") {
+      EXPECT_EQ(assignment.host(c), bus_node);
+    }
+  }
+}
+
+TEST(Assignment, UnsatisfiableResourceThrows) {
+  core::FcmHierarchy h;
+  core::InfluenceModel influence;
+  core::Attributes needs;
+  needs.required_resources = {"quantum-accelerator"};
+  const FcmId a = h.create("exotic", core::Level::kProcess, needs);
+  influence.add_member(a, "exotic");
+  const SwGraph sw = SwGraph::build(h, influence, {a});
+  const HwGraph hw = HwGraph::complete(2);
+  ClusteringOptions options;
+  options.target_clusters = 1;
+  ClusterEngine engine(sw, options);
+  const ClusteringResult clustering = engine.h1_greedy();
+  EXPECT_THROW(assign_by_importance(sw, clustering, hw), Infeasible);
+}
+
+TEST(Assignment, DilationPrefersNeighboringNodes) {
+  // Line topology hw1-hw2-hw3; two strongly communicating clusters should
+  // land on adjacent nodes.
+  core::FcmHierarchy h;
+  core::InfluenceModel influence;
+  core::Attributes attrs;
+  attrs.criticality = 5;
+  const FcmId a = h.create("A", core::Level::kProcess, attrs);
+  const FcmId b = h.create("B", core::Level::kProcess, attrs);
+  influence.add_member(a, "A");
+  influence.add_member(b, "B");
+  influence.set_direct(a, b, Probability(0.9));
+  const SwGraph sw = SwGraph::build(h, influence, {a, b});
+
+  HwGraph hw;
+  const HwNodeId n1 = hw.add_node("hw1");
+  const HwNodeId n2 = hw.add_node("hw2");
+  const HwNodeId n3 = hw.add_node("hw3");
+  hw.add_link(n1, n2, 1.0);
+  hw.add_link(n2, n3, 1.0);
+
+  ClusteringOptions options;
+  options.target_clusters = 2;
+  ClusterEngine engine(sw, options);
+  // Force two clusters (A and B apart: can_combine would merge them, so use
+  // identity partition via target = node count).
+  const ClusteringResult clustering = engine.h1_greedy();
+  ASSERT_EQ(clustering.partition.cluster_count, 2u);
+  const Assignment assignment = assign_by_importance(sw, clustering, hw);
+  const int hops =
+      hw.hop_distance(assignment.hw_of[0], assignment.hw_of[1]);
+  EXPECT_EQ(hops, 1);
+}
+
+TEST(Assignment, HostAccessorValidatesRange) {
+  Assignment assignment;
+  assignment.hw_of = {HwNodeId(0)};
+  EXPECT_EQ(assignment.host(0), HwNodeId(0));
+  EXPECT_THROW((void)assignment.host(1), InvalidArgument);
+}
+
+TEST(AttributeKeyNames, AllDistinct) {
+  std::set<std::string> names{
+      to_string(AttributeKey::kCriticality),
+      to_string(AttributeKey::kReplication),
+      to_string(AttributeKey::kTimingUrgency),
+      to_string(AttributeKey::kThroughput),
+      to_string(AttributeKey::kSecurity),
+  };
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace fcm::mapping

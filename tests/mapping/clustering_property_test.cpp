@@ -1,0 +1,143 @@
+// Randomized clustering sweeps: every heuristic, on randomized systems,
+// either produces a constraint-respecting clustering at the target count or
+// throws Infeasible — never a silently invalid result.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "mapping/clustering.h"
+#include "sched/edf.h"
+
+namespace fcm::mapping {
+namespace {
+
+struct RandomSystem {
+  core::FcmHierarchy hierarchy;
+  core::InfluenceModel influence;
+  std::vector<FcmId> processes;
+};
+
+RandomSystem random_system(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomSystem sys;
+  const std::size_t n = 4 + rng.below(5);  // 4..8 processes
+  for (std::size_t i = 0; i < n; ++i) {
+    core::Attributes attrs;
+    attrs.criticality = static_cast<core::Criticality>(rng.range(1, 10));
+    attrs.replication =
+        rng.uniform() < 0.25 ? static_cast<int>(rng.range(2, 3)) : 1;
+    const std::int64_t est = rng.range(0, 20);
+    const std::int64_t ct = rng.range(1, 8);
+    const std::int64_t tcd = est + ct + rng.range(2, 40);
+    attrs.timing = core::TimingSpec::one_shot(
+        Instant::epoch() + Duration::millis(est),
+        Instant::epoch() + Duration::millis(tcd), Duration::millis(ct));
+    const FcmId id = sys.hierarchy.create("p" + std::to_string(i + 1),
+                                          core::Level::kProcess, attrs);
+    sys.influence.add_member(id, sys.hierarchy.get(id).name);
+    sys.processes.push_back(id);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.uniform() < 0.35) {
+        sys.influence.set_direct(sys.processes[i], sys.processes[j],
+                                 Probability(rng.uniform(0.05, 0.8)));
+      }
+    }
+  }
+  return sys;
+}
+
+void check_invariants(const ClusteringResult& result, const SwGraph& sw,
+                      std::size_t target) {
+  EXPECT_LE(result.partition.cluster_count, target);
+  result.partition.validate();
+  for (const auto& members : result.partition.groups()) {
+    std::vector<sched::Job> jobs;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        ASSERT_FALSE(sw.replicas(members[i], members[j]));
+      }
+      if (sw.has_timing(members[i])) jobs.push_back(sw.job_of(members[i]));
+    }
+    EXPECT_TRUE(sched::edf_feasible(jobs));
+  }
+  // Quotient edge weights are probabilities.
+  for (const graph::Edge& e : result.quotient.edges()) {
+    EXPECT_GE(e.weight, 0.0);
+    EXPECT_LE(e.weight, 1.0 + 1e-12);
+  }
+}
+
+class ClusteringSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusteringSweep, AllHeuristicsValidOrInfeasible) {
+  const RandomSystem sys = random_system(GetParam());
+  const SwGraph sw =
+      SwGraph::build(sys.hierarchy, sys.influence, sys.processes);
+
+  int max_replication = 1;
+  for (const SwNode& node : sw.nodes()) {
+    max_replication =
+        std::max(max_replication, node.attributes.replication);
+  }
+  for (std::size_t target = static_cast<std::size_t>(max_replication);
+       target <= sw.node_count(); target += 2) {
+    ClusteringOptions options;
+    options.target_clusters = target;
+    ClusterEngine engine(sw, options);
+    auto run = [&](auto method, const char* name) {
+      try {
+        const ClusteringResult result = (engine.*method)();
+        check_invariants(result, sw, target);
+      } catch (const Infeasible&) {
+        // Acceptable outcome; never a corrupt result.
+      } catch (const FcmError& e) {
+        FAIL() << name << " threw unexpected error: " << e.what();
+      }
+    };
+    run(&ClusterEngine::h1_greedy, "h1_greedy");
+    run(&ClusterEngine::h1_rounds, "h1_rounds");
+    run(&ClusterEngine::h2_mincut, "h2_mincut");
+    run(&ClusterEngine::criticality_pairing, "criticality_pairing");
+    try {
+      const ClusteringResult result = engine.timing_ordered();
+      check_invariants(result, sw, target);
+    } catch (const Infeasible&) {
+    }
+    try {
+      const ClusteringResult result = engine.h3_importance();
+      check_invariants(result, sw, target);
+    } catch (const Infeasible&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusteringSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(ClusteringSweep, H1NeverWorseThanSingletonsOnContainment) {
+  // Cross-cluster influence after H1 at target t must never exceed the
+  // total influence (singleton upper bound) and must be monotone in t.
+  const RandomSystem sys = random_system(99);
+  const SwGraph sw =
+      SwGraph::build(sys.hierarchy, sys.influence, sys.processes);
+  const double total = sw.influence_graph().total_weight();
+  double previous = total + 1e-9;
+  for (std::size_t target = sw.node_count(); target >= 3; --target) {
+    ClusteringOptions options;
+    options.target_clusters = target;
+    ClusterEngine engine(sw, options);
+    try {
+      const ClusteringResult result = engine.h1_greedy();
+      const double cross = result.cross_cluster_influence();
+      EXPECT_LE(cross, previous + 1e-9);
+      previous = cross;
+    } catch (const Infeasible&) {
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fcm::mapping

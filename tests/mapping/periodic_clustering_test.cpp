@@ -1,0 +1,154 @@
+// Clustering with periodic timing specs: the collocation oracle must use
+// the mixed one-shot/periodic feasibility path.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mapping/clustering.h"
+#include "mapping/planner.h"
+
+namespace fcm::mapping {
+namespace {
+
+struct PeriodicWorld {
+  core::FcmHierarchy h;
+  core::InfluenceModel influence;
+  std::vector<FcmId> processes;
+
+  FcmId add_periodic(std::string name, std::int64_t period_ms,
+                     std::int64_t cost_ms, core::Criticality crit = 5) {
+    core::Attributes attrs;
+    attrs.criticality = crit;
+    attrs.timing = core::TimingSpec::periodic(
+        Instant::epoch(), Instant::epoch() + Duration::millis(period_ms),
+        Duration::millis(cost_ms), Duration::millis(period_ms));
+    const FcmId id = h.create(name, core::Level::kProcess, attrs);
+    influence.add_member(id, h.get(id).name);
+    processes.push_back(id);
+    return id;
+  }
+};
+
+TEST(PeriodicClustering, UtilizationBlocksOverload) {
+  // Three 50%-utilization tasks: any pair fits one processor (U=1.0,
+  // harmonic), all three do not.
+  PeriodicWorld world;
+  const FcmId a = world.add_periodic("a", 10, 5);
+  const FcmId b = world.add_periodic("b", 20, 10);
+  world.add_periodic("c", 40, 20);
+  world.influence.set_direct(a, b, Probability(0.5));
+
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  ClusteringOptions options;
+  options.target_clusters = 2;
+  ClusterEngine engine(sw, options);
+  const ClusteringResult result = engine.h1_greedy();
+  // Every cluster has utilization <= 1: at most two of the three together.
+  for (const auto& cluster : result.cluster_names(sw)) {
+    EXPECT_LE(cluster.size(), 2u);
+  }
+}
+
+TEST(PeriodicClustering, SingleClusterImpossibleWhenOverloaded) {
+  PeriodicWorld world;
+  world.add_periodic("a", 10, 6);
+  world.add_periodic("b", 10, 6);  // combined U = 1.2
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  ClusteringOptions options;
+  options.target_clusters = 1;
+  ClusterEngine engine(sw, options);
+  EXPECT_THROW(engine.h1_greedy(), Infeasible);
+}
+
+TEST(PeriodicClustering, HarmonicFullUtilizationMerges) {
+  PeriodicWorld world;
+  world.add_periodic("a", 4, 2);
+  world.add_periodic("b", 8, 4);  // U = 1.0, EDF-schedulable
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  ClusteringOptions options;
+  options.target_clusters = 1;
+  ClusterEngine engine(sw, options);
+  const ClusteringResult result = engine.h1_greedy();
+  EXPECT_EQ(result.partition.cluster_count, 1u);
+}
+
+TEST(PeriodicClustering, MixedOneShotAndPeriodic) {
+  PeriodicWorld world;
+  world.add_periodic("pump", 10, 5);
+  core::Attributes oneshot;
+  oneshot.criticality = 4;
+  oneshot.timing = core::TimingSpec::one_shot(
+      Instant::epoch(), Instant::epoch() + Duration::millis(20),
+      Duration::millis(8));
+  const FcmId burst =
+      world.h.create("burst", core::Level::kProcess, oneshot);
+  world.influence.add_member(burst, "burst");
+  world.processes.push_back(burst);
+
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  ClusteringOptions options;
+  options.target_clusters = 1;
+  ClusterEngine engine(sw, options);
+  // 8ms one-shot fits the 50% leftover of a 20ms window.
+  const ClusteringResult result = engine.h1_greedy();
+  EXPECT_EQ(result.partition.cluster_count, 1u);
+}
+
+TEST(PeriodicClustering, QualityEvaluationUsesMixedPath) {
+  PeriodicWorld world;
+  const FcmId a = world.add_periodic("a", 4, 2);
+  const FcmId b = world.add_periodic("b", 8, 4);
+  world.influence.set_direct(a, b, Probability(0.3));
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  const HwGraph hw = HwGraph::complete(1);
+  ClusteringOptions options;
+  options.target_clusters = 1;
+  ClusterEngine engine(sw, options);
+  const ClusteringResult clustering = engine.h1_greedy();
+  const Assignment assignment = assign_by_importance(sw, clustering, hw);
+  const MappingQuality quality = evaluate(sw, clustering, assignment, hw);
+  EXPECT_TRUE(quality.schedulable_ok);
+}
+
+TEST(TimingSpecPeriodic, WellFormedAndConversion) {
+  const auto spec = core::TimingSpec::periodic(
+      Instant::epoch() + Duration::millis(2),
+      Instant::epoch() + Duration::millis(8), Duration::millis(3),
+      Duration::millis(10));
+  EXPECT_TRUE(spec.well_formed());
+  EXPECT_TRUE(spec.is_periodic());
+  const auto task = spec.to_periodic_task("t");
+  EXPECT_EQ(task.period, Duration::millis(10));
+  EXPECT_EQ(task.deadline, Duration::millis(6));
+  EXPECT_EQ(task.offset, Duration::millis(2));
+
+  // Relative deadline beyond the period violates the constrained model.
+  const auto bad = core::TimingSpec::periodic(
+      Instant::epoch(), Instant::epoch() + Duration::millis(20),
+      Duration::millis(3), Duration::millis(10));
+  EXPECT_FALSE(bad.well_formed());
+}
+
+TEST(TimingSpecPeriodic, MergeTakesFastestRate) {
+  const auto a = core::TimingSpec::periodic(
+      Instant::epoch(), Instant::epoch() + Duration::millis(10),
+      Duration::millis(2), Duration::millis(10));
+  const auto b = core::TimingSpec::periodic(
+      Instant::epoch(), Instant::epoch() + Duration::millis(20),
+      Duration::millis(3), Duration::millis(20));
+  const auto merged = a.merged_with(b);
+  ASSERT_TRUE(merged.period.has_value());
+  EXPECT_EQ(*merged.period, Duration::millis(10));
+  const auto mixed = a.merged_with(core::TimingSpec::one_shot(
+      Instant::epoch(), Instant::epoch() + Duration::millis(5),
+      Duration::millis(1)));
+  ASSERT_TRUE(mixed.period.has_value());
+  EXPECT_EQ(*mixed.period, Duration::millis(10));
+}
+
+}  // namespace
+}  // namespace fcm::mapping

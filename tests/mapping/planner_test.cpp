@@ -1,0 +1,118 @@
+#include "mapping/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/example98.h"
+
+namespace fcm::mapping {
+namespace {
+
+using core::example98::make_instance;
+
+struct Fixture {
+  core::example98::Instance instance = make_instance();
+  HwGraph hw = HwGraph::complete(6);
+  IntegrationPlanner planner{instance.hierarchy, instance.influence,
+                             instance.processes, hw};
+};
+
+TEST(Planner, EveryHeuristicProducesAFeasiblePlan) {
+  Fixture fx;
+  for (const Heuristic h :
+       {Heuristic::kH1Greedy, Heuristic::kH1Rounds, Heuristic::kH2MinCut,
+        Heuristic::kH2StCut, Heuristic::kH3Importance,
+        Heuristic::kCriticalityPairing, Heuristic::kTimingOrdered}) {
+    const Plan plan = fx.planner.plan(h, Approach::kAImportance);
+    EXPECT_TRUE(plan.quality.constraints_satisfied()) << to_string(h);
+    EXPECT_EQ(plan.clustering.partition.cluster_count, 6u) << to_string(h);
+  }
+}
+
+TEST(Planner, ApproachBAlsoFeasible) {
+  Fixture fx;
+  const Plan plan =
+      fx.planner.plan(Heuristic::kH1Greedy, Approach::kBLexicographic);
+  EXPECT_TRUE(plan.quality.constraints_satisfied());
+}
+
+TEST(Planner, BestPlanPicksHighestScore) {
+  Fixture fx;
+  const Plan best = fx.planner.best_plan();
+  EXPECT_TRUE(best.quality.constraints_satisfied());
+  for (const Heuristic h :
+       {Heuristic::kH1Greedy, Heuristic::kH1Rounds, Heuristic::kH2MinCut,
+        Heuristic::kH2StCut, Heuristic::kH3Importance,
+        Heuristic::kCriticalityPairing, Heuristic::kTimingOrdered}) {
+    const Plan candidate = fx.planner.plan(h, Approach::kAImportance);
+    if (candidate.quality.constraints_satisfied()) {
+      EXPECT_GE(best.quality.score() + 1e-12, candidate.quality.score());
+    }
+  }
+}
+
+TEST(Planner, H1MinimizesCrossNodeInfluenceAmongHeuristics) {
+  // Containment is H1's objective; on the §6 example it must do at least
+  // as well as the criticality- and timing-driven techniques.
+  Fixture fx;
+  const double h1 = fx.planner.plan(Heuristic::kH1Greedy,
+                                    Approach::kAImportance)
+                        .quality.cross_node_influence;
+  const double crit = fx.planner.plan(Heuristic::kCriticalityPairing,
+                                      Approach::kAImportance)
+                          .quality.cross_node_influence;
+  EXPECT_LE(h1, crit + 1e-9);
+}
+
+TEST(Planner, CriticalityPairingMinimizesColocatedCriticality) {
+  // Dispersal is Approach B's objective: no two critical processes share a
+  // node, unlike H1 which piles p1+p2+p3 together.
+  Fixture fx;
+  const Plan h1 = fx.planner.plan(Heuristic::kH1Greedy,
+                                  Approach::kAImportance);
+  const Plan crit = fx.planner.plan(Heuristic::kCriticalityPairing,
+                                    Approach::kAImportance);
+  EXPECT_LT(crit.quality.max_colocated_criticality,
+            h1.quality.max_colocated_criticality);
+  // The Fig. 7 resolution still colocates p2b (C=8) with p3b (C=7) — the
+  // one critical pair the paper's own conflict resolution accepts. H1's
+  // {p1,p2,p3} clusters carry three critical pairs each.
+  EXPECT_EQ(crit.quality.critical_pairs_colocated, 1);
+  EXPECT_GT(h1.quality.critical_pairs_colocated,
+            crit.quality.critical_pairs_colocated);
+}
+
+TEST(Planner, ReportListsHostsAndClusters) {
+  Fixture fx;
+  const Plan plan = fx.planner.plan(Heuristic::kH1Greedy,
+                                    Approach::kAImportance);
+  const std::string report = plan.report(fx.planner.sw_graph(), fx.hw);
+  EXPECT_NE(report.find("H1-greedy"), std::string::npos);
+  EXPECT_NE(report.find("hw1"), std::string::npos);
+  EXPECT_NE(report.find("p1a"), std::string::npos);
+}
+
+TEST(Planner, FourNodePlatformStillPlannable) {
+  // The Fig. 8 platform: only timing-ordered-like packings fit 4 nodes.
+  core::example98::Instance instance = make_instance();
+  const HwGraph hw4 = HwGraph::complete(4);
+  IntegrationPlanner planner(instance.hierarchy, instance.influence,
+                             instance.processes, hw4);
+  const Plan best = planner.best_plan();
+  EXPECT_TRUE(best.quality.constraints_satisfied());
+  EXPECT_EQ(best.clustering.partition.cluster_count, 4u);
+}
+
+TEST(Planner, ThreeNodePlatformIsInfeasibleForTmr) {
+  // p1 is TMR and p2/p3 are duplex: 3 nodes suffice for replicas, but the
+  // timing devices make several collocations infeasible; whether planning
+  // succeeds depends on the heuristics. At 2 nodes it must throw.
+  core::example98::Instance instance = make_instance();
+  const HwGraph hw2 = HwGraph::complete(2);
+  IntegrationPlanner planner(instance.hierarchy, instance.influence,
+                             instance.processes, hw2);
+  EXPECT_THROW(planner.best_plan(), FcmError);
+}
+
+}  // namespace
+}  // namespace fcm::mapping

@@ -1,0 +1,152 @@
+#include "mapping/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "core/example98.h"
+
+namespace fcm::mapping {
+namespace {
+
+using core::example98::make_instance;
+
+struct Fixture {
+  core::example98::Instance instance = make_instance();
+  SwGraph sw = SwGraph::build(instance.hierarchy, instance.influence,
+                              instance.processes);
+  HwGraph hw = HwGraph::complete(6);
+
+  ClusteringResult clustering(std::size_t target = 6) {
+    ClusteringOptions options;
+    options.target_clusters = target;
+    ClusterEngine engine(sw, options);
+    return engine.h1_greedy();
+  }
+};
+
+TEST(Quality, H1MappingSatisfiesAllConstraints) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, fx.hw);
+  const MappingQuality q = evaluate(fx.sw, clustering, assignment, fx.hw);
+  EXPECT_TRUE(q.replica_separation_ok);
+  EXPECT_TRUE(q.schedulable_ok);
+  EXPECT_TRUE(q.resources_ok);
+  EXPECT_TRUE(q.constraints_satisfied());
+  EXPECT_TRUE(q.violations.empty());
+  EXPECT_GT(q.score(), 0.0);
+  EXPECT_LE(q.score(), 1.0);
+}
+
+TEST(Quality, CrossNodeInfluenceBelowTotal) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, fx.hw);
+  const MappingQuality q = evaluate(fx.sw, clustering, assignment, fx.hw);
+  EXPECT_GT(q.total_influence, 0.0);
+  EXPECT_LT(q.cross_node_influence, q.total_influence);
+}
+
+TEST(Quality, CompleteNetworkDilationEqualsCrossInfluence) {
+  // Hop distance is 1 everywhere on a complete network.
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, fx.hw);
+  const MappingQuality q = evaluate(fx.sw, clustering, assignment, fx.hw);
+  EXPECT_NEAR(q.dilation, q.cross_node_influence, 1e-12);
+}
+
+TEST(Quality, ViolatedMappingScoresZero) {
+  // Force a replica-violating partition manually.
+  Fixture fx;
+  graph::Partition partition =
+      graph::Partition::identity(fx.sw.node_count());
+  // Merge p1a and p1b (replicas) plus enough others to fit 6 HW nodes.
+  graph::NodeIndex p1a = 0, p1b = 0;
+  for (graph::NodeIndex v = 0; v < fx.sw.node_count(); ++v) {
+    if (fx.sw.node(v).name == "p1a") p1a = v;
+    if (fx.sw.node(v).name == "p1b") p1b = v;
+  }
+  partition.merge(p1a, p1b);
+  while (partition.cluster_count > 6) {
+    // Merge the last two clusters blindly.
+    const auto groups = partition.groups();
+    partition.merge(groups[partition.cluster_count - 1].front(),
+                    groups[partition.cluster_count - 2].front());
+  }
+  ClusteringResult clustering;
+  clustering.partition = partition;
+  // Build a quotient for naming purposes.
+  clustering.quotient = graph::quotient_graph(
+      fx.sw.influence_graph(), partition, graph::combine_probabilistic);
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, fx.hw);
+  const MappingQuality q = evaluate(fx.sw, clustering, assignment, fx.hw);
+  EXPECT_FALSE(q.replica_separation_ok);
+  EXPECT_FALSE(q.constraints_satisfied());
+  EXPECT_DOUBLE_EQ(q.score(), 0.0);
+  EXPECT_FALSE(q.violations.empty());
+}
+
+TEST(Quality, CriticalPairColocationCounted) {
+  Fixture fx;
+  // 12 singleton clusters on 12 HW nodes: no colocated pairs at all.
+  const HwGraph big = HwGraph::complete(12);
+  ClusteringOptions options;
+  options.target_clusters = 12;
+  ClusterEngine engine(fx.sw, options);
+  const ClusteringResult clustering = engine.h1_greedy();
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, big);
+  const MappingQuality q = evaluate(fx.sw, clustering, assignment, big);
+  EXPECT_EQ(q.critical_pairs_colocated, 0);
+  EXPECT_DOUBLE_EQ(q.cross_node_influence, q.total_influence);
+}
+
+TEST(Quality, MaxColocatedCriticalityTracksClusters) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, fx.hw);
+  const MappingQuality q = evaluate(fx.sw, clustering, assignment, fx.hw);
+  // H1 clusters {p1,p2,p3} -> 10+8+7 = 25 criticality on one node.
+  EXPECT_DOUBLE_EQ(q.max_colocated_criticality, 25.0);
+}
+
+TEST(Quality, ReportMentionsKeyFigures) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, fx.hw);
+  const MappingQuality q = evaluate(fx.sw, clustering, assignment, fx.hw);
+  const std::string report = q.report();
+  EXPECT_NE(report.find("constraints: satisfied"), std::string::npos);
+  EXPECT_NE(report.find("cross-node influence"), std::string::npos);
+  EXPECT_NE(report.find("score"), std::string::npos);
+}
+
+TEST(Quality, MinSeparationReflectsQuotientCoupling) {
+  Fixture fx;
+  const ClusteringResult clustering = fx.clustering();
+  const Assignment assignment =
+      assign_by_importance(fx.sw, clustering, fx.hw);
+  const MappingQuality q = evaluate(fx.sw, clustering, assignment, fx.hw);
+  // The two {p1,p2,p3} clusters are strongly coupled through the replicated
+  // p1<->p2 edges, so the weakest boundary's separation clamps to 0.
+  EXPECT_DOUBLE_EQ(q.min_separation.value(), 0.0);
+  // A singleton clustering over 12 HW nodes keeps boundaries weaker than
+  // total coupling: min separation strictly between 0 and 1.
+  const HwGraph big = HwGraph::complete(12);
+  ClusteringOptions options;
+  options.target_clusters = 12;
+  ClusterEngine engine(fx.sw, options);
+  const ClusteringResult singletons = engine.h1_greedy();
+  const Assignment a12 = assign_by_importance(fx.sw, singletons, big);
+  const MappingQuality q12 = evaluate(fx.sw, singletons, a12, big);
+  EXPECT_LT(q12.min_separation.value(), 1.0);
+}
+
+}  // namespace
+}  // namespace fcm::mapping

@@ -1,0 +1,193 @@
+// Tests for resource-aware clustering and backtracking placement — the
+// §5.3/§6 constraints "attributes can force (or forbid) certain FCMs being
+// combined, or require a particular SW FCM to be mapped onto a specific HW
+// module" and "need for a resource present on only one processor".
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mapping/assignment.h"
+#include "mapping/clustering.h"
+#include "mapping/planner.h"
+
+namespace fcm::mapping {
+namespace {
+
+struct ResourceWorld {
+  core::FcmHierarchy h;
+  core::InfluenceModel influence;
+  std::vector<FcmId> processes;
+
+  FcmId add(std::string name, core::Criticality crit,
+            std::set<std::string> resources = {}) {
+    core::Attributes attrs;
+    attrs.criticality = crit;
+    attrs.required_resources = std::move(resources);
+    const FcmId id = h.create(name, core::Level::kProcess, attrs);
+    influence.add_member(id, h.get(id).name);
+    processes.push_back(id);
+    return id;
+  }
+};
+
+TEST(ResourceClustering, CheckBlocksUnhostableMerges) {
+  // gps-user and bus-user influence each other strongly, but no node hosts
+  // both resources: clustering must keep them apart.
+  ResourceWorld world;
+  const FcmId gps = world.add("gps-user", 5, {"gps"});
+  const FcmId bus = world.add("bus-user", 5, {"bus"});
+  world.add("plain", 1);
+  world.influence.set_direct(gps, bus, Probability(0.9));
+  world.influence.set_direct(bus, gps, Probability(0.9));
+
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  ClusteringOptions options;
+  options.target_clusters = 2;
+  options.resource_check = [](const std::set<std::string>& required) {
+    return required.size() <= 1;  // each node hosts at most one resource
+  };
+  ClusterEngine engine(sw, options);
+  const ClusteringResult result = engine.h1_greedy();
+  // The strong pair could not merge; "plain" merged with one of them.
+  const auto names = result.cluster_names(sw);
+  for (const auto& cluster : names) {
+    const bool has_gps =
+        std::find(cluster.begin(), cluster.end(), "gps-user") !=
+        cluster.end();
+    const bool has_bus =
+        std::find(cluster.begin(), cluster.end(), "bus-user") !=
+        cluster.end();
+    EXPECT_FALSE(has_gps && has_bus);
+  }
+}
+
+TEST(ResourceClustering, NoCheckAllowsTheMerge) {
+  ResourceWorld world;
+  const FcmId gps = world.add("gps-user", 5, {"gps"});
+  const FcmId bus = world.add("bus-user", 5, {"bus"});
+  world.add("plain", 1);
+  world.influence.set_direct(gps, bus, Probability(0.9));
+  world.influence.set_direct(bus, gps, Probability(0.9));
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  ClusteringOptions options;
+  options.target_clusters = 2;
+  ClusterEngine engine(sw, options);
+  const ClusteringResult result = engine.h1_greedy();
+  const auto names = result.cluster_names(sw);
+  bool merged = false;
+  for (const auto& cluster : names) {
+    if (std::find(cluster.begin(), cluster.end(), "gps-user") !=
+            cluster.end() &&
+        std::find(cluster.begin(), cluster.end(), "bus-user") !=
+            cluster.end()) {
+      merged = true;
+    }
+  }
+  EXPECT_TRUE(merged);
+}
+
+TEST(BacktrackingPlacement, GreedyTrapAvoided) {
+  // Three singleton clusters; the most important cluster has no resource
+  // needs and would greedily grab any node — including the single
+  // gps-equipped one the least important cluster requires. Backtracking
+  // (plus the resource-poor tie-break) must route around the trap.
+  ResourceWorld world;
+  world.add("vip", 10);
+  world.add("mid", 5);
+  world.add("gps-user", 1, {"gps"});
+
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  ClusteringOptions options;
+  options.target_clusters = 3;
+  ClusterEngine engine(sw, options);
+  const ClusteringResult clustering = engine.h1_greedy();
+
+  HwGraph hw;
+  const HwNodeId n1 = hw.add_node("n1", 0.0, {"gps"});
+  const HwNodeId n2 = hw.add_node("n2");
+  const HwNodeId n3 = hw.add_node("n3");
+  hw.add_link(n1, n2, 1.0);
+  hw.add_link(n2, n3, 1.0);
+  hw.add_link(n1, n3, 1.0);
+
+  const Assignment assignment = assign_by_importance(sw, clustering, hw);
+  for (std::uint32_t c = 0; c < clustering.partition.cluster_count; ++c) {
+    if (clustering.quotient.name(c) == "gps-user") {
+      EXPECT_EQ(assignment.host(c), n1);
+    }
+  }
+}
+
+TEST(BacktrackingPlacement, TwoScarceResourcesCrossAssigned) {
+  // Cluster A needs r1, cluster B needs r2; node n1 has {r1,r2}, node n2
+  // has {r1}. Greedy could put A (processed first) on n1 and strand B.
+  ResourceWorld world;
+  world.add("needs-r1", 9, {"r1"});
+  world.add("needs-r2", 1, {"r2"});
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  ClusteringOptions options;
+  options.target_clusters = 2;
+  ClusterEngine engine(sw, options);
+  const ClusteringResult clustering = engine.h1_greedy();
+
+  HwGraph hw;
+  const HwNodeId both = hw.add_node("both", 0.0, {"r1", "r2"});
+  const HwNodeId only_r1 = hw.add_node("only-r1", 0.0, {"r1"});
+  hw.add_link(both, only_r1, 1.0);
+
+  const Assignment assignment = assign_by_importance(sw, clustering, hw);
+  const MappingQuality q = evaluate(sw, clustering, assignment, hw);
+  EXPECT_TRUE(q.resources_ok);
+  for (std::uint32_t c = 0; c < clustering.partition.cluster_count; ++c) {
+    if (clustering.quotient.name(c) == "needs-r2") {
+      EXPECT_EQ(assignment.host(c), both);
+    }
+    if (clustering.quotient.name(c) == "needs-r1") {
+      EXPECT_EQ(assignment.host(c), only_r1);
+    }
+  }
+}
+
+TEST(BacktrackingPlacement, TrulyImpossibleStillThrows) {
+  ResourceWorld world;
+  world.add("a", 5, {"r1"});
+  world.add("b", 5, {"r1"});
+  const SwGraph sw =
+      SwGraph::build(world.h, world.influence, world.processes);
+  ClusteringOptions options;
+  options.target_clusters = 2;
+  ClusterEngine engine(sw, options);
+  const ClusteringResult clustering = engine.h1_greedy();
+  HwGraph hw;
+  const HwNodeId n1 = hw.add_node("n1", 0.0, {"r1"});
+  const HwNodeId n2 = hw.add_node("n2");
+  hw.add_link(n1, n2, 1.0);
+  // Two clusters both need r1, only one node has it.
+  EXPECT_THROW(assign_by_importance(sw, clustering, hw), Infeasible);
+}
+
+TEST(PlannerResourceIntegration, EndToEndWithScarceResources) {
+  // The flight-control regression: the planner must wire the resource
+  // check into clustering so merged clusters stay hostable.
+  ResourceWorld world;
+  const FcmId gps = world.add("nav", 6, {"gps"});
+  const FcmId bus = world.add("sensors", 7, {"bus"});
+  world.add("display", 3);
+  world.influence.set_direct(bus, gps, Probability(0.8));
+  world.influence.set_direct(gps, bus, Probability(0.8));
+
+  HwGraph hw;
+  const HwNodeId n1 = hw.add_node("n1", 0.0, {"gps"});
+  const HwNodeId n2 = hw.add_node("n2", 0.0, {"bus"});
+  hw.add_link(n1, n2, 1.0);
+
+  IntegrationPlanner planner(world.h, world.influence, world.processes, hw);
+  const Plan plan = planner.best_plan();
+  EXPECT_TRUE(plan.quality.constraints_satisfied());
+}
+
+}  // namespace
+}  // namespace fcm::mapping

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sched/rta.h"
+
+namespace fcm::sched {
+namespace {
+
+PeriodicTask make_task(std::string name, std::int64_t period,
+                       std::int64_t cost, std::int64_t deadline = -1) {
+  PeriodicTask task;
+  task.name = std::move(name);
+  task.period = Duration::micros(period);
+  task.cost = Duration::micros(cost);
+  task.deadline = Duration::micros(deadline < 0 ? period : deadline);
+  return task;
+}
+
+TEST(DeadlineMonotonic, OrdersByRelativeDeadline) {
+  const std::vector<PeriodicTask> tasks{make_task("loose", 100, 1, 90),
+                                        make_task("tight", 100, 1, 10),
+                                        make_task("mid", 100, 1, 50)};
+  EXPECT_EQ(deadline_monotonic_order(tasks),
+            (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(Audsley, FindsAssignmentForRmSchedulableSet) {
+  const std::vector<PeriodicTask> tasks{make_task("t1", 4, 1),
+                                        make_task("t2", 6, 2),
+                                        make_task("t3", 13, 3)};
+  const auto order = audsley_assignment(tasks);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(fixed_priority_schedulable(tasks, *order));
+}
+
+TEST(Audsley, ReturnsNulloptWhenOverloaded) {
+  const std::vector<PeriodicTask> tasks{make_task("a", 4, 3),
+                                        make_task("b", 8, 4)};
+  EXPECT_FALSE(audsley_assignment(tasks).has_value());
+}
+
+TEST(Audsley, BeatsRateMonotonicOnDeadlineInversion) {
+  // Classic case: a long-period task with a tight deadline. RM ranks it
+  // last (longest period) and it misses; DM/Audsley rank it high.
+  const std::vector<PeriodicTask> tasks{
+      make_task("fast-loose", 10, 4, 10),
+      make_task("slow-tight", 50, 3, 5),
+  };
+  EXPECT_FALSE(rm_schedulable(tasks));
+  const auto order = audsley_assignment(tasks);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(fixed_priority_schedulable(tasks, *order));
+  // slow-tight must sit above fast-loose.
+  EXPECT_EQ(order->front(), 1u);
+}
+
+TEST(Audsley, AssignmentCoversEveryTaskExactlyOnce) {
+  const std::vector<PeriodicTask> tasks{
+      make_task("a", 10, 2), make_task("b", 20, 4), make_task("c", 40, 8),
+      make_task("d", 80, 10)};
+  const auto order = audsley_assignment(tasks);
+  ASSERT_TRUE(order.has_value());
+  std::vector<bool> seen(tasks.size(), false);
+  for (const std::size_t t : *order) {
+    ASSERT_LT(t, tasks.size());
+    EXPECT_FALSE(seen[t]);
+    seen[t] = true;
+  }
+}
+
+TEST(Audsley, EmptySetTriviallyAssignable) {
+  const auto order = audsley_assignment({});
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+class AudsleyVsDm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AudsleyVsDm, AudsleyNeverWeakerThanDeadlineMonotonic) {
+  // Whenever DM schedules a random set, Audsley must find an assignment
+  // too (it is optimal among fixed-priority orders).
+  Rng rng(GetParam());
+  std::vector<PeriodicTask> tasks;
+  const std::size_t n = 2 + rng.below(4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t period = rng.range(8, 60);
+    const std::int64_t cost = rng.range(1, period / 3);
+    const std::int64_t deadline = rng.range(cost, period);
+    tasks.push_back(make_task("t" + std::to_string(i), period, cost,
+                              deadline));
+  }
+  const bool dm_ok =
+      fixed_priority_schedulable(tasks, deadline_monotonic_order(tasks));
+  const auto audsley = audsley_assignment(tasks);
+  if (dm_ok) {
+    ASSERT_TRUE(audsley.has_value());
+  }
+  if (audsley.has_value()) {
+    EXPECT_TRUE(fixed_priority_schedulable(tasks, *audsley));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AudsleyVsDm,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace fcm::sched

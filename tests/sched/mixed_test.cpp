@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sched/edf.h"
+#include "sched/feasibility.h"
+
+namespace fcm::sched {
+namespace {
+
+Job make_job(std::uint32_t id, std::int64_t est, std::int64_t tcd,
+             std::int64_t ct) {
+  Job job;
+  job.id = JobId(id);
+  job.name = "j" + std::to_string(id);
+  job.release = Instant::epoch() + Duration::micros(est);
+  job.deadline = Instant::epoch() + Duration::micros(tcd);
+  job.cost = Duration::micros(ct);
+  return job;
+}
+
+PeriodicTask make_task(std::string name, std::int64_t period,
+                       std::int64_t cost, std::int64_t deadline = -1,
+                       std::int64_t offset = 0) {
+  PeriodicTask task;
+  task.name = std::move(name);
+  task.period = Duration::micros(period);
+  task.cost = Duration::micros(cost);
+  task.deadline = Duration::micros(deadline < 0 ? period : deadline);
+  task.offset = Duration::micros(offset);
+  return task;
+}
+
+TEST(MixedFeasible, PurePeriodicLightLoad) {
+  EXPECT_TRUE(mixed_feasible({}, {make_task("a", 10, 2),
+                                  make_task("b", 20, 5)}));
+}
+
+TEST(MixedFeasible, OverUtilizationRejected) {
+  EXPECT_FALSE(mixed_feasible({}, {make_task("a", 10, 6),
+                                   make_task("b", 10, 5)}));
+}
+
+TEST(MixedFeasible, FullUtilizationHarmonicAccepted) {
+  // U = 1.0 exactly; EDF schedules it.
+  EXPECT_TRUE(mixed_feasible({}, {make_task("a", 4, 2),
+                                  make_task("b", 8, 4)}));
+}
+
+TEST(MixedFeasible, ConstrainedDeadlineRejectsTightPair) {
+  // Two tasks, each deadline 3, cost 2, period 10, same offset: at t=0
+  // demand 4 in a window of 3.
+  EXPECT_FALSE(mixed_feasible({}, {make_task("a", 10, 2, 3),
+                                   make_task("b", 10, 2, 3)}));
+  // Offsetting the second by 5 resolves the clash.
+  EXPECT_TRUE(mixed_feasible({}, {make_task("a", 10, 2, 3),
+                                  make_task("b", 10, 2, 3, 5)}));
+}
+
+TEST(MixedFeasible, OneShotAlonePassesThrough) {
+  EXPECT_TRUE(mixed_feasible({make_job(0, 0, 10, 4)}, {}));
+  EXPECT_FALSE(mixed_feasible(
+      {make_job(0, 0, 5, 3), make_job(1, 2, 6, 4)}, {}));
+}
+
+TEST(MixedFeasible, OneShotSqueezesBetweenPeriodicInstances) {
+  // Periodic task with 50% load; a one-shot needing the other 50% of a
+  // window fits.
+  const std::vector<PeriodicTask> periodic{make_task("p", 10, 5)};
+  EXPECT_TRUE(mixed_feasible({make_job(0, 0, 20, 8)}, periodic));
+  // But a one-shot needing more than the leftover does not.
+  EXPECT_FALSE(mixed_feasible({make_job(0, 0, 20, 12)}, periodic));
+}
+
+TEST(MixedFeasible, OneShotDeadlineBeyondHyperperiodStillChecked) {
+  const std::vector<PeriodicTask> periodic{make_task("p", 4, 2)};
+  // One-shot spanning many hyperperiods: leftover capacity is 50%.
+  EXPECT_TRUE(mixed_feasible({make_job(0, 0, 100, 45)}, periodic));
+  EXPECT_FALSE(mixed_feasible({make_job(0, 0, 100, 55)}, periodic));
+}
+
+TEST(MixedFeasible, NonHarmonicPeriodsUseRtaFallback) {
+  // Periods 9999991 and 9999989 (coprime): the lcm blows past the cap, so
+  // the DM/RTA fallback decides. Light load must pass.
+  EXPECT_TRUE(mixed_feasible({}, {make_task("a", 9'999'991, 10),
+                                  make_task("b", 9'999'989, 10)}));
+  // Heavy load must fail even through the fallback.
+  EXPECT_FALSE(mixed_feasible({}, {make_task("a", 9'999'991, 6'000'000),
+                                   make_task("b", 9'999'989, 6'000'000)}));
+}
+
+TEST(MixedFeasible, AgreesWithEdfOnExpandedSets) {
+  // Cross-check: expansion + EDF equals mixed_feasible for harmonic sets.
+  const std::vector<PeriodicTask> tasks{make_task("a", 4, 1, 3),
+                                        make_task("b", 8, 3),
+                                        make_task("c", 16, 4)};
+  const auto jobs = expand_to_jobs(tasks, Duration::micros(32));
+  EXPECT_EQ(mixed_feasible({}, tasks), edf_feasible(jobs));
+}
+
+}  // namespace
+}  // namespace fcm::sched

@@ -1,0 +1,103 @@
+#include "sim/usage_history.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace fcm::sim {
+namespace {
+
+PlatformSpec faulty_pair(double rate_a, double rate_b) {
+  PlatformSpec spec;
+  const ProcessorId cpu = spec.add_processor("cpu0");
+  TaskSpec a;
+  a.name = "a";
+  a.processor = cpu;
+  a.period = Duration::millis(10);
+  a.deadline = Duration::millis(10);
+  a.cost = Duration::millis(1);
+  a.fault_rate = Probability(rate_a);
+  spec.add_task(a);
+  TaskSpec b = a;
+  b.name = "b";
+  b.offset = Duration::millis(5);
+  b.fault_rate = Probability(rate_b);
+  spec.add_task(b);
+  return spec;
+}
+
+TEST(UsageHistory, CountsActivations) {
+  const UsageHistory history =
+      UsageHistory::observe(faulty_pair(0.0, 0.0), Duration::millis(100), 1);
+  EXPECT_EQ(history.record(0).activations, 10u);
+  EXPECT_EQ(history.record(1).activations, 10u);
+  EXPECT_EQ(history.record(0).own_faults, 0u);
+  EXPECT_EQ(history.missions(), 1u);
+}
+
+TEST(UsageHistory, EstimatesConfiguredFaultRate) {
+  // 2000 activations at rate 0.2: the estimate must land near 0.2.
+  const UsageHistory history = UsageHistory::observe(
+      faulty_pair(0.2, 0.01), Duration::seconds(2), 7, 10);
+  EXPECT_NEAR(history.estimated_p1(0).value(), 0.2, 0.03);
+  EXPECT_NEAR(history.estimated_p1(1).value(), 0.01, 0.01);
+  EXPECT_GT(history.estimated_p1(0).value(),
+            history.estimated_p1(1).value());
+}
+
+TEST(UsageHistory, LaplaceSmoothingAvoidsZero) {
+  const UsageHistory history =
+      UsageHistory::observe(faulty_pair(0.0, 0.0), Duration::millis(100), 3);
+  // No observed faults, but the smoothed estimate stays positive.
+  EXPECT_GT(history.estimated_p1(0).value(), 0.0);
+  EXPECT_LT(history.estimated_p1(0).value(), 0.15);
+}
+
+TEST(UsageHistory, MoreEvidenceTightensTheSmoothedEstimate) {
+  const UsageHistory little =
+      UsageHistory::observe(faulty_pair(0.0, 0.0), Duration::millis(50), 5);
+  const UsageHistory lots = UsageHistory::observe(
+      faulty_pair(0.0, 0.0), Duration::seconds(5), 5, 4);
+  EXPECT_LT(lots.estimated_p1(0).value(), little.estimated_p1(0).value());
+}
+
+TEST(UsageHistory, MergeAccumulates) {
+  UsageHistory a =
+      UsageHistory::observe(faulty_pair(0.1, 0.1), Duration::millis(100), 1);
+  const UsageHistory b =
+      UsageHistory::observe(faulty_pair(0.1, 0.1), Duration::millis(100), 2);
+  const auto before = a.record(0).activations;
+  a.merge(b);
+  EXPECT_EQ(a.record(0).activations, before + b.record(0).activations);
+  EXPECT_EQ(a.missions(), 2u);
+}
+
+TEST(UsageHistory, MergeRejectsDifferentPlatforms) {
+  UsageHistory a =
+      UsageHistory::observe(faulty_pair(0.0, 0.0), Duration::millis(10), 1);
+  PlatformSpec other = faulty_pair(0.0, 0.0);
+  TaskSpec extra = other.tasks[0];
+  extra.name = "c";
+  other.add_task(extra);
+  const UsageHistory b =
+      UsageHistory::observe(other, Duration::millis(10), 1);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+}
+
+TEST(UsageHistory, DeterministicForSeed) {
+  const UsageHistory a = UsageHistory::observe(faulty_pair(0.3, 0.1),
+                                               Duration::seconds(1), 42, 3);
+  const UsageHistory b = UsageHistory::observe(faulty_pair(0.3, 0.1),
+                                               Duration::seconds(1), 42, 3);
+  EXPECT_EQ(a.record(0).own_faults, b.record(0).own_faults);
+  EXPECT_EQ(a.record(1).own_faults, b.record(1).own_faults);
+}
+
+TEST(UsageHistory, UnknownTaskThrows) {
+  const UsageHistory history =
+      UsageHistory::observe(faulty_pair(0.0, 0.0), Duration::millis(10), 1);
+  EXPECT_THROW((void)history.record(9), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fcm::sim
