@@ -1,7 +1,14 @@
 // Ablation — Monte Carlo dependability evaluation: convergence of the
-// sampled TMR survival to the closed form 3r²-2r³, and the throughput of
-// the evaluator (the cost of scoring one candidate mapping).
+// sampled TMR survival to the closed form 3r²-2r³, the throughput of the
+// evaluator (the cost of scoring one candidate mapping), and the scaling of
+// the sharded engine over worker threads (recorded to BENCH_montecarlo.json
+// together with the bitwise-identity check).
+#include <chrono>
 #include <cmath>
+#include <fstream>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
@@ -58,6 +65,76 @@ void print_reproduction() {
                "replicas sit on distinct nodes)\n";
 }
 
+bool reports_identical(const DependabilityReport& a,
+                       const DependabilityReport& b) {
+  if (a.system_survival != b.system_survival ||
+      a.critical_survival != b.critical_survival ||
+      a.expected_criticality_loss != b.expected_criticality_loss) {
+    return false;
+  }
+  return a.process_survival == b.process_survival;
+}
+
+void threads_scaling() {
+  bench::banner("parallel Monte Carlo: thread scaling and determinism");
+  Setup setup;
+  MissionModel mission;
+  mission.hw_failure = Probability(0.1);
+  mission.sw_fault = Probability(0.02);
+  mission.propagate = true;
+  mission.trials = 400'000;
+
+  auto timed = [&](std::uint32_t threads) {
+    mission.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    DependabilityReport report =
+        evaluate_mapping(setup.sw, setup.clustering, setup.assignment,
+                         setup.hw, mission, 2024);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return std::pair(elapsed.count(), std::move(report));
+  };
+
+  const DependabilityReport reference = timed(1).second;  // also warms caches
+  std::vector<std::pair<std::uint32_t, std::pair<double, bool>>> sweep;
+  double base_seconds = 0.0;
+  double seconds_4 = 0.0;
+  bool all_identical = true;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const auto [seconds, report] = timed(threads);
+    const bool identical = reports_identical(reference, report);
+    all_identical = all_identical && identical;
+    if (threads == 1) base_seconds = seconds;
+    if (threads == 4) seconds_4 = seconds;
+    sweep.emplace_back(threads, std::pair(seconds, identical));
+  }
+
+  TextTable table({"threads", "seconds", "speedup vs 1", "identical"});
+  for (const auto& [threads, row] : sweep) {
+    table.add_row({std::to_string(threads), fmt(row.first, 3),
+                   fmt(base_seconds / row.first, 2),
+                   row.second ? "yes" : "NO"});
+  }
+  std::cout << table.render();
+  std::cout << "(speedup needs real cores: "
+            << std::thread::hardware_concurrency()
+            << " hardware threads here; estimates are bitwise identical "
+               "either way)\n";
+
+  std::ofstream json("BENCH_montecarlo.json");
+  json << "{\n"
+       << "  \"bench\": \"montecarlo_threads\",\n"
+       << "  \"trials\": " << mission.trials << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"seconds_1_thread\": " << base_seconds << ",\n"
+       << "  \"seconds_4_threads\": " << seconds_4 << ",\n"
+       << "  \"speedup_4_threads\": " << base_seconds / seconds_4 << ",\n"
+       << "  \"bitwise_identical\": " << (all_identical ? "true" : "false")
+       << "\n}\n";
+  std::cout << "(speedup record written to BENCH_montecarlo.json)\n";
+}
+
 void BM_MonteCarloTrials(benchmark::State& state) {
   Setup setup;
   MissionModel mission;
@@ -74,6 +151,24 @@ void BM_MonteCarloTrials(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloTrials)->Arg(1000)->Arg(10'000)->Arg(100'000);
 
+void BM_MonteCarloThreads(benchmark::State& state) {
+  Setup setup;
+  MissionModel mission;
+  mission.hw_failure = Probability(0.1);
+  mission.sw_fault = Probability(0.02);
+  mission.propagate = true;
+  mission.trials = 100'000;
+  mission.threads = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluate_mapping(setup.sw, setup.clustering, setup.assignment,
+                         setup.hw, mission, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * mission.trials);
+}
+BENCHMARK(BM_MonteCarloThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_ClosedForms(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tmr_reliability(0.9));
@@ -83,6 +178,11 @@ void BM_ClosedForms(benchmark::State& state) {
 }
 BENCHMARK(BM_ClosedForms);
 
+void print_all() {
+  print_reproduction();
+  threads_scaling();
+}
+
 }  // namespace
 
-FCM_BENCH_MAIN(print_reproduction)
+FCM_BENCH_MAIN(print_all)

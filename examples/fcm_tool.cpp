@@ -6,7 +6,7 @@
 //   fcm_tool table                       # print Table 1
 //   fcm_tool influence                   # print the Fig. 3 graph + roles
 //   fcm_tool separation [--order K]      # Eq. 3 separation matrix
-//   fcm_tool depend [--hw N] [--q P] [--trials N]
+//   fcm_tool depend [--hw N] [--q P] [--trials N] [--threads T]
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -60,7 +60,9 @@ int usage() {
       "  separation [--order K]              Eq. 3 separation matrix\n"
       "  plan [--hw N] [--heuristic H] [--approach a|b]\n"
       "       H in {h1, h1r, h2, h3, crit, timing, best}\n"
-      "  depend [--hw N] [--q P] [--trials N]  Monte Carlo evaluation\n";
+      "  depend [--hw N] [--q P] [--trials N] [--threads T]\n"
+      "       Monte Carlo evaluation; T=0 uses all cores, the estimates\n"
+      "       are identical for every T\n";
   return 2;
 }
 
@@ -156,6 +158,7 @@ int cmd_depend(const Args& args) {
   mission.hw_failure = Probability(args.get_double("q", 0.05));
   mission.trials =
       static_cast<std::uint32_t>(args.get_int("trials", 20'000));
+  mission.threads = static_cast<std::uint32_t>(args.get_int("threads", 1));
   const auto report = dependability::evaluate_mapping(
       planner.sw_graph(), plan.clustering, plan.assignment, hw, mission,
       2026);
@@ -168,7 +171,9 @@ int cmd_depend(const Args& args) {
   std::cout << "system survival:      " << fmt(report.system_survival, 4)
             << "\ncritical survival:    " << fmt(report.critical_survival, 4)
             << "\nE[criticality loss]:  "
-            << fmt(report.expected_criticality_loss, 3) << '\n';
+            << fmt(report.expected_criticality_loss, 3)
+            << "\nworkers / blocks:     " << report.threads_used << " / "
+            << report.blocks << '\n';
   return 0;
 }
 

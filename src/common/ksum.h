@@ -1,0 +1,42 @@
+// Compensated (Neumaier) floating-point summation.
+//
+// Monte Carlo accumulators add millions of small per-trial outcomes into one
+// running total; naive summation loses low-order bits once the total dwarfs
+// the addends, which biases loss estimates at large trial counts. Neumaier's
+// variant of Kahan summation carries the rounding error in a compensation
+// term and also handles the case where the addend exceeds the running sum.
+// The parallel Monte Carlo engine sums each trial block with one NeumaierSum
+// and folds the per-block totals with another, in fixed block order, so the
+// final value is bitwise-reproducible for a given (seed, block size)
+// regardless of thread count.
+#pragma once
+
+namespace fcm {
+
+/// Running compensated sum. add() costs a few flops more than `+=` and
+/// keeps the accumulated rounding error to one ulp of the true sum.
+class NeumaierSum {
+ public:
+  constexpr NeumaierSum() noexcept = default;
+
+  constexpr void add(double x) noexcept {
+    const double t = sum_ + x;
+    const double abs_sum = sum_ < 0.0 ? -sum_ : sum_;
+    const double abs_x = x < 0.0 ? -x : x;
+    // The larger-magnitude operand keeps its low bits; recover the bits the
+    // smaller one lost in the rounded addition.
+    compensation_ += abs_sum >= abs_x ? (sum_ - t) + x : (x - t) + sum_;
+    sum_ = t;
+  }
+
+  /// The compensated total.
+  [[nodiscard]] constexpr double value() const noexcept {
+    return sum_ + compensation_;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace fcm

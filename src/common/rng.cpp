@@ -8,13 +8,54 @@ namespace fcm {
 
 namespace {
 constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+
+// SplitMix64 finalizer: a bijective avalanche mix used to derive substream
+// seeds. Bijectivity guarantees distinct inputs map to distinct outputs.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept
-    : state_(0), inc_((stream << 1u) | 1u) {
+    : state_(0), inc_((stream << 1u) | 1u), seed_(seed), stream_(stream) {
   (*this)();
   state_ += seed;
   (*this)();
+}
+
+void Rng::advance(std::uint64_t delta) noexcept {
+  // Brown's O(log delta) LCG jump: compute the composite multiplier and
+  // increment of delta sequential steps by repeated squaring.
+  std::uint64_t cur_mult = kMultiplier;
+  std::uint64_t cur_plus = inc_;
+  std::uint64_t acc_mult = 1;
+  std::uint64_t acc_plus = 0;
+  while (delta > 0) {
+    if (delta & 1u) {
+      acc_mult *= cur_mult;
+      acc_plus = acc_plus * cur_mult + cur_plus;
+    }
+    cur_plus = (cur_mult + 1) * cur_plus;
+    cur_mult *= cur_mult;
+    delta >>= 1u;
+  }
+  state_ = acc_mult * state_ + acc_plus;
+}
+
+Rng Rng::substream(std::uint64_t index) const noexcept {
+  // Pure in (seed_, stream_, index): never reads state_, so the result is
+  // identical regardless of how many draws the parent has made. The seed
+  // and stream of the child are independent bijective mixes, keeping
+  // distinct indices on distinct streams (the PCG increment is derived from
+  // the stream value, and splitmix64 is injective in `index` for a fixed
+  // parent identity).
+  const std::uint64_t child_seed = splitmix64(seed_ ^ splitmix64(index));
+  const std::uint64_t child_stream =
+      splitmix64(stream_ + 0x632BE59BD9B4E019ULL * (index + 1));
+  return Rng(child_seed, child_stream);
 }
 
 Rng::result_type Rng::operator()() noexcept {

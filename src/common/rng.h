@@ -25,6 +25,20 @@ class Rng {
   /// processes that share an experiment seed).
   explicit Rng(std::uint64_t seed, std::uint64_t stream = 0) noexcept;
 
+  /// Jump-ahead: advances the generator by `delta` steps in O(log delta)
+  /// (the standard LCG matrix-exponentiation jump). `advance(n)` leaves the
+  /// generator in exactly the state reached by calling operator() n times.
+  void advance(std::uint64_t delta) noexcept;
+
+  /// Counter-based stream split: derives the `index`-th child generator as
+  /// a pure function of this generator's *seeding identity* (seed, stream)
+  /// and `index` — independent of how many values have been drawn since
+  /// construction. Distinct indices yield distinct, decorrelated streams.
+  /// This is the substream API behind the parallel Monte Carlo engine:
+  /// work shard i always draws from substream(i), so results cannot depend
+  /// on which thread executes the shard or in which order shards run.
+  [[nodiscard]] Rng substream(std::uint64_t index) const noexcept;
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept { return 0xFFFFFFFFu; }
 
@@ -66,6 +80,10 @@ class Rng {
  private:
   std::uint64_t state_;
   std::uint64_t inc_;
+  // Seeding identity, retained so substream() is a pure function of
+  // (seed, stream, index) rather than of the current draw position.
+  std::uint64_t seed_;
+  std::uint64_t stream_;
 };
 
 /// Sample k distinct indices from [0,n) without replacement.

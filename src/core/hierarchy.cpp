@@ -18,6 +18,7 @@ FcmId FcmHierarchy::create(std::string name, Level level,
   slot.fcm.attributes = attributes;
   slot.fcm.isolation = std::move(isolation);
   slots_.push_back(std::move(slot));
+  ++revision_;
   return slots_.back().fcm.id;
 }
 
@@ -61,6 +62,7 @@ void FcmHierarchy::attach(FcmId child, FcmId parent) {
   }
   c.parent = parent;
   p.children.push_back(child);
+  ++revision_;
 }
 
 bool FcmHierarchy::alive(FcmId id) const noexcept {
@@ -70,7 +72,10 @@ bool FcmHierarchy::alive(FcmId id) const noexcept {
 
 const Fcm& FcmHierarchy::get(FcmId id) const { return slot(id).fcm; }
 
-Fcm& FcmHierarchy::get_mutable(FcmId id) { return slot(id).fcm; }
+Fcm& FcmHierarchy::get_mutable(FcmId id) {
+  ++revision_;  // a writable reference escapes; assume it mutates
+  return slot(id).fcm;
+}
 
 FcmId FcmHierarchy::parent(FcmId id) const { return slot(id).parent; }
 
@@ -175,6 +180,7 @@ FcmId FcmHierarchy::absorb_sibling(FcmId a, FcmId b,
   }
   sb.children.clear();
   sb.dead = true;
+  ++revision_;
   return a;
 }
 

@@ -92,6 +92,13 @@ class FcmHierarchy {
   /// Number of live FCMs.
   [[nodiscard]] std::size_t size() const noexcept;
 
+  /// Monotone revision counter, bumped by every structural mutation
+  /// (create, attach, clone, absorb) and by get_mutable (which hands out a
+  /// writable reference, so mutation must be presumed). Caches over
+  /// hierarchy-derived results key on this to invalidate after R3-R5
+  /// integration operations.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
  private:
   struct Slot {
     Fcm fcm;
@@ -105,6 +112,7 @@ class FcmHierarchy {
 
   std::vector<Slot> slots_;
   int clone_counter_ = 0;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace fcm::core

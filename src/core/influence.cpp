@@ -73,6 +73,10 @@ std::size_t InfluenceModel::add_member(FcmId id, std::string name) {
     if (members_[i].id == id) return i;
   }
   members_.push_back(Member{id, std::move(name)});
+  // A new member changes the model's shape (matrix dimensions) even though
+  // no cached pair value becomes stale; bump the revision for shape-keyed
+  // consumers like SeparationCache.
+  ++revision_;
   return members_.size() - 1;
 }
 
@@ -109,6 +113,9 @@ void InfluenceModel::add_factor(FcmId from, FcmId to, InfluenceFactor factor) {
   FCM_REQUIRE(!data.direct.has_value(),
               "pair already carries a direct influence value");
   data.factors.push_back(std::move(factor));
+  ++revision_;
+  cache_stats_.invalidations +=
+      value_cache_.erase(pair_key(index_of(from), index_of(to)));
 }
 
 void InfluenceModel::set_direct(FcmId from, FcmId to, Probability influence) {
@@ -116,16 +123,35 @@ void InfluenceModel::set_direct(FcmId from, FcmId to, Probability influence) {
   FCM_REQUIRE(data.factors.empty(),
               "pair already carries influence factors");
   data.direct = influence;
+  ++revision_;
+  cache_stats_.invalidations +=
+      value_cache_.erase(pair_key(index_of(from), index_of(to)));
 }
 
 Probability InfluenceModel::influence(FcmId from, FcmId to) const {
-  const PairData* data = pair(from, to);
-  if (data == nullptr) return Probability::zero();
-  if (data->direct) return *data->direct;
-  std::vector<Probability> ps;
-  ps.reserve(data->factors.size());
-  for (const InfluenceFactor& f : data->factors) ps.push_back(f.probability());
-  return any_of(ps);  // Eq. 2
+  const std::uint64_t key = pair_key(index_of(from), index_of(to));
+  if (const auto cached = value_cache_.find(key);
+      cached != value_cache_.end()) {
+    ++cache_stats_.hits;
+    return cached->second;
+  }
+  ++cache_stats_.misses;
+  Probability result = Probability::zero();
+  if (const auto it = pairs_.find(key); it != pairs_.end()) {
+    const PairData& data = it->second;
+    if (data.direct) {
+      result = *data.direct;
+    } else {
+      std::vector<Probability> ps;
+      ps.reserve(data.factors.size());
+      for (const InfluenceFactor& f : data.factors) {
+        ps.push_back(f.probability());
+      }
+      result = any_of(ps);  // Eq. 2
+    }
+  }
+  value_cache_.emplace(key, result);
+  return result;
 }
 
 Probability InfluenceModel::influence(FcmId from, FcmId to,

@@ -41,6 +41,22 @@ enum class FactorKind : std::uint8_t {
 
 const char* to_string(FactorKind kind) noexcept;
 
+/// Counters exposed by the memoization layers (per-pair influence memo,
+/// separation cache, clustering quotient cache) so benches, tests, and the
+/// fcm_tool example can report cache effectiveness.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t evictions = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
 /// Which isolation technique mitigates each factor kind (multiplying its
 /// transmission probability p_{i,2} by the technique's reduction factor).
 std::optional<IsolationTechnique> mitigation_for(FactorKind kind) noexcept;
@@ -88,6 +104,10 @@ class InfluenceModel {
   void set_direct(FcmId from, FcmId to, Probability influence);
 
   /// Eq. 2: combined influence of `from` on `to` (zero when no factors).
+  /// Memoized per ordered pair: repeated queries (clustering heuristics,
+  /// role summaries, matrix exports) hit a cache that is invalidated
+  /// precisely when the pair's factors or direct value mutate. Not
+  /// thread-safe — the memo mutates under a const interface.
   [[nodiscard]] Probability influence(FcmId from, FcmId to) const;
 
   /// Eq. 2 with the source FCM's isolation config applied to every factor.
@@ -110,6 +130,18 @@ class InfluenceModel {
   /// indexed by registration order (input to separation analysis, Eq. 3).
   [[nodiscard]] graph::Matrix to_matrix() const;
 
+  /// Monotone revision counter, bumped by every mutation (member, factor,
+  /// or direct-value changes). External caches — SeparationCache, the
+  /// clustering quotient cache — key derived results on it to detect
+  /// staleness without deep comparisons.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
+  /// Hit/miss/invalidation counters of the per-pair Eq. 2 memo.
+  [[nodiscard]] const CacheStats& cache_stats() const noexcept {
+    return cache_stats_;
+  }
+  void reset_cache_stats() const noexcept { cache_stats_ = CacheStats{}; }
+
  private:
   struct PairData {
     std::vector<InfluenceFactor> factors;
@@ -126,6 +158,11 @@ class InfluenceModel {
   std::vector<Member> members_;
   // (from index << 32 | to index) -> data.
   std::unordered_map<std::uint64_t, PairData> pairs_;
+  // Memo of the no-isolation Eq. 2 value per ordered pair (absent pairs
+  // cache Probability::zero() too — clustering probes many empty pairs).
+  mutable std::unordered_map<std::uint64_t, Probability> value_cache_;
+  mutable CacheStats cache_stats_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace fcm::core

@@ -1,6 +1,7 @@
 #include "core/separation.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -35,6 +36,91 @@ Probability SeparationAnalysis::min_separation() const {
     }
   }
   return Probability::clamped(min_value);
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash = (hash ^ (value & 0xFFu)) * kFnvPrime;
+    value >>= 8u;
+  }
+  return hash;
+}
+
+std::uint64_t bits_of(double value) noexcept {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+std::uint64_t model_key(const InfluenceModel& model) noexcept {
+  // Pointer identity x revision: two different live models never collide,
+  // and a mutated model never reuses its stale entry.
+  std::uint64_t hash = fnv_mix(
+      kFnvOffset, static_cast<std::uint64_t>(
+                      reinterpret_cast<std::uintptr_t>(&model)));
+  return fnv_mix(hash, model.revision());
+}
+
+std::uint64_t matrix_key(const graph::Matrix& m) noexcept {
+  std::uint64_t hash = fnv_mix(kFnvOffset ^ 0x9E3779B97F4A7C15ULL,
+                               static_cast<std::uint64_t>(m.size()));
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (std::size_t j = 0; j < m.size(); ++j) {
+      hash = fnv_mix(hash, bits_of(m.at(i, j)));
+    }
+  }
+  return hash;
+}
+
+}  // namespace
+
+SeparationCache::SeparationCache(std::size_t capacity)
+    : capacity_(capacity) {
+  FCM_REQUIRE(capacity_ >= 1, "separation cache capacity must be positive");
+}
+
+template <typename Make>
+const SeparationAnalysis& SeparationCache::lookup(std::uint64_t key,
+                                                  SeparationOptions options,
+                                                  Make make) {
+  ++tick_;
+  for (Entry& entry : entries_) {
+    if (entry.key == key && entry.options == options) {
+      ++stats_.hits;
+      entry.last_used = tick_;
+      return entry.analysis;
+    }
+  }
+  ++stats_.misses;
+  if (entries_.size() >= capacity_) {
+    std::size_t oldest = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].last_used < entries_[oldest].last_used) oldest = i;
+    }
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(oldest));
+    ++stats_.evictions;
+  }
+  entries_.push_back(Entry{key, options, tick_, make()});
+  return entries_.back().analysis;
+}
+
+const SeparationAnalysis& SeparationCache::get(const InfluenceModel& model,
+                                               SeparationOptions options) {
+  return lookup(model_key(model), options,
+                [&] { return SeparationAnalysis(model, options); });
+}
+
+const SeparationAnalysis& SeparationCache::get(
+    const graph::Matrix& influence_matrix, SeparationOptions options) {
+  return lookup(matrix_key(influence_matrix), options, [&] {
+    return SeparationAnalysis(influence_matrix, options);
+  });
 }
 
 }  // namespace fcm::core

@@ -22,6 +22,8 @@ struct SeparationOptions {
   int max_order = 6;
   /// Stop early once a term's largest entry falls below this.
   double epsilon = 1e-9;
+
+  [[nodiscard]] bool operator==(const SeparationOptions&) const = default;
 };
 
 /// Precomputed separation over one influence model.
@@ -52,6 +54,47 @@ class SeparationAnalysis {
 
  private:
   graph::Matrix series_;
+};
+
+/// Memoizes SeparationAnalysis instances so repeated Eq. 3 queries — the
+/// planner scoring several heuristics, iterative what-if loops over one
+/// model — do not recompute the transitive power series. Entries are keyed
+/// on the influence model's revision counter (or a content hash for raw
+/// matrices) plus the truncation options, so any model mutation naturally
+/// invalidates its cached series. Small LRU; evictions are counted.
+class SeparationCache {
+ public:
+  explicit SeparationCache(std::size_t capacity = 8);
+
+  /// The analysis for the model's *current* revision. Recomputes (and
+  /// counts a miss) when the model mutated since the entry was cached.
+  const SeparationAnalysis& get(const InfluenceModel& model,
+                                SeparationOptions options = {});
+
+  /// The analysis for a raw influence matrix, keyed on a content hash of
+  /// its dimensions and entries.
+  const SeparationAnalysis& get(const graph::Matrix& influence_matrix,
+                                SeparationOptions options = {});
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    SeparationOptions options;
+    std::uint64_t last_used;
+    SeparationAnalysis analysis;
+  };
+
+  template <typename Make>
+  const SeparationAnalysis& lookup(std::uint64_t key,
+                                   SeparationOptions options, Make make);
+
+  std::vector<Entry> entries_;
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
 };
 
 }  // namespace fcm::core

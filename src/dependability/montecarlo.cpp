@@ -1,84 +1,92 @@
 #include "dependability/montecarlo.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <thread>
 
 #include "common/error.h"
+#include "common/ksum.h"
 #include "common/rng.h"
 
 namespace fcm::dependability {
 
-DependabilityReport evaluate_mapping(
-    const mapping::SwGraph& sw, const mapping::ClusteringResult& clustering,
-    const mapping::Assignment& assignment, const mapping::HwGraph& hw,
-    const MissionModel& mission, std::uint64_t seed,
-    core::Criticality critical_threshold) {
-  FCM_REQUIRE(mission.trials > 0, "at least one trial required");
-  FCM_REQUIRE(assignment.hw_of.size() == clustering.partition.cluster_count,
-              "assignment does not cover every cluster");
+namespace {
 
-  // Group SW nodes by their origin process; record replication semantics.
-  struct ProcessInfo {
-    FcmId origin;
-    std::vector<graph::NodeIndex> replicas;
-    int replication = 1;
-    core::Criticality criticality = 0;
-  };
-  std::map<FcmId, std::size_t> index_of;
-  std::vector<ProcessInfo> processes;
-  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
-    const mapping::SwNode& node = sw.node(v);
-    auto [it, inserted] =
-        index_of.try_emplace(node.origin, processes.size());
-    if (inserted) {
-      ProcessInfo info;
-      info.origin = node.origin;
-      info.replication = node.attributes.replication;
-      info.criticality = node.attributes.criticality;
-      processes.push_back(std::move(info));
-    }
-    processes[it->second].replicas.push_back(v);
-  }
+// Replication semantics of one origin process, precomputed once per
+// evaluation and shared read-only by every worker.
+struct ProcessInfo {
+  FcmId origin;
+  std::vector<graph::NodeIndex> replicas;
+  int replication = 1;
+  core::Criticality criticality = 0;
+};
 
-  Rng rng(seed);
-  std::vector<std::uint32_t> survived(processes.size(), 0);
-  std::uint32_t all_ok = 0, critical_ok = 0;
-  double criticality_loss_sum = 0.0;
+// Tally of one fixed-size trial block. Counts are exact integers; the loss
+// sum is compensated within the block in trial order, so folding blocks in
+// index order reproduces one canonical floating-point result no matter
+// which thread ran which block.
+struct BlockTally {
+  std::vector<std::uint32_t> survived;
+  std::uint32_t all_ok = 0;
+  std::uint32_t critical_ok = 0;
+  double criticality_loss = 0.0;
+};
 
-  std::vector<bool> hw_failed(hw.node_count());
-  std::vector<bool> module_failed(sw.node_count());
+// Reusable per-worker scratch, allocated once per thread instead of per
+// trial (the propagation edge-state vector dominated allocation cost in the
+// single-threaded engine).
+struct WorkerScratch {
+  std::vector<bool> hw_failed;
+  std::vector<bool> module_failed;
+  std::vector<std::int8_t> edge_state;  // -1 unsampled, 0 no, 1 yes
+};
 
-  for (std::uint32_t trial = 0; trial < mission.trials; ++trial) {
+void run_block(const mapping::SwGraph& sw,
+               const mapping::ClusteringResult& clustering,
+               const mapping::Assignment& assignment,
+               const mapping::HwGraph& hw, const MissionModel& mission,
+               const std::vector<ProcessInfo>& processes,
+               core::Criticality critical_threshold, Rng rng,
+               std::uint32_t first_trial, std::uint32_t last_trial,
+               WorkerScratch& scratch, BlockTally& tally) {
+  tally.survived.assign(processes.size(), 0);
+  NeumaierSum loss_sum;
+  const auto& edges = sw.influence_graph().edges();
+
+  for (std::uint32_t trial = first_trial; trial < last_trial; ++trial) {
     // 1. HW node failures.
     for (std::size_t n = 0; n < hw.node_count(); ++n) {
-      hw_failed[n] = rng.chance(mission.hw_failure);
+      scratch.hw_failed[n] = rng.chance(mission.hw_failure);
     }
     // 2. Module failures: host HW down, or intrinsic SW fault.
     for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
       const std::uint32_t cluster = clustering.partition.cluster_of[v];
       const HwNodeId host = assignment.hw_of[cluster];
-      module_failed[v] =
-          hw_failed[host.value()] || rng.chance(mission.sw_fault);
+      scratch.module_failed[v] =
+          scratch.hw_failed[host.value()] || rng.chance(mission.sw_fault);
     }
     // 3. Propagation along influence edges to a fixed point. Each edge is
     // sampled at most once per trial (a module corrupts a neighbor or not).
     if (mission.propagate) {
+      std::fill(scratch.edge_state.begin(), scratch.edge_state.end(),
+                static_cast<std::int8_t>(-1));
       bool changed = true;
-      std::vector<std::int8_t> edge_state(sw.influence_graph().edge_count(),
-                                          -1);  // -1 unsampled, 0 no, 1 yes
       while (changed) {
         changed = false;
-        const auto& edges = sw.influence_graph().edges();
         for (std::size_t e = 0; e < edges.size(); ++e) {
           const graph::Edge& edge = edges[e];
-          if (!module_failed[edge.from] || module_failed[edge.to]) continue;
+          if (!scratch.module_failed[edge.from] ||
+              scratch.module_failed[edge.to]) {
+            continue;
+          }
           if (edge.weight <= 0.0) continue;  // replica links don't propagate
-          if (edge_state[e] < 0) {
-            edge_state[e] =
+          if (scratch.edge_state[e] < 0) {
+            scratch.edge_state[e] =
                 rng.chance(Probability::clamped(edge.weight)) ? 1 : 0;
           }
-          if (edge_state[e] == 1) {
-            module_failed[edge.to] = true;
+          if (scratch.edge_state[e] == 1) {
+            scratch.module_failed[edge.to] = true;
             changed = true;
           }
         }
@@ -91,7 +99,7 @@ DependabilityReport evaluate_mapping(
       const ProcessInfo& info = processes[p];
       int ok = 0;
       for (const graph::NodeIndex v : info.replicas) {
-        if (!module_failed[v]) ++ok;
+        if (!scratch.module_failed[v]) ++ok;
       }
       bool delivered = false;
       if (info.replication <= 2) {
@@ -101,20 +109,111 @@ DependabilityReport evaluate_mapping(
         delivered = 2 * ok > voters;  // majority vote
       }
       if (delivered) {
-        ++survived[p];
+        ++tally.survived[p];
       } else {
         everything = false;
         lost += info.criticality;
         if (info.criticality >= critical_threshold) critical = false;
       }
     }
-    if (everything) ++all_ok;
-    if (critical) ++critical_ok;
-    criticality_loss_sum += lost;
+    if (everything) ++tally.all_ok;
+    if (critical) ++tally.critical_ok;
+    loss_sum.add(lost);
+  }
+  tally.criticality_loss = loss_sum.value();
+}
+
+}  // namespace
+
+DependabilityReport evaluate_mapping(
+    const mapping::SwGraph& sw, const mapping::ClusteringResult& clustering,
+    const mapping::Assignment& assignment, const mapping::HwGraph& hw,
+    const MissionModel& mission, std::uint64_t seed,
+    core::Criticality critical_threshold) {
+  FCM_REQUIRE(mission.trials > 0, "at least one trial required");
+  FCM_REQUIRE(mission.trials_per_block > 0,
+              "trial block size must be positive");
+  FCM_REQUIRE(assignment.hw_of.size() == clustering.partition.cluster_count,
+              "assignment does not cover every cluster");
+
+  // Group SW nodes by their origin process; record replication semantics.
+  std::map<FcmId, std::size_t> index_of;
+  std::vector<ProcessInfo> processes;
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    const mapping::SwNode& node = sw.node(v);
+    auto [it, inserted] = index_of.try_emplace(node.origin, processes.size());
+    if (inserted) {
+      ProcessInfo info;
+      info.origin = node.origin;
+      info.replication = node.attributes.replication;
+      info.criticality = node.attributes.criticality;
+      processes.push_back(std::move(info));
+    }
+    processes[it->second].replicas.push_back(v);
+  }
+
+  const std::uint32_t block_size = mission.trials_per_block;
+  const std::uint32_t block_count =
+      (mission.trials + block_size - 1) / block_size;
+  std::uint32_t threads = mission.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, block_count);
+
+  // The master generator exists only as the substream root: block b always
+  // samples from substream(b), a pure function of (seed, b), so the sample
+  // path of every block — and therefore every estimate — is invariant under
+  // the thread count and the block execution order.
+  const Rng master(seed);
+  std::vector<BlockTally> tallies(block_count);
+  std::atomic<std::uint32_t> next_block{0};
+
+  auto worker = [&]() {
+    WorkerScratch scratch;
+    scratch.hw_failed.resize(hw.node_count());
+    scratch.module_failed.resize(sw.node_count());
+    scratch.edge_state.resize(sw.influence_graph().edge_count());
+    for (;;) {
+      const std::uint32_t b =
+          next_block.fetch_add(1, std::memory_order_relaxed);
+      if (b >= block_count) break;
+      const std::uint32_t first = b * block_size;
+      const std::uint32_t last =
+          std::min(mission.trials, first + block_size);
+      run_block(sw, clustering, assignment, hw, mission, processes,
+                critical_threshold, master.substream(b), first, last,
+                scratch, tallies[b]);
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic reduction: integer counts commute; the loss totals fold
+  // in block order through one more compensated sum.
+  std::vector<std::uint64_t> survived(processes.size(), 0);
+  std::uint64_t all_ok = 0, critical_ok = 0;
+  NeumaierSum loss_sum;
+  for (const BlockTally& tally : tallies) {
+    for (std::size_t p = 0; p < processes.size(); ++p) {
+      survived[p] += tally.survived[p];
+    }
+    all_ok += tally.all_ok;
+    critical_ok += tally.critical_ok;
+    loss_sum.add(tally.criticality_loss);
   }
 
   DependabilityReport report;
   report.trials = mission.trials;
+  report.threads_used = threads;
+  report.blocks = block_count;
   report.process_survival.resize(processes.size());
   for (std::size_t p = 0; p < processes.size(); ++p) {
     report.process_survival[p] =
@@ -123,7 +222,7 @@ DependabilityReport evaluate_mapping(
   report.system_survival = static_cast<double>(all_ok) / mission.trials;
   report.critical_survival =
       static_cast<double>(critical_ok) / mission.trials;
-  report.expected_criticality_loss = criticality_loss_sum / mission.trials;
+  report.expected_criticality_loss = loss_sum.value() / mission.trials;
   return report;
 }
 

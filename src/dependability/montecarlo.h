@@ -29,6 +29,16 @@ struct MissionModel {
   bool propagate = true;
   /// Monte Carlo trials.
   std::uint32_t trials = 20'000;
+  /// Worker threads sharing the trial workload. 0 selects the hardware
+  /// concurrency. Estimates are bitwise-identical for every thread count:
+  /// trials are sharded into fixed-size blocks whose RNG substreams depend
+  /// only on (seed, block index), and floating-point reductions run in
+  /// block order.
+  std::uint32_t threads = 1;
+  /// Trials per work block (the sharding granule). Part of the sample-path
+  /// identity: estimates depend on (seed, trials, trials_per_block), never
+  /// on `threads`.
+  std::uint32_t trials_per_block = 4096;
 };
 
 /// Per-process and system-level survival estimates.
@@ -44,10 +54,17 @@ struct DependabilityReport {
   /// Mean total criticality of processes lost per mission.
   double expected_criticality_loss = 0.0;
   std::uint32_t trials = 0;
+  /// Worker threads actually used for this evaluation.
+  std::uint32_t threads_used = 0;
+  /// Number of fixed-size trial blocks the workload was sharded into.
+  std::uint32_t blocks = 0;
 };
 
 /// Evaluates the mapping under the mission model. `seed` fixes the sample
-/// path; identical inputs reproduce identical estimates.
+/// path; identical inputs reproduce identical estimates, and the estimates
+/// do not depend on `mission.threads` (each trial block draws from an RNG
+/// substream keyed on the block index alone, and reductions run in block
+/// order with compensated summation).
 DependabilityReport evaluate_mapping(
     const mapping::SwGraph& sw, const mapping::ClusteringResult& clustering,
     const mapping::Assignment& assignment, const mapping::HwGraph& hw,

@@ -26,7 +26,9 @@ struct SurvivalPoint {
 struct SweepOptions {
   /// HW failure probabilities to sample (ascending recommended).
   std::vector<double> hw_failure_points{0.01, 0.02, 0.05, 0.1, 0.2, 0.4};
-  /// Base mission model; its hw_failure is overridden per point.
+  /// Base mission model; its hw_failure is overridden per point. The
+  /// threads setting flows through, so sweeps parallelize per point while
+  /// staying deterministic.
   MissionModel mission;
   std::uint64_t seed = 1;
 };

@@ -26,6 +26,116 @@ std::string join_names(const SwGraph& sw,
 
 }  // namespace
 
+void ClusterEngine::QuotientCache::reset(const SwGraph& sw,
+                                         const graph::Partition& partition) {
+  sw_ = &sw;
+  bundles_.clear();
+  stats_.invalidations += combined_.size();
+  combined_.clear();
+  // Representative of each cluster: its smallest member node index.
+  std::vector<graph::NodeIndex> rep(partition.cluster_count,
+                                    graph::NodeIndex(0));
+  std::vector<bool> seen(partition.cluster_count, false);
+  for (std::size_t v = 0; v < partition.cluster_of.size(); ++v) {
+    const std::uint32_t c = partition.cluster_of[v];
+    if (!seen[c]) {
+      seen[c] = true;
+      rep[c] = static_cast<graph::NodeIndex>(v);
+    }
+  }
+  const auto& edges = sw.influence_graph().edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const graph::Edge& edge = edges[e];
+    if (sw.replicas(edge.from, edge.to)) continue;  // 0-weight replica links
+    const std::uint32_t ca = partition.cluster_of[edge.from];
+    const std::uint32_t cb = partition.cluster_of[edge.to];
+    if (ca == cb) continue;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(rep[ca]) << 32) | rep[cb];
+    bundles_[key].push_back(static_cast<std::uint32_t>(e));
+  }
+  // Edge iteration order already leaves each bundle ascending.
+}
+
+double ClusterEngine::QuotientCache::combine(std::uint64_t key) const {
+  const auto it = bundles_.find(key);
+  if (it == bundles_.end()) return 0.0;
+  // Eq. 4 over the crossing edges, multiplying complements in ascending
+  // edge order — the exact operation order of combine_probabilistic over
+  // the bundle influence_quotient() would collect.
+  const auto& edges = sw_->influence_graph().edges();
+  double none = 1.0;
+  for (const std::uint32_t e : it->second) none *= 1.0 - edges[e].weight;
+  return std::clamp(1.0 - none, 0.0, 1.0);
+}
+
+double ClusterEngine::QuotientCache::directed(graph::NodeIndex rep_from,
+                                              graph::NodeIndex rep_to,
+                                              bool memoize) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(rep_from) << 32) | rep_to;
+  if (!memoize) return combine(key);
+  if (const auto it = combined_.find(key); it != combined_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  const double value = combine(key);
+  combined_.emplace(key, value);
+  return value;
+}
+
+double ClusterEngine::QuotientCache::mutual(graph::NodeIndex rep_a,
+                                            graph::NodeIndex rep_b,
+                                            bool memoize) {
+  return directed(rep_a, rep_b, memoize) + directed(rep_b, rep_a, memoize);
+}
+
+void ClusterEngine::QuotientCache::merge(graph::NodeIndex rep_a,
+                                         graph::NodeIndex rep_b) {
+  const graph::NodeIndex merged = std::min(rep_a, rep_b);
+  // Re-bucket every bundle touching either input cluster; edges between
+  // the two become internal and disappear.
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint32_t>>> moved;
+  for (auto it = bundles_.begin(); it != bundles_.end();) {
+    const auto from = static_cast<graph::NodeIndex>(it->first >> 32);
+    const auto to = static_cast<graph::NodeIndex>(it->first & 0xFFFFFFFFu);
+    const bool from_hit = from == rep_a || from == rep_b;
+    const bool to_hit = to == rep_a || to == rep_b;
+    if (!from_hit && !to_hit) {
+      ++it;
+      continue;
+    }
+    if (!(from_hit && to_hit)) {  // edges inside the union just vanish
+      const graph::NodeIndex new_from = from_hit ? merged : from;
+      const graph::NodeIndex new_to = to_hit ? merged : to;
+      moved.emplace_back(
+          (static_cast<std::uint64_t>(new_from) << 32) | new_to,
+          std::move(it->second));
+    }
+    it = bundles_.erase(it);
+  }
+  for (auto& [key, indices] : moved) {
+    auto& bundle = bundles_[key];
+    bundle.insert(bundle.end(), indices.begin(), indices.end());
+    // Two clusters' bundles may both feed one target pair; restore the
+    // canonical ascending edge order a fresh rebuild would produce.
+    std::sort(bundle.begin(), bundle.end());
+  }
+  // Drop memo entries involving either input (the merged cluster reuses
+  // rep == min(rep_a, rep_b), so its stale values are covered too).
+  for (auto it = combined_.begin(); it != combined_.end();) {
+    const auto from = static_cast<graph::NodeIndex>(it->first >> 32);
+    const auto to = static_cast<graph::NodeIndex>(it->first & 0xFFFFFFFFu);
+    if (from == rep_a || from == rep_b || to == rep_a || to == rep_b) {
+      it = combined_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::vector<std::vector<std::string>> ClusteringResult::cluster_names(
     const SwGraph& sw) const {
   std::vector<std::vector<std::string>> names(partition.cluster_count);
@@ -144,12 +254,6 @@ graph::Digraph ClusterEngine::influence_quotient(
   return q;
 }
 
-double ClusterEngine::mutual(const graph::Digraph& quotient, std::uint32_t a,
-                             std::uint32_t b) {
-  return quotient.weight(a, b).value_or(0.0) +
-         quotient.weight(b, a).value_or(0.0);
-}
-
 ClusteringResult ClusterEngine::finish(graph::Partition partition,
                                        std::vector<std::string> steps) const {
   ClusteringResult result;
@@ -162,14 +266,17 @@ ClusteringResult ClusterEngine::finish(graph::Partition partition,
 ClusteringResult ClusterEngine::h1_greedy() {
   graph::Partition partition =
       graph::Partition::identity(sw_->node_count());
+  quotient_cache_.reset(*sw_, partition);
+  const bool memo = options_.use_influence_cache;
   std::vector<std::string> steps;
   while (partition.cluster_count > options_.target_clusters) {
-    const graph::Digraph quotient = influence_quotient(partition);
+    const auto groups = partition.groups();
     double best = -1.0;
     std::uint32_t best_a = 0, best_b = 0;
     for (std::uint32_t a = 0; a < partition.cluster_count; ++a) {
       for (std::uint32_t b = a + 1; b < partition.cluster_count; ++b) {
-        const double m = mutual(quotient, a, b);
+        const double m = quotient_cache_.mutual(groups[a].front(),
+                                                groups[b].front(), memo);
         if (m > best && can_combine(partition, a, b)) {
           best = m;
           best_a = a;
@@ -184,11 +291,11 @@ ClusteringResult ClusterEngine::h1_greedy() {
           std::to_string(options_.target_clusters) + ")");
     }
     std::ostringstream step;
-    step << "combine " << quotient.name(best_a) << " + "
-         << quotient.name(best_b) << " (mutual influence "
+    step << "combine " << join_names(*sw_, groups[best_a]) << " + "
+         << join_names(*sw_, groups[best_b]) << " (mutual influence "
          << best << ")";
     steps.push_back(step.str());
-    const auto groups = partition.groups();
+    quotient_cache_.merge(groups[best_a].front(), groups[best_b].front());
     partition.merge(groups[best_a].front(), groups[best_b].front());
   }
   return finish(std::move(partition), std::move(steps));
@@ -197,11 +304,13 @@ ClusteringResult ClusterEngine::h1_greedy() {
 ClusteringResult ClusterEngine::h1_rounds() {
   graph::Partition partition =
       graph::Partition::identity(sw_->node_count());
+  quotient_cache_.reset(*sw_, partition);
+  const bool memo = options_.use_influence_cache;
   std::vector<std::string> steps;
   int round = 0;
   while (partition.cluster_count > options_.target_clusters) {
     ++round;
-    const graph::Digraph quotient = influence_quotient(partition);
+    const auto groups = partition.groups();
     // Rank all pairs by mutual influence.
     struct Pair {
       double m;
@@ -210,7 +319,9 @@ ClusteringResult ClusterEngine::h1_rounds() {
     std::vector<Pair> pairs;
     for (std::uint32_t a = 0; a < partition.cluster_count; ++a) {
       for (std::uint32_t b = a + 1; b < partition.cluster_count; ++b) {
-        pairs.push_back({mutual(quotient, a, b), a, b});
+        pairs.push_back({quotient_cache_.mutual(groups[a].front(),
+                                                groups[b].front(), memo),
+                         a, b});
       }
     }
     std::sort(pairs.begin(), pairs.end(), [](const Pair& x, const Pair& y) {
@@ -230,16 +341,19 @@ ClusteringResult ClusterEngine::h1_rounds() {
       taken[p.a] = taken[p.b] = true;
       selected.emplace_back(p.a, p.b);
       std::ostringstream step;
-      step << "round " << round << ": pair " << quotient.name(p.a) << " + "
-           << quotient.name(p.b) << " (mutual influence " << p.m << ")";
+      step << "round " << round << ": pair " << join_names(*sw_, groups[p.a])
+           << " + " << join_names(*sw_, groups[p.b]) << " (mutual influence "
+           << p.m << ")";
       steps.push_back(step.str());
     }
     if (selected.empty()) {
       throw Infeasible("H1-rounds: no combinable pair in round " +
                        std::to_string(round));
     }
-    const auto groups = partition.groups();
+    // Selected pairs are disjoint, so their representatives stay current
+    // while the merges apply one by one.
     for (const auto& [a, b] : selected) {
+      quotient_cache_.merge(groups[a].front(), groups[b].front());
       partition.merge(groups[a].front(), groups[b].front());
     }
   }
@@ -366,13 +480,16 @@ ClusteringResult ClusterEngine::h2_driver(
       partition.merge(part[0], part[k]);
     }
   }
+  quotient_cache_.reset(*sw_, partition);
+  const bool memo = options_.use_influence_cache;
   while (partition.cluster_count > options_.target_clusters) {
-    const graph::Digraph quotient = influence_quotient(partition);
+    const auto groups = partition.groups();
     double best = -1.0;
     std::uint32_t best_a = 0, best_b = 0;
     for (std::uint32_t a = 0; a < partition.cluster_count; ++a) {
       for (std::uint32_t b = a + 1; b < partition.cluster_count; ++b) {
-        const double m = mutual(quotient, a, b);
+        const double m = quotient_cache_.mutual(groups[a].front(),
+                                                groups[b].front(), memo);
         if (m > best && can_combine(partition, a, b)) {
           best = m;
           best_a = a;
@@ -384,10 +501,10 @@ ClusteringResult ClusterEngine::h2_driver(
       throw Infeasible("H2: repair phase cannot re-merge to the target");
     }
     std::ostringstream step;
-    step << "repair-merge " << quotient.name(best_a) << " + "
-         << quotient.name(best_b);
+    step << "repair-merge " << join_names(*sw_, groups[best_a]) << " + "
+         << join_names(*sw_, groups[best_b]);
     steps.push_back(step.str());
-    const auto groups = partition.groups();
+    quotient_cache_.merge(groups[best_a].front(), groups[best_b].front());
     partition.merge(groups[best_a].front(), groups[best_b].front());
   }
   return finish(std::move(partition), std::move(steps));
@@ -419,10 +536,12 @@ ClusteringResult ClusterEngine::h3_importance(double importance_threshold,
   }
 
   graph::Partition partition = graph::Partition::identity(n);
+  quotient_cache_.reset(*sw_, partition);
+  const bool memo = options_.use_influence_cache;
   // Attach non-seeds (most important first) to their best seed cluster.
   for (std::size_t k = options_.target_clusters; k < n; ++k) {
     const graph::NodeIndex v = order[k];
-    const graph::Digraph quotient = influence_quotient(partition);
+    const auto groups = partition.groups();
     const std::uint32_t v_cluster = partition.cluster_of[v];
     double best = -1.0;
     std::uint32_t best_cluster = 0;
@@ -430,7 +549,8 @@ ClusteringResult ClusterEngine::h3_importance(double importance_threshold,
       if (!is_seed[s]) continue;
       const std::uint32_t c = partition.cluster_of[s];
       if (c == v_cluster) continue;
-      const double m = mutual(quotient, v_cluster, c);
+      const double m = quotient_cache_.mutual(groups[v_cluster].front(),
+                                              groups[c].front(), memo);
       const bool admitted =
           sw_->node(v).importance < importance_threshold ||
           m > influence_threshold;
@@ -444,9 +564,10 @@ ClusteringResult ClusterEngine::h3_importance(double importance_threshold,
                        " fits no sphere of influence");
     }
     steps.push_back("attach " + sw_->node(v).name + " -> {" +
-                    quotient.name(best_cluster) + "} (mutual influence " +
-                    std::to_string(best) + ")");
-    const auto groups = partition.groups();
+                    join_names(*sw_, groups[best_cluster]) +
+                    "} (mutual influence " + std::to_string(best) + ")");
+    quotient_cache_.merge(groups[v_cluster].front(),
+                          groups[best_cluster].front());
     partition.merge(v, groups[best_cluster].front());
   }
   return finish(std::move(partition), std::move(steps));
@@ -471,7 +592,7 @@ ClusteringResult ClusterEngine::criticality_pairing() {
   int round = 0;
   while (partition.cluster_count > options_.target_clusters) {
     ++round;
-    const graph::Digraph quotient = influence_quotient(partition);
+    const auto groups = partition.groups();
     // Clusters in descending summary criticality (stable on index).
     std::vector<std::uint32_t> list(partition.cluster_count);
     for (std::uint32_t c = 0; c < partition.cluster_count; ++c) list[c] = c;
@@ -517,8 +638,8 @@ ClusteringResult ClusterEngine::criticality_pairing() {
       paired[hi] = paired[chosen] = true;
       pairs.emplace_back(hi, chosen);
       steps.push_back("round " + std::to_string(round) + ": pair " +
-                      quotient.name(list[hi]) + " + " +
-                      quotient.name(list[chosen]));
+                      join_names(*sw_, groups[list[hi]]) + " + " +
+                      join_names(*sw_, groups[list[chosen]]));
     }
 
     // Narrated replicate resolution: if exactly two clusters remain
@@ -545,9 +666,11 @@ ClusteringResult ClusterEngine::criticality_pairing() {
           pairs.emplace_back(y, pl);
           steps.push_back(
               "round " + std::to_string(round) + ": conflict between " +
-              quotient.name(list[a]) + " and " + quotient.name(list[b]) +
-              " resolved by dissolving pair (" + quotient.name(list[ph]) +
-              "," + quotient.name(list[pl]) + ")");
+              join_names(*sw_, groups[list[a]]) + " and " +
+              join_names(*sw_, groups[list[b]]) +
+              " resolved by dissolving pair (" +
+              join_names(*sw_, groups[list[ph]]) + "," +
+              join_names(*sw_, groups[list[pl]]) + ")");
           return true;
         }
         return false;
@@ -562,7 +685,6 @@ ClusteringResult ClusterEngine::criticality_pairing() {
     }
 
     // Merge pairs (in formation order) until the target count is reached.
-    const auto groups = partition.groups();
     std::size_t merges_allowed =
         partition.cluster_count - options_.target_clusters;
     for (const auto& [a, b] : pairs) {

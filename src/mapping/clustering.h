@@ -27,8 +27,10 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/influence.h"
 #include "graph/quotient.h"
 #include "mapping/swgraph.h"
 #include "sched/feasibility.h"
@@ -47,6 +49,11 @@ struct ClusteringOptions {
   /// hosted by at least one HW node (prevents merging modules whose joint
   /// needs fit nowhere). Null = no resource constraint during clustering.
   std::function<bool(const std::set<std::string>&)> resource_check;
+  /// Memoize cluster-pair influence across heuristic iterations. The cached
+  /// and uncached paths produce bitwise-identical results (both combine the
+  /// same edge weights in ascending edge order); the flag exists so the
+  /// differential tests can prove it. Leave on.
+  bool use_influence_cache = true;
 };
 
 /// Ordering keys for the timing-ordered technique.
@@ -132,7 +139,54 @@ class ClusterEngine {
     return oracle_.analyses();
   }
 
+  /// Hit/miss/invalidation counters of the cluster-pair influence cache,
+  /// accumulated over every heuristic run on this engine.
+  [[nodiscard]] const core::CacheStats& influence_cache_stats()
+      const noexcept {
+    return quotient_cache_.stats();
+  }
+
  private:
+  /// Incremental cluster-pair influence under a shrinking partition.
+  ///
+  /// The greedy heuristics (H1, H3, the H2 repair phase) previously rebuilt
+  /// the full quotient influence graph from every SW edge on every merge
+  /// iteration. This cache maintains, per ordered cluster pair, the sorted
+  /// list of SW influence edges crossing the pair (replica links excluded)
+  /// plus a memo of the Eq. 4 probabilistic combination. Clusters are keyed
+  /// by their *representative* — the smallest member node index — which is
+  /// stable under merging (the union's representative is the min of the two
+  /// inputs). A merge folds the two clusters' bundles and invalidates only
+  /// the memo entries touching them; every other pair's value survives.
+  /// Combination multiplies weights in ascending edge order, exactly the
+  /// order `influence_quotient` uses, so cached, uncached, and full-rebuild
+  /// values are bitwise identical.
+  class QuotientCache {
+   public:
+    /// Rebuilds bundles for the partition; keeps accumulated stats.
+    void reset(const SwGraph& sw, const graph::Partition& partition);
+    /// Mutual influence between the clusters represented by `rep_a` and
+    /// `rep_b` (Eq. 4 combination per direction, summed). `memoize` off
+    /// recomputes from the bundles without touching the memo or stats.
+    [[nodiscard]] double mutual(graph::NodeIndex rep_a,
+                                graph::NodeIndex rep_b, bool memoize);
+    /// Folds the two clusters' bundles after a partition merge.
+    void merge(graph::NodeIndex rep_a, graph::NodeIndex rep_b);
+    [[nodiscard]] const core::CacheStats& stats() const noexcept {
+      return stats_;
+    }
+
+   private:
+    [[nodiscard]] double directed(graph::NodeIndex rep_from,
+                                  graph::NodeIndex rep_to, bool memoize);
+    [[nodiscard]] double combine(std::uint64_t key) const;
+
+    const SwGraph* sw_ = nullptr;
+    // (rep_from << 32 | rep_to) -> ascending indices into sw edges().
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> bundles_;
+    std::unordered_map<std::uint64_t, double> combined_;
+    core::CacheStats stats_;
+  };
   /// Whether the union of the members' resource requirements passes the
   /// configured resource check (true when no check is configured).
   [[nodiscard]] bool resources_hostable(
@@ -152,13 +206,11 @@ class ClusterEngine {
   /// Quotient with replica links dropped and probabilistic combination.
   [[nodiscard]] graph::Digraph influence_quotient(
       const graph::Partition& partition) const;
-  /// Mutual influence between two clusters in the current partition.
-  [[nodiscard]] static double mutual(const graph::Digraph& quotient,
-                                     std::uint32_t a, std::uint32_t b);
 
   const SwGraph* sw_;
   ClusteringOptions options_;
   sched::FeasibilityOracle oracle_;
+  QuotientCache quotient_cache_;
 };
 
 }  // namespace fcm::mapping

@@ -107,8 +107,12 @@ Plan IntegrationPlanner::plan(Heuristic heuristic, Approach approach) {
       approach == Approach::kAImportance
           ? assign_by_importance(sw_, result.clustering, *hw_)
           : assign_lexicographic(sw_, result.clustering, *hw_);
+  QualityOptions qopts = options_.quality;
+  if (qopts.separation_cache == nullptr) {
+    qopts.separation_cache = &separation_cache_;
+  }
   result.quality = evaluate(sw_, result.clustering, result.assignment, *hw_,
-                            options_.quality);
+                            qopts);
   return result;
 }
 

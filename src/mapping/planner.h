@@ -78,10 +78,21 @@ class IntegrationPlanner {
   /// heuristic produces a feasible plan.
   Plan best_plan(Approach approach = Approach::kAImportance);
 
+  /// Hit/miss counters of the planner's Eq. 3 separation memo (shared by
+  /// every plan()/best_plan() evaluation on this planner).
+  [[nodiscard]] const core::CacheStats& separation_cache_stats()
+      const noexcept {
+    return separation_cache_.stats();
+  }
+
  private:
   const HwGraph* hw_;
   PlanOptions options_;
   SwGraph sw_;
+  /// Scores across heuristics repeatedly analyze candidate quotients;
+  /// identical quotients (heuristics often converge on the same clustering)
+  /// share one power-series analysis through this memo.
+  core::SeparationCache separation_cache_;
 };
 
 }  // namespace fcm::mapping

@@ -125,8 +125,12 @@ MappingQuality evaluate(const SwGraph& sw, const ClusteringResult& clustering,
     for (const graph::Edge& e : clustering.quotient.edges()) {
       p.at(e.from, e.to) = e.weight;
     }
-    const core::SeparationAnalysis separation{p};
-    q.min_separation = separation.min_separation();
+    if (options.separation_cache != nullptr) {
+      q.min_separation = options.separation_cache->get(p).min_separation();
+    } else {
+      const core::SeparationAnalysis separation{p};
+      q.min_separation = separation.min_separation();
+    }
   } else {
     q.min_separation = Probability::one();
   }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/probability.h"
+#include "core/separation.h"
 #include "mapping/assignment.h"
 #include "mapping/clustering.h"
 #include "mapping/hw.h"
@@ -72,6 +73,12 @@ struct MappingQuality {
 struct QualityOptions {
   core::Criticality critical_threshold = 7;
   sched::Policy policy = sched::Policy::kPreemptiveEdf;
+  /// Optional memo for the Eq. 3 power-series analysis on the quotient
+  /// matrix — the dominant cost when many candidate mappings are scored.
+  /// Keys are content hashes, so identical quotients (e.g. two heuristics
+  /// converging on the same clustering) reuse one analysis. Null = compute
+  /// fresh each call.
+  core::SeparationCache* separation_cache = nullptr;
 };
 
 /// Evaluates a complete mapping.

@@ -1,5 +1,9 @@
 #include "sim/influence_estimator.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
 #include "common/error.h"
 
 namespace fcm::sim {
@@ -14,29 +18,76 @@ std::vector<PairEstimate> InfluenceEstimator::estimate_from(
     TaskIndex source, const EstimatorOptions& options) {
   FCM_REQUIRE(source < spec_.tasks.size(), "unknown source task");
   FCM_REQUIRE(options.trials > 0, "campaign needs at least one trial");
-  std::vector<PairEstimate> estimates(spec_.tasks.size());
+  const std::size_t n = spec_.tasks.size();
+  const Rng master = rng_.substream(campaign_++);
 
-  for (std::uint32_t trial = 0; trial < options.trials; ++trial) {
-    Platform platform(spec_, rng_.fork()());
-    FaultInjection injection;
-    injection.kind = options.kind;
-    injection.target = source;
-    injection.activation =
-        options.max_activation > 1 ? rng_.below(options.max_activation) : 0;
-    platform.inject(injection);
-    const SimReport report = platform.run(options.horizon);
+  std::uint32_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, options.trials);
 
-    for (TaskIndex target = 0; target < spec_.tasks.size(); ++target) {
-      if (target == source) continue;
-      PairEstimate& estimate = estimates[target];
-      ++estimate.trials;
-      if (report.tasks[target].tainted_inputs > 0) {
-        // Transmission observed; attribute it to the source when a
-        // propagation event names it (other taint sources are possible
-        // when spontaneous fault rates are nonzero).
-        ++estimate.transmitted;
+  // Integer tallies commute, so per-worker partial sums merge to the same
+  // totals no matter how trials were distributed over threads.
+  struct Tally {
+    std::uint32_t transmitted = 0;
+    std::uint32_t manifested = 0;
+  };
+  std::vector<std::vector<Tally>> partials(threads,
+                                           std::vector<Tally>(n));
+  std::atomic<std::uint32_t> next_trial{0};
+
+  auto worker = [&](std::vector<Tally>& tallies) {
+    for (;;) {
+      const std::uint32_t trial =
+          next_trial.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= options.trials) break;
+      Rng draw = master.substream(trial);
+      const std::uint64_t hi = draw();
+      const std::uint64_t lo = draw();
+      Platform platform(spec_, (hi << 32) | lo);
+      FaultInjection injection;
+      injection.kind = options.kind;
+      injection.target = source;
+      injection.activation =
+          options.max_activation > 1 ? draw.below(options.max_activation)
+                                     : 0;
+      platform.inject(injection);
+      const SimReport report = platform.run(options.horizon);
+
+      for (TaskIndex target = 0; target < n; ++target) {
+        if (target == source) continue;
+        if (report.tasks[target].tainted_inputs > 0) {
+          // Transmission observed; attribute it to the source when a
+          // propagation event names it (other taint sources are possible
+          // when spontaneous fault rates are nonzero).
+          ++tallies[target].transmitted;
+        }
+        if (report.propagated(source, target)) {
+          ++tallies[target].manifested;
+        }
       }
-      if (report.propagated(source, target)) ++estimate.manifested;
+    }
+  };
+
+  if (threads <= 1) {
+    worker(partials[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] { worker(partials[t]); });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  std::vector<PairEstimate> estimates(n);
+  for (TaskIndex target = 0; target < n; ++target) {
+    if (target == source) continue;
+    estimates[target].trials = options.trials;
+    for (const std::vector<Tally>& tallies : partials) {
+      estimates[target].transmitted += tallies[target].transmitted;
+      estimates[target].manifested += tallies[target].manifested;
     }
   }
   return estimates;

@@ -27,6 +27,10 @@ struct EstimatorOptions {
   /// Injection activation is drawn uniformly from [0, max_activation).
   std::uint32_t max_activation = 8;
   FaultKind kind = FaultKind::kValue;
+  /// Worker threads for the campaign (0 = hardware concurrency). Every
+  /// trial draws from its own RNG substream and tallies are integer counts,
+  /// so results are identical for any thread count.
+  std::uint32_t threads = 1;
 };
 
 /// Per-pair campaign tallies, exposing the p1/p2/p3 decomposition the
@@ -81,6 +85,10 @@ class InfluenceEstimator {
  private:
   PlatformSpec spec_;
   Rng rng_;
+  /// Campaign counter: campaign c, trial t samples substream
+  /// rng_.substream(c).substream(t), so repeated campaigns stay
+  /// independent while each remains reproducible and parallelizable.
+  std::uint64_t campaign_ = 0;
 };
 
 }  // namespace fcm::sim

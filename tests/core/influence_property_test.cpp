@@ -1,0 +1,208 @@
+// Randomized property tests for the paper's Eq. 1-4 invariants.
+//
+// Eq. 1: p_i = p_{i,1} * p_{i,2} * p_{i,3}         (factor probability)
+// Eq. 2: influence = 1 - prod(1 - p_k)             (factor combination)
+// Eq. 3: separation = 1 - (P + P^2 + ...)          (transitive series)
+// Eq. 4: cluster influence = 1 - prod(1 - w_e)     (probabilistic merge)
+//
+// Every case draws its instances from the seeded common Rng, so a failure
+// reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/influence.h"
+#include "core/separation.h"
+#include "graph/quotient.h"
+
+namespace fcm::core {
+namespace {
+
+InfluenceFactor random_factor(Rng& rng) {
+  InfluenceFactor factor;
+  factor.occurrence = Probability(rng.uniform());
+  factor.transmission = Probability(rng.uniform());
+  factor.effect = Probability(rng.uniform());
+  return factor;
+}
+
+/// A model over `n` members with random factors on random pairs.
+InfluenceModel random_model(Rng& rng, std::size_t n, std::size_t factors) {
+  InfluenceModel model;
+  for (std::size_t i = 0; i < n; ++i) {
+    model.add_member(FcmId(static_cast<std::uint32_t>(i)),
+                     "m" + std::to_string(i));
+  }
+  for (std::size_t f = 0; f < factors; ++f) {
+    const auto from = rng.below(static_cast<std::uint32_t>(n));
+    auto to = rng.below(static_cast<std::uint32_t>(n));
+    if (to == from) to = (to + 1) % n;
+    model.add_factor(FcmId(from), FcmId(to), random_factor(rng));
+  }
+  return model;
+}
+
+TEST(InfluenceProperty, Eq1FactorProbabilityIsProductAndInUnitInterval) {
+  Rng rng(101);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const InfluenceFactor factor = random_factor(rng);
+    const double p = factor.probability().value();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_DOUBLE_EQ(p, factor.occurrence.value() *
+                            factor.transmission.value() *
+                            factor.effect.value());
+  }
+}
+
+TEST(InfluenceProperty, Eq1MonotoneInEachComponent) {
+  // Raising any one of p_{i,1}, p_{i,2}, p_{i,3} must not lower p_i.
+  Rng rng(103);
+  for (int iter = 0; iter < 1000; ++iter) {
+    InfluenceFactor factor = random_factor(rng);
+    const double base = factor.probability().value();
+    for (int component = 0; component < 3; ++component) {
+      InfluenceFactor raised = factor;
+      Probability& slot = component == 0   ? raised.occurrence
+                          : component == 1 ? raised.transmission
+                                           : raised.effect;
+      slot = Probability(slot.value() + (1.0 - slot.value()) * rng.uniform());
+      EXPECT_GE(raised.probability().value(), base - 1e-15);
+    }
+  }
+}
+
+TEST(InfluenceProperty, Eq2InfluenceInUnitIntervalAndMatchesClosedForm) {
+  Rng rng(107);
+  for (int iter = 0; iter < 200; ++iter) {
+    InfluenceModel model;
+    model.add_member(FcmId(0), "a");
+    model.add_member(FcmId(1), "b");
+    const std::uint32_t count = 1 + rng.below(6);
+    double none = 1.0;
+    for (std::uint32_t f = 0; f < count; ++f) {
+      const InfluenceFactor factor = random_factor(rng);
+      none *= 1.0 - factor.probability().value();
+      model.add_factor(FcmId(0), FcmId(1), factor);
+    }
+    const double influence = model.influence(FcmId(0), FcmId(1)).value();
+    EXPECT_GE(influence, 0.0);
+    EXPECT_LE(influence, 1.0);
+    EXPECT_NEAR(influence, 1.0 - none, 1e-12);
+  }
+}
+
+TEST(InfluenceProperty, Eq2AddingAFactorNeverDecreasesInfluence) {
+  Rng rng(109);
+  for (int iter = 0; iter < 200; ++iter) {
+    InfluenceModel model;
+    model.add_member(FcmId(0), "a");
+    model.add_member(FcmId(1), "b");
+    double previous = 0.0;
+    for (int f = 0; f < 5; ++f) {
+      model.add_factor(FcmId(0), FcmId(1), random_factor(rng));
+      const double current = model.influence(FcmId(0), FcmId(1)).value();
+      EXPECT_GE(current, previous - 1e-15);
+      previous = current;
+    }
+  }
+}
+
+TEST(InfluenceProperty, Eq3SeparationInUnitIntervalOnRandomModels) {
+  Rng rng(113);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 2 + rng.below(6);
+    const InfluenceModel model = random_model(rng, n, 2 * n);
+    const SeparationAnalysis analysis(model);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double s = analysis.separation(i, j).value();
+        EXPECT_GE(s, 0.0);
+        EXPECT_LE(s, 1.0);
+        EXPECT_GE(analysis.interaction(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(InfluenceProperty, Eq3SeriesTermsAreNonNegative) {
+  // Each added order contributes a non-negative term (products of
+  // probabilities), so interaction grows and separation shrinks with the
+  // truncation order.
+  Rng rng(127);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 2 + rng.below(5);
+    const InfluenceModel model = random_model(rng, n, 2 * n);
+    SeparationOptions options;
+    options.epsilon = 0.0;  // no early stop; isolate the order effect
+    double previous_interaction = 0.0;
+    double previous_separation = 1.0;
+    for (int order = 1; order <= 5; ++order) {
+      options.max_order = order;
+      const SeparationAnalysis analysis(model, options);
+      EXPECT_GE(analysis.interaction(0, 1), previous_interaction - 1e-15);
+      EXPECT_LE(analysis.separation(0, 1).value(),
+                previous_separation + 1e-15);
+      previous_interaction = analysis.interaction(0, 1);
+      previous_separation = analysis.separation(0, 1).value();
+    }
+  }
+}
+
+TEST(InfluenceProperty, Eq3SeparationComplementsInteractionBelowOne) {
+  Rng rng(131);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 2 + rng.below(4);
+    // Sparse, weak models keep the union bound below 1.
+    InfluenceModel model = random_model(rng, n, 1);
+    const SeparationAnalysis analysis(model);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        if (analysis.interaction(i, j) <= 1.0) {
+          EXPECT_NEAR(analysis.separation(i, j).value(),
+                      1.0 - analysis.interaction(i, j), 1e-12);
+        }
+      }
+    }
+  }
+}
+
+TEST(InfluenceProperty, Eq4CombinationDominatesEveryMember) {
+  // The combined influence of a bundle is at least its largest member and
+  // at most 1: merging can only strengthen a connection.
+  Rng rng(137);
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::uint32_t count = 1 + rng.below(8);
+    std::vector<double> weights;
+    weights.reserve(count);
+    for (std::uint32_t w = 0; w < count; ++w) {
+      weights.push_back(rng.uniform());
+    }
+    const double combined = graph::combine_probabilistic(weights);
+    EXPECT_GE(combined,
+              *std::max_element(weights.begin(), weights.end()) - 1e-15);
+    EXPECT_LE(combined, 1.0);
+  }
+}
+
+TEST(InfluenceProperty, Eq4CombinationIsMonotoneInEachWeight) {
+  Rng rng(139);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::uint32_t count = 2 + rng.below(6);
+    std::vector<double> weights;
+    for (std::uint32_t w = 0; w < count; ++w) {
+      weights.push_back(rng.uniform());
+    }
+    const double base = graph::combine_probabilistic(weights);
+    std::vector<double> raised = weights;
+    const std::uint32_t which = rng.below(count);
+    raised[which] += (1.0 - raised[which]) * rng.uniform();
+    EXPECT_GE(graph::combine_probabilistic(raised), base - 1e-15);
+  }
+}
+
+}  // namespace
+}  // namespace fcm::core

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/example98.h"
 #include "dependability/reliability.h"
 
@@ -115,24 +118,52 @@ TEST(MonteCarlo, PropagationReducesSurvival) {
             r_without.expected_criticality_loss - 1e-9);
 }
 
-TEST(MonteCarlo, CriticalityPairingLosesLessCriticalityPerHwFault) {
+TEST(MonteCarlo, CriticalityPairingSpreadsCriticalityAcrossHwFaults) {
   // The §6.2 motivation: "Minimizing the number of critical processes
   // scheduled on one processor also minimizes the number of processes lost
-  // due to such a HW fault." Compare H1 (piles p1+p2+p3 together) against
-  // the criticality pairing under HW faults only.
+  // due to such a HW fault." H1 piles p1+p2+p3 onto one cluster; the
+  // criticality pairing spreads them, so the worst single HW fault exposes
+  // strictly less criticality.
   Fixture fx;
   const auto h1 = fx.map_with_h1();
   const auto crit = fx.map_with_criticality();
+  auto max_cluster_criticality = [&](const mapping::ClusteringResult& c) {
+    std::vector<double> crit_of(c.partition.cluster_count, 0.0);
+    for (graph::NodeIndex v = 0; v < fx.sw.node_count(); ++v) {
+      crit_of[c.partition.cluster_of[v]] +=
+          fx.sw.node(v).attributes.criticality;
+    }
+    return *std::max_element(crit_of.begin(), crit_of.end());
+  };
+  EXPECT_LT(max_cluster_criticality(crit.clustering),
+            max_cluster_criticality(h1.clustering));
+
+  // The *expected* criticality loss under independent HW faults without
+  // propagation is a function of replication alone (replicas always land
+  // on distinct nodes), so both mappings' estimates must agree with the
+  // same closed form: sum over processes of crit * P(lost | degree), where
+  // simplex loses at q, duplex at q^2 and TMR at 3q^2(1-q) + q^3.
+  const double q = 0.15;
+  double closed_form = 0.0;
+  for (const auto& spec : core::example98::table1()) {
+    double p_lost = 0.0;
+    switch (spec.replication) {
+      case 1: p_lost = q; break;
+      case 2: p_lost = q * q; break;
+      default: p_lost = 3.0 * q * q * (1.0 - q) + q * q * q; break;
+    }
+    closed_form += spec.criticality * p_lost;
+  }
   MissionModel mission;
-  mission.hw_failure = Probability(0.15);
+  mission.hw_failure = Probability(q);
   mission.propagate = false;
   mission.trials = 40'000;
   const DependabilityReport r_h1 = evaluate_mapping(
       fx.sw, h1.clustering, h1.assignment, fx.hw, mission, 6);
   const DependabilityReport r_crit = evaluate_mapping(
       fx.sw, crit.clustering, crit.assignment, fx.hw, mission, 6);
-  EXPECT_LT(r_crit.expected_criticality_loss,
-            r_h1.expected_criticality_loss);
+  EXPECT_NEAR(r_h1.expected_criticality_loss, closed_form, 0.1);
+  EXPECT_NEAR(r_crit.expected_criticality_loss, closed_form, 0.1);
 }
 
 TEST(MonteCarlo, DeterministicForSeed) {
