@@ -58,8 +58,9 @@ int usage() {
       "  report                              full system report\n"
       "  influence                           Fig. 3 graph + 4.2.4 roles\n"
       "  separation [--order K]              Eq. 3 separation matrix\n"
-      "  plan [--hw N] [--heuristic H] [--approach a|b]\n"
-      "       H in {h1, h1r, h2, h3, crit, timing, best}\n"
+      "  plan [--hw N] [--heuristic H] [--approach a|b] [--sweep-threads T]\n"
+      "       H in {h1, h1r, h2, h3, crit, timing, best}; T parallelizes\n"
+      "       the 'best' sweep (0 = all cores, same plan for every T)\n"
       "  depend [--hw N] [--q P] [--trials N] [--threads T]\n"
       "       Monte Carlo evaluation; T=0 uses all cores, the estimates\n"
       "       are identical for every T\n";
@@ -134,8 +135,11 @@ int cmd_plan(const Args& args) {
   auto instance = core::example98::make_instance();
   const mapping::HwGraph hw = mapping::HwGraph::complete(
       args.get_int("hw", core::example98::kHwNodes));
+  mapping::PlanOptions options;
+  options.sweep_threads =
+      static_cast<std::uint32_t>(args.get_int("sweep-threads", 1));
   mapping::IntegrationPlanner planner(instance.hierarchy, instance.influence,
-                                      instance.processes, hw);
+                                      instance.processes, hw, options);
   const mapping::Approach approach = args.get("approach", "a") == "b"
                                          ? mapping::Approach::kBLexicographic
                                          : mapping::Approach::kAImportance;

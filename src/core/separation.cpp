@@ -7,14 +7,27 @@
 
 namespace fcm::core {
 
+namespace {
+
+graph::SeriesOptions to_series_options(const SeparationOptions& options) {
+  graph::SeriesOptions series;
+  series.max_order = options.max_order;
+  series.epsilon = options.epsilon;
+  series.threads = options.threads;
+  series.kernel = options.kernel;
+  return series;
+}
+
+}  // namespace
+
 SeparationAnalysis::SeparationAnalysis(const InfluenceModel& model,
                                        SeparationOptions options)
     : SeparationAnalysis(model.to_matrix(), options) {}
 
 SeparationAnalysis::SeparationAnalysis(const graph::Matrix& influence_matrix,
                                        SeparationOptions options)
-    : series_(graph::power_series_sum(influence_matrix, options.max_order,
-                                      options.epsilon)) {}
+    : series_(graph::power_series_sum(influence_matrix,
+                                      to_series_options(options))) {}
 
 double SeparationAnalysis::interaction(std::size_t i, std::size_t j) const {
   return series_.at(i, j);
@@ -67,15 +80,12 @@ std::uint64_t model_key(const InfluenceModel& model) noexcept {
   return fnv_mix(hash, model.revision());
 }
 
-std::uint64_t matrix_key(const graph::Matrix& m) noexcept {
-  std::uint64_t hash = fnv_mix(kFnvOffset ^ 0x9E3779B97F4A7C15ULL,
-                               static_cast<std::uint64_t>(m.size()));
-  for (std::size_t i = 0; i < m.size(); ++i) {
-    for (std::size_t j = 0; j < m.size(); ++j) {
-      hash = fnv_mix(hash, bits_of(m.at(i, j)));
-    }
-  }
-  return hash;
+// Folds the result-selecting options fields (and only those — threads and
+// kernel choice never change the analysis) into the entry key.
+std::uint64_t with_options(std::uint64_t key,
+                           const SeparationOptions& options) noexcept {
+  key = fnv_mix(key, static_cast<std::uint64_t>(options.max_order));
+  return fnv_mix(key, bits_of(options.epsilon));
 }
 
 }  // namespace
@@ -83,44 +93,54 @@ std::uint64_t matrix_key(const graph::Matrix& m) noexcept {
 SeparationCache::SeparationCache(std::size_t capacity)
     : capacity_(capacity) {
   FCM_REQUIRE(capacity_ >= 1, "separation cache capacity must be positive");
+  // Entries never move after insertion, so returned references stay valid
+  // until their slot is evicted.
+  entries_.reserve(capacity_);
 }
 
 template <typename Make>
 const SeparationAnalysis& SeparationCache::lookup(std::uint64_t key,
-                                                  SeparationOptions options,
                                                   Make make) {
   ++tick_;
-  for (Entry& entry : entries_) {
-    if (entry.key == key && entry.options == options) {
-      ++stats_.hits;
-      entry.last_used = tick_;
-      return entry.analysis;
-    }
+  if (const auto it = index_.find(key); it != index_.end()) {
+    ++stats_.hits;
+    Entry& entry = entries_[it->second];
+    entry.last_used = tick_;
+    return entry.analysis;
   }
   ++stats_.misses;
+  std::size_t slot;
   if (entries_.size() >= capacity_) {
-    std::size_t oldest = 0;
+    // Evict the LRU slot and reuse it in place.
+    slot = 0;
     for (std::size_t i = 1; i < entries_.size(); ++i) {
-      if (entries_[i].last_used < entries_[oldest].last_used) oldest = i;
+      if (entries_[i].last_used < entries_[slot].last_used) slot = i;
     }
-    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(oldest));
+    index_.erase(entries_[slot].key);
     ++stats_.evictions;
+    entries_[slot] = Entry{key, tick_, make()};
+  } else {
+    slot = entries_.size();
+    entries_.push_back(Entry{key, tick_, make()});
   }
-  entries_.push_back(Entry{key, options, tick_, make()});
-  return entries_.back().analysis;
+  index_.emplace(key, slot);
+  return entries_[slot].analysis;
 }
 
 const SeparationAnalysis& SeparationCache::get(const InfluenceModel& model,
                                                SeparationOptions options) {
-  return lookup(model_key(model), options,
+  return lookup(with_options(model_key(model), options),
                 [&] { return SeparationAnalysis(model, options); });
 }
 
 const SeparationAnalysis& SeparationCache::get(
     const graph::Matrix& influence_matrix, SeparationOptions options) {
-  return lookup(matrix_key(influence_matrix), options, [&] {
-    return SeparationAnalysis(influence_matrix, options);
-  });
+  // content_hash() is cached inside Matrix, so a repeated query on an
+  // unchanged matrix object skips the O(n²) re-hash entirely.
+  return lookup(
+      with_options(influence_matrix.content_hash(), options), [&] {
+        return SeparationAnalysis(influence_matrix, options);
+      });
 }
 
 }  // namespace fcm::core

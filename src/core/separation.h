@@ -10,20 +10,34 @@
 // separation clamps at 0 accordingly.
 #pragma once
 
+#include <unordered_map>
+
 #include "common/probability.h"
 #include "core/influence.h"
 #include "graph/matrix.h"
+#include "graph/series.h"
 
 namespace fcm::core {
 
-/// Truncation controls for the Eq. 3 series.
+/// Truncation and kernel controls for the Eq. 3 series.
 struct SeparationOptions {
   /// Highest matrix power included (1 = direct influence only).
   int max_order = 6;
   /// Stop early once a term's largest entry falls below this.
   double epsilon = 1e-9;
+  /// Worker threads for the series kernels (0 = hardware concurrency). The
+  /// analysis is bitwise identical for every value.
+  std::uint32_t threads = 1;
+  /// Multiply kernel (auto = dense/sparse by fill ratio).
+  graph::SeriesKernel kernel = graph::SeriesKernel::kAuto;
 
-  [[nodiscard]] bool operator==(const SeparationOptions&) const = default;
+  /// Equality compares only the fields that select the mathematical result;
+  /// threads and kernel never change the bitwise output, so cache entries
+  /// computed under different execution plans are interchangeable.
+  [[nodiscard]] bool operator==(const SeparationOptions& other)
+      const noexcept {
+    return max_order == other.max_order && epsilon == other.epsilon;
+  }
 };
 
 /// Precomputed separation over one influence model.
@@ -60,8 +74,10 @@ class SeparationAnalysis {
 /// planner scoring several heuristics, iterative what-if loops over one
 /// model — do not recompute the transitive power series. Entries are keyed
 /// on the influence model's revision counter (or a content hash for raw
-/// matrices) plus the truncation options, so any model mutation naturally
-/// invalidates its cached series. Small LRU; evictions are counted.
+/// matrices, cached inside Matrix so an unchanged matrix is never re-hashed)
+/// plus the truncation options. Lookups go through a hash-map index — O(1)
+/// per query instead of a scan over the capacity. Small LRU; evictions are
+/// counted.
 class SeparationCache {
  public:
   explicit SeparationCache(std::size_t capacity = 8);
@@ -81,17 +97,16 @@ class SeparationCache {
 
  private:
   struct Entry {
-    std::uint64_t key;
-    SeparationOptions options;
+    std::uint64_t key;  // content/model key folded with the options
     std::uint64_t last_used;
     SeparationAnalysis analysis;
   };
 
   template <typename Make>
-  const SeparationAnalysis& lookup(std::uint64_t key,
-                                   SeparationOptions options, Make make);
+  const SeparationAnalysis& lookup(std::uint64_t key, Make make);
 
-  std::vector<Entry> entries_;
+  std::vector<Entry> entries_;            // slots; never reallocates
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> slot
   std::size_t capacity_;
   std::uint64_t tick_ = 0;
   CacheStats stats_;

@@ -1,7 +1,10 @@
 #include "graph/matrix.h"
 
+#include "graph/series.h"
+
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.h"
 
@@ -17,6 +20,7 @@ Matrix Matrix::identity(std::size_t n) {
 
 double& Matrix::at(std::size_t row, std::size_t col) {
   FCM_REQUIRE(row < n_ && col < n_, "matrix index out of range");
+  hash_valid_ = false;
   return data_[row * n_ + col];
 }
 
@@ -48,6 +52,7 @@ Matrix Matrix::operator+(const Matrix& other) const {
 
 Matrix& Matrix::operator+=(const Matrix& other) {
   FCM_REQUIRE(n_ == other.n_, "matrix size mismatch");
+  hash_valid_ = false;
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
   return *this;
 }
@@ -58,16 +63,47 @@ double Matrix::max_abs() const noexcept {
   return m;
 }
 
-Matrix power_series_sum(const Matrix& p, int max_order, double epsilon) {
-  FCM_REQUIRE(max_order >= 1, "series needs at least the first-order term");
-  Matrix sum = p;
-  Matrix term = p;
-  for (int order = 2; order <= max_order; ++order) {
-    term = term * p;
-    if (epsilon > 0.0 && term.max_abs() < epsilon) break;
-    sum += term;
+double Matrix::fill_ratio() const noexcept {
+  if (data_.empty()) return 1.0;
+  std::size_t nonzero = 0;
+  for (const double v : data_) nonzero += v != 0.0 ? 1 : 0;
+  return static_cast<double>(nonzero) / static_cast<double>(data_.size());
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_mix(std::uint64_t hash, std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash = (hash ^ (value & 0xFFu)) * kFnvPrime;
+    value >>= 8u;
   }
-  return sum;
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t Matrix::content_hash() const noexcept {
+  if (hash_valid_) return hash_;
+  std::uint64_t hash = fnv_mix(kFnvOffset ^ 0x9E3779B97F4A7C15ULL,
+                               static_cast<std::uint64_t>(n_));
+  for (const double v : data_) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    hash = fnv_mix(hash, bits);
+  }
+  hash_ = hash;
+  hash_valid_ = true;
+  return hash_;
+}
+
+Matrix power_series_sum(const Matrix& p, int max_order, double epsilon) {
+  SeriesOptions options;
+  options.max_order = max_order;
+  options.epsilon = epsilon;
+  return power_series_sum(p, options);
 }
 
 }  // namespace fcm::graph

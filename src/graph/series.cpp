@@ -1,0 +1,177 @@
+#include "graph/series.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "graph/csr.h"
+
+namespace fcm::graph {
+
+namespace {
+
+// term' rows [r0, r1) of term × p, dense and column-tiled. Per output
+// element the k-accumulation order matches the reference loop exactly.
+void dense_rows(const double* term, const double* p, double* next,
+                std::size_t n, std::size_t r0, std::size_t r1,
+                std::size_t col_block) {
+  for (std::size_t i = r0; i < r1; ++i) {
+    double* out = next + i * n;
+    std::fill(out, out + n, 0.0);
+    const double* trow = term + i * n;
+    for (std::size_t jb = 0; jb < n; jb += col_block) {
+      const std::size_t je = std::min(n, jb + col_block);
+      for (std::size_t k = 0; k < n; ++k) {
+        const double a = trow[k];
+        if (a == 0.0) continue;
+        const double* prow = p + k * n;
+        for (std::size_t j = jb; j < je; ++j) out[j] += a * prow[j];
+      }
+    }
+  }
+}
+
+// term' rows [r0, r1) of term × p with p in CSR form: skips exactly the
+// p[k][j] == 0.0 contributions, which are additive no-ops for nonnegative
+// matrices.
+void sparse_rows(const double* term, const CsrMatrix& p, double* next,
+                 std::size_t n, std::size_t r0, std::size_t r1) {
+  const std::uint32_t* cols = p.cols();
+  const double* vals = p.values();
+  for (std::size_t i = r0; i < r1; ++i) {
+    double* out = next + i * n;
+    std::fill(out, out + n, 0.0);
+    const double* trow = term + i * n;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double a = trow[k];
+      if (a == 0.0) continue;
+      const std::size_t end = p.row_end(k);
+      for (std::size_t e = p.row_begin(k); e < end; ++e) {
+        out[cols[e]] += a * vals[e];
+      }
+    }
+  }
+}
+
+// Runs fn(r0, r1) over disjoint row ranges covering [0, n). Row ownership is
+// exclusive, so the output is bitwise independent of the thread count and of
+// which worker claims which range.
+template <typename RowFn>
+void for_row_ranges(std::size_t n, std::uint32_t threads,
+                    std::size_t rows_per_task, RowFn fn) {
+  rows_per_task = std::max<std::size_t>(1, rows_per_task);
+  const std::size_t tasks = (n + rows_per_task - 1) / rows_per_task;
+  if (threads <= 1 || tasks <= 1) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  std::atomic<std::size_t> next_task{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t t = next_task.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tasks) break;
+      const std::size_t r0 = t * rows_per_task;
+      fn(r0, std::min(n, r0 + rows_per_task));
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::uint32_t width =
+      std::min<std::uint32_t>(threads, static_cast<std::uint32_t>(tasks));
+  pool.reserve(width);
+  for (std::uint32_t t = 0; t < width; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+double buffer_max_abs(const std::vector<double>& buf) noexcept {
+  double m = 0.0;
+  for (const double v : buf) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+}  // namespace
+
+Matrix power_series_sum_reference(const Matrix& p, int max_order,
+                                  double epsilon) {
+  FCM_REQUIRE(max_order >= 1, "series needs at least the first-order term");
+  Matrix sum = p;
+  Matrix term = p;
+  for (int order = 2; order <= max_order; ++order) {
+    term = term * p;
+    if (epsilon > 0.0 && term.max_abs() < epsilon) break;
+    sum += term;
+  }
+  return sum;
+}
+
+Matrix power_series_sum(const Matrix& p, const SeriesOptions& options) {
+  FCM_REQUIRE(options.max_order >= 1,
+              "series needs at least the first-order term");
+  if (options.kernel == SeriesKernel::kReference) {
+    return power_series_sum_reference(p, options.max_order, options.epsilon);
+  }
+
+  const std::size_t n = p.size();
+  std::uint32_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  // One pass decides the kAuto kernel: fill ratio and sign. kSparse is only
+  // honored automatically when P is nonnegative (see header).
+  SeriesKernel kernel = options.kernel;
+  if (kernel == SeriesKernel::kAuto) {
+    const double* data = p.data();
+    std::size_t nonzero = 0;
+    bool nonnegative = true;
+    for (std::size_t i = 0; i < n * n; ++i) {
+      nonzero += data[i] != 0.0 ? 1 : 0;
+      nonnegative = nonnegative && !(data[i] < 0.0);
+    }
+    const double fill =
+        n == 0 ? 1.0 : static_cast<double>(nonzero) / static_cast<double>(n * n);
+    kernel = nonnegative && fill <= options.sparse_fill_threshold
+                 ? SeriesKernel::kSparse
+                 : SeriesKernel::kDense;
+  }
+
+  // In-place buffers: `sum` accumulates, `term` holds P^(order-1), `next`
+  // receives P^order. No Matrix is allocated per order.
+  std::vector<double> sum(p.data(), p.data() + n * n);
+  std::vector<double> term = sum;
+  std::vector<double> next(n * n, 0.0);
+
+  const CsrMatrix csr = kernel == SeriesKernel::kSparse
+                            ? CsrMatrix(p)
+                            : CsrMatrix(Matrix(0));
+  const double* pdata = p.data();
+
+  for (int order = 2; order <= options.max_order; ++order) {
+    if (kernel == SeriesKernel::kSparse) {
+      for_row_ranges(n, threads, options.rows_per_task,
+                     [&](std::size_t r0, std::size_t r1) {
+                       sparse_rows(term.data(), csr, next.data(), n, r0, r1);
+                     });
+    } else {
+      for_row_ranges(n, threads, options.rows_per_task,
+                     [&](std::size_t r0, std::size_t r1) {
+                       dense_rows(term.data(), pdata, next.data(), n, r0, r1,
+                                  std::max<std::size_t>(1, options.col_block));
+                     });
+    }
+    term.swap(next);
+    if (options.epsilon > 0.0 && buffer_max_abs(term) < options.epsilon) {
+      break;
+    }
+    for (std::size_t i = 0; i < n * n; ++i) sum[i] += term[i];
+  }
+
+  Matrix result(n);
+  if (n > 0) std::memcpy(result.data(), sum.data(), n * n * sizeof(double));
+  return result;
+}
+
+}  // namespace fcm::graph

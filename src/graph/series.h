@@ -1,0 +1,69 @@
+// Kernels for the Eq. 3 separation power series P + P² + … + P^k.
+//
+// Three interchangeable evaluation paths sit behind `power_series_sum`:
+//
+//   reference — the original naive per-order triple loop (kept as the
+//               differential baseline for tests and benches);
+//   dense     — the same multiply blocked over column tiles, with in-place
+//               term/accumulator buffers (no per-order Matrix allocation)
+//               and unchecked element access;
+//   sparse    — a CSR snapshot of P right-multiplies the dense term, which
+//               costs O(n · nnz(P)) per order instead of O(n³).
+//
+// `kAuto` picks sparse when P's fill ratio is at or below
+// `sparse_fill_threshold` and P is nonnegative, dense otherwise.
+//
+// Determinism: every kernel performs, for each output element (i, j), the
+// same additions in the same ascending-k order as the reference loop, so
+// dense and blocked results are bitwise identical for any matrix, tile
+// shape, and thread count (workers own disjoint row ranges; no shared
+// accumulator exists). The sparse kernel skips exactly the terms where
+// P[k][j] == 0.0; for nonnegative matrices (the influence domain — entries
+// are probabilities) adding those a·0.0 terms is a bitwise no-op, so the
+// sparse path is bitwise identical to the dense one there. `kAuto` only
+// selects the sparse kernel after verifying nonnegativity, which makes the
+// automatic path unconditionally safe.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/matrix.h"
+
+namespace fcm::graph {
+
+/// Which multiply kernel evaluates the series.
+enum class SeriesKernel : std::uint8_t {
+  kAuto,       ///< sparse when fill ≤ threshold and P ≥ 0, else dense
+  kDense,      ///< blocked dense multiply
+  kSparse,     ///< CSR right-multiply (caller asserts P has no -0.0 games)
+  kReference,  ///< the original naive triple loop
+};
+
+/// Evaluation controls for `power_series_sum`.
+struct SeriesOptions {
+  /// Highest matrix power included (>= 1).
+  int max_order = 6;
+  /// Stop early once a term's largest entry falls below this (0 = never).
+  double epsilon = 0.0;
+  SeriesKernel kernel = SeriesKernel::kAuto;
+  /// Worker threads for the per-order multiply. 0 = hardware concurrency.
+  /// The result is bitwise identical for every value.
+  std::uint32_t threads = 1;
+  /// Fill ratio at or below which kAuto switches to the sparse kernel.
+  double sparse_fill_threshold = 0.15;
+  /// Rows per parallel work unit (scheduling granule only — results never
+  /// depend on it).
+  std::size_t rows_per_task = 16;
+  /// Column tile width of the dense kernel (cache shaping only — results
+  /// never depend on it).
+  std::size_t col_block = 128;
+};
+
+/// P + P² + … + P^max_order under `options`.
+Matrix power_series_sum(const Matrix& p, const SeriesOptions& options);
+
+/// The original naive implementation, exported as the differential baseline.
+Matrix power_series_sum_reference(const Matrix& p, int max_order,
+                                  double epsilon = 0.0);
+
+}  // namespace fcm::graph

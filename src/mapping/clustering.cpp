@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "core/importance.h"
@@ -32,6 +33,7 @@ void ClusterEngine::QuotientCache::reset(const SwGraph& sw,
   bundles_.clear();
   stats_.invalidations += combined_.size();
   combined_.clear();
+  memo_keys_by_rep_.clear();
   // Representative of each cluster: its smallest member node index.
   std::vector<graph::NodeIndex> rep(partition.cluster_count,
                                     graph::NodeIndex(0));
@@ -82,6 +84,8 @@ double ClusterEngine::QuotientCache::directed(graph::NodeIndex rep_from,
   ++stats_.misses;
   const double value = combine(key);
   combined_.emplace(key, value);
+  memo_keys_by_rep_[rep_from].push_back(key);
+  memo_keys_by_rep_[rep_to].push_back(key);
   return value;
 }
 
@@ -123,16 +127,17 @@ void ClusterEngine::QuotientCache::merge(graph::NodeIndex rep_a,
     std::sort(bundle.begin(), bundle.end());
   }
   // Drop memo entries involving either input (the merged cluster reuses
-  // rep == min(rep_a, rep_b), so its stale values are covered too).
-  for (auto it = combined_.begin(); it != combined_.end();) {
-    const auto from = static_cast<graph::NodeIndex>(it->first >> 32);
-    const auto to = static_cast<graph::NodeIndex>(it->first & 0xFFFFFFFFu);
-    if (from == rep_a || from == rep_b || to == rep_a || to == rep_b) {
-      it = combined_.erase(it);
-      ++stats_.invalidations;
-    } else {
-      ++it;
+  // rep == min(rep_a, rep_b), so its stale values are covered too). Every
+  // memo entry was indexed under both endpoints at insertion, so the two
+  // reps' key lists cover exactly the entries a full memo scan would find;
+  // keys already invalidated through the other endpoint erase as no-ops.
+  for (const graph::NodeIndex rep : {rep_a, rep_b}) {
+    const auto keys = memo_keys_by_rep_.find(rep);
+    if (keys == memo_keys_by_rep_.end()) continue;
+    for (const std::uint64_t key : keys->second) {
+      stats_.invalidations += combined_.erase(key);
     }
+    memo_keys_by_rep_.erase(keys);
   }
 }
 
@@ -267,8 +272,50 @@ ClusteringResult ClusterEngine::h1_greedy() {
   graph::Partition partition =
       graph::Partition::identity(sw_->node_count());
   quotient_cache_.reset(*sw_, partition);
-  const bool memo = options_.use_influence_cache;
   std::vector<std::string> steps;
+  greedy_merge_to_target(partition, steps, GreedyStepStyle::kCombine);
+  return finish(std::move(partition), std::move(steps));
+}
+
+void ClusterEngine::greedy_merge_to_target(graph::Partition& partition,
+                                           std::vector<std::string>& steps,
+                                           GreedyStepStyle style) {
+  if (options_.use_pair_heap) {
+    greedy_merge_heap(partition, steps, style);
+  } else {
+    greedy_merge_scan(partition, steps, style);
+  }
+}
+
+void ClusterEngine::throw_no_combinable_pair(
+    const graph::Partition& partition, GreedyStepStyle style) const {
+  if (style == GreedyStepStyle::kCombine) {
+    throw Infeasible(
+        "H1: no combinable cluster pair remains at " +
+        std::to_string(partition.cluster_count) + " clusters (target " +
+        std::to_string(options_.target_clusters) + ")");
+  }
+  throw Infeasible("H2: repair phase cannot re-merge to the target");
+}
+
+std::string ClusterEngine::greedy_step_text(GreedyStepStyle style,
+                                            const std::string& a_names,
+                                            const std::string& b_names,
+                                            double mutual) {
+  std::ostringstream step;
+  if (style == GreedyStepStyle::kCombine) {
+    step << "combine " << a_names << " + " << b_names
+         << " (mutual influence " << mutual << ")";
+  } else {
+    step << "repair-merge " << a_names << " + " << b_names;
+  }
+  return step.str();
+}
+
+void ClusterEngine::greedy_merge_scan(graph::Partition& partition,
+                                      std::vector<std::string>& steps,
+                                      GreedyStepStyle style) {
+  const bool memo = options_.use_influence_cache;
   while (partition.cluster_count > options_.target_clusters) {
     const auto groups = partition.groups();
     double best = -1.0;
@@ -284,21 +331,101 @@ ClusteringResult ClusterEngine::h1_greedy() {
         }
       }
     }
-    if (best < 0.0) {
-      throw Infeasible(
-          "H1: no combinable cluster pair remains at " +
-          std::to_string(partition.cluster_count) + " clusters (target " +
-          std::to_string(options_.target_clusters) + ")");
-    }
-    std::ostringstream step;
-    step << "combine " << join_names(*sw_, groups[best_a]) << " + "
-         << join_names(*sw_, groups[best_b]) << " (mutual influence "
-         << best << ")";
-    steps.push_back(step.str());
+    if (best < 0.0) throw_no_combinable_pair(partition, style);
+    steps.push_back(greedy_step_text(style, join_names(*sw_, groups[best_a]),
+                                     join_names(*sw_, groups[best_b]), best));
     quotient_cache_.merge(groups[best_a].front(), groups[best_b].front());
     partition.merge(groups[best_a].front(), groups[best_b].front());
   }
-  return finish(std::move(partition), std::move(steps));
+}
+
+void ClusterEngine::greedy_merge_heap(graph::Partition& partition,
+                                      std::vector<std::string>& steps,
+                                      GreedyStepStyle style) {
+  // Lazy-deletion max-heap over candidate cluster pairs, keyed by mutual
+  // influence. Clusters are identified by their representative (smallest
+  // member node index) — stable under merging — plus a version stamp bumped
+  // whenever the cluster's membership changes, so superseded entries are
+  // recognized and dropped on pop instead of being searched for.
+  //
+  // Selection equivalence with the scan: cluster indices are ordered by
+  // smallest member (Partition::merge keeps the lower index and shifts the
+  // rest down), so ordering ties by ascending (rep_a, rep_b) reproduces the
+  // scan's first-wins tie break over ascending (a, b); a popped pair that
+  // fails can_combine is discarded for good because combinability depends
+  // only on the two clusters' members, and any later membership change
+  // reinserts the pair with fresh stamps.
+  const bool memo = options_.use_influence_cache;
+
+  struct Candidate {
+    double mutual;
+    graph::NodeIndex rep_a, rep_b;  // rep_a < rep_b
+    std::uint64_t ver_a, ver_b;
+  };
+  // "Worse" comparator: lower mutual influence, then higher (rep_a, rep_b).
+  const auto worse = [](const Candidate& x, const Candidate& y) {
+    if (x.mutual != y.mutual) return x.mutual < y.mutual;
+    if (x.rep_a != y.rep_a) return x.rep_a > y.rep_a;
+    return x.rep_b > y.rep_b;
+  };
+
+  std::unordered_map<graph::NodeIndex, std::uint64_t> version;
+  std::vector<graph::NodeIndex> reps;
+  for (const auto& members : partition.groups()) {
+    reps.push_back(members.front());
+    version.emplace(members.front(), 0);
+  }
+  std::vector<Candidate> heap;
+  heap.reserve(reps.size() * (reps.size() - 1) / 2);
+  for (std::size_t a = 0; a < reps.size(); ++a) {
+    for (std::size_t b = a + 1; b < reps.size(); ++b) {
+      heap.push_back({quotient_cache_.mutual(reps[a], reps[b], memo),
+                      reps[a], reps[b], 0, 0});
+    }
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+
+  while (partition.cluster_count > options_.target_clusters) {
+    bool merged_one = false;
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      const Candidate cand = heap.back();
+      heap.pop_back();
+      const auto va = version.find(cand.rep_a);
+      const auto vb = version.find(cand.rep_b);
+      if (va == version.end() || vb == version.end() ||
+          va->second != cand.ver_a || vb->second != cand.ver_b) {
+        continue;  // stale: a membership change superseded this entry
+      }
+      const std::uint32_t cluster_a = partition.cluster_of[cand.rep_a];
+      const std::uint32_t cluster_b = partition.cluster_of[cand.rep_b];
+      if (!can_combine(partition, cluster_a, cluster_b)) continue;
+
+      const auto groups = partition.groups();
+      steps.push_back(greedy_step_text(style,
+                                       join_names(*sw_, groups[cluster_a]),
+                                       join_names(*sw_, groups[cluster_b]),
+                                       cand.mutual));
+      quotient_cache_.merge(cand.rep_a, cand.rep_b);
+      partition.merge(cand.rep_a, cand.rep_b);
+      const graph::NodeIndex merged = std::min(cand.rep_a, cand.rep_b);
+      version.erase(std::max(cand.rep_a, cand.rep_b));
+      const std::uint64_t merged_version = ++version[merged];
+      // Only pairs touching the merged cluster need fresh influence values.
+      for (const auto& [rep, ver] : version) {
+        if (rep == merged) continue;
+        const graph::NodeIndex lo = std::min(rep, merged);
+        const graph::NodeIndex hi = std::max(rep, merged);
+        heap.push_back({quotient_cache_.mutual(lo, hi, memo), lo, hi,
+                        lo == merged ? merged_version : ver,
+                        hi == merged ? merged_version : ver});
+        std::push_heap(heap.begin(), heap.end(), worse);
+      }
+      merged_one = true;
+      break;
+    }
+    if (!merged_one) throw_no_combinable_pair(partition, style);
+  }
 }
 
 ClusteringResult ClusterEngine::h1_rounds() {
@@ -481,32 +608,7 @@ ClusteringResult ClusterEngine::h2_driver(
     }
   }
   quotient_cache_.reset(*sw_, partition);
-  const bool memo = options_.use_influence_cache;
-  while (partition.cluster_count > options_.target_clusters) {
-    const auto groups = partition.groups();
-    double best = -1.0;
-    std::uint32_t best_a = 0, best_b = 0;
-    for (std::uint32_t a = 0; a < partition.cluster_count; ++a) {
-      for (std::uint32_t b = a + 1; b < partition.cluster_count; ++b) {
-        const double m = quotient_cache_.mutual(groups[a].front(),
-                                                groups[b].front(), memo);
-        if (m > best && can_combine(partition, a, b)) {
-          best = m;
-          best_a = a;
-          best_b = b;
-        }
-      }
-    }
-    if (best < 0.0) {
-      throw Infeasible("H2: repair phase cannot re-merge to the target");
-    }
-    std::ostringstream step;
-    step << "repair-merge " << join_names(*sw_, groups[best_a]) << " + "
-         << join_names(*sw_, groups[best_b]);
-    steps.push_back(step.str());
-    quotient_cache_.merge(groups[best_a].front(), groups[best_b].front());
-    partition.merge(groups[best_a].front(), groups[best_b].front());
-  }
+  greedy_merge_to_target(partition, steps, GreedyStepStyle::kRepairMerge);
   return finish(std::move(partition), std::move(steps));
 }
 

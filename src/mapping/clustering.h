@@ -54,6 +54,13 @@ struct ClusteringOptions {
   /// same edge weights in ascending edge order); the flag exists so the
   /// differential tests can prove it. Leave on.
   bool use_influence_cache = true;
+  /// Select the greedy merge pair (H1 and the H2 repair phase) through a
+  /// lazy-deletion max-heap instead of rescanning all O(k²) cluster pairs
+  /// after every merge; only pairs touching the merged cluster are
+  /// recomputed. Both paths produce identical merge sequences, step logs,
+  /// and partitions (differentially tested); the scan remains as the
+  /// reference. Leave on.
+  bool use_pair_heap = true;
 };
 
 /// Ordering keys for the timing-ordered technique.
@@ -185,6 +192,12 @@ class ClusterEngine {
     // (rep_from << 32 | rep_to) -> ascending indices into sw edges().
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> bundles_;
     std::unordered_map<std::uint64_t, double> combined_;
+    // Memo keys touching each representative, so merge() invalidates by
+    // direct lookup instead of scanning the whole memo (the memo holds up
+    // to all cluster pairs; a full scan per merge dominated H1 at scale).
+    // Entries may be stale — erasing a key that is already gone is a no-op.
+    std::unordered_map<graph::NodeIndex, std::vector<std::uint64_t>>
+        memo_keys_by_rep_;
     core::CacheStats stats_;
   };
   /// Whether the union of the members' resource requirements passes the
@@ -196,6 +209,32 @@ class ClusterEngine {
   /// sched::mixed_feasible.
   [[nodiscard]] bool members_schedulable(
       const std::vector<graph::NodeIndex>& members);
+  /// Step-log flavor of the shared greedy merge loop.
+  enum class GreedyStepStyle : std::uint8_t {
+    kCombine,      ///< H1: "combine A + B (mutual influence m)"
+    kRepairMerge,  ///< H2 repair: "repair-merge A + B"
+  };
+  /// Merges the highest-mutual-influence combinable pair until the target
+  /// cluster count, appending one step per merge. Dispatches to the pair
+  /// heap or the full rescan per `options_.use_pair_heap`; both paths pick
+  /// identical pairs (max mutual influence, ties broken toward the lowest
+  /// cluster indices). Throws Infeasible with `infeasible_what` context
+  /// when no combinable pair remains.
+  void greedy_merge_to_target(graph::Partition& partition,
+                              std::vector<std::string>& steps,
+                              GreedyStepStyle style);
+  void greedy_merge_scan(graph::Partition& partition,
+                         std::vector<std::string>& steps,
+                         GreedyStepStyle style);
+  void greedy_merge_heap(graph::Partition& partition,
+                         std::vector<std::string>& steps,
+                         GreedyStepStyle style);
+  [[nodiscard]] static std::string greedy_step_text(GreedyStepStyle style,
+                                                    const std::string& a_names,
+                                                    const std::string& b_names,
+                                                    double mutual);
+  [[noreturn]] void throw_no_combinable_pair(
+      const graph::Partition& partition, GreedyStepStyle style) const;
   /// Shared H2 machinery: bisect the largest part until the target count,
   /// repair constraint violations, re-merge any overshoot.
   ClusteringResult h2_driver(

@@ -1,6 +1,10 @@
 #include "mapping/planner.h"
 
+#include <atomic>
+#include <exception>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "common/error.h"
 #include "common/log.h"
@@ -63,6 +67,11 @@ IntegrationPlanner::IntegrationPlanner(const core::FcmHierarchy& hierarchy,
       sw_(SwGraph::build(hierarchy, influence, processes)) {}
 
 Plan IntegrationPlanner::plan(Heuristic heuristic, Approach approach) {
+  return plan_with(heuristic, approach, &separation_cache_);
+}
+
+Plan IntegrationPlanner::plan_with(Heuristic heuristic, Approach approach,
+                                   core::SeparationCache* cache) const {
   ClusteringOptions copts;
   copts.target_clusters = hw_->node_count();
   copts.policy = options_.policy;
@@ -109,7 +118,7 @@ Plan IntegrationPlanner::plan(Heuristic heuristic, Approach approach) {
           : assign_lexicographic(sw_, result.clustering, *hw_);
   QualityOptions qopts = options_.quality;
   if (qopts.separation_cache == nullptr) {
-    qopts.separation_cache = &separation_cache_;
+    qopts.separation_cache = cache;
   }
   result.quality = evaluate(sw_, result.clustering, result.assignment, *hw_,
                             qopts);
@@ -123,18 +132,75 @@ Plan IntegrationPlanner::best_plan(Approach approach) {
       Heuristic::kH3Importance,       Heuristic::kCriticalityPairing,
       Heuristic::kTimingOrdered,
   };
+  constexpr std::size_t kCount = std::size(kAll);
+
+  // Each candidate slot is written by exactly one worker; selection reads
+  // them sequentially after the join, so the sweep is deterministic.
+  struct Candidate {
+    std::optional<Plan> plan;
+    std::string failure;  // FcmError message, logged in heuristic order
+    std::exception_ptr fatal;
+  };
+  Candidate candidates[kCount];
+
+  std::uint32_t threads = options_.sweep_threads;
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<std::uint32_t>(threads, kCount);
+
+  auto run_candidate = [&](std::size_t index, core::SeparationCache* cache) {
+    Candidate& slot = candidates[index];
+    try {
+      slot.plan = plan_with(kAll[index], approach, cache);
+    } catch (const FcmError& error) {
+      slot.failure = error.what();
+    } catch (...) {
+      slot.fatal = std::current_exception();
+    }
+  };
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < kCount; ++i) {
+      run_candidate(i, &separation_cache_);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<core::CacheStats> worker_stats(threads);
+    auto worker = [&](std::uint32_t slot) {
+      core::SeparationCache local_cache;
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= kCount) break;
+        run_candidate(i, &local_cache);
+      }
+      worker_stats[slot] = local_cache.stats();
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+    for (const core::CacheStats& stats : worker_stats) {
+      sweep_stats_.hits += stats.hits;
+      sweep_stats_.misses += stats.misses;
+      sweep_stats_.invalidations += stats.invalidations;
+      sweep_stats_.evictions += stats.evictions;
+    }
+  }
+
   bool found = false;
   Plan best;
-  for (const Heuristic h : kAll) {
-    try {
-      Plan candidate = plan(h, approach);
-      if (!candidate.quality.constraints_satisfied()) continue;
-      if (!found || candidate.quality.score() > best.quality.score()) {
-        best = std::move(candidate);
-        found = true;
-      }
-    } catch (const FcmError& error) {
-      FCM_INFO() << to_string(h) << " failed: " << error.what();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    Candidate& candidate = candidates[i];
+    if (candidate.fatal) std::rethrow_exception(candidate.fatal);
+    if (!candidate.failure.empty()) {
+      FCM_INFO() << to_string(kAll[i]) << " failed: " << candidate.failure;
+      continue;
+    }
+    if (!candidate.plan || !candidate.plan->quality.constraints_satisfied()) {
+      continue;
+    }
+    if (!found || candidate.plan->quality.score() > best.quality.score()) {
+      best = std::move(*candidate.plan);
+      found = true;
     }
   }
   if (!found) {

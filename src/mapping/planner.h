@@ -57,6 +57,12 @@ struct Plan {
 struct PlanOptions {
   sched::Policy policy = sched::Policy::kPreemptiveEdf;
   QualityOptions quality;
+  /// Worker threads for the best_plan heuristic sweep (0 = hardware
+  /// concurrency, 1 = sequential). Candidates are independent, and the
+  /// winner is always selected in the fixed heuristic order with a
+  /// strictly-greater score rule, so the chosen plan is identical for
+  /// every thread count.
+  std::uint32_t sweep_threads = 1;
 };
 
 /// Plans the integration of `processes` onto `hw`.
@@ -74,18 +80,32 @@ class IntegrationPlanner {
   Plan plan(Heuristic heuristic, Approach approach);
 
   /// Runs every heuristic with the given approach and returns the feasible
-  /// plan with the highest quality score. Throws Infeasible when no
-  /// heuristic produces a feasible plan.
+  /// plan with the highest quality score. When `sweep_threads` allows, the
+  /// candidates are planned in parallel (one worker-local separation memo
+  /// each); the selection pass is always sequential over the fixed
+  /// heuristic order, so the result is identical for any thread count.
+  /// Throws Infeasible when no heuristic produces a feasible plan.
   Plan best_plan(Approach approach = Approach::kAImportance);
 
-  /// Hit/miss counters of the planner's Eq. 3 separation memo (shared by
-  /// every plan()/best_plan() evaluation on this planner).
-  [[nodiscard]] const core::CacheStats& separation_cache_stats()
-      const noexcept {
-    return separation_cache_.stats();
+  /// Hit/miss counters of the planner's Eq. 3 separation memo, merged with
+  /// the counters of every worker-local memo used by parallel best_plan
+  /// sweeps on this planner.
+  [[nodiscard]] core::CacheStats separation_cache_stats() const noexcept {
+    core::CacheStats merged = separation_cache_.stats();
+    merged.hits += sweep_stats_.hits;
+    merged.misses += sweep_stats_.misses;
+    merged.invalidations += sweep_stats_.invalidations;
+    merged.evictions += sweep_stats_.evictions;
+    return merged;
   }
 
  private:
+  /// One heuristic + approach candidate, scored through `cache`. Const and
+  /// side-effect free apart from the cache, so candidates may run
+  /// concurrently with per-worker caches.
+  [[nodiscard]] Plan plan_with(Heuristic heuristic, Approach approach,
+                               core::SeparationCache* cache) const;
+
   const HwGraph* hw_;
   PlanOptions options_;
   SwGraph sw_;
@@ -93,6 +113,8 @@ class IntegrationPlanner {
   /// identical quotients (heuristics often converge on the same clustering)
   /// share one power-series analysis through this memo.
   core::SeparationCache separation_cache_;
+  /// Accumulated stats of retired worker-local sweep memos.
+  core::CacheStats sweep_stats_;
 };
 
 }  // namespace fcm::mapping

@@ -1,0 +1,199 @@
+// Differential tests for the Eq. 3 series kernels: the blocked dense kernel,
+// the CSR sparse kernel, and the threaded row-pool must all be *bitwise*
+// equal to the naive reference loop, for any thread count. Also covers the
+// CSR round-trip, the cached content hash, and the unchecked accessors the
+// kernels rely on.
+#include "graph/series.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "graph/csr.h"
+#include "graph/matrix.h"
+
+namespace fcm::graph {
+namespace {
+
+// Random nonnegative influence-like matrix: zero diagonal, `fill` chance of
+// an edge, weights in (0.05, 0.9).
+Matrix random_influence(std::size_t n, double fill, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.uniform() < fill) {
+        p.at(i, j) = rng.uniform(0.05, 0.9);
+      }
+    }
+  }
+  return p;
+}
+
+// Bitwise comparison: the determinism claim is about bit patterns, not
+// tolerance. (memcmp also distinguishes -0.0 from 0.0, which == would not.)
+void expect_bitwise_equal(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.size(), b.size());
+  if (a.size() == 0) return;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        a.size() * a.size() * sizeof(double)),
+            0);
+}
+
+TEST(CsrMatrix, RoundTripsRandomMatrices) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Matrix dense = random_influence(17, 0.2, seed);
+    const CsrMatrix csr(dense);
+    expect_bitwise_equal(csr.to_dense(), dense);
+    // Columns ascend within each row.
+    for (std::size_t r = 0; r < csr.size(); ++r) {
+      for (std::size_t e = csr.row_begin(r) + 1; e < csr.row_end(r); ++e) {
+        EXPECT_LT(csr.cols()[e - 1], csr.cols()[e]);
+      }
+    }
+  }
+}
+
+TEST(CsrMatrix, DropsExactZerosOnly) {
+  Matrix m(3);
+  m.at(0, 1) = 0.5;
+  m.at(2, 0) = 1e-300;  // tiny but nonzero: must be kept
+  const CsrMatrix csr(m);
+  EXPECT_EQ(csr.nonzeros(), 2u);
+  expect_bitwise_equal(csr.to_dense(), m);
+}
+
+TEST(Matrix, UncheckedAccessMatchesChecked) {
+  Matrix m(4);
+  m(1, 2) = 0.25;
+  m.data()[3 * 4 + 0] = 0.75;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.25);
+  EXPECT_DOUBLE_EQ(m.at(3, 0), 0.75);
+  const Matrix& cm = m;
+  EXPECT_DOUBLE_EQ(cm(1, 2), 0.25);
+  EXPECT_DOUBLE_EQ(cm.data()[3 * 4 + 0], 0.75);
+}
+
+TEST(Matrix, FillRatioCountsNonzeros) {
+  Matrix m(4);
+  EXPECT_DOUBLE_EQ(m.fill_ratio(), 0.0);
+  m.at(0, 1) = 0.5;
+  m.at(2, 3) = 0.1;
+  EXPECT_DOUBLE_EQ(m.fill_ratio(), 2.0 / 16.0);
+  EXPECT_DOUBLE_EQ(Matrix(0).fill_ratio(), 1.0);
+}
+
+TEST(Matrix, ContentHashStableAndMutationSensitive) {
+  const Matrix a = random_influence(9, 0.3, 7);
+  Matrix b = random_influence(9, 0.3, 7);
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  EXPECT_EQ(a.content_hash(), a.content_hash());  // cached path
+  b.at(4, 5) += 0.125;
+  EXPECT_NE(a.content_hash(), b.content_hash());
+  // Dimension participates: an empty 2x2 and 3x3 differ.
+  EXPECT_NE(Matrix(2).content_hash(), Matrix(3).content_hash());
+}
+
+TEST(Matrix, ContentHashInvalidatedByUncheckedWrites) {
+  Matrix m(3);
+  const std::uint64_t zero_hash = m.content_hash();
+  m(0, 1) = 0.5;
+  EXPECT_NE(m.content_hash(), zero_hash);
+  const std::uint64_t after_paren = m.content_hash();
+  m.data()[2] = 0.25;
+  EXPECT_NE(m.content_hash(), after_paren);
+}
+
+struct KernelCase {
+  std::size_t n;
+  double fill;
+  SeriesKernel kernel;
+};
+
+class SeriesKernels : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeriesKernels, BitwiseEqualToReferenceAcrossThreadCounts) {
+  const KernelCase cases[] = {
+      {5, 0.08, SeriesKernel::kSparse},  {5, 0.5, SeriesKernel::kDense},
+      {23, 0.08, SeriesKernel::kSparse}, {23, 0.08, SeriesKernel::kDense},
+      {23, 0.5, SeriesKernel::kDense},   {23, 0.08, SeriesKernel::kAuto},
+      {23, 0.5, SeriesKernel::kAuto},    {41, 0.12, SeriesKernel::kAuto},
+  };
+  for (const KernelCase& c : cases) {
+    const Matrix p = random_influence(c.n, c.fill, GetParam());
+    const Matrix reference = power_series_sum_reference(p, 6);
+    for (const std::uint32_t threads : {1u, 4u, 8u}) {
+      SeriesOptions options;
+      options.max_order = 6;
+      options.kernel = c.kernel;
+      options.threads = threads;
+      options.rows_per_task = 4;  // small enough that threads matter at n=23
+      options.col_block = 16;
+      expect_bitwise_equal(power_series_sum(p, options), reference);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeriesKernels,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(SeriesKernels, EpsilonTruncationMatchesReference) {
+  const Matrix p = random_influence(19, 0.1, 42);
+  for (const double epsilon : {1e-3, 1e-6, 1e-9}) {
+    const Matrix reference = power_series_sum_reference(p, 12, epsilon);
+    for (const SeriesKernel kernel :
+         {SeriesKernel::kDense, SeriesKernel::kSparse, SeriesKernel::kAuto}) {
+      SeriesOptions options;
+      options.max_order = 12;
+      options.epsilon = epsilon;
+      options.kernel = kernel;
+      options.threads = 4;
+      options.rows_per_task = 2;
+      expect_bitwise_equal(power_series_sum(p, options), reference);
+    }
+  }
+}
+
+TEST(SeriesKernels, DenseKernelHandlesNegativeEntries) {
+  // kAuto must never pick the sparse kernel for a matrix with negative
+  // entries (the zero-skip is only an additive no-op for nonnegative data);
+  // the dense path must still match the reference bitwise.
+  Matrix p = random_influence(11, 0.1, 3);
+  p.at(2, 7) = -0.5;
+  const Matrix reference = power_series_sum_reference(p, 5);
+  for (const SeriesKernel kernel : {SeriesKernel::kAuto, SeriesKernel::kDense}) {
+    SeriesOptions options;
+    options.max_order = 5;
+    options.kernel = kernel;
+    expect_bitwise_equal(power_series_sum(p, options), reference);
+  }
+}
+
+TEST(SeriesKernels, HardwareConcurrencyThreadsValue) {
+  const Matrix p = random_influence(13, 0.2, 11);
+  SeriesOptions options;
+  options.threads = 0;  // hardware concurrency
+  options.rows_per_task = 1;
+  expect_bitwise_equal(power_series_sum(p, options),
+                       power_series_sum_reference(p, options.max_order));
+}
+
+TEST(SeriesKernels, TrivialSizes) {
+  SeriesOptions options;
+  expect_bitwise_equal(power_series_sum(Matrix(0), options), Matrix(0));
+  Matrix one(1);
+  one.at(0, 0) = 0.5;
+  expect_bitwise_equal(power_series_sum(one, options),
+                       power_series_sum_reference(one, options.max_order));
+}
+
+TEST(SeriesKernels, RejectsZeroOrder) {
+  SeriesOptions options;
+  options.max_order = 0;
+  EXPECT_THROW(power_series_sum(Matrix(2), options), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fcm::graph

@@ -1,0 +1,75 @@
+// The best_plan heuristic sweep must pick the same plan for every
+// `sweep_threads` value: candidates are independent, and the winner is
+// selected sequentially over the fixed heuristic order.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/example98.h"
+#include "mapping/planner.h"
+
+namespace fcm::mapping {
+namespace {
+
+using core::example98::make_instance;
+
+Plan best_with_threads(std::uint32_t threads, std::size_t hw_nodes,
+                       Approach approach) {
+  core::example98::Instance instance = make_instance();
+  const HwGraph hw = HwGraph::complete(hw_nodes);
+  PlanOptions options;
+  options.sweep_threads = threads;
+  IntegrationPlanner planner(instance.hierarchy, instance.influence,
+                             instance.processes, hw, options);
+  return planner.best_plan(approach);
+}
+
+void expect_same_plan(const Plan& a, const Plan& b) {
+  EXPECT_EQ(a.heuristic, b.heuristic);
+  EXPECT_EQ(a.approach, b.approach);
+  EXPECT_EQ(a.clustering.partition.cluster_of, b.clustering.partition.cluster_of);
+  EXPECT_EQ(a.clustering.steps, b.clustering.steps);
+  EXPECT_EQ(a.assignment.hw_of, b.assignment.hw_of);
+  EXPECT_EQ(a.quality.score(), b.quality.score());  // bitwise, not approx
+}
+
+TEST(PlannerParallel, SweepThreadsDoNotChangeTheChosenPlan) {
+  for (const Approach approach :
+       {Approach::kAImportance, Approach::kBLexicographic}) {
+    const Plan sequential = best_with_threads(1, 6, approach);
+    for (const std::uint32_t threads : {2u, 4u, 8u, 0u}) {
+      expect_same_plan(sequential, best_with_threads(threads, 6, approach));
+    }
+  }
+}
+
+TEST(PlannerParallel, TightPlatformAgreesAcrossThreadCounts) {
+  // 4 HW nodes: several heuristics fail or produce infeasible candidates,
+  // exercising the failure-collection path of the parallel sweep.
+  const Plan sequential = best_with_threads(1, 4, Approach::kAImportance);
+  for (const std::uint32_t threads : {2u, 4u}) {
+    expect_same_plan(sequential,
+                     best_with_threads(threads, 4, Approach::kAImportance));
+  }
+}
+
+TEST(PlannerParallel, InfeasiblePlatformThrowsForAnyThreadCount) {
+  for (const std::uint32_t threads : {1u, 2u, 4u}) {
+    EXPECT_THROW(best_with_threads(threads, 2, Approach::kAImportance),
+                 FcmError);
+  }
+}
+
+TEST(PlannerParallel, ParallelSweepStillAccumulatesCacheStats) {
+  core::example98::Instance instance = make_instance();
+  const HwGraph hw = HwGraph::complete(6);
+  PlanOptions options;
+  options.sweep_threads = 4;
+  IntegrationPlanner planner(instance.hierarchy, instance.influence,
+                             instance.processes, hw, options);
+  (void)planner.best_plan();
+  const core::CacheStats stats = planner.separation_cache_stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace fcm::mapping
