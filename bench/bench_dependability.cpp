@@ -16,6 +16,8 @@
 #include "dependability/montecarlo.h"
 #include "dependability/reliability.h"
 #include "mapping/assignment.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -121,17 +123,31 @@ void threads_scaling() {
             << " hardware threads here; estimates are bitwise identical "
                "either way)\n";
 
+  // Instrumented pass at a smaller trial count: the embedded snapshot
+  // records how much work the engine actually did (trials, blocks,
+  // propagation sweeps), which anchors the timing numbers above.
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  mission.threads = 4;
+  mission.trials = 50'000;
+  (void)evaluate_mapping(setup.sw, setup.clustering, setup.assignment,
+                         setup.hw, mission, 2024);
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::global().snapshot();
+  obs::set_enabled(false);
+
   std::ofstream json("BENCH_montecarlo.json");
   json << "{\n"
        << "  \"bench\": \"montecarlo_threads\",\n"
-       << "  \"trials\": " << mission.trials << ",\n"
+       << "  \"trials\": 400000,\n"
        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
        << ",\n"
        << "  \"seconds_1_thread\": " << base_seconds << ",\n"
        << "  \"seconds_4_threads\": " << seconds_4 << ",\n"
        << "  \"speedup_4_threads\": " << base_seconds / seconds_4 << ",\n"
        << "  \"bitwise_identical\": " << (all_identical ? "true" : "false")
-       << "\n}\n";
+       << ",\n"
+       << "  \"metrics\": " << obs::metrics_json(metrics) << "\n}\n";
   std::cout << "(speedup record written to BENCH_montecarlo.json)\n";
 }
 

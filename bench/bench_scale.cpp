@@ -16,6 +16,8 @@
 #include "common/table.h"
 #include "graph/series.h"
 #include "mapping/planner.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -221,6 +223,16 @@ void print_reproduction() {
   std::cout << "best_plan(64 processes): sweep_threads 1 vs 4 pick "
             << (plans_identical ? "identical" : "DIFFERENT") << " plans\n";
 
+  // One instrumented pipeline pass: the obs registry snapshot rides along
+  // in the JSON record so a perf regression can be traced to which phase
+  // changed behavior (kernel selection flips, heap churn, cache misses).
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  (void)measure(64);
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::global().snapshot();
+  obs::set_enabled(false);
+
   std::ofstream json("BENCH_scale.json");
   json << "{\n"
        << "  \"bench\": \"scale_phases\",\n"
@@ -243,7 +255,8 @@ void print_reproduction() {
        << "  \"h1_identical\": "
        << (headline.h1_identical ? "true" : "false") << ",\n"
        << "  \"plans_identical_across_threads\": "
-       << (plans_identical ? "true" : "false") << "\n}\n";
+       << (plans_identical ? "true" : "false") << ",\n"
+       << "  \"metrics\": " << obs::metrics_json(metrics) << "\n}\n";
   std::cout << "(per-phase record written to BENCH_scale.json)\n";
 }
 

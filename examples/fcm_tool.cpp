@@ -7,49 +7,41 @@
 //   fcm_tool influence                   # print the Fig. 3 graph + roles
 //   fcm_tool separation [--order K]      # Eq. 3 separation matrix
 //   fcm_tool depend [--hw N] [--q P] [--trials N] [--threads T]
-#include <cstring>
+//
+// Every command also accepts --metrics (dump the fcm::obs registry after
+// the run) and --trace FILE (write a chrome://tracing span file). Options
+// are validated strictly: unknown options, missing values, and malformed
+// numbers print a one-line error plus usage and exit non-zero.
+#include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "fcm.h"
-#include "core/report.h"
+#include "common/cliopt.h"
 #include "common/table.h"
+#include "core/report.h"
+#include "obs/obs.h"
 
 using namespace fcm;
 
 namespace {
 
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> options;
-
-  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stoi(it->second);
-  }
-  [[nodiscard]] double get_double(const std::string& key,
-                                  double fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
-  }
-  [[nodiscard]] std::string get(const std::string& key,
-                                std::string fallback) const {
-    const auto it = options.find(key);
-    return it == options.end() ? fallback : it->second;
-  }
+struct CommandSpec {
+  std::string name;
+  std::vector<cli::OptionSpec> options;
 };
 
-Args parse(int argc, char** argv) {
-  Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.options[key] = argv[i + 1];
-  }
-  return args;
-}
+// Declared per command so a typo'd or misplaced option fails loudly instead
+// of being silently ignored. --metrics/--trace are shared by every command.
+const std::vector<CommandSpec> kCommands = {
+    {"table", {}},
+    {"report", {}},
+    {"influence", {}},
+    {"separation", {{"order"}, {"threads"}}},
+    {"plan", {{"hw"}, {"heuristic"}, {"approach"}, {"sweep-threads"}}},
+    {"depend", {{"hw"}, {"q"}, {"trials"}, {"threads"}}},
+};
 
 int usage() {
   std::cout <<
@@ -57,13 +49,16 @@ int usage() {
       "  table                               print Table 1\n"
       "  report                              full system report\n"
       "  influence                           Fig. 3 graph + 4.2.4 roles\n"
-      "  separation [--order K]              Eq. 3 separation matrix\n"
+      "  separation [--order K] [--threads T]  Eq. 3 separation matrix\n"
       "  plan [--hw N] [--heuristic H] [--approach a|b] [--sweep-threads T]\n"
       "       H in {h1, h1r, h2, h3, crit, timing, best}; T parallelizes\n"
       "       the 'best' sweep (0 = all cores, same plan for every T)\n"
       "  depend [--hw N] [--q P] [--trials N] [--threads T]\n"
       "       Monte Carlo evaluation; T=0 uses all cores, the estimates\n"
-      "       are identical for every T\n";
+      "       are identical for every T\n"
+      "global options (any command):\n"
+      "  --metrics                           dump the fcm::obs registry\n"
+      "  --trace FILE                        write chrome://tracing spans\n";
   return 2;
 }
 
@@ -112,10 +107,11 @@ int cmd_influence() {
   return 0;
 }
 
-int cmd_separation(const Args& args) {
+int cmd_separation(const cli::Options& args) {
   const auto instance = core::example98::make_instance();
   core::SeparationOptions options;
   options.max_order = args.get_int("order", 6);
+  options.threads = static_cast<std::uint32_t>(args.get_int("threads", 1));
   const core::SeparationAnalysis analysis(instance.influence, options);
   std::vector<std::string> headers{"sep"};
   for (int k = 1; k <= 8; ++k) headers.push_back("p" + std::to_string(k));
@@ -131,7 +127,7 @@ int cmd_separation(const Args& args) {
   return 0;
 }
 
-int cmd_plan(const Args& args) {
+int cmd_plan(const cli::Options& args) {
   auto instance = core::example98::make_instance();
   const mapping::HwGraph hw = mapping::HwGraph::complete(
       args.get_int("hw", core::example98::kHwNodes));
@@ -151,7 +147,7 @@ int cmd_plan(const Args& args) {
   return plan.quality.constraints_satisfied() ? 0 : 1;
 }
 
-int cmd_depend(const Args& args) {
+int cmd_depend(const cli::Options& args) {
   auto instance = core::example98::make_instance();
   const mapping::HwGraph hw = mapping::HwGraph::complete(
       args.get_int("hw", core::example98::kHwNodes));
@@ -181,17 +177,57 @@ int cmd_depend(const Args& args) {
   return 0;
 }
 
+int run_command(const std::string& command, const cli::Options& args) {
+  if (command == "table") return cmd_table();
+  if (command == "report") return cmd_report();
+  if (command == "influence") return cmd_influence();
+  if (command == "separation") return cmd_separation(args);
+  if (command == "plan") return cmd_plan(args);
+  if (command == "depend") return cmd_depend(args);
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const Args args = parse(argc, argv);
+  const std::string command = argc >= 2 ? argv[1] : "";
+  const CommandSpec* spec = nullptr;
+  for (const CommandSpec& candidate : kCommands) {
+    if (candidate.name == command) spec = &candidate;
+  }
+  if (spec == nullptr) return usage();
+
+  cli::Options args;
   try {
-    if (args.command == "table") return cmd_table();
-    if (args.command == "report") return cmd_report();
-    if (args.command == "influence") return cmd_influence();
-    if (args.command == "separation") return cmd_separation(args);
-    if (args.command == "plan") return cmd_plan(args);
-    if (args.command == "depend") return cmd_depend(args);
+    std::vector<cli::OptionSpec> options = spec->options;
+    options.push_back({"metrics", /*takes_value=*/false});
+    options.push_back({"trace", /*takes_value=*/true});
+    args = cli::parse_options(argc, argv, 2, options);
+  } catch (const cli::CliError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return usage();
+  }
+
+  const bool dump_metrics = args.flag("metrics");
+  const std::string trace_path = args.get("trace", "");
+  if (dump_metrics || !trace_path.empty()) obs::set_enabled(true);
+
+  try {
+    const int status = run_command(command, args);
+    if (!trace_path.empty() && !obs::write_trace_file(trace_path)) {
+      std::cerr << "error: cannot write trace file '" << trace_path << "'\n";
+      return 1;
+    }
+    if (dump_metrics) {
+      std::cout << "metrics: "
+                << obs::metrics_json(
+                       obs::MetricsRegistry::global().snapshot())
+                << '\n';
+    }
+    return status;
+  } catch (const cli::CliError& error) {
+    // Malformed option values surface here from the typed getters.
+    std::cerr << "error: " << error.what() << '\n';
     return usage();
   } catch (const FcmError& error) {
     std::cerr << "error: " << error.what() << '\n';

@@ -1,6 +1,7 @@
 #include "common/probability.h"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <string>
 
@@ -9,11 +10,18 @@
 namespace fcm {
 
 Probability::Probability(double value) : p_(value) {
+  // NaN fails both comparisons, so the checked path rejects it too.
   FCM_REQUIRE(value >= 0.0 && value <= 1.0,
               "probability must be in [0,1], got " + std::to_string(value));
 }
 
 Probability Probability::clamped(double value) noexcept {
+  // std::clamp(NaN, 0, 1) returns NaN (every comparison is false), which
+  // would poison any_of/all_of products and the Monte Carlo rng.chance
+  // threshold. The noexcept path maps NaN to 0.0 — "no evidence of the
+  // event" — and relies on the validating constructor to reject NaN where
+  // a hard failure is wanted.
+  if (std::isnan(value)) return Probability(0.0, Unchecked{});
   return Probability(std::clamp(value, 0.0, 1.0), Unchecked{});
 }
 

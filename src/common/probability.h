@@ -33,7 +33,9 @@ class Probability {
   static constexpr Probability zero() noexcept { return Probability{}; }
 
   /// Clamp an arbitrary double into [0,1] (used for numeric series whose
-  /// truncation error can step slightly outside the domain).
+  /// truncation error can step slightly outside the domain). NaN maps to
+  /// 0.0 — this path is the noexcept "saturate, never propagate" boundary;
+  /// use the validating constructor to reject NaN/out-of-range loudly.
   static Probability clamped(double value) noexcept;
 
   [[nodiscard]] constexpr double value() const noexcept { return p_; }

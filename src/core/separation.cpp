@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace fcm::core {
 
@@ -71,13 +72,15 @@ std::uint64_t bits_of(double value) noexcept {
   return bits;
 }
 
-std::uint64_t model_key(const InfluenceModel& model) noexcept {
-  // Pointer identity x revision: two different live models never collide,
-  // and a mutated model never reuses its stale entry.
-  std::uint64_t hash = fnv_mix(
-      kFnvOffset, static_cast<std::uint64_t>(
-                      reinterpret_cast<std::uintptr_t>(&model)));
-  return fnv_mix(hash, model.revision());
+std::uint64_t model_key(const InfluenceModel& model) {
+  // Content identity: hash the influence matrix the analysis is actually
+  // computed from. The previous address-x-revision key had an ABA hazard —
+  // a destroyed model whose heap address was reused by a fresh model at the
+  // same revision count resurrected the dead model's entry. Content keying
+  // cannot dangle (and lets two equal models share one entry). to_matrix()
+  // costs O(n²) memoized influence lookups per query; the raw-matrix
+  // overload below stays O(1) via the hash cached inside Matrix.
+  return fnv_mix(kFnvOffset, model.to_matrix().content_hash());
 }
 
 // Folds the result-selecting options fields (and only those — threads and
@@ -104,11 +107,13 @@ const SeparationAnalysis& SeparationCache::lookup(std::uint64_t key,
   ++tick_;
   if (const auto it = index_.find(key); it != index_.end()) {
     ++stats_.hits;
+    FCM_OBS_COUNT("separation_cache.hits", 1);
     Entry& entry = entries_[it->second];
     entry.last_used = tick_;
     return entry.analysis;
   }
   ++stats_.misses;
+  FCM_OBS_COUNT("separation_cache.misses", 1);
   std::size_t slot;
   if (entries_.size() >= capacity_) {
     // Evict the LRU slot and reuse it in place.
@@ -118,6 +123,7 @@ const SeparationAnalysis& SeparationCache::lookup(std::uint64_t key,
     }
     index_.erase(entries_[slot].key);
     ++stats_.evictions;
+    FCM_OBS_COUNT("separation_cache.evictions", 1);
     entries_[slot] = Entry{key, tick_, make()};
   } else {
     slot = entries_.size();

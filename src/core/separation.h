@@ -73,17 +73,20 @@ class SeparationAnalysis {
 /// Memoizes SeparationAnalysis instances so repeated Eq. 3 queries — the
 /// planner scoring several heuristics, iterative what-if loops over one
 /// model — do not recompute the transitive power series. Entries are keyed
-/// on the influence model's revision counter (or a content hash for raw
-/// matrices, cached inside Matrix so an unchanged matrix is never re-hashed)
-/// plus the truncation options. Lookups go through a hash-map index — O(1)
-/// per query instead of a scan over the capacity. Small LRU; evictions are
-/// counted.
+/// on a *content* hash of the influence matrix (for raw matrices the hash is
+/// cached inside Matrix, so an unchanged matrix is never re-hashed) plus
+/// the truncation options; keying on content rather than object identity
+/// means a destroyed model whose address is reused can never resurrect a
+/// dead entry. Lookups go through a hash-map index — O(1) per query instead
+/// of a scan over the capacity. Small LRU; evictions are counted in the
+/// per-instance stats and mirrored into the fcm::obs registry.
 class SeparationCache {
  public:
   explicit SeparationCache(std::size_t capacity = 8);
 
-  /// The analysis for the model's *current* revision. Recomputes (and
-  /// counts a miss) when the model mutated since the entry was cached.
+  /// The analysis for the model's *current* content. Recomputes (and
+  /// counts a miss) when the model's influence matrix changed since the
+  /// entry was cached.
   const SeparationAnalysis& get(const InfluenceModel& model,
                                 SeparationOptions options = {});
 

@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/ksum.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 
 namespace fcm::dependability {
 
@@ -31,6 +32,11 @@ struct BlockTally {
   std::uint32_t all_ok = 0;
   std::uint32_t critical_ok = 0;
   double criticality_loss = 0.0;
+  // Observability: fixed-point sweeps taken by the propagation loop, and
+  // edges actually sampled. Tallied per block so the registry totals fold
+  // deterministically like every other block quantity.
+  std::uint64_t propagation_sweeps = 0;
+  std::uint64_t edges_sampled = 0;
 };
 
 // Reusable per-worker scratch, allocated once per thread instead of per
@@ -74,6 +80,7 @@ void run_block(const mapping::SwGraph& sw,
       bool changed = true;
       while (changed) {
         changed = false;
+        ++tally.propagation_sweeps;
         for (std::size_t e = 0; e < edges.size(); ++e) {
           const graph::Edge& edge = edges[e];
           if (!scratch.module_failed[edge.from] ||
@@ -84,6 +91,7 @@ void run_block(const mapping::SwGraph& sw,
           if (scratch.edge_state[e] < 0) {
             scratch.edge_state[e] =
                 rng.chance(Probability::clamped(edge.weight)) ? 1 : 0;
+            ++tally.edges_sampled;
           }
           if (scratch.edge_state[e] == 1) {
             scratch.module_failed[edge.to] = true;
@@ -135,6 +143,7 @@ DependabilityReport evaluate_mapping(
               "trial block size must be positive");
   FCM_REQUIRE(assignment.hw_of.size() == clustering.partition.cluster_count,
               "assignment does not cover every cluster");
+  FCM_OBS_SPAN("mc.evaluate");
 
   // Group SW nodes by their origin process; record replication semantics.
   std::map<FcmId, std::size_t> index_of;
@@ -181,6 +190,7 @@ DependabilityReport evaluate_mapping(
       const std::uint32_t first = b * block_size;
       const std::uint32_t last =
           std::min(mission.trials, first + block_size);
+      FCM_OBS_SPAN("mc.block", b);
       run_block(sw, clustering, assignment, hw, mission, processes,
                 critical_threshold, master.substream(b), first, last,
                 scratch, tallies[b]);
@@ -200,6 +210,7 @@ DependabilityReport evaluate_mapping(
   // in block order through one more compensated sum.
   std::vector<std::uint64_t> survived(processes.size(), 0);
   std::uint64_t all_ok = 0, critical_ok = 0;
+  std::uint64_t propagation_sweeps = 0, edges_sampled = 0;
   NeumaierSum loss_sum;
   for (const BlockTally& tally : tallies) {
     for (std::size_t p = 0; p < processes.size(); ++p) {
@@ -207,8 +218,19 @@ DependabilityReport evaluate_mapping(
     }
     all_ok += tally.all_ok;
     critical_ok += tally.critical_ok;
+    propagation_sweeps += tally.propagation_sweeps;
+    edges_sampled += tally.edges_sampled;
     loss_sum.add(tally.criticality_loss);
   }
+
+  // Work counters fold from the per-block tallies, so — like the estimates
+  // themselves — the registry totals are identical for every thread count.
+  FCM_OBS_COUNT("mc.evaluations", 1);
+  FCM_OBS_COUNT("mc.trials", mission.trials);
+  FCM_OBS_COUNT("mc.blocks", block_count);
+  FCM_OBS_COUNT("mc.propagation_sweeps", propagation_sweeps);
+  FCM_OBS_COUNT("mc.edges_sampled", edges_sampled);
+  FCM_OBS_GAUGE("mc.threads", static_cast<double>(threads));
 
   DependabilityReport report;
   report.trials = mission.trials;

@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "graph/csr.h"
+#include "obs/obs.h"
 
 namespace fcm::graph {
 
@@ -97,6 +98,7 @@ double buffer_max_abs(const std::vector<double>& buf) noexcept {
 Matrix power_series_sum_reference(const Matrix& p, int max_order,
                                   double epsilon) {
   FCM_REQUIRE(max_order >= 1, "series needs at least the first-order term");
+  FCM_OBS_COUNT("series.kernel.reference", 1);
   Matrix sum = p;
   Matrix term = p;
   for (int order = 2; order <= max_order; ++order) {
@@ -115,6 +117,7 @@ Matrix power_series_sum(const Matrix& p, const SeriesOptions& options) {
   }
 
   const std::size_t n = p.size();
+  FCM_OBS_SPAN("series.power_sum", n);
   std::uint32_t threads = options.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -136,7 +139,12 @@ Matrix power_series_sum(const Matrix& p, const SeriesOptions& options) {
     kernel = nonnegative && fill <= options.sparse_fill_threshold
                  ? SeriesKernel::kSparse
                  : SeriesKernel::kDense;
+    FCM_OBS_COUNT("series.fill_scans", 1);
+    FCM_OBS_GAUGE("series.fill_ratio", fill);
   }
+  FCM_OBS_COUNT(kernel == SeriesKernel::kSparse ? "series.kernel.sparse"
+                                                : "series.kernel.dense",
+                1);
 
   // In-place buffers: `sum` accumulates, `term` holds P^(order-1), `next`
   // receives P^order. No Matrix is allocated per order.
@@ -149,6 +157,8 @@ Matrix power_series_sum(const Matrix& p, const SeriesOptions& options) {
                             : CsrMatrix(Matrix(0));
   const double* pdata = p.data();
 
+  std::uint64_t orders_computed = 0;
+  bool epsilon_stop = false;
   for (int order = 2; order <= options.max_order; ++order) {
     if (kernel == SeriesKernel::kSparse) {
       for_row_ranges(n, threads, options.rows_per_task,
@@ -162,12 +172,16 @@ Matrix power_series_sum(const Matrix& p, const SeriesOptions& options) {
                                   std::max<std::size_t>(1, options.col_block));
                      });
     }
+    ++orders_computed;
     term.swap(next);
     if (options.epsilon > 0.0 && buffer_max_abs(term) < options.epsilon) {
+      epsilon_stop = true;
       break;
     }
     for (std::size_t i = 0; i < n * n; ++i) sum[i] += term[i];
   }
+  FCM_OBS_COUNT("series.orders", orders_computed);
+  if (epsilon_stop) FCM_OBS_COUNT("series.epsilon_stops", 1);
 
   Matrix result(n);
   if (n > 0) std::memcpy(result.data(), sum.data(), n * n * sizeof(double));

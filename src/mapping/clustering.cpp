@@ -10,6 +10,7 @@
 #include "core/importance.h"
 #include "graph/maxflow.h"
 #include "graph/mincut.h"
+#include "obs/obs.h"
 
 namespace fcm::mapping {
 
@@ -32,6 +33,7 @@ void ClusterEngine::QuotientCache::reset(const SwGraph& sw,
   sw_ = &sw;
   bundles_.clear();
   stats_.invalidations += combined_.size();
+  FCM_OBS_COUNT("quotient_cache.invalidations", combined_.size());
   combined_.clear();
   memo_keys_by_rep_.clear();
   // Representative of each cluster: its smallest member node index.
@@ -79,9 +81,11 @@ double ClusterEngine::QuotientCache::directed(graph::NodeIndex rep_from,
   if (!memoize) return combine(key);
   if (const auto it = combined_.find(key); it != combined_.end()) {
     ++stats_.hits;
+    FCM_OBS_COUNT("quotient_cache.hits", 1);
     return it->second;
   }
   ++stats_.misses;
+  FCM_OBS_COUNT("quotient_cache.misses", 1);
   const double value = combine(key);
   combined_.emplace(key, value);
   memo_keys_by_rep_[rep_from].push_back(key);
@@ -135,7 +139,9 @@ void ClusterEngine::QuotientCache::merge(graph::NodeIndex rep_a,
     const auto keys = memo_keys_by_rep_.find(rep);
     if (keys == memo_keys_by_rep_.end()) continue;
     for (const std::uint64_t key : keys->second) {
-      stats_.invalidations += combined_.erase(key);
+      const std::size_t erased = combined_.erase(key);
+      stats_.invalidations += erased;
+      FCM_OBS_COUNT("quotient_cache.invalidations", erased);
     }
     memo_keys_by_rep_.erase(keys);
   }
@@ -356,6 +362,10 @@ void ClusterEngine::greedy_merge_heap(graph::Partition& partition,
   // only on the two clusters' members, and any later membership change
   // reinserts the pair with fresh stamps.
   const bool memo = options_.use_influence_cache;
+  FCM_OBS_SPAN("h1.greedy_merge");
+  // Local tallies flushed once at the end: the merge loop is sequential, so
+  // one registry call per run costs nothing on the pop path.
+  std::uint64_t pops = 0, stale_pops = 0, recomputes = 0, merges = 0;
 
   struct Candidate {
     double mutual;
@@ -391,10 +401,12 @@ void ClusterEngine::greedy_merge_heap(graph::Partition& partition,
       std::pop_heap(heap.begin(), heap.end(), worse);
       const Candidate cand = heap.back();
       heap.pop_back();
+      ++pops;
       const auto va = version.find(cand.rep_a);
       const auto vb = version.find(cand.rep_b);
       if (va == version.end() || vb == version.end() ||
           va->second != cand.ver_a || vb->second != cand.ver_b) {
+        ++stale_pops;
         continue;  // stale: a membership change superseded this entry
       }
       const std::uint32_t cluster_a = partition.cluster_of[cand.rep_a];
@@ -420,12 +432,18 @@ void ClusterEngine::greedy_merge_heap(graph::Partition& partition,
                         lo == merged ? merged_version : ver,
                         hi == merged ? merged_version : ver});
         std::push_heap(heap.begin(), heap.end(), worse);
+        ++recomputes;
       }
+      ++merges;
       merged_one = true;
       break;
     }
     if (!merged_one) throw_no_combinable_pair(partition, style);
   }
+  FCM_OBS_COUNT("h1.heap.pops", pops);
+  FCM_OBS_COUNT("h1.heap.stale_pops", stale_pops);
+  FCM_OBS_COUNT("h1.heap.recomputes", recomputes);
+  FCM_OBS_COUNT("h1.merges", merges);
 }
 
 ClusteringResult ClusterEngine::h1_rounds() {

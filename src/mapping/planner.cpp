@@ -8,6 +8,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "obs/obs.h"
 
 namespace fcm::mapping {
 
@@ -146,13 +147,21 @@ Plan IntegrationPlanner::best_plan(Approach approach) {
   std::uint32_t threads = options_.sweep_threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<std::uint32_t>(threads, kCount);
+  FCM_OBS_SPAN("planner.best_plan");
+  FCM_OBS_COUNT("planner.sweeps", 1);
+  FCM_OBS_GAUGE("planner.sweep_threads", static_cast<double>(threads));
 
   auto run_candidate = [&](std::size_t index, core::SeparationCache* cache) {
     Candidate& slot = candidates[index];
+    // One span per heuristic candidate, keyed by its sweep index so the
+    // merged trace reads the same whichever worker ran it.
+    FCM_OBS_SPAN("planner.candidate", index);
+    FCM_OBS_COUNT("planner.candidates", 1);
     try {
       slot.plan = plan_with(kAll[index], approach, cache);
     } catch (const FcmError& error) {
       slot.failure = error.what();
+      FCM_OBS_COUNT("planner.candidate_failures", 1);
     } catch (...) {
       slot.fatal = std::current_exception();
     }

@@ -1,0 +1,134 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace fcm::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void MetricsRegistry::add_counter(std::string_view name, std::uint64_t delta) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = data_.counters.find(std::string(name));
+  if (it == data_.counters.end()) {
+    data_.counters.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.gauges.insert_or_assign(std::string(name), value);
+}
+
+void MetricsRegistry::record(std::string_view name, double value) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSummary& h = data_.histograms[std::string(name)];
+  if (h.count == 0) {
+    h.min = h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  std::size_t bucket = HistogramSummary::kBuckets - 1;
+  for (std::size_t b = 0; b < HistogramSummary::kUpperBounds.size(); ++b) {
+    if (value <= HistogramSummary::kUpperBounds[b]) {
+      bucket = b;
+      break;
+    }
+  }
+  ++h.buckets[bucket];
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_ = MetricsSnapshot{};
+}
+
+namespace {
+
+// Instrument names are plain identifiers; escape the JSON metacharacters
+// anyway so arbitrary names cannot break the document.
+void append_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void append_double(std::ostream& out, double value) {
+  out << std::setprecision(17) << value;
+}
+
+}  // namespace
+
+std::string metrics_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ':' << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ':';
+    append_double(out, value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ":{\"count\":" << h.count << ",\"min\":";
+    append_double(out, h.min);
+    out << ",\"max\":";
+    append_double(out, h.max);
+    out << ",\"sum\":";
+    append_double(out, h.sum);
+    out << ",\"mean\":";
+    append_double(out, h.mean());
+    out << ",\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out << ',';
+      out << h.buckets[b];
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace fcm::obs

@@ -1,0 +1,75 @@
+// Observability: the instrumentation macros library code uses.
+//
+// All hot-path instrumentation goes through these macros rather than direct
+// registry calls, so building with -DFCM_OBS=OFF compiles every call site
+// down to nothing — the disabled-mode guarantee is "no instrumentation code
+// in the binary", not "a cheap branch". With FCM_OBS=ON (the default) each
+// macro still costs only one relaxed atomic load until
+// fcm::obs::set_enabled(true) turns recording on.
+//
+//   FCM_OBS_COUNT(name, delta)   counter += delta
+//   FCM_OBS_GAUGE(name, value)   gauge = value
+//   FCM_OBS_HIST(name, value)    fold value into a histogram
+//   FCM_OBS_SPAN(name [, id])    RAII span timing the enclosing scope
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#if !defined(FCM_OBS_ENABLED)
+#define FCM_OBS_ENABLED 1
+#endif
+
+#if FCM_OBS_ENABLED
+
+#define FCM_OBS_DETAIL_CONCAT_INNER(a, b) a##b
+#define FCM_OBS_DETAIL_CONCAT(a, b) FCM_OBS_DETAIL_CONCAT_INNER(a, b)
+
+#define FCM_OBS_COUNT(name, delta)                                  \
+  do {                                                              \
+    if (::fcm::obs::enabled()) {                                    \
+      ::fcm::obs::MetricsRegistry::global().add_counter((name),     \
+                                                        (delta));   \
+    }                                                               \
+  } while (false)
+
+#define FCM_OBS_GAUGE(name, value)                                    \
+  do {                                                                \
+    if (::fcm::obs::enabled()) {                                      \
+      ::fcm::obs::MetricsRegistry::global().set_gauge((name),         \
+                                                      (value));       \
+    }                                                                 \
+  } while (false)
+
+#define FCM_OBS_HIST(name, value)                                      \
+  do {                                                                 \
+    if (::fcm::obs::enabled()) {                                       \
+      ::fcm::obs::MetricsRegistry::global().record((name), (value));   \
+    }                                                                  \
+  } while (false)
+
+#define FCM_OBS_SPAN(...)                               \
+  ::fcm::obs::ScopedSpan FCM_OBS_DETAIL_CONCAT(         \
+      fcm_obs_span_, __LINE__) { __VA_ARGS__ }
+
+#else  // FCM_OBS_ENABLED == 0: call sites still type-check (and count as
+       // uses for warning purposes) inside a never-taken branch the
+       // optimizer deletes, but nothing is evaluated or recorded.
+
+#define FCM_OBS_DETAIL_DISCARD(...)  \
+  do {                               \
+    if (false) {                     \
+      __VA_ARGS__;                   \
+    }                                \
+  } while (false)
+
+#define FCM_OBS_COUNT(name, delta) \
+  FCM_OBS_DETAIL_DISCARD((void)(name), (void)(delta))
+#define FCM_OBS_GAUGE(name, value) \
+  FCM_OBS_DETAIL_DISCARD((void)(name), (void)(value))
+#define FCM_OBS_HIST(name, value) \
+  FCM_OBS_DETAIL_DISCARD((void)(name), (void)(value))
+#define FCM_OBS_SPAN(...) \
+  FCM_OBS_DETAIL_DISCARD(::fcm::obs::ScopedSpan{__VA_ARGS__})
+
+#endif  // FCM_OBS_ENABLED

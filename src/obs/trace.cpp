@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace fcm::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point collector_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Per-thread span buffer: lock-free writes, drained under the collector
+// mutex when full and at thread exit.
+struct ThreadBuffer {
+  static constexpr std::size_t kFlushThreshold = 1024;
+
+  std::vector<SpanRecord> spans;
+  std::uint32_t tid = 0;
+  bool registered = false;
+
+  ~ThreadBuffer() { flush(); }
+
+  void push(SpanRecord record) {
+    if (!registered) {
+      tid = TraceCollector::global().register_thread();
+      registered = true;
+    }
+    record.tid = tid;
+    spans.push_back(record);
+    if (spans.size() >= kFlushThreshold) flush();
+  }
+
+  void flush() {
+    if (spans.empty()) return;
+    TraceCollector::global().append(std::move(spans));
+    spans.clear();
+  }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector collector;
+  return collector;
+}
+
+std::uint64_t TraceCollector::now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - collector_epoch())
+          .count());
+}
+
+void TraceCollector::append(std::vector<SpanRecord>&& spans) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.insert(spans_.end(), spans.begin(), spans.end());
+}
+
+std::uint32_t TraceCollector::register_thread() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_tid_++;
+}
+
+std::vector<SpanRecord> TraceCollector::collect() {
+  thread_buffer().flush();
+  std::vector<SpanRecord> merged;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    merged = spans_;
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              const int name_order = std::strcmp(a.name, b.name);
+              if (name_order != 0) return name_order < 0;
+              if (a.id != b.id) return a.id < b.id;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              if (a.dur_us != b.dur_us) return a.dur_us < b.dur_us;
+              return a.tid < b.tid;
+            });
+  return merged;
+}
+
+void TraceCollector::reset() {
+  thread_buffer().flush();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+ScopedSpan::ScopedSpan(const char* name, std::uint64_t id) noexcept
+    : name_(name), id_(id) {
+  if (!enabled()) return;
+  active_ = true;
+  start_us_ = TraceCollector::now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_ || !enabled()) return;
+  const std::uint64_t end_us = TraceCollector::now_us();
+  thread_buffer().push(
+      SpanRecord{name_, id_, 0, start_us_, end_us - start_us_});
+}
+
+std::string trace_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << span.name
+        << "\",\"cat\":\"fcm\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.tid
+        << ",\"ts\":" << span.start_us << ",\"dur\":" << span.dur_us
+        << ",\"args\":{\"id\":" << span.id << "}}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << trace_json(TraceCollector::global().collect());
+  return static_cast<bool>(file);
+}
+
+}  // namespace fcm::obs

@@ -1,0 +1,96 @@
+// Observability: RAII scoped-span timers and the chrome://tracing exporter.
+//
+// A `ScopedSpan` times one region (a Monte Carlo block, a planner candidate,
+// one power-series evaluation) and records {name, id, thread, start, dur}
+// into a *per-thread* buffer — the hot path never takes a lock. Buffers
+// drain into the process-wide `TraceCollector` when they fill, when their
+// thread exits, and when the collecting thread calls `collect()`.
+//
+// Deterministic merge: the same discipline as the Monte Carlo block
+// reduction. Which thread ran which span is scheduling noise, so `collect()`
+// orders the merged records by the *logical* identity (name, id, start, dur)
+// rather than arrival or thread order — two runs doing the same work produce
+// the same span sequence (timing values aside), no matter the thread count.
+//
+// Span names must be string literals (or otherwise outlive the collector);
+// they are stored by pointer, never copied, so a span costs two clock reads
+// and one vector push.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fcm::obs {
+
+/// One finished span. Times are microseconds since the collector epoch
+/// (first use in the process).
+struct SpanRecord {
+  const char* name = "";
+  std::uint64_t id = 0;    ///< caller-chosen ordinal: block/candidate index
+  std::uint32_t tid = 0;   ///< thread ordinal in buffer-registration order
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+/// Process-wide sink for finished spans.
+class TraceCollector {
+ public:
+  static TraceCollector& global();
+
+  /// Microseconds since the collector epoch (monotonic).
+  [[nodiscard]] static std::uint64_t now_us() noexcept;
+
+  /// Folds a thread buffer into the global store (called by the per-thread
+  /// buffers; not usually called directly).
+  void append(std::vector<SpanRecord>&& spans);
+  /// Registers a thread buffer and returns its ordinal.
+  [[nodiscard]] std::uint32_t register_thread();
+
+  /// Flushes the calling thread's buffer, then returns every span collected
+  /// so far in the deterministic (name, id, start, dur, tid) order. Spans
+  /// still buffered by *other live* threads are not included until those
+  /// threads flush (worker pools in this codebase always join before their
+  /// spawner exports).
+  [[nodiscard]] std::vector<SpanRecord> collect();
+
+  /// Drops all collected spans. Call from the only recording thread (or
+  /// after workers joined); other threads' unflushed buffers survive a
+  /// reset and drain later.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::uint32_t next_tid_ = 0;
+};
+
+/// RAII region timer. Records only while `obs::enabled()`; a span that is
+/// open when recording toggles is dropped rather than half-timed.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, std::uint64_t id = 0) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t id_;
+  std::uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+/// Serializes spans as a chrome://tracing / Perfetto-loadable JSON document
+/// ("traceEvents" array of complete "X" events, timestamps in microseconds).
+[[nodiscard]] std::string trace_json(const std::vector<SpanRecord>& spans);
+
+/// collect() + trace_json() + write to `path`. Returns false (and writes
+/// nothing) when the file cannot be opened.
+bool write_trace_file(const std::string& path);
+
+}  // namespace fcm::obs

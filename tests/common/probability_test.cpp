@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.h"
@@ -25,6 +27,42 @@ TEST(Probability, ClampedSaturates) {
   EXPECT_DOUBLE_EQ(Probability::clamped(-3.0).value(), 0.0);
   EXPECT_DOUBLE_EQ(Probability::clamped(7.0).value(), 1.0);
   EXPECT_DOUBLE_EQ(Probability::clamped(0.25).value(), 0.25);
+}
+
+TEST(Probability, ValidatesRejectsNonFinite) {
+  // NaN fails both range comparisons, so the checked constructor must
+  // throw rather than admit a poisoned value.
+  EXPECT_THROW(Probability(std::numeric_limits<double>::quiet_NaN()),
+               InvalidArgument);
+  EXPECT_THROW(Probability(std::numeric_limits<double>::infinity()),
+               InvalidArgument);
+  EXPECT_THROW(Probability(-std::numeric_limits<double>::infinity()),
+               InvalidArgument);
+}
+
+TEST(Probability, ClampedMapsNanToZero) {
+  // std::clamp(NaN, 0, 1) returns NaN; the noexcept boundary must not let
+  // it through into the independence algebra.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(Probability::clamped(nan).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Probability::clamped(-nan).value(), 0.0);
+  EXPECT_FALSE(std::isnan(Probability::clamped(nan).value()));
+}
+
+TEST(Probability, ClampedSaturatesInfinities) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(Probability::clamped(inf).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Probability::clamped(-inf).value(), 0.0);
+}
+
+TEST(Probability, ClampedNanComposesCleanly) {
+  // A NaN entering through the clamp boundary must behave as zero in the
+  // algebra, not propagate through products.
+  const Probability p =
+      Probability::clamped(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(p.either(Probability(0.4)).value(), 0.4);
+  EXPECT_DOUBLE_EQ(p.both(Probability(0.4)).value(), 0.0);
+  EXPECT_DOUBLE_EQ(p.complement().value(), 1.0);
 }
 
 TEST(Probability, Complement) {

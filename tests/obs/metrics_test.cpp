@@ -1,0 +1,139 @@
+// MetricsRegistry semantics: thread-safe exact counting, disabled no-op,
+// snapshot ordering, and the JSON export shape.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace fcm::obs {
+namespace {
+
+// The registry is process-global; every test starts from a clean, enabled
+// slate and leaves recording off for its neighbors.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    MetricsRegistry::global().reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::global().reset();
+    set_enabled(false);
+  }
+};
+
+TEST_F(MetricsTest, CountersAccumulate) {
+  auto& registry = MetricsRegistry::global();
+  registry.add_counter("a", 2);
+  registry.add_counter("a", 3);
+  registry.add_counter("b");
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("a"), 5u);
+  EXPECT_EQ(snapshot.counters.at("b"), 1u);
+}
+
+TEST_F(MetricsTest, GaugeLastWriterWins) {
+  auto& registry = MetricsRegistry::global();
+  registry.set_gauge("g", 1.5);
+  registry.set_gauge("g", 2.5);
+  EXPECT_DOUBLE_EQ(registry.snapshot().gauges.at("g"), 2.5);
+}
+
+TEST_F(MetricsTest, HistogramSummarizes) {
+  auto& registry = MetricsRegistry::global();
+  registry.record("h", 0.5);
+  registry.record("h", 1.5);
+  registry.record("h", 0.005);
+  const HistogramSummary h = registry.snapshot().histograms.at("h");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.min, 0.005);
+  EXPECT_DOUBLE_EQ(h.max, 1.5);
+  EXPECT_DOUBLE_EQ(h.sum, 2.005);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.005 / 3.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : h.buckets) total += b;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST_F(MetricsTest, ConcurrentCountsAreExact) {
+  // Counter increments commute, so N threads x M increments must land on
+  // exactly N*M — the same "merges are order-free" discipline the Monte
+  // Carlo block reduction relies on.
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MetricsRegistry::global().add_counter("concurrent");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(MetricsRegistry::global().snapshot().counters.at("concurrent"),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(MetricsTest, DisabledRegistryRecordsNothing) {
+  set_enabled(false);
+  auto& registry = MetricsRegistry::global();
+  registry.add_counter("a");
+  registry.set_gauge("g", 1.0);
+  registry.record("h", 1.0);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST_F(MetricsTest, MacrosWriteToGlobalRegistry) {
+  FCM_OBS_COUNT("macro.counter", 4);
+  FCM_OBS_GAUGE("macro.gauge", 0.75);
+  FCM_OBS_HIST("macro.hist", 0.1);
+  const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+#if FCM_OBS_ENABLED
+  EXPECT_EQ(snapshot.counters.at("macro.counter"), 4u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("macro.gauge"), 0.75);
+  EXPECT_EQ(snapshot.histograms.at("macro.hist").count, 1u);
+#else
+  EXPECT_TRUE(snapshot.counters.empty());
+#endif
+}
+
+TEST_F(MetricsTest, JsonIsSortedAndStable) {
+  auto& registry = MetricsRegistry::global();
+  registry.add_counter("zeta", 1);
+  registry.add_counter("alpha", 2);
+  registry.set_gauge("ratio", 0.5);
+  const std::string json = metrics_json(registry.snapshot());
+  // std::map iteration order == key order, so "alpha" precedes "zeta".
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Equal snapshots serialize identically.
+  EXPECT_EQ(json, metrics_json(registry.snapshot()));
+}
+
+TEST_F(MetricsTest, JsonEscapesQuotesAndBackslashes) {
+  auto& registry = MetricsRegistry::global();
+  registry.add_counter("we\"ird\\name", 1);
+  const std::string json = metrics_json(registry.snapshot());
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetClearsEverything) {
+  auto& registry = MetricsRegistry::global();
+  registry.add_counter("a");
+  registry.reset();
+  EXPECT_TRUE(registry.snapshot().counters.empty());
+}
+
+}  // namespace
+}  // namespace fcm::obs

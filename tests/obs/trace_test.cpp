@@ -1,0 +1,156 @@
+// ScopedSpan / TraceCollector semantics: per-thread buffers merge into a
+// deterministic order, disabled spans cost nothing, and the exporter emits
+// chrome://tracing-shaped JSON.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace fcm::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    TraceCollector::global().reset();
+  }
+  void TearDown() override {
+    (void)TraceCollector::global().collect();  // drain this thread's buffer
+    TraceCollector::global().reset();
+    set_enabled(false);
+  }
+};
+
+TEST_F(TraceTest, RecordsNestedSpans) {
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner", 3);
+  }
+  const std::vector<SpanRecord> spans = TraceCollector::global().collect();
+  ASSERT_EQ(spans.size(), 2u);
+  // Deterministic order is by name first: "inner" < "outer".
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].id, 3u);
+  EXPECT_STREQ(spans[1].name, "outer");
+  // The inner span starts no earlier and ends no later than the outer one.
+  EXPECT_GE(spans[0].start_us, spans[1].start_us);
+  EXPECT_LE(spans[0].start_us + spans[0].dur_us,
+            spans[1].start_us + spans[1].dur_us);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  set_enabled(false);
+  {
+    ScopedSpan span("ghost");
+  }
+  set_enabled(true);
+  EXPECT_TRUE(TraceCollector::global().collect().empty());
+}
+
+TEST_F(TraceTest, SpanOpenAcrossDisableIsDropped) {
+  // A span that is open when recording toggles off must be dropped rather
+  // than half-timed.
+  {
+    ScopedSpan span("interrupted");
+    set_enabled(false);
+  }
+  set_enabled(true);
+  EXPECT_TRUE(TraceCollector::global().collect().empty());
+}
+
+TEST_F(TraceTest, WorkerSpansMergeDeterministically) {
+  // The same logical work spread across worker threads must collect into
+  // the same (name, id)-ordered sequence regardless of scheduling — the
+  // span analogue of the Monte Carlo block-reduction discipline.
+  constexpr std::uint64_t kSpansPerThread = 100;
+  auto run_workers = [](unsigned threads) {
+    TraceCollector::global().reset();
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([t, threads] {
+        for (std::uint64_t i = t; i < threads * kSpansPerThread;
+             i += threads) {
+          ScopedSpan span("work.block", i);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    return TraceCollector::global().collect();
+  };
+  for (const unsigned threads : {1u, 4u}) {
+    const std::vector<SpanRecord> spans = run_workers(threads);
+    ASSERT_EQ(spans.size(), threads == 1 ? kSpansPerThread
+                                         : 4 * kSpansPerThread);
+    // Collected order is sorted by (name, id, ...): ids ascend.
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_LE(spans[i - 1].id, spans[i].id);
+    }
+  }
+}
+
+TEST_F(TraceTest, CollectIsCumulativeUntilReset) {
+  { ScopedSpan span("first"); }
+  EXPECT_EQ(TraceCollector::global().collect().size(), 1u);
+  { ScopedSpan span("second"); }
+  EXPECT_EQ(TraceCollector::global().collect().size(), 2u);
+  TraceCollector::global().reset();
+  EXPECT_TRUE(TraceCollector::global().collect().empty());
+}
+
+TEST_F(TraceTest, TraceJsonIsChromeTracingShaped) {
+  { ScopedSpan span("series.power_sum", 6); }
+  const std::string json =
+      trace_json(TraceCollector::global().collect());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"series.power_sum\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson) {
+  const std::string json = trace_json({});
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteTraceFileRoundTrips) {
+  { ScopedSpan span("io.span"); }
+  const std::string path = ::testing::TempDir() + "fcm_trace_test.json";
+  ASSERT_TRUE(write_trace_file(path));
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("io.span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, WriteTraceFileFailsCleanly) {
+  EXPECT_FALSE(write_trace_file("/nonexistent-dir/trace.json"));
+}
+
+TEST_F(TraceTest, MacroSpanCompiles) {
+  {
+    FCM_OBS_SPAN("macro.span");
+    FCM_OBS_SPAN("macro.span.indexed", 7);
+  }
+  const std::vector<SpanRecord> spans = TraceCollector::global().collect();
+#if FCM_OBS_ENABLED
+  ASSERT_EQ(spans.size(), 2u);
+#else
+  EXPECT_TRUE(spans.empty());
+#endif
+}
+
+}  // namespace
+}  // namespace fcm::obs
