@@ -1,105 +1,156 @@
-// Ablation — empirical vs analytic influence: the paper's p1·p2·p3
-// decomposition (Eq. 1) measured by fault-injection campaigns on the
-// simulated RT platform, swept over transmission (p2) and manifestation
-// (p3) probabilities, against the analytic product.
+// Resilience — the fault-injection campaign engine and the graceful-
+// degradation replanner, exercised on the §6 example system. The
+// reproduction prints the per-scenario survival table (which criticality
+// levels survive which fault loads, and what the replanner sheds), checks
+// that the campaign report is byte-identical across worker thread counts,
+// and records the headline record to BENCH_resilience.json. The
+// microbenchmarks time one campaign trial, the full campaign at 1 and 4
+// threads, and one replanning episode.
+#include <chrono>
+#include <fstream>
+#include <thread>
+
 #include "bench_util.h"
 #include "common/table.h"
-#include "sim/influence_estimator.h"
+#include "core/example98.h"
+#include "mapping/planner.h"
+#include "mapping/replanner.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "resilience/campaign.h"
 
 namespace {
 
 using namespace fcm;
-using namespace fcm::sim;
 
-PlatformSpec pipeline(double p2, double p3) {
-  PlatformSpec spec;
-  const ProcessorId cpu = spec.add_processor("cpu0");
-  const RegionId shared = spec.add_region("shared", Probability(p2));
+struct Setup {
+  core::example98::Instance instance;
+  mapping::HwGraph hw;
+  mapping::SwGraph sw;
+  mapping::Plan plan;
+  std::vector<resilience::Scenario> grid;
+};
 
-  TaskSpec producer;
-  producer.name = "producer";
-  producer.processor = cpu;
-  producer.period = Duration::millis(10);
-  producer.deadline = Duration::millis(10);
-  producer.cost = Duration::millis(1);
-  producer.writes = {shared};
-  spec.add_task(producer);
+Setup make_setup() {
+  Setup setup;
+  setup.instance = core::example98::make_instance();
+  setup.hw = mapping::HwGraph::complete(core::example98::kHwNodes);
+  mapping::IntegrationPlanner planner(
+      setup.instance.hierarchy, setup.instance.influence,
+      setup.instance.processes, setup.hw);
+  setup.plan = planner.best_plan();
+  setup.sw = planner.sw_graph();
+  setup.grid = resilience::standard_grid(
+      setup.sw, setup.plan.clustering.partition, setup.plan.assignment,
+      setup.hw);
+  return setup;
+}
 
-  TaskSpec consumer;
-  consumer.name = "consumer";
-  consumer.processor = cpu;
-  consumer.period = Duration::millis(10);
-  consumer.deadline = Duration::millis(10);
-  consumer.cost = Duration::millis(1);
-  consumer.offset = Duration::millis(5);
-  consumer.reads = {shared};
-  consumer.manifestation = Probability(p3);
-  spec.add_task(consumer);
-  return spec;
+resilience::ResilienceReport run(const Setup& setup, std::uint32_t threads,
+                                 std::uint32_t trials = 96) {
+  resilience::CampaignOptions options;
+  options.trials = trials;
+  options.threads = threads;
+  return resilience::run_campaign(
+      setup.sw, setup.plan.clustering.partition, setup.plan.assignment,
+      setup.hw, setup.grid, 2026, options);
 }
 
 void print_reproduction() {
   bench::banner(
-      "Fault injection: empirical influence vs analytic p2*p3 (Eq. 1)");
-  TextTable table({"p2", "p3", "analytic p2*p3", "measured influence",
-                   "measured p3|transmit"});
-  for (const double p2 : {0.25, 0.5, 0.75, 1.0}) {
-    for (const double p3 : {0.25, 0.5, 1.0}) {
-      InfluenceEstimator estimator(pipeline(p2, p3), 1234);
-      EstimatorOptions options;
-      options.trials = 400;
-      const auto estimates = estimator.estimate_from(0, options);
-      table.add_row({fmt(p2, 2), fmt(p3, 2), fmt(p2 * p3),
-                     fmt(estimates[1].influence()),
-                     fmt(estimates[1].manifestation_given_transmission())});
+      "Fault-scenario campaign on the §6 mapping (96 trials/scenario)");
+  const Setup setup = make_setup();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const resilience::ResilienceReport report = run(setup, 1);
+  const auto t1 = std::chrono::steady_clock::now();
+  const resilience::ResilienceReport parallel = run(setup, 4);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double seconds_1 = std::chrono::duration<double>(t1 - t0).count();
+  const double seconds_4 = std::chrono::duration<double>(t2 - t1).count();
+  const bool identical =
+      resilience::to_json(report) == resilience::to_json(parallel);
+
+  TextTable table({"scenario", "system", "critical", "recovered/attempted",
+                   "replan", "shed"});
+  for (const resilience::ScenarioResult& s : report.scenarios) {
+    std::string replan = "-";
+    if (s.replan.attempted) {
+      replan = s.replan.feasible
+                   ? "ok(" + std::to_string(s.replan.attempts) + ")"
+                   : "infeasible";
     }
+    table.add_row({s.name, fmt(s.system_survival, 3),
+                   fmt(s.critical_survival, 3),
+                   std::to_string(s.recoveries_succeeded) + "/" +
+                       std::to_string(s.recoveries_attempted),
+                   replan, std::to_string(s.replan.shed.size())});
   }
   std::cout << table.render();
-  std::cout << "\n(measured influence tracks p2*p3; it sits slightly above "
-               "the\n single-shot product because the tainted region can be "
-               "consumed once\n before the clean overwrite)\n";
+  std::cout << "worst critical survival: "
+            << fmt(report.worst_critical_survival(), 3) << '\n'
+            << "report identical for threads 1 vs 4: "
+            << (identical ? "yes" : "NO") << '\n';
+
+  // One instrumented pass so the obs registry snapshot rides along in the
+  // JSON record (counter totals are thread-invariant by construction).
+  obs::set_enabled(true);
+  obs::MetricsRegistry::global().reset();
+  (void)run(setup, 4);
+  const obs::MetricsSnapshot metrics =
+      obs::MetricsRegistry::global().snapshot();
+  obs::set_enabled(false);
+
+  std::ofstream json("BENCH_resilience.json");
+  json << "{\n"
+       << "  \"bench\": \"resilience_campaign\",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"scenarios\": " << report.scenarios.size() << ",\n"
+       << "  \"trials_per_scenario\": " << report.trials_per_scenario
+       << ",\n"
+       << "  \"campaign_seconds_threads1\": " << seconds_1 << ",\n"
+       << "  \"campaign_seconds_threads4\": " << seconds_4 << ",\n"
+       << "  \"worst_critical_survival\": "
+       << report.worst_critical_survival() << ",\n"
+       << "  \"report_identical_across_threads\": "
+       << (identical ? "true" : "false") << ",\n"
+       << "  \"metrics\": " << obs::metrics_json(metrics) << ",\n"
+       << "  \"report\": " << resilience::to_json(report) << "\n}\n";
+  std::cout << "(campaign record written to BENCH_resilience.json)\n";
 }
 
-void BM_SingleTrial(benchmark::State& state) {
-  const PlatformSpec spec = pipeline(0.5, 0.5);
-  std::uint64_t seed = 1;
+void BM_CampaignTrial(benchmark::State& state) {
+  // One scenario, one trial: the per-trial cost of compile + simulate +
+  // recover that the campaign amortizes across blocks.
+  const Setup setup = make_setup();
   for (auto _ : state) {
-    Platform platform(spec, seed++);
-    FaultInjection injection;
-    injection.target = 0;
-    injection.activation = 2;
-    platform.inject(injection);
-    benchmark::DoNotOptimize(platform.run(Duration::millis(200)));
+    benchmark::DoNotOptimize(run(setup, 1, 1));
   }
 }
-BENCHMARK(BM_SingleTrial);
+BENCHMARK(BM_CampaignTrial);
 
 void BM_Campaign(benchmark::State& state) {
-  const PlatformSpec spec = pipeline(0.5, 0.5);
-  const auto trials = static_cast<std::uint32_t>(state.range(0));
+  const Setup setup = make_setup();
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
   for (auto _ : state) {
-    InfluenceEstimator estimator(spec, 99);
-    EstimatorOptions options;
-    options.trials = trials;
-    benchmark::DoNotOptimize(estimator.estimate_from(0, options));
+    benchmark::DoNotOptimize(run(setup, threads));
   }
-  state.SetItemsProcessed(state.iterations() * trials);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(setup.grid.size()) * 96);
 }
-BENCHMARK(BM_Campaign)->Arg(10)->Arg(100);
+BENCHMARK(BM_Campaign)->Arg(1)->Arg(4);
 
-void BM_SimulatorThroughput(benchmark::State& state) {
-  // Raw event throughput of the DES engine on a fault-free pipeline.
-  const PlatformSpec spec = pipeline(1.0, 1.0);
-  std::uint64_t events = 0;
+void BM_Replan(benchmark::State& state) {
+  const Setup setup = make_setup();
+  const std::vector<HwNodeId> failed{HwNodeId(0)};
   for (auto _ : state) {
-    Platform platform(spec, 3);
-    const SimReport report = platform.run(Duration::seconds(1));
-    events += report.events_dispatched;
-    benchmark::DoNotOptimize(report);
+    benchmark::DoNotOptimize(mapping::replan_after_loss(
+        setup.sw, setup.plan.clustering.partition, setup.plan.assignment,
+        setup.hw, failed));
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
-BENCHMARK(BM_SimulatorThroughput);
+BENCHMARK(BM_Replan);
 
 }  // namespace
 

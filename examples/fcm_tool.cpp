@@ -7,6 +7,8 @@
 //   fcm_tool influence                   # print the Fig. 3 graph + roles
 //   fcm_tool separation [--order K]      # Eq. 3 separation matrix
 //   fcm_tool depend [--hw N] [--q P] [--trials N] [--threads T]
+//   fcm_tool resilience [--hw N] [--trials N] [--threads T]
+//                       [--horizon-ms M] [--seed S]
 //
 // Every command also accepts --metrics (dump the fcm::obs registry after
 // the run) and --trace FILE (write a chrome://tracing span file). Options
@@ -41,6 +43,8 @@ const std::vector<CommandSpec> kCommands = {
     {"separation", {{"order"}, {"threads"}}},
     {"plan", {{"hw"}, {"heuristic"}, {"approach"}, {"sweep-threads"}}},
     {"depend", {{"hw"}, {"q"}, {"trials"}, {"threads"}}},
+    {"resilience",
+     {{"hw"}, {"trials"}, {"threads"}, {"horizon-ms"}, {"seed"}}},
 };
 
 int usage() {
@@ -56,6 +60,10 @@ int usage() {
       "  depend [--hw N] [--q P] [--trials N] [--threads T]\n"
       "       Monte Carlo evaluation; T=0 uses all cores, the estimates\n"
       "       are identical for every T\n"
+      "  resilience [--hw N] [--trials N] [--threads T] [--horizon-ms M]\n"
+      "             [--seed S]\n"
+      "       fault-scenario campaign + graceful-degradation replanning;\n"
+      "       JSON on stdout, byte-identical for every T\n"
       "global options (any command):\n"
       "  --metrics                           dump the fcm::obs registry\n"
       "  --trace FILE                        write chrome://tracing spans\n";
@@ -177,6 +185,28 @@ int cmd_depend(const cli::Options& args) {
   return 0;
 }
 
+int cmd_resilience(const cli::Options& args) {
+  auto instance = core::example98::make_instance();
+  const mapping::HwGraph hw = mapping::HwGraph::complete(
+      args.get_int("hw", core::example98::kHwNodes));
+  mapping::IntegrationPlanner planner(instance.hierarchy, instance.influence,
+                                      instance.processes, hw);
+  const mapping::Plan plan = planner.best_plan();
+  const std::vector<resilience::Scenario> grid = resilience::standard_grid(
+      planner.sw_graph(), plan.clustering.partition, plan.assignment, hw);
+  resilience::CampaignOptions options;
+  options.trials = static_cast<std::uint32_t>(args.get_int("trials", 96));
+  options.threads = static_cast<std::uint32_t>(args.get_int("threads", 1));
+  options.horizon = Duration::millis(args.get_int("horizon-ms", 200));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const resilience::ResilienceReport report = resilience::run_campaign(
+      planner.sw_graph(), plan.clustering.partition, plan.assignment, hw,
+      grid, seed, options);
+  std::cout << resilience::to_json(report) << '\n';
+  return 0;
+}
+
 int run_command(const std::string& command, const cli::Options& args) {
   if (command == "table") return cmd_table();
   if (command == "report") return cmd_report();
@@ -184,6 +214,7 @@ int run_command(const std::string& command, const cli::Options& args) {
   if (command == "separation") return cmd_separation(args);
   if (command == "plan") return cmd_plan(args);
   if (command == "depend") return cmd_depend(args);
+  if (command == "resilience") return cmd_resilience(args);
   return usage();
 }
 

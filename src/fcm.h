@@ -35,6 +35,7 @@
 #include "mapping/hw.h"         // IWYU pragma: export
 #include "mapping/planner.h"    // IWYU pragma: export
 #include "mapping/quality.h"    // IWYU pragma: export
+#include "mapping/replanner.h"  // IWYU pragma: export
 #include "mapping/swgraph.h"    // IWYU pragma: export
 
 // Dependability evaluation
@@ -46,6 +47,11 @@
 #include "ftmech/nversion.h"       // IWYU pragma: export
 #include "ftmech/recovery_block.h" // IWYU pragma: export
 #include "ftmech/voter.h"          // IWYU pragma: export
+
+// Fault-scenario campaigns and graceful degradation
+#include "resilience/campaign.h" // IWYU pragma: export
+#include "resilience/report.h"   // IWYU pragma: export
+#include "resilience/scenario.h" // IWYU pragma: export
 
 // Simulated RT platform
 #include "sim/example98_platform.h"   // IWYU pragma: export

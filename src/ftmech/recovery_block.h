@@ -26,6 +26,19 @@ class AllAlternatesFailed : public FcmError {
   using FcmError::FcmError;
 };
 
+/// Per-alternate outcome counters, exposed so fault-injection campaigns can
+/// attribute an exhausted block to the alternates that failed (and how).
+struct AlternateStats {
+  std::string name;
+  std::size_t successes = 0;
+  std::size_t rejections = 0;  ///< ran, but the acceptance test said no
+  std::size_t exceptions = 0;  ///< threw (alternate or acceptance test)
+
+  [[nodiscard]] std::size_t failures() const noexcept {
+    return rejections + exceptions;
+  }
+};
+
 /// A recovery block over results of type T.
 template <typename T>
 class RecoveryBlock {
@@ -41,16 +54,20 @@ class RecoveryBlock {
   /// Registers an alternate (the first is the primary).
   void add_alternate(std::string name, Alternate alternate) {
     FCM_REQUIRE(alternate != nullptr, "alternate must be callable");
-    alternates_.push_back({std::move(name), std::move(alternate), 0, 0});
+    alternates_.push_back({std::move(name), std::move(alternate), {}});
+    alternates_.back().stats.name = alternates_.back().name;
   }
 
   [[nodiscard]] std::size_t alternate_count() const noexcept {
     return alternates_.size();
   }
 
-  /// Runs alternates until one passes the acceptance test. An alternate
-  /// that throws counts as failed (the exception is contained — that is the
-  /// block's purpose). Throws AllAlternatesFailed when none passes.
+  /// Runs alternates until one passes the acceptance test. An alternate —
+  /// or the acceptance test judging its candidate — that throws counts as
+  /// failed (the exception is contained — that is the block's purpose).
+  /// Throws AllAlternatesFailed when none passes; per-alternate statistics
+  /// are fully recorded on that path too, so an exhausted execution can be
+  /// attributed alternate by alternate.
   T execute() {
     FCM_REQUIRE(!alternates_.empty(), "recovery block has no alternates");
     for (Entry& entry : alternates_) {
@@ -58,15 +75,26 @@ class RecoveryBlock {
       try {
         candidate = entry.alternate();
       } catch (...) {
-        ++entry.failures;
+        ++entry.stats.exceptions;
         continue;
       }
-      if (test_(*candidate)) {
-        ++entry.successes;
+      bool accepted = false;
+      try {
+        accepted = test_(*candidate);
+      } catch (...) {
+        // A test that cannot judge the candidate is a failed acceptance,
+        // not a hole in the statistics: before this was contained, the
+        // exception escaped mid-loop and the whole execution — including
+        // every already-recorded attempt of this run — went uncounted.
+        ++entry.stats.exceptions;
+        continue;
+      }
+      if (accepted) {
+        ++entry.stats.successes;
         ++executions_;
         return *std::move(candidate);
       }
-      ++entry.failures;
+      ++entry.stats.rejections;
     }
     ++executions_;
     ++exhausted_;
@@ -75,14 +103,22 @@ class RecoveryBlock {
 
   /// Successful executions of the named alternate.
   [[nodiscard]] std::size_t successes(const std::string& name) const {
-    return find(name).successes;
+    return find(name).stats.successes;
   }
-  /// Failed attempts of the named alternate.
+  /// Failed attempts of the named alternate (rejections + exceptions).
   [[nodiscard]] std::size_t failures(const std::string& name) const {
-    return find(name).failures;
+    return find(name).stats.failures();
   }
   /// Executions where no alternate passed.
   [[nodiscard]] std::size_t exhausted() const noexcept { return exhausted_; }
+
+  /// Per-alternate statistics in registration order.
+  [[nodiscard]] std::vector<AlternateStats> stats() const {
+    std::vector<AlternateStats> all;
+    all.reserve(alternates_.size());
+    for (const Entry& entry : alternates_) all.push_back(entry.stats);
+    return all;
+  }
 
   /// Estimated probability the block emits an erroneous/absent result —
   /// the p_{i,2}-style figure §4.2.3 attributes to recovery block quality.
@@ -96,8 +132,7 @@ class RecoveryBlock {
   struct Entry {
     std::string name;
     Alternate alternate;
-    std::size_t successes;
-    std::size_t failures;
+    AlternateStats stats;
   };
 
   const Entry& find(const std::string& name) const {

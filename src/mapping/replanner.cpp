@@ -1,0 +1,286 @@
+#include "mapping/replanner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "obs/obs.h"
+
+namespace fcm::mapping {
+
+namespace {
+
+/// Ascending (importance, node index): the §5 shed order. The index
+/// tie-break makes the order total, so every run sheds identically.
+struct ShedOrder {
+  const SwGraph* sw;
+  bool operator()(graph::NodeIndex a, graph::NodeIndex b) const {
+    const double ia = sw->node(a).importance;
+    const double ib = sw->node(b).importance;
+    if (ia != ib) return ia < ib;
+    return a < b;
+  }
+};
+
+SheddingRecord record_of(const SwGraph& sw, graph::NodeIndex v) {
+  const SwNode& node = sw.node(v);
+  SheddingRecord record;
+  record.name = node.name;
+  record.importance = node.importance;
+  record.criticality = node.attributes.criticality;
+  return record;
+}
+
+}  // namespace
+
+std::vector<core::Criticality> ReplanResult::surviving_levels() const {
+  std::set<core::Criticality> alive, lost;
+  for (const ProcessSurvival& p : processes) {
+    (p.survived() ? alive : lost).insert(p.criticality);
+  }
+  std::vector<core::Criticality> out;
+  for (const core::Criticality c : alive) {
+    if (lost.count(c) == 0) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<core::Criticality> ReplanResult::lost_levels() const {
+  std::set<core::Criticality> lost;
+  for (const ProcessSurvival& p : processes) {
+    if (!p.survived()) lost.insert(p.criticality);
+  }
+  return {lost.begin(), lost.end()};
+}
+
+ReplanResult replan_after_loss(const SwGraph& sw,
+                               const graph::Partition& old_partition,
+                               const Assignment& old_assignment,
+                               const HwGraph& hw,
+                               const std::vector<HwNodeId>& failed,
+                               const ReplanOptions& options) {
+  FCM_REQUIRE(old_partition.cluster_of.size() == sw.node_count(),
+              "partition does not cover the SW graph");
+  FCM_REQUIRE(old_assignment.hw_of.size() == old_partition.cluster_count,
+              "assignment does not cover every cluster");
+  FCM_REQUIRE(options.max_attempts >= 1, "at least one attempt required");
+  FCM_OBS_SPAN("replan.after_loss");
+  FCM_OBS_COUNT("replan.invocations", 1);
+
+  ReplanResult result;
+
+  // ---- The failed-node set and the surviving HW graph. ----
+  std::vector<bool> dead(hw.node_count(), false);
+  for (const HwNodeId id : failed) {
+    FCM_REQUIRE(id.valid() && id.value() < hw.node_count(),
+                "failed HW node is unknown");
+    dead[id.value()] = true;
+  }
+  HwGraph surviving_hw;
+  std::vector<HwNodeId> orig_of_new;
+  std::vector<std::uint32_t> new_of_orig(hw.node_count(), UINT32_MAX);
+  for (const HwNode& node : hw.nodes()) {
+    if (dead[node.id.value()]) continue;
+    const HwNodeId fresh =
+        surviving_hw.add_node(node.name, node.memory, node.resources);
+    new_of_orig[node.id.value()] = fresh.value();
+    orig_of_new.push_back(node.id);
+  }
+  for (const graph::Edge& link : hw.interconnect().edges()) {
+    if (link.from >= link.to) continue;  // links are stored both ways
+    if (dead[link.from] || dead[link.to]) continue;
+    surviving_hw.add_link(HwNodeId(new_of_orig[link.from]),
+                          HwNodeId(new_of_orig[link.to]), link.weight);
+  }
+  if (surviving_hw.node_count() == 0) {
+    result.log.push_back("no HW node survives: nothing to replan onto");
+    for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+      const SwNode& node = sw.node(v);
+      auto it = std::find_if(
+          result.processes.begin(), result.processes.end(),
+          [&](const ProcessSurvival& p) { return p.origin == node.origin; });
+      if (it == result.processes.end()) {
+        ProcessSurvival p;
+        p.origin = node.origin;
+        p.name = node.name;
+        p.criticality = node.attributes.criticality;
+        result.processes.push_back(p);
+        it = result.processes.end() - 1;
+      }
+      ++it->replicas_before;
+    }
+    return result;
+  }
+
+  // ---- Survivors: replicas whose host processor is still alive. ----
+  std::vector<graph::NodeIndex> survivors;
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    const std::uint32_t cluster = old_partition.cluster_of[v];
+    const HwNodeId host = old_assignment.host(cluster);
+    FCM_REQUIRE(host.valid() && host.value() < hw.node_count(),
+                "old assignment references an unknown HW node");
+    if (dead[host.value()]) {
+      result.log.push_back("lost " + sw.node(v).name + " with " +
+                           hw.node(host).name);
+    } else {
+      survivors.push_back(v);
+    }
+  }
+
+  // ---- Per-process accounting; promote survivors of thinned processes.
+  // A process with a dead replica but a live one is *promoted*: it stays in
+  // service at reduced redundancy — the §5 weight-0 separation paying off.
+  std::map<FcmId, std::size_t> process_index;
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    const SwNode& node = sw.node(v);
+    auto [it, inserted] =
+        process_index.try_emplace(node.origin, result.processes.size());
+    if (inserted) {
+      ProcessSurvival p;
+      p.origin = node.origin;
+      p.name = node.name;
+      p.criticality = node.attributes.criticality;
+      result.processes.push_back(p);
+    }
+    ++result.processes[it->second].replicas_before;
+  }
+  // Canonical process names: strip replica suffixes by taking the name of
+  // replica 0 without its suffix when the process is replicated.
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    const SwNode& node = sw.node(v);
+    ProcessSurvival& p = result.processes[process_index.at(node.origin)];
+    if (node.replica_index == 0 && p.replicas_before > 1) {
+      const std::string suffix = replica_suffix(0);
+      p.name = node.name.substr(0, node.name.size() - suffix.size());
+    }
+  }
+
+  // ---- Capacity pre-pass: a process cannot keep more replicas than there
+  // are surviving HW nodes (replicas never collocate). Drop the surplus —
+  // highest replica index first — before clustering ever sees them.
+  std::map<FcmId, std::vector<graph::NodeIndex>> surviving_replicas;
+  for (const graph::NodeIndex v : survivors) {
+    surviving_replicas[sw.node(v).origin].push_back(v);
+  }
+  std::set<graph::NodeIndex> dropped;
+  for (auto& [origin, group] : surviving_replicas) {
+    while (group.size() > surviving_hw.node_count()) {
+      const graph::NodeIndex victim = group.back();
+      group.pop_back();
+      dropped.insert(victim);
+      SheddingRecord record = record_of(sw, victim);
+      record.process =
+          result.processes[process_index.at(origin)].name;
+      result.log.push_back("drop surplus replica " + record.name + " (" +
+                           std::to_string(group.size()) +
+                           " fit the surviving HW)");
+      result.dropped_replicas.push_back(std::move(record));
+    }
+  }
+  std::vector<graph::NodeIndex> candidates;
+  for (const graph::NodeIndex v : survivors) {
+    if (dropped.count(v) == 0) candidates.push_back(v);
+  }
+
+  // ---- Bounded retry/backoff: cluster + assign, shedding the
+  // lowest-importance candidates when the instance will not fit. ----
+  std::size_t batch = 1;
+  for (std::size_t attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    if (candidates.empty()) {
+      result.log.push_back("attempt " + std::to_string(attempt) +
+                           ": no candidates remain");
+      break;
+    }
+    SwGraph sub = sw.subset(candidates);
+    ClusteringOptions copt;
+    copt.target_clusters =
+        std::min<std::size_t>(candidates.size(), surviving_hw.node_count());
+    copt.policy = options.policy;
+    copt.resource_check = [&surviving_hw](const std::set<std::string>& need) {
+      for (const HwNode& node : surviving_hw.nodes()) {
+        if (std::includes(node.resources.begin(), node.resources.end(),
+                          need.begin(), need.end())) {
+          return true;
+        }
+      }
+      return false;
+    };
+    bool attempt_ok = false;
+    try {
+      ClusterEngine engine(sub, copt);
+      ClusteringResult clustering = engine.h1_greedy();
+      Assignment assignment = assign_by_importance(sub, clustering,
+                                                   surviving_hw);
+      QualityOptions qopt = options.quality;
+      qopt.policy = options.policy;
+      qopt.critical_threshold = options.critical_threshold;
+      MappingQuality quality =
+          evaluate(sub, clustering, assignment, surviving_hw, qopt);
+      if (quality.constraints_satisfied()) {
+        attempt_ok = true;
+        result.feasible = true;
+        result.kept = candidates;
+        result.clustering = std::move(clustering);
+        result.quality = std::move(quality);
+        // Report hosts in the original HW id space.
+        for (HwNodeId& host : assignment.hw_of) {
+          host = orig_of_new[host.value()];
+        }
+        result.assignment = std::move(assignment);
+        result.surviving = std::move(sub);
+        result.log.push_back(
+            "attempt " + std::to_string(attempt) + ": repaired onto " +
+            std::to_string(surviving_hw.node_count()) + " HW nodes, " +
+            std::to_string(candidates.size()) + " tasks in service");
+      } else {
+        for (const std::string& violation : quality.violations) {
+          result.log.push_back("attempt " + std::to_string(attempt) +
+                               " violation: " + violation);
+        }
+      }
+    } catch (const FcmError& error) {
+      result.log.push_back("attempt " + std::to_string(attempt) +
+                           " failed: " + error.what());
+    }
+    if (attempt_ok) break;
+
+    // Shed the `batch` least-important candidates, then double the batch —
+    // the backoff that keeps deeply infeasible instances O(log n) attempts.
+    std::vector<graph::NodeIndex> by_importance = candidates;
+    std::sort(by_importance.begin(), by_importance.end(), ShedOrder{&sw});
+    const std::size_t count = std::min(batch, by_importance.size());
+    std::set<graph::NodeIndex> to_shed(by_importance.begin(),
+                                       by_importance.begin() + count);
+    for (const graph::NodeIndex v : by_importance) {
+      if (to_shed.count(v) == 0) continue;
+      SheddingRecord record = record_of(sw, v);
+      record.process =
+          result.processes[process_index.at(sw.node(v).origin)].name;
+      result.log.push_back("shed " + record.name + " (importance " +
+                           std::to_string(record.importance) + ")");
+      result.shed.push_back(std::move(record));
+    }
+    std::vector<graph::NodeIndex> remaining;
+    for (const graph::NodeIndex v : candidates) {
+      if (to_shed.count(v) == 0) remaining.push_back(v);
+    }
+    candidates = std::move(remaining);
+    batch *= 2;
+  }
+
+  // ---- Post-replan process fates. ----
+  if (result.feasible) {
+    for (const graph::NodeIndex v : result.kept) {
+      ++result.processes[process_index.at(sw.node(v).origin)].replicas_after;
+    }
+  }
+  FCM_OBS_COUNT("replan.attempts", result.attempts);
+  FCM_OBS_COUNT("replan.shed_tasks", result.shed.size());
+  FCM_OBS_COUNT("replan.dropped_replicas", result.dropped_replicas.size());
+  FCM_OBS_COUNT(result.feasible ? "replan.repaired" : "replan.unrepaired", 1);
+  return result;
+}
+
+}  // namespace fcm::mapping

@@ -1,5 +1,8 @@
 #include "mapping/swgraph.h"
 
+#include <algorithm>
+#include <map>
+
 #include "common/error.h"
 
 namespace fcm::mapping {
@@ -64,6 +67,43 @@ SwGraph SwGraph::build(const core::FcmHierarchy& hierarchy,
     }
   }
   return sw;
+}
+
+SwGraph SwGraph::subset(const std::vector<graph::NodeIndex>& keep) const {
+  SwGraph sub;
+  std::vector<std::uint32_t> new_index(nodes_.size(), UINT32_MAX);
+  // Surviving replicas are *promoted*: replica indices renumber densely per
+  // process and the replication attribute clamps to the replicas actually
+  // kept, so a process reduced from TMR to one survivor no longer demands
+  // three distinct clusters from downstream constraint checks.
+  std::map<FcmId, int> kept_of_origin;
+  for (const graph::NodeIndex v : keep) {
+    FCM_REQUIRE(v < nodes_.size(), "subset keeps an unknown SW node");
+    ++kept_of_origin[nodes_[v].origin];
+  }
+  std::map<FcmId, int> next_replica;
+  for (const graph::NodeIndex v : keep) {
+    FCM_REQUIRE(new_index[v] == UINT32_MAX, "subset keeps a node twice");
+    FCM_REQUIRE(sub.nodes_.empty() || keep[sub.nodes_.size() - 1] < v,
+                "subset node list must be ascending");
+    SwNode node = nodes_[v];
+    new_index[v] = static_cast<std::uint32_t>(sub.nodes_.size());
+    node.id = SwNodeId(new_index[v]);
+    node.replica_index = next_replica[node.origin]++;
+    node.attributes.replication =
+        std::min(node.attributes.replication,
+                 static_cast<core::ReplicationDegree>(
+                     kept_of_origin.at(node.origin)));
+    sub.graph_.add_node(node.name);
+    sub.nodes_.push_back(std::move(node));
+  }
+  for (const graph::Edge& edge : graph_.edges()) {
+    const std::uint32_t from = new_index[edge.from];
+    const std::uint32_t to = new_index[edge.to];
+    if (from == UINT32_MAX || to == UINT32_MAX) continue;
+    sub.graph_.add_edge(from, to, edge.weight, edge.label);
+  }
+  return sub;
 }
 
 const SwNode& SwGraph::node(SwNodeId id) const {

@@ -63,6 +63,17 @@ class SwGraph {
   /// which must be mapped onto different HW nodes" (§5.2).
   [[nodiscard]] bool replicas(graph::NodeIndex a, graph::NodeIndex b) const;
 
+  /// The induced subgraph over `keep` (ascending, duplicate-free node
+  /// indices): every edge between two kept nodes — including the weight-0
+  /// replica links — survives, ids renumber densely, and surviving replicas
+  /// are *promoted*: replica indices renumber per process and the
+  /// replication attribute clamps to the replicas actually kept, so a TMR
+  /// process reduced to one copy no longer demands three distinct clusters.
+  /// This is what the graceful-degradation replanner re-clusters after
+  /// replicas are lost with their host processor.
+  [[nodiscard]] SwGraph subset(const std::vector<graph::NodeIndex>& keep)
+      const;
+
   /// The node's timing constraints as a scheduling job (per-node JobId =
   /// node index). Throws InvalidArgument when the FCM has no timing spec.
   [[nodiscard]] sched::Job job_of(graph::NodeIndex index) const;

@@ -1,0 +1,63 @@
+// The deterministic parallel fault-scenario campaign engine.
+//
+// Sweeps a scenario grid against one mapping: every scenario runs `trials`
+// simulated missions of the compiled platform, each trial injecting the
+// scenario's faults, running the discrete-event simulator, and driving the
+// real ftmech recovery mechanisms (majority-voted N-version for TMR
+// processes, a recovery block for duplexes, checkpoint/rollback + restart
+// for simplexes) over the replicas that failed. Scenarios that crash HW
+// nodes additionally run the graceful-degradation replanner once and
+// report which criticality levels survive.
+//
+// Determinism discipline (the PR-1 Monte Carlo pattern): trials shard into
+// fixed-size blocks; the flat block g = scenario * blocks_per_scenario + b
+// always draws from `master.substream(g)` — a pure function of (seed, g) —
+// and reductions fold per-block tallies in block order. Reports, JSON, and
+// obs counter totals are therefore bitwise-identical for every worker
+// thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/probability.h"
+#include "mapping/replanner.h"
+#include "resilience/report.h"
+#include "resilience/scenario.h"
+
+namespace fcm::resilience {
+
+/// Campaign parameters.
+struct CampaignOptions {
+  /// Simulated mission length per trial.
+  Duration horizon = Duration::millis(200);
+  /// Trials per scenario.
+  std::uint32_t trials = 96;
+  /// Trials per work block (the sharding granule). Part of the sample-path
+  /// identity: results depend on (seed, trials, trials_per_block), never on
+  /// `threads`.
+  std::uint32_t trials_per_block = 16;
+  /// Worker threads (0 = hardware concurrency; any value yields bitwise-
+  /// identical reports).
+  std::uint32_t threads = 1;
+  /// Criticality at or above which a process counts as critical.
+  core::Criticality critical_threshold = 7;
+  /// Probability one recovery path (an N-version version, a recovery-block
+  /// alternate, a simplex restart) fails independently.
+  Probability recovery_failure = Probability(0.1);
+  /// Passed through to the replanner for crash scenarios.
+  mapping::ReplanOptions replan;
+};
+
+/// Runs the campaign. `partition`/`assignment` locate each replica's host
+/// (the mapping under test); `scenarios` is typically `standard_grid`.
+/// Throws InvalidArgument on malformed inputs.
+ResilienceReport run_campaign(const mapping::SwGraph& sw,
+                              const graph::Partition& partition,
+                              const mapping::Assignment& assignment,
+                              const mapping::HwGraph& hw,
+                              const std::vector<Scenario>& scenarios,
+                              std::uint64_t seed,
+                              const CampaignOptions& options = {});
+
+}  // namespace fcm::resilience

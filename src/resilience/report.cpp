@@ -1,0 +1,116 @@
+#include "resilience/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fcm::resilience {
+
+namespace {
+
+// Fixed-format float: locale-independent, 6 decimals, enough for survival
+// fractions over any practical trial count.
+std::string fmt_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void append_string_array(std::string& json, const std::vector<std::string>& items) {
+  json += '[';
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) json += ',';
+    json += '"' + escape(items[i]) + '"';
+  }
+  json += ']';
+}
+
+void append_level_array(std::string& json,
+                        const std::vector<core::Criticality>& levels) {
+  json += '[';
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i != 0) json += ',';
+    json += std::to_string(levels[i]);
+  }
+  json += ']';
+}
+
+}  // namespace
+
+double ResilienceReport::worst_critical_survival() const {
+  double worst = 1.0;
+  for (const ScenarioResult& scenario : scenarios) {
+    worst = std::min(worst, scenario.critical_survival);
+  }
+  return worst;
+}
+
+std::string to_json(const ResilienceReport& report) {
+  std::string json;
+  json += "{\"seed\":" + std::to_string(report.seed);
+  json += ",\"trials_per_scenario\":" +
+          std::to_string(report.trials_per_scenario);
+  json += ",\"trials_per_block\":" + std::to_string(report.trials_per_block);
+  json += ",\"critical_threshold\":" +
+          std::to_string(report.critical_threshold);
+  json += ",\"blocks\":" + std::to_string(report.blocks);
+  json += ",\"worst_critical_survival\":" +
+          fmt_double(report.worst_critical_survival());
+  json += ",\"scenarios\":[";
+  for (std::size_t s = 0; s < report.scenarios.size(); ++s) {
+    const ScenarioResult& scenario = report.scenarios[s];
+    if (s != 0) json += ',';
+    json += "{\"name\":\"" + escape(scenario.name) + '"';
+    json += ",\"trials\":" + std::to_string(scenario.trials);
+    json += ",\"system_survival\":" + fmt_double(scenario.system_survival);
+    json +=
+        ",\"critical_survival\":" + fmt_double(scenario.critical_survival);
+    json += ",\"injections\":" + std::to_string(scenario.injections);
+    json += ",\"task_failures\":" + std::to_string(scenario.task_failures);
+    json += ",\"propagations\":" + std::to_string(scenario.propagations);
+    json += ",\"jobs_abandoned\":" + std::to_string(scenario.jobs_abandoned);
+    json +=
+        ",\"deadline_misses\":" + std::to_string(scenario.deadline_misses);
+    json += ",\"recoveries_attempted\":" +
+            std::to_string(scenario.recoveries_attempted);
+    json += ",\"recoveries_succeeded\":" +
+            std::to_string(scenario.recoveries_succeeded);
+    json += ",\"processes\":[";
+    for (std::size_t p = 0; p < scenario.processes.size(); ++p) {
+      const ProcessOutcome& process = scenario.processes[p];
+      if (p != 0) json += ',';
+      json += "{\"name\":\"" + escape(process.name) + '"';
+      json += ",\"criticality\":" + std::to_string(process.criticality);
+      json += ",\"replication\":" + std::to_string(process.replication);
+      json += ",\"survival\":" + fmt_double(process.survival) + '}';
+    }
+    json += ']';
+    json += ",\"replan\":{\"attempted\":";
+    json += scenario.replan.attempted ? "true" : "false";
+    json += ",\"feasible\":";
+    json += scenario.replan.feasible ? "true" : "false";
+    json += ",\"attempts\":" + std::to_string(scenario.replan.attempts);
+    json += ",\"shed\":";
+    append_string_array(json, scenario.replan.shed);
+    json += ",\"dropped_replicas\":";
+    append_string_array(json, scenario.replan.dropped_replicas);
+    json += ",\"surviving_levels\":";
+    append_level_array(json, scenario.replan.surviving_levels);
+    json += ",\"lost_levels\":";
+    append_level_array(json, scenario.replan.lost_levels);
+    json += "}}";
+  }
+  json += "]}";
+  return json;
+}
+
+}  // namespace fcm::resilience

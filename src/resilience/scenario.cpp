@@ -1,0 +1,203 @@
+#include "resilience/scenario.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace fcm::resilience {
+
+const char* to_string(ScenarioEventKind kind) noexcept {
+  switch (kind) {
+    case ScenarioEventKind::kProcessorCrash: return "processor-crash";
+    case ScenarioEventKind::kTaskFaultBurst: return "task-fault-burst";
+    case ScenarioEventKind::kBabblingTask: return "babbling-task";
+    case ScenarioEventKind::kRegionCorruption: return "region-corruption";
+  }
+  return "?";
+}
+
+CompiledPlatform compile_platform(const mapping::SwGraph& sw,
+                                  const graph::Partition& partition,
+                                  const mapping::Assignment& assignment,
+                                  const mapping::HwGraph& hw) {
+  FCM_REQUIRE(partition.cluster_of.size() == sw.node_count(),
+              "partition does not cover the SW graph");
+  FCM_REQUIRE(assignment.hw_of.size() == partition.cluster_count,
+              "assignment does not cover every cluster");
+
+  CompiledPlatform compiled;
+  // One simulated processor per HW node — including unoccupied ones, so a
+  // simulated processor index always equals the HW node id it realizes.
+  std::vector<ProcessorId> cpus;
+  cpus.reserve(hw.node_count());
+  for (const mapping::HwNode& node : hw.nodes()) {
+    cpus.push_back(compiled.spec.add_processor("cpu-" + node.name));
+  }
+  // One periodic task per SW replica on its assigned host. Offsets stagger
+  // by node index (writers created first run first), keeping the dataflow
+  // chain p1 -> ... -> pn inside one period like example98_platform.
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    const mapping::SwNode& node = sw.node(v);
+    const HwNodeId host = assignment.host(partition.cluster_of[v]);
+    FCM_REQUIRE(host.valid() && host.value() < hw.node_count(),
+                "assignment references an unknown HW node");
+    sim::TaskSpec task;
+    task.name = node.name;
+    task.processor = cpus[host.value()];
+    task.period = Duration::millis(20);
+    task.deadline = Duration::millis(20);
+    task.cost = Duration::millis(1);
+    task.offset = Duration::millis(static_cast<std::int64_t>(v % 16));
+    task.manifestation = Probability::one();
+    compiled.spec.add_task(task);
+  }
+  // One dedicated region per positive-weight influence edge; the region's
+  // write-transmission probability realizes the edge weight. Weight-0
+  // replica links carry no dataflow and get no region.
+  const auto& edges = sw.influence_graph().edges();
+  compiled.region_of_edge.assign(edges.size(), RegionId::invalid());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const graph::Edge& edge = edges[e];
+    if (edge.weight <= 0.0) continue;
+    const RegionId region = compiled.spec.add_region(
+        "r_" + sw.node(edge.from).name + "_" + sw.node(edge.to).name,
+        Probability::clamped(edge.weight));
+    compiled.spec.tasks[edge.from].writes.push_back(region);
+    compiled.spec.tasks[edge.to].reads.push_back(region);
+    compiled.region_of_edge[e] = region;
+  }
+  compiled.spec.validate();
+  return compiled;
+}
+
+std::vector<Scenario> standard_grid(const mapping::SwGraph& sw,
+                                    const graph::Partition& partition,
+                                    const mapping::Assignment& assignment,
+                                    const mapping::HwGraph& hw) {
+  FCM_REQUIRE(partition.cluster_of.size() == sw.node_count(),
+              "partition does not cover the SW graph");
+  FCM_REQUIRE(assignment.hw_of.size() == partition.cluster_count,
+              "assignment does not cover every cluster");
+
+  std::vector<Scenario> grid;
+
+  // Replicas hosted per HW node, in HW id order.
+  std::vector<std::vector<graph::NodeIndex>> hosted(hw.node_count());
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    hosted[assignment.host(partition.cluster_of[v]).value()].push_back(v);
+  }
+
+  // One crash scenario per occupied HW node.
+  for (std::size_t n = 0; n < hw.node_count(); ++n) {
+    if (hosted[n].empty()) continue;
+    ScenarioEvent crash;
+    crash.kind = ScenarioEventKind::kProcessorCrash;
+    crash.hw_node = HwNodeId(static_cast<std::uint32_t>(n));
+    // 41ms, not 40: the offset-0 task on the node is back in service (one
+    // period is 20ms, costs are 1ms), so the crash abandons live jobs
+    // instead of landing on an idle processor.
+    crash.at = Duration::millis(41);
+    grid.push_back({"crash-" + hw.node(crash.hw_node).name, {crash}});
+  }
+
+  // One transient fault burst per process, injected into replica 0.
+  std::map<FcmId, graph::NodeIndex> first_replica;
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    first_replica.try_emplace(sw.node(v).origin, v);
+  }
+  for (const auto& [origin, v] : first_replica) {
+    ScenarioEvent burst;
+    burst.kind = ScenarioEventKind::kTaskFaultBurst;
+    burst.task = v;
+    burst.activation = 1;
+    burst.burst = 3;
+    grid.push_back({"burst-" + sw.node(v).name, {burst}});
+  }
+
+  // Babbling module: the strongest influencer (max summed positive
+  // out-weight, ties toward the lowest node index) babbles from the start.
+  const auto& edges = sw.influence_graph().edges();
+  graph::NodeIndex babbler = 0;
+  double best_out = -1.0;
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    double out = 0.0;
+    for (const graph::Edge& edge : edges) {
+      if (edge.from == v && edge.weight > 0.0) out += edge.weight;
+    }
+    if (out > best_out) {
+      best_out = out;
+      babbler = v;
+    }
+  }
+  ScenarioEvent babble;
+  babble.kind = ScenarioEventKind::kBabblingTask;
+  babble.task = babbler;
+  babble.activation = 0;
+  grid.push_back({"babble-" + sw.node(babbler).name, {babble}});
+
+  // Region corruption on the heaviest influence edge (ties toward the
+  // lowest edge index).
+  std::uint32_t heaviest = UINT32_MAX;
+  double best_weight = 0.0;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].weight > best_weight) {
+      best_weight = edges[e].weight;
+      heaviest = static_cast<std::uint32_t>(e);
+    }
+  }
+  if (heaviest != UINT32_MAX) {
+    ScenarioEvent corrupt;
+    corrupt.kind = ScenarioEventKind::kRegionCorruption;
+    corrupt.edge = heaviest;
+    // One tick before the reader's second release (offsets follow the
+    // compile_platform stagger), so the taint sits in the region when the
+    // reader samples it, after the writer's clean write of the first
+    // period — a corruption timed into the writer/reader gap.
+    corrupt.at = Duration::millis(
+                     static_cast<std::int64_t>(edges[heaviest].to % 16) + 20) -
+                 Duration::micros(1);
+    grid.push_back({"corrupt-" + sw.node(edges[heaviest].from).name + "-" +
+                        sw.node(edges[heaviest].to).name,
+                    {corrupt}});
+  }
+
+  // Combined stress: crash the most loaded HW node while the most
+  // important replica hosted elsewhere takes a fault burst.
+  std::size_t loaded = 0;
+  for (std::size_t n = 1; n < hosted.size(); ++n) {
+    if (hosted[n].size() > hosted[loaded].size()) loaded = n;
+  }
+  if (!hosted[loaded].empty()) {
+    ScenarioEvent crash;
+    crash.kind = ScenarioEventKind::kProcessorCrash;
+    crash.hw_node = HwNodeId(static_cast<std::uint32_t>(loaded));
+    // 41ms, not 40: the offset-0 task on the node is back in service (one
+    // period is 20ms, costs are 1ms), so the crash abandons live jobs
+    // instead of landing on an idle processor.
+    crash.at = Duration::millis(41);
+    graph::NodeIndex burst_target = UINT32_MAX;
+    double best_importance = -1.0;
+    for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+      if (assignment.host(partition.cluster_of[v]).value() == loaded) continue;
+      if (sw.node(v).importance > best_importance) {
+        best_importance = sw.node(v).importance;
+        burst_target = v;
+      }
+    }
+    Scenario combined{"crash+burst", {crash}};
+    if (burst_target != UINT32_MAX) {
+      ScenarioEvent burst;
+      burst.kind = ScenarioEventKind::kTaskFaultBurst;
+      burst.task = burst_target;
+      burst.activation = 0;
+      burst.burst = 2;
+      combined.events.push_back(burst);
+    }
+    grid.push_back(std::move(combined));
+  }
+
+  return grid;
+}
+
+}  // namespace fcm::resilience

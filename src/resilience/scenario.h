@@ -1,0 +1,89 @@
+// Fault scenarios: named, declarative fault loads compiled onto a mapping.
+//
+// A scenario describes *what goes wrong* — a processor dies at time t, a
+// task emits a burst of erroneous activations, a module babbles until the
+// horizon, a shared region is corrupted outright — independent of any
+// particular platform realization. `compile_platform` realizes a finished
+// mapping (SW graph + clustering + assignment + HW graph) as a simulable
+// `sim::PlatformSpec` in the example98_platform idiom: one simulated
+// processor per HW node, one periodic task per SW replica, and one shared
+// region per positive-weight influence edge whose write-transmission
+// probability is the edge weight. The campaign engine then applies each
+// scenario's events to that platform trial after trial.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "mapping/assignment.h"
+#include "mapping/clustering.h"
+#include "mapping/hw.h"
+#include "sim/model.h"
+
+namespace fcm::resilience {
+
+/// What kind of fault one scenario event injects.
+enum class ScenarioEventKind : std::uint8_t {
+  kProcessorCrash,    ///< permanent loss of one HW node at time `at`
+  kTaskFaultBurst,    ///< `burst` consecutive erroneous activations
+  kBabblingTask,      ///< erroneous output from `activation` to the horizon
+  kRegionCorruption,  ///< direct corruption of one influence edge's region
+};
+
+const char* to_string(ScenarioEventKind kind) noexcept;
+
+/// One fault stimulus within a scenario.
+struct ScenarioEvent {
+  ScenarioEventKind kind = ScenarioEventKind::kTaskFaultBurst;
+  /// kProcessorCrash: the HW node to take down.
+  HwNodeId hw_node;
+  /// kTaskFaultBurst / kBabblingTask: the target task (== SW node index in
+  /// the compiled platform).
+  sim::TaskIndex task = 0;
+  /// First affected activation (0-based).
+  std::uint32_t activation = 0;
+  /// kTaskFaultBurst: number of consecutive affected activations.
+  std::uint32_t burst = 1;
+  /// kRegionCorruption: index of the influence edge whose region corrupts.
+  std::uint32_t edge = 0;
+  /// kProcessorCrash / kRegionCorruption: when, relative to run start.
+  Duration at = Duration::zero();
+};
+
+/// A named fault load.
+struct Scenario {
+  std::string name;
+  std::vector<ScenarioEvent> events;
+};
+
+/// A mapping realized as a simulable platform. Task index k simulates SW
+/// node k on the simulated processor whose index equals its assigned HW
+/// node id; `region_of_edge[e]` is the shared region realizing influence
+/// edge e (invalid for weight-0 replica links, which carry no dataflow).
+struct CompiledPlatform {
+  sim::PlatformSpec spec;
+  std::vector<RegionId> region_of_edge;
+};
+
+/// Realizes the mapping in the example98_platform idiom (periodic tasks,
+/// staggered offsets, one dedicated region per influence edge with the
+/// edge weight as write-transmission probability).
+CompiledPlatform compile_platform(const mapping::SwGraph& sw,
+                                  const graph::Partition& partition,
+                                  const mapping::Assignment& assignment,
+                                  const mapping::HwGraph& hw);
+
+/// The standard scenario grid for a mapping: one crash scenario per
+/// occupied HW node, one transient fault burst per process (replica 0),
+/// one babbling-module scenario on the strongest influencer, one region
+/// corruption on the heaviest influence edge, and one combined
+/// crash-plus-burst scenario. Purely structural — no randomness — so the
+/// grid is identical for identical mappings.
+std::vector<Scenario> standard_grid(const mapping::SwGraph& sw,
+                                    const graph::Partition& partition,
+                                    const mapping::Assignment& assignment,
+                                    const mapping::HwGraph& hw);
+
+}  // namespace fcm::resilience

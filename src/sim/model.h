@@ -129,8 +129,15 @@ struct FaultInjection {
   TaskIndex target = 0;
   /// The activation index (0-based) at which to inject.
   std::uint32_t activation = 0;
+  /// Number of consecutive activations affected, starting at `activation`.
+  /// 1 models a transient fault; a larger count a fault burst; kForever a
+  /// babbling module that emits erroneous output until the horizon.
+  std::uint32_t count = 1;
   /// For kTiming: the factor by which the cost inflates.
   double cost_factor = 3.0;
+
+  /// Sentinel count: every activation from `activation` onward.
+  static constexpr std::uint32_t kForever = 0xFFFFFFFFu;
 };
 
 }  // namespace fcm::sim

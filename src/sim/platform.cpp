@@ -31,10 +31,68 @@ void Platform::inject(const FaultInjection& injection) {
   injections_.push_back(injection);
 }
 
+void Platform::crash_processor_at(std::uint32_t processor, Duration at) {
+  FCM_REQUIRE(!ran_, "crashes must be planted before the run");
+  FCM_REQUIRE(processor < spec_.processors.size(),
+              "crash targets an unknown processor");
+  FCM_REQUIRE(at >= Duration::zero(), "crash time must not be negative");
+  TimedEvent event;
+  event.kind = TimedEvent::Kind::kProcessorCrash;
+  event.processor = processor;
+  event.at = at;
+  timed_events_.push_back(event);
+}
+
+void Platform::corrupt_region_at(RegionId region, Duration at,
+                                 TaskIndex blame) {
+  FCM_REQUIRE(!ran_, "corruptions must be planted before the run");
+  FCM_REQUIRE(region.valid() && region.value() < spec_.regions.size(),
+              "corruption targets an unknown region");
+  FCM_REQUIRE(blame < spec_.tasks.size(),
+              "corruption blames an unknown task");
+  FCM_REQUIRE(at >= Duration::zero(), "corruption time must not be negative");
+  TimedEvent event;
+  event.kind = TimedEvent::Kind::kRegionCorruption;
+  event.region = region;
+  event.blame = blame;
+  event.at = at;
+  timed_events_.push_back(event);
+}
+
+void Platform::crash_processor(std::uint32_t processor) {
+  ProcessorState& p = processors_[processor];
+  if (p.crashed) return;
+  p.crashed = true;
+  ++report_.processors_crashed;
+  // Abandon the job in service and everything queued: each counts as a
+  // failure of its task (the output was never delivered).
+  if (p.current.has_value()) {
+    queue_.cancel(p.completion_token);
+    ++report_.tasks[p.current->task].failures;
+    ++report_.jobs_abandoned;
+    p.current.reset();
+  }
+  for (const Job& job : p.ready) {
+    ++report_.tasks[job.task].failures;
+    ++report_.jobs_abandoned;
+  }
+  p.ready.clear();
+  disturbance_[processor].reset();
+  // Tasks bound to the processor never activate again.
+  for (TaskIndex task = 0; task < spec_.tasks.size(); ++task) {
+    if (spec_.tasks[task].processor.value() == processor) {
+      task_states_[task].crashed = true;
+    }
+  }
+}
+
 const FaultInjection* Platform::injection_for(
     TaskIndex task, std::uint32_t activation) const {
   for (const FaultInjection& injection : injections_) {
-    if (injection.target == task && injection.activation == activation) {
+    if (injection.target != task || activation < injection.activation) {
+      continue;
+    }
+    if (activation - injection.activation < injection.count) {
       return &injection;
     }
   }
@@ -73,6 +131,7 @@ void Platform::release_job(TaskIndex task, std::uint32_t activation) {
 
   const std::uint32_t processor = spec.processor.value();
   ProcessorState& p = processors_[processor];
+  if (p.crashed) return;
 
   // Schedule the next periodic release.
   const Instant next = job.release + spec.period;
@@ -272,6 +331,22 @@ SimReport Platform::run(Duration horizon) {
   FCM_REQUIRE(horizon > Duration::zero(), "horizon must be positive");
   ran_ = true;
   horizon_ = horizon;
+
+  // Platform-level events first, so a crash or corruption scheduled at the
+  // same instant as a release acts before it (insertion-order tie-break).
+  for (const TimedEvent& event : timed_events_) {
+    if (event.at >= horizon) continue;
+    queue_.schedule_at(Instant::epoch() + event.at, [this, event] {
+      switch (event.kind) {
+        case TimedEvent::Kind::kProcessorCrash:
+          crash_processor(event.processor);
+          break;
+        case TimedEvent::Kind::kRegionCorruption:
+          regions_[event.region.value()] = Taint{true, event.blame};
+          break;
+      }
+    });
+  }
 
   for (TaskIndex task = 0; task < spec_.tasks.size(); ++task) {
     const Duration offset = spec_.tasks[task].offset;

@@ -43,6 +43,10 @@ struct SimReport {
   std::vector<TaskStats> tasks;
   std::vector<PropagationEvent> propagations;
   std::uint64_t events_dispatched = 0;
+  /// Processors taken down by scheduled crashes during the run.
+  std::uint32_t processors_crashed = 0;
+  /// Jobs dropped mid-service or from ready queues by a processor crash.
+  std::uint32_t jobs_abandoned = 0;
 
   /// Whether any failure of `to` traces back to a fault origin `from`.
   [[nodiscard]] bool propagated(TaskIndex from, TaskIndex to) const;
@@ -59,6 +63,17 @@ class Platform {
 
   /// Plants a fault before the run.
   void inject(const FaultInjection& injection);
+
+  /// Schedules a permanent processor crash at `at` (relative to the run
+  /// start): the job in service and every queued job are abandoned, and no
+  /// task bound to the processor activates again — the HW-loss stimulus the
+  /// resilience campaigns replan from.
+  void crash_processor_at(std::uint32_t processor, Duration at);
+
+  /// Schedules a direct corruption of `region` at `at`, attributed to
+  /// `blame` as the taint origin (e.g. a scribbling writer or a cosmic-ray
+  /// upset pinned on the region's producer).
+  void corrupt_region_at(RegionId region, Duration at, TaskIndex blame);
 
   /// Simulates until no activation released before `horizon` remains
   /// outstanding, and returns the report.
@@ -84,6 +99,17 @@ class Platform {
     Instant service_start;
     std::uint64_t completion_token = 0;
     std::vector<Job> ready;
+    bool crashed = false;
+  };
+
+  /// A pre-run scheduled platform-level event (crash or corruption).
+  struct TimedEvent {
+    enum class Kind : std::uint8_t { kProcessorCrash, kRegionCorruption };
+    Kind kind = Kind::kProcessorCrash;
+    std::uint32_t processor = 0;
+    RegionId region;
+    TaskIndex blame = 0;
+    Duration at;
   };
 
   struct TaskState {
@@ -95,6 +121,7 @@ class Platform {
   void dispatch(std::uint32_t processor);
   void complete_current(std::uint32_t processor);
   void finish_job(const Job& job);
+  void crash_processor(std::uint32_t processor);
   const FaultInjection* injection_for(TaskIndex task,
                                       std::uint32_t activation) const;
 
@@ -109,6 +136,7 @@ class Platform {
   std::vector<Taint> regions_;
   std::vector<std::vector<Taint>> channel_queues_;
   std::vector<FaultInjection> injections_;
+  std::vector<TimedEvent> timed_events_;
   /// Task whose injected timing fault is currently inflating service on a
   /// processor (for attributing downstream deadline misses).
   std::vector<std::optional<TaskIndex>> disturbance_;

@@ -1,0 +1,94 @@
+#include "ftmech/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace fcm::ftmech {
+namespace {
+
+TEST(Checkpointed, StartsWithNoSnapshots) {
+  const Checkpointed<int> state(7);
+  EXPECT_EQ(state.value(), 7);
+  EXPECT_EQ(state.depth(), 0u);
+  EXPECT_EQ(state.checkpoints_taken(), 0u);
+  EXPECT_EQ(state.rollbacks(), 0u);
+}
+
+TEST(Checkpointed, RollbackOnEmptyStackThrows) {
+  Checkpointed<int> state(1);
+  EXPECT_THROW(state.rollback(), InvalidArgument);
+}
+
+TEST(Checkpointed, CommitOnEmptyStackThrows) {
+  Checkpointed<int> state(1);
+  EXPECT_THROW(state.commit(), InvalidArgument);
+}
+
+TEST(Checkpointed, DeepStackUnwindsInLifoOrder) {
+  Checkpointed<int> state(0);
+  for (int i = 1; i <= 5; ++i) {
+    state.checkpoint();
+    state.value() = i;
+  }
+  EXPECT_EQ(state.depth(), 5u);
+  for (int i = 4; i >= 0; --i) {
+    state.rollback();
+    EXPECT_EQ(state.value(), i);
+  }
+  EXPECT_EQ(state.depth(), 0u);
+  EXPECT_EQ(state.rollbacks(), 5u);
+}
+
+TEST(Checkpointed, CommitUncoversTheOlderSnapshot) {
+  Checkpointed<std::string> state("a");
+  state.checkpoint();  // saves "a"
+  state.value() = "b";
+  state.checkpoint();  // saves "b"
+  state.value() = "c";
+  state.commit();  // drops the "b" snapshot, keeps value "c"
+  EXPECT_EQ(state.value(), "c");
+  EXPECT_EQ(state.depth(), 1u);
+  state.rollback();  // restores the outer snapshot
+  EXPECT_EQ(state.value(), "a");
+}
+
+TEST(Checkpointed, CheckpointsTakenIsCumulative) {
+  Checkpointed<int> state(0);
+  state.checkpoint();
+  state.rollback();
+  state.checkpoint();
+  state.commit();
+  state.checkpoint();
+  EXPECT_EQ(state.checkpoints_taken(), 3u);
+  EXPECT_EQ(state.rollbacks(), 1u);
+  EXPECT_EQ(state.depth(), 1u);
+}
+
+TEST(Checkpointed, SnapshotIsACopyNotAReference) {
+  // Mutating the live value must not retroactively edit the snapshot.
+  Checkpointed<std::vector<int>> state({1, 2, 3});
+  state.checkpoint();
+  state.value().push_back(4);
+  state.value()[0] = 99;
+  state.rollback();
+  EXPECT_EQ(state.value(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Checkpointed, RepeatedRollbackToSameCheckpointNeedsRepeatedSaves) {
+  // rollback() pops: restoring twice from one checkpoint is an error, which
+  // is exactly the discipline the recovery-block integration relies on
+  // (each alternate re-checkpoints after restoring).
+  Checkpointed<int> state(10);
+  state.checkpoint();
+  state.value() = 20;
+  state.rollback();
+  EXPECT_EQ(state.value(), 10);
+  EXPECT_THROW(state.rollback(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace fcm::ftmech

@@ -1,0 +1,107 @@
+#include "ftmech/nversion.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/error.h"
+
+namespace fcm::ftmech {
+namespace {
+
+TEST(NVersionExecutor, ExecuteWithoutVersionsThrows) {
+  NVersionExecutor<int> nv;
+  EXPECT_THROW(nv.execute(), InvalidArgument);
+}
+
+TEST(NVersionExecutor, NullVersionRejected) {
+  NVersionExecutor<int> nv;
+  EXPECT_THROW(nv.add_version("broken", nullptr), InvalidArgument);
+}
+
+TEST(NVersionExecutor, VersionCountTracksRegistration) {
+  NVersionExecutor<int> nv;
+  EXPECT_EQ(nv.version_count(), 0u);
+  nv.add_version("v1", [] { return 1; });
+  nv.add_version("v2", [] { return 1; });
+  EXPECT_EQ(nv.version_count(), 2u);
+}
+
+TEST(NVersionExecutor, StatsDistinguishUnanimousFromMajorityRounds) {
+  int round = 0;
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 3; });
+  nv.add_version("v2", [] { return 3; });
+  // Agrees in round 1, diverges in round 2.
+  nv.add_version("drifting", [&round] { return round == 1 ? 3 : 8; });
+
+  round = 1;
+  EXPECT_EQ(nv.execute(), 3);
+  round = 2;
+  EXPECT_EQ(nv.execute(), 3);
+
+  EXPECT_EQ(nv.stats().rounds, 2u);
+  EXPECT_EQ(nv.stats().unanimous, 1u);
+  EXPECT_EQ(nv.stats().majority, 1u);
+  EXPECT_EQ(nv.stats().no_majority, 0u);
+  EXPECT_DOUBLE_EQ(nv.stats().availability(), 1.0);
+}
+
+TEST(NVersionExecutor, NoMajorityRoundIsStillRecorded) {
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 1; });
+  nv.add_version("v2", [] { return 2; });
+  nv.add_version("v3", [] { return 3; });
+  EXPECT_THROW(nv.execute(), NoMajority);
+  EXPECT_EQ(nv.stats().rounds, 1u);
+  EXPECT_EQ(nv.stats().no_majority, 1u);
+  EXPECT_DOUBLE_EQ(nv.stats().availability(), 0.0);
+}
+
+TEST(NVersionExecutor, MajorityIsOverAllVersionsNotSurvivors) {
+  // 2 of 4 agreeing is not a strict majority even though both survivors
+  // agree: crashed versions stay in the denominator.
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 5; });
+  nv.add_version("v2", [] { return 5; });
+  nv.add_version("c1", []() -> int { throw std::runtime_error("x"); });
+  nv.add_version("c2", []() -> int { throw std::runtime_error("x"); });
+  EXPECT_THROW(nv.execute(), NoMajority);
+}
+
+TEST(NVersionExecutor, ThreeOfFiveSurviveTwoCrashes) {
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 5; });
+  nv.add_version("v2", [] { return 5; });
+  nv.add_version("v3", [] { return 5; });
+  nv.add_version("c1", []() -> int { throw std::runtime_error("x"); });
+  nv.add_version("c2", []() -> int { throw std::runtime_error("x"); });
+  EXPECT_EQ(nv.execute(), 5);
+}
+
+TEST(NVersionExecutor, AllVersionsCrashingIsNoMajority) {
+  NVersionExecutor<int> nv;
+  nv.add_version("c1", []() -> int { throw std::runtime_error("x"); });
+  nv.add_version("c2", []() -> int { throw std::runtime_error("x"); });
+  nv.add_version("c3", []() -> int { throw std::runtime_error("x"); });
+  EXPECT_THROW(nv.execute(), NoMajority);
+  EXPECT_EQ(nv.stats().no_majority, 1u);
+}
+
+TEST(NVersionExecutor, DuplexAgreementIsUnanimous) {
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 4; });
+  nv.add_version("v2", [] { return 4; });
+  EXPECT_EQ(nv.execute(), 4);
+  EXPECT_EQ(nv.stats().unanimous, 1u);
+}
+
+TEST(NVersionExecutor, DuplexDisagreementIsNoMajority) {
+  NVersionExecutor<int> nv;
+  nv.add_version("v1", [] { return 4; });
+  nv.add_version("v2", [] { return 9; });
+  EXPECT_THROW(nv.execute(), NoMajority);
+}
+
+}  // namespace
+}  // namespace fcm::ftmech

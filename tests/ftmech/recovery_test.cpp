@@ -58,6 +58,66 @@ TEST(RecoveryBlock, FailureRateTracksMix) {
   EXPECT_NEAR(block.failure_rate(), 0.5, 1e-12);
 }
 
+TEST(RecoveryBlock, ExhaustedExecutionRecordsEveryAlternateOutcome) {
+  // Regression: the AllAlternatesFailed path must leave a complete
+  // per-alternate record — one rejection for the alternate the test turned
+  // down, one exception for the alternate that threw — so a fault-injection
+  // campaign can attribute the exhausted block alternate by alternate.
+  RecoveryBlock<int> block([](const int& v) { return v > 10; });
+  block.add_alternate("rejected", [] { return 1; });
+  block.add_alternate("thrower",
+                      []() -> int { throw std::runtime_error("crash"); });
+  EXPECT_THROW(block.execute(), AllAlternatesFailed);
+
+  const std::vector<AlternateStats> stats = block.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].name, "rejected");
+  EXPECT_EQ(stats[0].rejections, 1u);
+  EXPECT_EQ(stats[0].exceptions, 0u);
+  EXPECT_EQ(stats[1].name, "thrower");
+  EXPECT_EQ(stats[1].rejections, 0u);
+  EXPECT_EQ(stats[1].exceptions, 1u);
+  EXPECT_EQ(stats[0].failures(), 1u);
+  EXPECT_EQ(stats[1].failures(), 1u);
+  EXPECT_EQ(block.exhausted(), 1u);
+}
+
+TEST(RecoveryBlock, ThrowingAcceptanceTestCountsAsAlternateFailure) {
+  // Regression: an acceptance test that throws while judging a candidate
+  // used to escape execute() mid-loop, so neither the attempt nor the
+  // execution reached the statistics. It now counts as that alternate's
+  // exception and the block moves on to the next alternate.
+  RecoveryBlock<int> block([](const int& v) {
+    if (v < 0) throw std::runtime_error("cannot judge");
+    return v > 0;
+  });
+  block.add_alternate("primary", [] { return -1; });  // test throws on it
+  block.add_alternate("backup", [] { return 7; });
+  EXPECT_EQ(block.execute(), 7);
+  EXPECT_EQ(block.failures("primary"), 1u);
+  EXPECT_EQ(block.successes("backup"), 1u);
+  EXPECT_EQ(block.stats()[0].exceptions, 1u);
+  EXPECT_DOUBLE_EQ(block.failure_rate(), 0.0);  // the block still delivered
+}
+
+TEST(RecoveryBlock, StatsAggregateAcrossExecutions) {
+  int calls = 0;
+  RecoveryBlock<int> block([](const int& v) { return v >= 0; });
+  // Rejected on odd calls, accepted on even calls.
+  block.add_alternate("flaky", [&calls] {
+    ++calls;
+    return calls % 2 == 0 ? 1 : -1;
+  });
+  block.add_alternate("backup", [] { return 0; });
+  EXPECT_EQ(block.execute(), 0);  // flaky rejected, backup delivers
+  EXPECT_EQ(block.execute(), 1);  // flaky delivers directly
+  const std::vector<AlternateStats> stats = block.stats();
+  EXPECT_EQ(stats[0].rejections, 1u);
+  EXPECT_EQ(stats[0].successes, 1u);
+  EXPECT_EQ(stats[1].successes, 1u);
+  EXPECT_EQ(block.exhausted(), 0u);
+}
+
 TEST(RecoveryBlock, RequiresAcceptanceTestAndAlternates) {
   EXPECT_THROW(RecoveryBlock<int>(nullptr), InvalidArgument);
   RecoveryBlock<int> block([](const int&) { return true; });

@@ -121,6 +121,63 @@ TEST(SwGraph, JobsCarryTimingTriple) {
   }
 }
 
+TEST(SwGraph, SubsetPromotesSurvivingReplicas) {
+  // Dropping replicas must renumber the survivors densely and clamp the
+  // replication attribute: a TMR process reduced to one surviving copy is
+  // now a simplex and must not demand three distinct clusters downstream.
+  const Instance instance = make_instance();
+  const SwGraph sw = example_graph(instance);
+  graph::NodeIndex p1c = 0, p2b = 0;
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    if (sw.node(v).name == "p1c") p1c = v;
+    if (sw.node(v).name == "p2b") p2b = v;
+  }
+  std::vector<graph::NodeIndex> keep{std::min(p1c, p2b),
+                                     std::max(p1c, p2b)};
+  const SwGraph sub = sw.subset(keep);
+  ASSERT_EQ(sub.node_count(), 2u);
+  for (graph::NodeIndex v = 0; v < sub.node_count(); ++v) {
+    const SwNode& node = sub.node(v);
+    EXPECT_EQ(node.replica_index, 0);            // promoted
+    EXPECT_EQ(node.attributes.replication, 1);   // clamped
+  }
+  // Names and origins are preserved — the survivor is still "p1c".
+  EXPECT_EQ(sub.node(graph::NodeIndex{0}).name,
+            p1c < p2b ? "p1c" : "p2b");
+}
+
+TEST(SwGraph, SubsetKeepsReplicaLinksAndIndices) {
+  const Instance instance = make_instance();
+  const SwGraph sw = example_graph(instance);
+  graph::NodeIndex p1a = 0, p1b = 0;
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    if (sw.node(v).name == "p1a") p1a = v;
+    if (sw.node(v).name == "p1b") p1b = v;
+  }
+  const SwGraph sub = sw.subset({std::min(p1a, p1b), std::max(p1a, p1b)});
+  ASSERT_EQ(sub.node_count(), 2u);
+  EXPECT_EQ(sub.node(graph::NodeIndex{0}).replica_index, 0);
+  EXPECT_EQ(sub.node(graph::NodeIndex{1}).replica_index, 1);
+  EXPECT_EQ(sub.node(graph::NodeIndex{0}).attributes.replication, 2);
+  EXPECT_TRUE(sub.replicas(0, 1));
+  // The weight-0 replica link between the survivors is induced.
+  bool replica_link = false;
+  for (const graph::Edge& edge : sub.influence_graph().edges()) {
+    if (edge.weight == 0.0) replica_link = true;
+  }
+  EXPECT_TRUE(replica_link);
+}
+
+TEST(SwGraph, SubsetRejectsMalformedKeepLists) {
+  const Instance instance = make_instance();
+  const SwGraph sw = example_graph(instance);
+  EXPECT_THROW(sw.subset({0, 0}), InvalidArgument);       // duplicate
+  EXPECT_THROW(sw.subset({3, 1}), InvalidArgument);       // not ascending
+  EXPECT_THROW(
+      sw.subset({static_cast<graph::NodeIndex>(sw.node_count())}),
+      InvalidArgument);  // unknown
+}
+
 TEST(SwGraph, RejectsNonProcessFcms) {
   core::FcmHierarchy h;
   const FcmId task = h.create("T", core::Level::kTask);

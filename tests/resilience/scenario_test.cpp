@@ -1,0 +1,155 @@
+#include "resilience/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "core/example98.h"
+#include "mapping/planner.h"
+
+namespace fcm::resilience {
+namespace {
+
+struct Mapping {
+  core::example98::Instance instance;
+  mapping::HwGraph hw;
+  mapping::SwGraph sw;
+  mapping::Plan plan;
+};
+
+const Mapping& mapping98() {
+  static const Mapping m = [] {
+    Mapping built;
+    built.instance = core::example98::make_instance();
+    built.hw = mapping::HwGraph::complete(core::example98::kHwNodes);
+    mapping::IntegrationPlanner planner(built.instance.hierarchy,
+                                        built.instance.influence,
+                                        built.instance.processes, built.hw);
+    built.plan = planner.best_plan();
+    built.sw = planner.sw_graph();
+    return built;
+  }();
+  return m;
+}
+
+HwNodeId host_of(const Mapping& m, graph::NodeIndex v) {
+  return m.plan.assignment.host(m.plan.clustering.partition.cluster_of[v]);
+}
+
+TEST(CompilePlatform, MirrorsTheMappingStructure) {
+  const Mapping& m = mapping98();
+  const CompiledPlatform compiled = compile_platform(
+      m.sw, m.plan.clustering.partition, m.plan.assignment, m.hw);
+  // One simulated processor per HW node, index == HW node id.
+  ASSERT_EQ(compiled.spec.processors.size(), m.hw.node_count());
+  // One task per SW replica, bound to its assigned host's processor.
+  ASSERT_EQ(compiled.spec.tasks.size(), m.sw.node_count());
+  for (graph::NodeIndex v = 0; v < m.sw.node_count(); ++v) {
+    const sim::TaskSpec& task = compiled.spec.tasks[v];
+    EXPECT_EQ(task.name, m.sw.node(v).name);
+    EXPECT_EQ(task.processor.value(), host_of(m, v).value());
+    EXPECT_EQ(task.period, Duration::millis(20));
+  }
+}
+
+TEST(CompilePlatform, RegionsRealizePositiveInfluenceEdgesOnly) {
+  const Mapping& m = mapping98();
+  const CompiledPlatform compiled = compile_platform(
+      m.sw, m.plan.clustering.partition, m.plan.assignment, m.hw);
+  const auto& edges = m.sw.influence_graph().edges();
+  ASSERT_EQ(compiled.region_of_edge.size(), edges.size());
+  std::size_t realized = 0;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const RegionId region = compiled.region_of_edge[e];
+    if (edges[e].weight <= 0.0) {
+      // Weight-0 replica links carry no dataflow.
+      EXPECT_FALSE(region.valid());
+      continue;
+    }
+    ASSERT_TRUE(region.valid());
+    ++realized;
+    EXPECT_NEAR(
+        compiled.spec.regions[region.value()].write_transmission.value(),
+        Probability::clamped(edges[e].weight).value(), 1e-12);
+    const sim::TaskSpec& writer = compiled.spec.tasks[edges[e].from];
+    const sim::TaskSpec& reader = compiled.spec.tasks[edges[e].to];
+    EXPECT_NE(std::find(writer.writes.begin(), writer.writes.end(), region),
+              writer.writes.end());
+    EXPECT_NE(std::find(reader.reads.begin(), reader.reads.end(), region),
+              reader.reads.end());
+  }
+  EXPECT_GT(realized, 0u);
+}
+
+TEST(CompilePlatform, RejectsMismatchedInputs) {
+  const Mapping& m = mapping98();
+  graph::Partition truncated = m.plan.clustering.partition;
+  truncated.cluster_of.pop_back();
+  EXPECT_THROW(
+      compile_platform(m.sw, truncated, m.plan.assignment, m.hw),
+      InvalidArgument);
+}
+
+TEST(StandardGrid, IsDeterministic) {
+  const Mapping& m = mapping98();
+  const std::vector<Scenario> a = standard_grid(
+      m.sw, m.plan.clustering.partition, m.plan.assignment, m.hw);
+  const std::vector<Scenario> b = standard_grid(
+      m.sw, m.plan.clustering.partition, m.plan.assignment, m.hw);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    ASSERT_EQ(a[i].events.size(), b[i].events.size());
+    for (std::size_t j = 0; j < a[i].events.size(); ++j) {
+      EXPECT_EQ(a[i].events[j].kind, b[i].events[j].kind);
+      EXPECT_EQ(a[i].events[j].at, b[i].events[j].at);
+      EXPECT_EQ(a[i].events[j].task, b[i].events[j].task);
+    }
+  }
+}
+
+TEST(StandardGrid, CoversCrashesBurstsBabbleCorruptionAndCombined) {
+  const Mapping& m = mapping98();
+  const std::vector<Scenario> grid = standard_grid(
+      m.sw, m.plan.clustering.partition, m.plan.assignment, m.hw);
+
+  std::set<std::uint32_t> occupied;
+  for (graph::NodeIndex v = 0; v < m.sw.node_count(); ++v) {
+    occupied.insert(host_of(m, v).value());
+  }
+  std::set<FcmId> processes;
+  for (const mapping::SwNode& node : m.sw.nodes()) {
+    processes.insert(node.origin);
+  }
+
+  std::size_t crashes = 0, bursts = 0, babbles = 0, corruptions = 0,
+              combined = 0;
+  for (const Scenario& scenario : grid) {
+    if (scenario.name == "crash+burst") {
+      ++combined;
+      EXPECT_EQ(scenario.events.size(), 2u);
+    } else if (scenario.name.rfind("crash-", 0) == 0) {
+      ++crashes;
+    } else if (scenario.name.rfind("burst-", 0) == 0) {
+      ++bursts;
+    } else if (scenario.name.rfind("babble-", 0) == 0) {
+      ++babbles;
+    } else if (scenario.name.rfind("corrupt-", 0) == 0) {
+      ++corruptions;
+    }
+  }
+  EXPECT_EQ(crashes, occupied.size());
+  EXPECT_EQ(bursts, processes.size());
+  EXPECT_EQ(babbles, 1u);
+  EXPECT_EQ(corruptions, 1u);
+  EXPECT_EQ(combined, 1u);
+  EXPECT_EQ(grid.size(),
+            crashes + bursts + babbles + corruptions + combined);
+}
+
+}  // namespace
+}  // namespace fcm::resilience

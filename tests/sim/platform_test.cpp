@@ -251,6 +251,80 @@ TEST(Platform, ChannelCorruptionGeneratesSpontaneousTaint) {
   EXPECT_GT(report.tasks[r].tainted_inputs, 0u);
 }
 
+TEST(Platform, ProcessorCrashAbandonsJobsAndStopsReleases) {
+  // Crash at 6ms: the producer's first activation (0-2ms) completed; the
+  // consumer released at 5ms is in service and gets abandoned. Nothing on
+  // the processor activates again.
+  Platform platform(pipeline_spec(), 61);
+  platform.crash_processor_at(0, Duration::millis(6));
+  const SimReport report = platform.run(Duration::millis(100));
+  EXPECT_EQ(report.processors_crashed, 1u);
+  EXPECT_EQ(report.jobs_abandoned, 1u);
+  EXPECT_EQ(report.tasks[0].activations, 1u);
+  EXPECT_EQ(report.tasks[0].completions, 1u);
+  EXPECT_EQ(report.tasks[1].activations, 1u);
+  EXPECT_EQ(report.tasks[1].completions, 0u);
+}
+
+TEST(Platform, ProcessorCrashIsLocalToItsProcessor) {
+  PlatformSpec spec;
+  const ProcessorId cpu0 = spec.add_processor("cpu0");
+  const ProcessorId cpu1 = spec.add_processor("cpu1");
+  for (const ProcessorId cpu : {cpu0, cpu1}) {
+    TaskSpec task;
+    task.name = cpu == cpu0 ? "victim" : "bystander";
+    task.processor = cpu;
+    task.period = Duration::millis(10);
+    task.deadline = Duration::millis(10);
+    task.cost = Duration::millis(1);
+    spec.add_task(task);
+  }
+  Platform platform(spec, 62);
+  platform.crash_processor_at(0, Duration::millis(35));
+  const SimReport report = platform.run(Duration::millis(100));
+  EXPECT_EQ(report.tasks[0].completions, 4u);  // releases 0,10,20,30
+  EXPECT_EQ(report.tasks[1].completions, 10u);  // unaffected
+  EXPECT_EQ(report.processors_crashed, 1u);
+}
+
+TEST(Platform, RegionCorruptionBlamesTheNamedOrigin) {
+  // Corrupt the shared region at 4ms, blaming the producer: the consumer's
+  // 5ms read consumes the taint and the failure traces to the producer even
+  // though the producer itself never faulted.
+  Platform platform(pipeline_spec(), 63);
+  platform.corrupt_region_at(RegionId(0), Duration::millis(4), 0);
+  const SimReport report = platform.run(Duration::millis(50));
+  EXPECT_EQ(report.tasks[0].own_faults, 0u);
+  EXPECT_EQ(report.tasks[1].tainted_inputs, 1u);  // 10ms write scrubs it
+  EXPECT_GT(report.tasks[1].propagated_failures, 0u);
+  EXPECT_TRUE(report.propagated(0, 1));
+}
+
+TEST(Platform, FaultBurstCoversConsecutiveActivations) {
+  Platform platform(pipeline_spec(), 64);
+  FaultInjection injection;
+  injection.kind = FaultKind::kValue;
+  injection.target = 0;
+  injection.activation = 2;
+  injection.count = 3;  // activations 2, 3, 4
+  platform.inject(injection);
+  const SimReport report = platform.run(Duration::millis(100));
+  EXPECT_EQ(report.tasks[0].own_faults, 3u);
+}
+
+TEST(Platform, BabblingTaskFaultsEveryActivationUntilHorizon) {
+  Platform platform(pipeline_spec(), 65);
+  FaultInjection injection;
+  injection.kind = FaultKind::kValue;
+  injection.target = 0;
+  injection.activation = 4;
+  injection.count = FaultInjection::kForever;
+  platform.inject(injection);
+  const SimReport report = platform.run(Duration::millis(100));
+  // 10 activations, erroneous from activation 4 onward.
+  EXPECT_EQ(report.tasks[0].own_faults, 6u);
+}
+
 TEST(Platform, RunsExactlyOnce) {
   Platform platform(pipeline_spec(), 51);
   platform.run(Duration::millis(10));
