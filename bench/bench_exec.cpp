@@ -1,0 +1,192 @@
+// Ablation — the persistent work-stealing executor (fcm::exec) against the
+// retired spawn-per-call engine it replaced. The headline workload is the
+// paper's Table 1 instance (8 processes, full propagation) evaluated in
+// small Monte Carlo blocks, where per-call thread spawning used to dominate:
+// scoring one candidate mapping is ~a millisecond of compute sharded into 16
+// blocks, and the old engine paid seven thread creations + joins for it on
+// every call. The persistent pool parks its workers between calls instead.
+// Results are recorded to BENCH_exec.json together with the bitwise-identity
+// check (the two engines must disagree about nothing but speed).
+#include <chrono>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/example98.h"
+#include "dependability/montecarlo.h"
+#include "exec/executor.h"
+#include "mapping/assignment.h"
+
+namespace {
+
+using namespace fcm;
+using namespace fcm::dependability;
+
+// The Table 1 instance has 8 processes; 8 lanes scores one replica set per
+// lane. Blocks are deliberately tiny — this is the "score one candidate
+// mapping quickly inside a sweep" regime, where the old engine's per-call
+// thread spawning was pure overhead.
+constexpr std::uint32_t kThreads = 8;
+constexpr std::uint32_t kTrials = 256;
+constexpr std::uint32_t kTrialsPerBlock = 16;  // -> 16 small blocks
+
+struct Setup {
+  core::example98::Instance instance = core::example98::make_instance();
+  mapping::SwGraph sw = mapping::SwGraph::build(
+      instance.hierarchy, instance.influence, instance.processes);
+  mapping::HwGraph hw = mapping::HwGraph::complete(6);
+  mapping::ClusteringResult clustering;
+  mapping::Assignment assignment;
+
+  Setup() {
+    mapping::ClusteringOptions options;
+    options.target_clusters = 6;
+    mapping::ClusterEngine engine(sw, options);
+    clustering = engine.h1_greedy();
+    assignment = mapping::assign_by_importance(sw, clustering, hw);
+  }
+
+  [[nodiscard]] DependabilityReport evaluate() const {
+    MissionModel mission;
+    mission.hw_failure = Probability(0.1);
+    mission.sw_fault = Probability(0.02);
+    mission.propagate = true;
+    mission.trials = kTrials;
+    mission.trials_per_block = kTrialsPerBlock;
+    mission.threads = kThreads;
+    return evaluate_mapping(sw, clustering, assignment, hw, mission, 2026);
+  }
+};
+
+bool reports_identical(const DependabilityReport& a,
+                       const DependabilityReport& b) {
+  return a.system_survival == b.system_survival &&
+         a.critical_survival == b.critical_survival &&
+         a.expected_criticality_loss == b.expected_criticality_loss &&
+         a.process_survival == b.process_survival;
+}
+
+// Median-of-runs microseconds for one evaluate() call on `backend`.
+double evaluate_us(const Setup& setup, exec::Backend backend, int runs,
+                   DependabilityReport& last) {
+  exec::set_backend_for_tests(backend);
+  for (int warm = 0; warm < 3; ++warm) (void)setup.evaluate();
+  std::vector<double> samples;
+  samples.reserve(runs);
+  for (int r = 0; r < runs; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    last = setup.evaluate();
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    samples.push_back(elapsed.count());
+  }
+  exec::set_backend_for_tests(exec::Backend::kPersistentPool);
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+// Median microseconds for one empty 16-block submission: pure scheduling
+// overhead, no compute — the upper bound on what the pool can save.
+double empty_submission_us(exec::Backend backend) {
+  exec::set_backend_for_tests(backend);
+  constexpr int kReps = 200;
+  for (int warm = 0; warm < 10; ++warm) {
+    exec::parallel_for_blocks(16, kThreads,
+                              [](std::uint64_t, std::uint32_t) {});
+  }
+  std::vector<double> samples;
+  samples.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    exec::parallel_for_blocks(16, kThreads,
+                              [](std::uint64_t, std::uint32_t) {});
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    samples.push_back(elapsed.count());
+  }
+  exec::set_backend_for_tests(exec::Backend::kPersistentPool);
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+void print_reproduction() {
+  bench::banner("persistent pool vs spawn-per-call (Table 1 workload)");
+  Setup setup;
+
+  DependabilityReport pool_report, spawn_report;
+  const double spawn_us =
+      evaluate_us(setup, exec::Backend::kSpawnPerCall, 31, spawn_report);
+  const double pool_us =
+      evaluate_us(setup, exec::Backend::kPersistentPool, 31, pool_report);
+  const bool identical = reports_identical(pool_report, spawn_report);
+  const double speedup = spawn_us <= 0.0 ? 0.0 : spawn_us / pool_us;
+
+  const double spawn_empty_us =
+      empty_submission_us(exec::Backend::kSpawnPerCall);
+  const double pool_empty_us =
+      empty_submission_us(exec::Backend::kPersistentPool);
+
+  TextTable table({"engine", "evaluate us", "empty submission us"});
+  table.add_row({"spawn-per-call", fmt(spawn_us, 1), fmt(spawn_empty_us, 1)});
+  table.add_row({"persistent pool", fmt(pool_us, 1), fmt(pool_empty_us, 1)});
+  std::cout << table.render();
+  std::cout << "speedup (evaluate, pool vs spawn): " << fmt(speedup, 2)
+            << "x; reports bitwise identical: " << (identical ? "yes" : "NO")
+            << "\n(" << kTrials << " trials in " << kTrials / kTrialsPerBlock
+            << " blocks of " << kTrialsPerBlock << ", " << kThreads
+            << " lanes requested, "
+            << std::thread::hardware_concurrency()
+            << " hardware threads here; the spawn engine pays "
+            << kThreads - 1 << " thread creations per call either way)\n";
+
+  std::ofstream json("BENCH_exec.json");
+  json << "{\n"
+       << "  \"bench\": \"exec_pool_vs_spawn\",\n"
+       << "  \"workload\": \"table1_montecarlo\",\n"
+       << "  \"trials\": " << kTrials << ",\n"
+       << "  \"trials_per_block\": " << kTrialsPerBlock << ",\n"
+       << "  \"threads\": " << kThreads << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"spawn_per_call_us\": " << spawn_us << ",\n"
+       << "  \"persistent_pool_us\": " << pool_us << ",\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"empty_submission_spawn_us\": " << spawn_empty_us << ",\n"
+       << "  \"empty_submission_pool_us\": " << pool_empty_us << ",\n"
+       << "  \"bitwise_identical\": " << (identical ? "true" : "false")
+       << "\n}\n";
+  std::cout << "(record written to BENCH_exec.json)\n";
+}
+
+void BM_EmptySubmission(benchmark::State& state) {
+  const auto backend = state.range(0) == 0 ? exec::Backend::kPersistentPool
+                                           : exec::Backend::kSpawnPerCall;
+  exec::set_backend_for_tests(backend);
+  for (auto _ : state) {
+    exec::parallel_for_blocks(16, kThreads,
+                              [](std::uint64_t, std::uint32_t) {});
+  }
+  exec::set_backend_for_tests(exec::Backend::kPersistentPool);
+  state.SetLabel(state.range(0) == 0 ? "pool" : "spawn");
+}
+BENCHMARK(BM_EmptySubmission)->Arg(0)->Arg(1);
+
+void BM_SmallBlockMonteCarlo(benchmark::State& state) {
+  const auto backend = state.range(0) == 0 ? exec::Backend::kPersistentPool
+                                           : exec::Backend::kSpawnPerCall;
+  Setup setup;
+  exec::set_backend_for_tests(backend);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(setup.evaluate());
+  }
+  exec::set_backend_for_tests(exec::Backend::kPersistentPool);
+  state.SetItemsProcessed(state.iterations() * kTrials);
+  state.SetLabel(state.range(0) == 0 ? "pool" : "spawn");
+}
+BENCHMARK(BM_SmallBlockMonteCarlo)->Arg(0)->Arg(1);
+
+}  // namespace
+
+FCM_BENCH_MAIN(print_reproduction)

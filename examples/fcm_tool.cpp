@@ -66,7 +66,9 @@ int usage() {
       "       JSON on stdout, byte-identical for every T\n"
       "global options (any command):\n"
       "  --metrics                           dump the fcm::obs registry\n"
-      "  --trace FILE                        write chrome://tracing spans\n";
+      "  --trace FILE                        write chrome://tracing spans\n"
+      "every --threads/--sweep-threads default is 0 = auto: the FCM_THREADS\n"
+      "environment variable if set, otherwise all hardware cores\n";
   return 2;
 }
 
@@ -119,7 +121,7 @@ int cmd_separation(const cli::Options& args) {
   const auto instance = core::example98::make_instance();
   core::SeparationOptions options;
   options.max_order = args.get_int("order", 6);
-  options.threads = static_cast<std::uint32_t>(args.get_int("threads", 1));
+  options.threads = static_cast<std::uint32_t>(args.get_int("threads", 0));
   const core::SeparationAnalysis analysis(instance.influence, options);
   std::vector<std::string> headers{"sep"};
   for (int k = 1; k <= 8; ++k) headers.push_back("p" + std::to_string(k));
@@ -141,7 +143,7 @@ int cmd_plan(const cli::Options& args) {
       args.get_int("hw", core::example98::kHwNodes));
   mapping::PlanOptions options;
   options.sweep_threads =
-      static_cast<std::uint32_t>(args.get_int("sweep-threads", 1));
+      static_cast<std::uint32_t>(args.get_int("sweep-threads", 0));
   mapping::IntegrationPlanner planner(instance.hierarchy, instance.influence,
                                       instance.processes, hw, options);
   const mapping::Approach approach = args.get("approach", "a") == "b"
@@ -166,7 +168,7 @@ int cmd_depend(const cli::Options& args) {
   mission.hw_failure = Probability(args.get_double("q", 0.05));
   mission.trials =
       static_cast<std::uint32_t>(args.get_int("trials", 20'000));
-  mission.threads = static_cast<std::uint32_t>(args.get_int("threads", 1));
+  mission.threads = static_cast<std::uint32_t>(args.get_int("threads", 0));
   const auto report = dependability::evaluate_mapping(
       planner.sw_graph(), plan.clustering, plan.assignment, hw, mission,
       2026);
@@ -196,7 +198,7 @@ int cmd_resilience(const cli::Options& args) {
       planner.sw_graph(), plan.clustering.partition, plan.assignment, hw);
   resilience::CampaignOptions options;
   options.trials = static_cast<std::uint32_t>(args.get_int("trials", 96));
-  options.threads = static_cast<std::uint32_t>(args.get_int("threads", 1));
+  options.threads = static_cast<std::uint32_t>(args.get_int("threads", 0));
   options.horizon = Duration::millis(args.get_int("horizon-ms", 200));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.get_int("seed", 2026));

@@ -1,13 +1,12 @@
 #include "dependability/montecarlo.h"
 
 #include <algorithm>
-#include <atomic>
 #include <map>
-#include <thread>
 
 #include "common/error.h"
 #include "common/ksum.h"
 #include "common/rng.h"
+#include "exec/executor.h"
 #include "obs/obs.h"
 
 namespace fcm::dependability {
@@ -164,11 +163,8 @@ DependabilityReport evaluate_mapping(
   const std::uint32_t block_size = mission.trials_per_block;
   const std::uint32_t block_count =
       (mission.trials + block_size - 1) / block_size;
-  std::uint32_t threads = mission.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, block_count);
+  const std::uint32_t threads =
+      exec::resolve_threads(mission.threads, block_count);
 
   // The master generator exists only as the substream root: block b always
   // samples from substream(b), a pure function of (seed, b), so the sample
@@ -176,35 +172,23 @@ DependabilityReport evaluate_mapping(
   // the thread count and the block execution order.
   const Rng master(seed);
   std::vector<BlockTally> tallies(block_count);
-  std::atomic<std::uint32_t> next_block{0};
-
-  auto worker = [&]() {
-    WorkerScratch scratch;
-    scratch.hw_failed.resize(hw.node_count());
-    scratch.module_failed.resize(sw.node_count());
-    scratch.edge_state.resize(sw.influence_graph().edge_count());
-    for (;;) {
-      const std::uint32_t b =
-          next_block.fetch_add(1, std::memory_order_relaxed);
-      if (b >= block_count) break;
-      const std::uint32_t first = b * block_size;
-      const std::uint32_t last =
-          std::min(mission.trials, first + block_size);
-      FCM_OBS_SPAN("mc.block", b);
-      run_block(sw, clustering, assignment, hw, mission, processes,
-                critical_threshold, master.substream(b), first, last,
-                scratch, tallies[b]);
-    }
-  };
-
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+  std::vector<WorkerScratch> scratch(threads);
+  for (WorkerScratch& s : scratch) {
+    s.hw_failed.resize(hw.node_count());
+    s.module_failed.resize(sw.node_count());
+    s.edge_state.resize(sw.influence_graph().edge_count());
   }
+  exec::parallel_for_blocks(
+      block_count, threads, [&](std::uint64_t b, std::uint32_t lane) {
+        const std::uint32_t block = static_cast<std::uint32_t>(b);
+        const std::uint32_t first = block * block_size;
+        const std::uint32_t last =
+            std::min(mission.trials, first + block_size);
+        FCM_OBS_SPAN("mc.block", block);
+        run_block(sw, clustering, assignment, hw, mission, processes,
+                  critical_threshold, master.substream(block), first, last,
+                  scratch[lane], tallies[block]);
+      });
 
   // Deterministic reduction: integer counts commute; the loss totals fold
   // in block order through one more compensated sum.

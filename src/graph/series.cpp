@@ -1,13 +1,12 @@
 #include "graph/series.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <cstring>
-#include <thread>
 #include <vector>
 
 #include "common/error.h"
+#include "exec/executor.h"
 #include "graph/csr.h"
 #include "obs/obs.h"
 
@@ -64,27 +63,14 @@ void sparse_rows(const double* term, const CsrMatrix& p, double* next,
 template <typename RowFn>
 void for_row_ranges(std::size_t n, std::uint32_t threads,
                     std::size_t rows_per_task, RowFn fn) {
+  if (n == 0) return;
   rows_per_task = std::max<std::size_t>(1, rows_per_task);
   const std::size_t tasks = (n + rows_per_task - 1) / rows_per_task;
-  if (threads <= 1 || tasks <= 1) {
-    fn(std::size_t{0}, n);
-    return;
-  }
-  std::atomic<std::size_t> next_task{0};
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t t = next_task.fetch_add(1, std::memory_order_relaxed);
-      if (t >= tasks) break;
-      const std::size_t r0 = t * rows_per_task;
-      fn(r0, std::min(n, r0 + rows_per_task));
-    }
-  };
-  std::vector<std::thread> pool;
-  const std::uint32_t width =
-      std::min<std::uint32_t>(threads, static_cast<std::uint32_t>(tasks));
-  pool.reserve(width);
-  for (std::uint32_t t = 0; t < width; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  exec::parallel_for_blocks(
+      tasks, threads, [&](std::uint64_t t, std::uint32_t /*lane*/) {
+        const std::size_t r0 = static_cast<std::size_t>(t) * rows_per_task;
+        fn(r0, std::min(n, r0 + rows_per_task));
+      });
 }
 
 double buffer_max_abs(const std::vector<double>& buf) noexcept {
@@ -118,10 +104,12 @@ Matrix power_series_sum(const Matrix& p, const SeriesOptions& options) {
 
   const std::size_t n = p.size();
   FCM_OBS_SPAN("series.power_sum", n);
-  std::uint32_t threads = options.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  const std::size_t row_tasks =
+      n == 0 ? 0
+             : (n + std::max<std::size_t>(1, options.rows_per_task) - 1) /
+                   std::max<std::size_t>(1, options.rows_per_task);
+  const std::uint32_t threads =
+      exec::resolve_threads(options.threads, row_tasks);
 
   // One pass decides the kAuto kernel: fill ratio and sign. kSparse is only
   // honored automatically when P is nonnegative (see header).

@@ -1,13 +1,13 @@
 #include "mapping/planner.h"
 
-#include <atomic>
 #include <exception>
 #include <optional>
 #include <sstream>
-#include <thread>
+#include <vector>
 
 #include "common/error.h"
 #include "common/log.h"
+#include "exec/executor.h"
 #include "obs/obs.h"
 
 namespace fcm::mapping {
@@ -144,9 +144,8 @@ Plan IntegrationPlanner::best_plan(Approach approach) {
   };
   Candidate candidates[kCount];
 
-  std::uint32_t threads = options_.sweep_threads;
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<std::uint32_t>(threads, kCount);
+  const std::uint32_t threads =
+      exec::resolve_threads(options_.sweep_threads, kCount);
   FCM_OBS_SPAN("planner.best_plan");
   FCM_OBS_COUNT("planner.sweeps", 1);
   FCM_OBS_GAUGE("planner.sweep_threads", static_cast<double>(threads));
@@ -172,22 +171,16 @@ Plan IntegrationPlanner::best_plan(Approach approach) {
       run_candidate(i, &separation_cache_);
     }
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<core::CacheStats> worker_stats(threads);
-    auto worker = [&](std::uint32_t slot) {
-      core::SeparationCache local_cache;
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= kCount) break;
-        run_candidate(i, &local_cache);
-      }
-      worker_stats[slot] = local_cache.stats();
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (std::thread& t : pool) t.join();
-    for (const core::CacheStats& stats : worker_stats) {
+    // One separation cache per executor lane: candidates running on the
+    // same lane share it, and the lane-order stats merge below folds
+    // identically for a given thread count.
+    std::vector<core::SeparationCache> lane_caches(threads);
+    exec::parallel_for_blocks(
+        kCount, threads, [&](std::uint64_t i, std::uint32_t lane) {
+          run_candidate(static_cast<std::size_t>(i), &lane_caches[lane]);
+        });
+    for (const core::SeparationCache& cache : lane_caches) {
+      const core::CacheStats stats = cache.stats();
       sweep_stats_.hits += stats.hits;
       sweep_stats_.misses += stats.misses;
       sweep_stats_.invalidations += stats.invalidations;

@@ -49,7 +49,17 @@ ThreadBuffer& thread_buffer() {
   return buffer;
 }
 
+thread_local std::uint64_t t_submission = 0;
+
 }  // namespace
+
+std::uint64_t current_submission() noexcept { return t_submission; }
+
+void set_current_submission(std::uint64_t submission) noexcept {
+  t_submission = submission;
+}
+
+void flush_thread_spans() { thread_buffer().flush(); }
 
 TraceCollector& TraceCollector::global() {
   static TraceCollector collector;
@@ -82,6 +92,9 @@ std::vector<SpanRecord> TraceCollector::collect() {
   }
   std::sort(merged.begin(), merged.end(),
             [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.submission != b.submission) {
+                return a.submission < b.submission;
+              }
               const int name_order = std::strcmp(a.name, b.name);
               if (name_order != 0) return name_order < 0;
               if (a.id != b.id) return a.id < b.id;
@@ -109,7 +122,8 @@ ScopedSpan::~ScopedSpan() {
   if (!active_ || !enabled()) return;
   const std::uint64_t end_us = TraceCollector::now_us();
   thread_buffer().push(
-      SpanRecord{name_, id_, 0, start_us_, end_us - start_us_});
+      SpanRecord{name_, id_, 0, t_submission, start_us_,
+                 end_us - start_us_});
 }
 
 std::string trace_json(const std::vector<SpanRecord>& spans) {
@@ -119,10 +133,13 @@ std::string trace_json(const std::vector<SpanRecord>& spans) {
   for (const SpanRecord& span : spans) {
     if (!first) out << ',';
     first = false;
+    // pid = submission: chrome://tracing groups lanes under their
+    // top-level executor call instead of interleaving pooled workers.
     out << "{\"name\":\"" << span.name
-        << "\",\"cat\":\"fcm\",\"ph\":\"X\",\"pid\":0,\"tid\":" << span.tid
-        << ",\"ts\":" << span.start_us << ",\"dur\":" << span.dur_us
-        << ",\"args\":{\"id\":" << span.id << "}}";
+        << "\",\"cat\":\"fcm\",\"ph\":\"X\",\"pid\":" << span.submission
+        << ",\"tid\":" << span.tid << ",\"ts\":" << span.start_us
+        << ",\"dur\":" << span.dur_us << ",\"args\":{\"id\":" << span.id
+        << "}}";
   }
   out << "]}\n";
   return out.str();

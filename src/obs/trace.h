@@ -8,9 +8,20 @@
 //
 // Deterministic merge: the same discipline as the Monte Carlo block
 // reduction. Which thread ran which span is scheduling noise, so `collect()`
-// orders the merged records by the *logical* identity (name, id, start, dur)
-// rather than arrival or thread order — two runs doing the same work produce
-// the same span sequence (timing values aside), no matter the thread count.
+// orders the merged records by the *logical* identity (submission, name, id,
+// start, dur) rather than arrival or thread order — two runs doing the same
+// work produce the same span sequence (timing values aside), no matter the
+// thread count.
+//
+// Submission attribution: a persistent worker pool (`fcm::exec`) reuses the
+// same threads — and so the same per-thread buffers — across unrelated
+// top-level calls, which would interleave their spans if records were keyed
+// by thread alone. Every span therefore carries the *submission id* of the
+// executor call that caused it (0 outside any submission): the executor
+// tags each lane via `set_current_submission()` for the duration of a task,
+// and nested inline tasks inherit the outer id. Grouping by submission in
+// `collect()` and exporting it as the trace `pid` keeps two back-to-back
+// workloads on the same pool cleanly separated.
 //
 // Span names must be string literals (or otherwise outlive the collector);
 // they are stored by pointer, never copied, so a span costs two clock reads
@@ -32,9 +43,27 @@ struct SpanRecord {
   const char* name = "";
   std::uint64_t id = 0;    ///< caller-chosen ordinal: block/candidate index
   std::uint32_t tid = 0;   ///< thread ordinal in buffer-registration order
+  /// Executor submission that ran this span (0 = outside any submission).
+  /// Deterministic, unlike `tid`: pooled workers serve many submissions.
+  std::uint64_t submission = 0;
   std::uint64_t start_us = 0;
   std::uint64_t dur_us = 0;
 };
+
+/// The executor submission id spans recorded on this thread are attributed
+/// to. 0 outside any submission.
+[[nodiscard]] std::uint64_t current_submission() noexcept;
+
+/// Points this thread's span attribution at `submission`. Called by the
+/// executor around each task (and restored afterward); library code should
+/// not need to call it directly.
+void set_current_submission(std::uint64_t submission) noexcept;
+
+/// Drains the calling thread's span buffer into the global collector.
+/// Persistent pool workers call this when they finish a submission: they
+/// park rather than exit, so the thread-exit flush that per-call pools
+/// relied on never fires while the process runs.
+void flush_thread_spans();
 
 /// Process-wide sink for finished spans.
 class TraceCollector {
@@ -51,7 +80,8 @@ class TraceCollector {
   [[nodiscard]] std::uint32_t register_thread();
 
   /// Flushes the calling thread's buffer, then returns every span collected
-  /// so far in the deterministic (name, id, start, dur, tid) order. Spans
+  /// so far in the deterministic (submission, name, id, start, dur, tid)
+  /// order. Spans
   /// still buffered by *other live* threads are not included until those
   /// threads flush (worker pools in this codebase always join before their
   /// spawner exports).

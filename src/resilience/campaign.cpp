@@ -1,12 +1,11 @@
 #include "resilience/campaign.h"
 
 #include <algorithm>
-#include <atomic>
 #include <map>
 #include <set>
-#include <thread>
 
 #include "common/error.h"
+#include "exec/executor.h"
 #include "ftmech/checkpoint.h"
 #include "ftmech/nversion.h"
 #include "ftmech/recovery_block.h"
@@ -268,43 +267,26 @@ ResilienceReport run_campaign(const mapping::SwGraph& sw,
       (options.trials + block_size - 1) / block_size;
   const std::uint32_t total_blocks =
       static_cast<std::uint32_t>(scenarios.size()) * blocks_per_scenario;
-  std::uint32_t threads = options.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, total_blocks);
+  const std::uint32_t threads =
+      exec::resolve_threads(options.threads, total_blocks);
 
   // Block g always samples substream(g): the sample path of every block —
   // and so every tally — is invariant under thread count and run order.
   const Rng master(seed);
   std::vector<BlockTally> tallies(total_blocks);
-  std::atomic<std::uint32_t> next_block{0};
-
-  auto worker = [&]() {
-    for (;;) {
-      const std::uint32_t g =
-          next_block.fetch_add(1, std::memory_order_relaxed);
-      if (g >= total_blocks) break;
-      const std::uint32_t s = g / blocks_per_scenario;
-      const std::uint32_t b = g % blocks_per_scenario;
-      const std::uint32_t first = b * block_size;
-      const std::uint32_t last =
-          std::min(options.trials, first + block_size);
-      FCM_OBS_SPAN("resilience.block", g);
-      run_block(scenarios[s], compiled, processes, process_of_node,
-                host_crashed[s], options, master.substream(g), first, last,
-                tallies[g]);
-    }
-  };
-
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  exec::parallel_for_blocks(
+      total_blocks, threads, [&](std::uint64_t gb, std::uint32_t /*lane*/) {
+        const std::uint32_t g = static_cast<std::uint32_t>(gb);
+        const std::uint32_t s = g / blocks_per_scenario;
+        const std::uint32_t b = g % blocks_per_scenario;
+        const std::uint32_t first = b * block_size;
+        const std::uint32_t last =
+            std::min(options.trials, first + block_size);
+        FCM_OBS_SPAN("resilience.block", g);
+        run_block(scenarios[s], compiled, processes, process_of_node,
+                  host_crashed[s], options, master.substream(g), first, last,
+                  tallies[g]);
+      });
 
   ResilienceReport report;
   report.seed = seed;

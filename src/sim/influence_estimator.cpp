@@ -1,10 +1,9 @@
 #include "sim/influence_estimator.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
 
 #include "common/error.h"
+#include "exec/executor.h"
 
 namespace fcm::sim {
 
@@ -21,65 +20,50 @@ std::vector<PairEstimate> InfluenceEstimator::estimate_from(
   const std::size_t n = spec_.tasks.size();
   const Rng master = rng_.substream(campaign_++);
 
-  std::uint32_t threads = options.threads;
-  if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  threads = std::min(threads, options.trials);
+  const std::uint32_t threads =
+      exec::resolve_threads(options.threads, options.trials);
 
-  // Integer tallies commute, so per-worker partial sums merge to the same
-  // totals no matter how trials were distributed over threads.
+  // Integer tallies commute, so per-lane partial sums merge to the same
+  // totals no matter how trials were distributed over threads. Each trial
+  // draws from substream(trial), so the sample path is a pure function of
+  // the trial index.
   struct Tally {
     std::uint32_t transmitted = 0;
     std::uint32_t manifested = 0;
   };
   std::vector<std::vector<Tally>> partials(threads,
                                            std::vector<Tally>(n));
-  std::atomic<std::uint32_t> next_trial{0};
 
-  auto worker = [&](std::vector<Tally>& tallies) {
-    for (;;) {
-      const std::uint32_t trial =
-          next_trial.fetch_add(1, std::memory_order_relaxed);
-      if (trial >= options.trials) break;
-      Rng draw = master.substream(trial);
-      const std::uint64_t hi = draw();
-      const std::uint64_t lo = draw();
-      Platform platform(spec_, (hi << 32) | lo);
-      FaultInjection injection;
-      injection.kind = options.kind;
-      injection.target = source;
-      injection.activation =
-          options.max_activation > 1 ? draw.below(options.max_activation)
-                                     : 0;
-      platform.inject(injection);
-      const SimReport report = platform.run(options.horizon);
+  exec::parallel_for_blocks(
+      options.trials, threads, [&](std::uint64_t t, std::uint32_t lane) {
+        const std::uint32_t trial = static_cast<std::uint32_t>(t);
+        std::vector<Tally>& tallies = partials[lane];
+        Rng draw = master.substream(trial);
+        const std::uint64_t hi = draw();
+        const std::uint64_t lo = draw();
+        Platform platform(spec_, (hi << 32) | lo);
+        FaultInjection injection;
+        injection.kind = options.kind;
+        injection.target = source;
+        injection.activation =
+            options.max_activation > 1 ? draw.below(options.max_activation)
+                                       : 0;
+        platform.inject(injection);
+        const SimReport report = platform.run(options.horizon);
 
-      for (TaskIndex target = 0; target < n; ++target) {
-        if (target == source) continue;
-        if (report.tasks[target].tainted_inputs > 0) {
-          // Transmission observed; attribute it to the source when a
-          // propagation event names it (other taint sources are possible
-          // when spontaneous fault rates are nonzero).
-          ++tallies[target].transmitted;
+        for (TaskIndex target = 0; target < n; ++target) {
+          if (target == source) continue;
+          if (report.tasks[target].tainted_inputs > 0) {
+            // Transmission observed; attribute it to the source when a
+            // propagation event names it (other taint sources are possible
+            // when spontaneous fault rates are nonzero).
+            ++tallies[target].transmitted;
+          }
+          if (report.propagated(source, target)) {
+            ++tallies[target].manifested;
+          }
         }
-        if (report.propagated(source, target)) {
-          ++tallies[target].manifested;
-        }
-      }
-    }
-  };
-
-  if (threads <= 1) {
-    worker(partials[0]);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      pool.emplace_back([&, t] { worker(partials[t]); });
-    }
-    for (std::thread& t : pool) t.join();
-  }
+      });
 
   std::vector<PairEstimate> estimates(n);
   for (TaskIndex target = 0; target < n; ++target) {

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare fcm::obs metrics dumps for the determinism gates.
+
+The registry's deterministic instruments (work counters, work-shaped
+histograms, model-derived gauges) must be byte-identical across worker
+counts. Scheduling telemetry — instrument names containing ".sched.", e.g.
+the executor's steal counter and pool-size gauge — legitimately varies run
+to run and is stripped before comparison.
+
+Inputs are either a raw metrics JSON document (the metrics_json() shape:
+{"counters":{...},"gauges":{...},"histograms":{...}}) or any text file
+containing a "metrics: {...}" line, which is what `fcm_tool --metrics`
+prints.
+
+Usage:
+    compare_metrics.py [--counters-only] REFERENCE OTHER [OTHER...]
+
+--counters-only drops gauges and histograms entirely: gauges like
+mc.threads record the resolved worker count, which is exactly the variable
+a thread-invariance sweep changes on purpose.
+
+Exits 0 when every OTHER matches REFERENCE after filtering, 1 with a diff
+otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+METRICS_PREFIX = "metrics: "
+SCHED_MARKER = ".sched."
+
+
+def load(path):
+    """Parses a metrics dump, accepting raw JSON or a 'metrics: ...' line."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    for line in text.splitlines():
+        if line.startswith(METRICS_PREFIX):
+            text = line[len(METRICS_PREFIX):]
+            break
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{path}: not a metrics dump: {error}")
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a JSON object")
+    return data
+
+
+def filtered(data, counters_only):
+    """Drops .sched. instruments (and, optionally, non-counter sections)."""
+    sections = ("counters",) if counters_only else (
+        "counters", "gauges", "histograms")
+    return {
+        section: {
+            name: value
+            for name, value in data.get(section, {}).items()
+            if SCHED_MARKER not in name
+        }
+        for section in sections
+    }
+
+
+def describe_diff(reference, other, ref_path, other_path):
+    lines = []
+    for section in sorted(set(reference) | set(other)):
+        ref_entries = reference.get(section, {})
+        other_entries = other.get(section, {})
+        for name in sorted(set(ref_entries) | set(other_entries)):
+            a = ref_entries.get(name)
+            b = other_entries.get(name)
+            if a != b:
+                lines.append(
+                    f"  {section}/{name}: {ref_path}={a!r} {other_path}={b!r}")
+    return lines
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="byte-compare fcm::obs metrics dumps, ignoring "
+                    "scheduling telemetry (.sched.)")
+    parser.add_argument("--counters-only", action="store_true",
+                        help="compare counters only (ignore gauges and "
+                             "histograms)")
+    parser.add_argument("reference", help="reference dump")
+    parser.add_argument("others", nargs="+", help="dumps to compare")
+    args = parser.parse_args(argv)
+
+    reference = filtered(load(args.reference), args.counters_only)
+    if not any(reference.values()):
+        print(f"error: {args.reference} has no comparable instruments",
+              file=sys.stderr)
+        return 1
+
+    status = 0
+    for other_path in args.others:
+        other = filtered(load(other_path), args.counters_only)
+        if other == reference:
+            continue
+        status = 1
+        print(f"metrics mismatch: {args.reference} vs {other_path}",
+              file=sys.stderr)
+        for line in describe_diff(reference, other, args.reference,
+                                  other_path):
+            print(line, file=sys.stderr)
+    if status == 0:
+        mode = "counters" if args.counters_only else "all instruments"
+        print(f"metrics identical across {1 + len(args.others)} dumps "
+              f"({mode}, .sched. ignored)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
