@@ -65,10 +65,12 @@ struct Job {
 // serial path). Nested parallel_for_blocks calls check it to run inline.
 thread_local bool t_in_task = false;
 
-// Monotone top-level submission ids. Top-level submissions are serialized
-// (one at a time through the pool, and the legacy/serial paths allocate
-// before any fan-out), so for a fixed program the ids — and therefore the
-// span attribution — are deterministic.
+// Monotone top-level submission ids. The pool path allocates its id while
+// holding Pool::submit_mutex_, so id order matches submission order even
+// when distinct threads submit concurrently — span/pid attribution stays
+// deterministic for a fixed program. The serial and test-only spawn paths
+// allocate at the call site; concurrent top-level callers on those paths
+// would get arbitrary (but still unique) ids.
 std::atomic<std::uint64_t> g_next_submission{1};
 
 std::atomic<Backend> g_backend{Backend::kPersistentPool};
@@ -186,6 +188,10 @@ class Pool {
 
   void run(Job& job) {
     const std::lock_guard<std::mutex> submit(submit_mutex_);
+    // The id is allocated under submit_mutex_ so that id order matches
+    // submission order (see g_next_submission).
+    job.submission =
+        g_next_submission.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ensure_workers(job.lanes - 1, lock);
@@ -254,8 +260,12 @@ class Pool {
         if (shutdown_) return;
         seen_epoch = epoch_;
         // Worker `index` serves lane index + 1; workers beyond the lane
-        // count sit this submission out (they still adopt the epoch).
-        if (index + 1 < job_->lanes) job = job_;
+        // count sit this submission out (they still adopt the epoch). A
+        // null job_ with a fresh epoch means the submission already
+        // retired — possible only for sat-out workers scheduled late,
+        // since lane-serving workers hold up the done handshake (run()
+        // cannot clear job_ until they decrement active_workers_).
+        if (job_ != nullptr && index + 1 < job_->lanes) job = job_;
       }
       if (job == nullptr) continue;
       run_lane(*job, index + 1);
@@ -285,13 +295,15 @@ void run_spawn_per_call(const BlockFn& fn, std::uint64_t n_blocks,
                         std::uint32_t lanes, std::uint64_t submission) {
   Job job;  // reused for its error slot and failed flag only
   job.submission = submission;
-  std::atomic<std::uint32_t> next_block{0};
+  // 64-bit so the per-lane overshooting fetch_add cannot wrap when
+  // n_blocks is near the 32-bit FCM_REQUIRE bound.
+  std::atomic<std::uint64_t> next_block{0};
   auto worker = [&](std::uint32_t lane) {
     TaskScope scope(submission);
     try {
       for (;;) {
         if (job.failed.load(std::memory_order_relaxed)) break;
-        const std::uint32_t block =
+        const std::uint64_t block =
             next_block.fetch_add(1, std::memory_order_relaxed);
         if (block >= n_blocks) break;
         fn(block, lane);
@@ -356,28 +368,28 @@ void parallel_for_blocks(std::uint64_t n_blocks, std::uint32_t threads,
   std::uint32_t lanes = threads == 0 ? 1 : threads;
   if (n_blocks < lanes) lanes = static_cast<std::uint32_t>(n_blocks);
 
-  const std::uint64_t submission =
-      g_next_submission.fetch_add(1, std::memory_order_relaxed);
   FCM_OBS_COUNT("exec.submissions", 1);
   FCM_OBS_COUNT("exec.tasks", n_blocks);
   FCM_OBS_HIST("exec.blocks_per_submission",
                static_cast<double>(n_blocks));
 
   if (lanes <= 1) {
-    TaskScope scope(submission);
+    TaskScope scope(
+        g_next_submission.fetch_add(1, std::memory_order_relaxed));
     for (std::uint64_t block = 0; block < n_blocks; ++block) fn(block, 0);
     return;
   }
 
   if (backend_for_tests() == Backend::kSpawnPerCall) {
-    run_spawn_per_call(fn, n_blocks, lanes, submission);
+    run_spawn_per_call(
+        fn, n_blocks, lanes,
+        g_next_submission.fetch_add(1, std::memory_order_relaxed));
     return;
   }
 
-  Job job;
+  Job job;  // job.submission is assigned by Pool::run under submit_mutex_
   job.fn = &fn;
   job.lanes = lanes;
-  job.submission = submission;
   job.ranges = std::vector<LaneRange>(lanes);
   const std::uint32_t blocks32 = static_cast<std::uint32_t>(n_blocks);
   for (std::uint32_t lane = 0; lane < lanes; ++lane) {

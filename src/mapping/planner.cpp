@@ -172,8 +172,11 @@ Plan IntegrationPlanner::best_plan(Approach approach) {
     }
   } else {
     // One separation cache per executor lane: candidates running on the
-    // same lane share it, and the lane-order stats merge below folds
-    // identically for a given thread count.
+    // same lane share it. Which candidate lands on which lane depends on
+    // the steal schedule, so the hit/miss totals merged below vary run to
+    // run even at a fixed thread count — they are diagnostic-only and
+    // must stay out of determinism comparisons (the plan itself is
+    // schedule-invariant).
     std::vector<core::SeparationCache> lane_caches(threads);
     exec::parallel_for_blocks(
         kCount, threads, [&](std::uint64_t i, std::uint32_t lane) {

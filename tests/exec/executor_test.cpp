@@ -167,6 +167,25 @@ TEST(ParallelForBlocks, ExceptionPropagatesAndPoolStaysUsable) {
   }
 }
 
+// Regression: a worker beyond a narrow submission's lane count can wake
+// from the epoch change only after that submission has already retired and
+// run() cleared job_. It must treat the null job as "sit this one out",
+// not dereference it. Alternating wide submissions (which park many
+// workers) with narrow, near-empty ones (which retire almost instantly)
+// re-opens that window on every iteration.
+TEST(ParallelForBlocks, SatOutWorkersTolerateRetiredSubmissions) {
+  std::atomic<std::uint64_t> total{0};
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    parallel_for_blocks(16, 8, [&](std::uint64_t, std::uint32_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+    parallel_for_blocks(2, 2, [&](std::uint64_t, std::uint32_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 200u * (16u + 2u));
+}
+
 TEST(ParallelForBlocks, SpawnPerCallBackendRunsEveryBlockOnce) {
   set_backend_for_tests(Backend::kSpawnPerCall);
   std::vector<std::atomic<std::uint32_t>> runs(100);
