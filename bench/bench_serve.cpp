@@ -1,0 +1,226 @@
+// bench_serve — latency/throughput of the resident planning daemon.
+//
+// The reproduction artifact is a sweep over server worker counts: for each
+// workers ∈ {1, 4, 8} an in-process `serve::Server` is started on an
+// ephemeral port, warmed, then driven by a small deterministic client load;
+// the table reports p50/p99 request latency and requests/s. Alongside it,
+// the cold-vs-warm contrast that motivates a resident daemon at all: one
+// uncached `QueryEngine::one_shot` mapping evaluation (pay the planner
+// sweep) vs. the warm p50 over the socket (response-memo hit plus protocol
+// round trip). Results land in BENCH_serve.json; `warm_below_cold` is the
+// headline claim CI and EXPERIMENTS.md track.
+//
+// All measurements use the public client path, so the numbers include
+// framing, syscalls, and loopback — what a real client sees.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "serve/client.h"
+#include "serve/query.h"
+#include "serve/server.h"
+
+namespace fcm {
+namespace {
+
+namespace protocol = serve::protocol;
+
+constexpr int kRequestsPerConnection = 48;
+constexpr int kConnections = 2;
+
+// The steady-state mix: all answerable from warm caches after one pass.
+const std::vector<std::pair<protocol::Opcode, std::string>>& request_mix() {
+  static const std::vector<std::pair<protocol::Opcode, std::string>> kMix = {
+      {protocol::Opcode::kMapping, ""},
+      {protocol::Opcode::kMapping, "heuristic=h2 approach=b"},
+      {protocol::Opcode::kInfluence, ""},
+      {protocol::Opcode::kReplan, "fail=0"},
+      {protocol::Opcode::kPing, "x"},
+  };
+  return kMix;
+}
+
+struct SweepPoint {
+  std::uint32_t workers;
+  double p50_us;
+  double p99_us;
+  double rps;
+};
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+SweepPoint measure_workers(std::uint32_t workers) {
+  serve::QueryEngine engine;
+  serve::ServerOptions options;
+  options.workers = workers;
+  serve::Server server(engine, options);
+  server.start();
+
+  // Warm every distinct query once so the sweep measures the resident
+  // steady state, not first-touch planning.
+  {
+    serve::Client warmup("127.0.0.1", server.port());
+    for (const auto& [opcode, payload] : request_mix()) {
+      (void)warmup.request(opcode, payload);
+    }
+  }
+
+  std::vector<std::vector<double>> lanes(kConnections);
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kConnections; ++c) {
+      clients.emplace_back([&, c] {
+        serve::Client client("127.0.0.1", server.port());
+        for (int r = 0; r < kRequestsPerConnection; ++r) {
+          const auto& [opcode, payload] =
+              request_mix()[static_cast<std::size_t>(r) % request_mix().size()];
+          const auto start = std::chrono::steady_clock::now();
+          (void)client.request(opcode, payload);
+          const std::chrono::duration<double, std::micro> elapsed =
+              std::chrono::steady_clock::now() - start;
+          lanes[static_cast<std::size_t>(c)].push_back(elapsed.count());
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  server.stop();
+
+  std::vector<double> latencies;
+  for (const std::vector<double>& lane : lanes) {
+    latencies.insert(latencies.end(), lane.begin(), lane.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double rps =
+      wall.count() > 0.0
+          ? static_cast<double>(latencies.size()) / wall.count()
+          : 0.0;
+  return {workers, quantile(latencies, 0.5), quantile(latencies, 0.99), rps};
+}
+
+// One full cold evaluation: fresh engine, nothing cached, the planner
+// heuristic sweep runs from scratch — the price a one-shot `fcm_tool plan`
+// pays per invocation.
+double cold_single_shot_us() {
+  const auto start = std::chrono::steady_clock::now();
+  (void)serve::QueryEngine::one_shot(protocol::Opcode::kMapping, "");
+  const std::chrono::duration<double, std::micro> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return elapsed.count();
+}
+
+// Warm p50 over the socket: response memo hit + protocol round trip.
+double warm_p50_us() {
+  serve::QueryEngine engine;
+  serve::Server server(engine, {});
+  server.start();
+  serve::Client client("127.0.0.1", server.port());
+  (void)client.request(protocol::Opcode::kMapping, "");  // populate memo
+  std::vector<double> samples;
+  for (int r = 0; r < 64; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    (void)client.request(protocol::Opcode::kMapping, "");
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    samples.push_back(elapsed.count());
+  }
+  server.stop();
+  std::sort(samples.begin(), samples.end());
+  return quantile(samples, 0.5);
+}
+
+void print_reproduction() {
+  bench::banner("fcm serve: worker sweep (loopback, warm caches)");
+
+  std::vector<SweepPoint> sweep;
+  for (const std::uint32_t workers : {1u, 4u, 8u}) {
+    sweep.push_back(measure_workers(workers));
+  }
+  const double cold_us = cold_single_shot_us();
+  const double warm_us = warm_p50_us();
+  const bool warm_below_cold = warm_us < cold_us;
+
+  TextTable table({"workers", "p50 us", "p99 us", "req/s"});
+  for (const SweepPoint& point : sweep) {
+    table.add_row({std::to_string(point.workers), fmt(point.p50_us, 1),
+                   fmt(point.p99_us, 1), fmt(point.rps, 1)});
+  }
+  std::cout << table.render();
+  std::cout << "cold one-shot mapping:  " << fmt(cold_us, 1) << " us\n"
+            << "warm serve p50:         " << fmt(warm_us, 1) << " us\n"
+            << "warm below cold:        " << (warm_below_cold ? "yes" : "NO")
+            << "\n(" << kConnections << " connections x "
+            << kRequestsPerConnection << " requests per sweep point, "
+            << std::thread::hardware_concurrency()
+            << " hardware threads here)\n";
+
+  std::ofstream json("BENCH_serve.json");
+  json << "{\n"
+       << "  \"bench\": \"serve_worker_sweep\",\n"
+       << "  \"connections\": " << kConnections << ",\n"
+       << "  \"requests_per_connection\": " << kRequestsPerConnection << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"server_threads\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    json << "    {\"threads\": " << sweep[i].workers
+         << ", \"p50_us\": " << sweep[i].p50_us
+         << ", \"p99_us\": " << sweep[i].p99_us
+         << ", \"rps\": " << sweep[i].rps << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"cold_single_shot_us\": " << cold_us << ",\n"
+       << "  \"warm_p50_us\": " << warm_us << ",\n"
+       << "  \"warm_below_cold\": " << (warm_below_cold ? "true" : "false")
+       << "\n}\n";
+  std::cout << "(record written to BENCH_serve.json)\n";
+}
+
+// Microbenchmark: one warm request/response round trip over loopback.
+void BM_WarmMappingRoundTrip(benchmark::State& state) {
+  serve::QueryEngine engine;
+  serve::Server server(engine, {});
+  server.start();
+  serve::Client client("127.0.0.1", server.port());
+  (void)client.request(protocol::Opcode::kMapping, "");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.request(protocol::Opcode::kMapping, ""));
+  }
+  server.stop();
+}
+BENCHMARK(BM_WarmMappingRoundTrip)->Unit(benchmark::kMicrosecond);
+
+// Microbenchmark: frame encode + decode, no sockets.
+void BM_FrameCodec(benchmark::State& state) {
+  const std::string payload(256, 'x');
+  for (auto _ : state) {
+    const std::string bytes =
+        protocol::encode_request(protocol::Opcode::kPing, payload);
+    protocol::FrameDecoder decoder;
+    decoder.feed(bytes);
+    protocol::Frame frame;
+    benchmark::DoNotOptimize(decoder.next(frame));
+  }
+}
+BENCHMARK(BM_FrameCodec);
+
+}  // namespace
+}  // namespace fcm
+
+FCM_BENCH_MAIN(fcm::print_reproduction)

@@ -7,13 +7,24 @@
 //   fcm_tool influence                   # print the Fig. 3 graph + roles
 //   fcm_tool separation [--order K]      # Eq. 3 separation matrix
 //   fcm_tool depend [--hw N] [--q P] [--trials N] [--threads T]
+//   fcm_tool replan [--hw N] [--fail LIST] [--heuristic H] [--approach a|b]
 //   fcm_tool resilience [--hw N] [--trials N] [--threads T]
 //                       [--horizon-ms M] [--seed S]
+//   fcm_tool serve [--port P] [--workers N] [--port-file F] ...
+//   fcm_tool query --port P --op OP [--params "k=v ..."]
+//
+// The influence / plan / depend / replan commands evaluate through
+// serve::QueryEngine::one_shot — the same renderer the resident `fcm_tool
+// serve` daemon answers socket queries with — so the daemon's responses
+// are byte-identical to this tool's stdout by construction (and CI
+// cmp(1)s them to keep it that way).
 //
 // Every command also accepts --metrics (dump the fcm::obs registry after
 // the run) and --trace FILE (write a chrome://tracing span file). Options
 // are validated strictly: unknown options, missing values, and malformed
 // numbers print a one-line error plus usage and exit non-zero.
+#include <atomic>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -24,6 +35,9 @@
 #include "common/table.h"
 #include "core/report.h"
 #include "obs/obs.h"
+#include "serve/client.h"
+#include "serve/query.h"
+#include "serve/server.h"
 
 using namespace fcm;
 
@@ -43,8 +57,13 @@ const std::vector<CommandSpec> kCommands = {
     {"separation", {{"order"}, {"threads"}}},
     {"plan", {{"hw"}, {"heuristic"}, {"approach"}, {"sweep-threads"}}},
     {"depend", {{"hw"}, {"q"}, {"trials"}, {"threads"}}},
+    {"replan", {{"hw"}, {"fail"}, {"heuristic"}, {"approach"}}},
     {"resilience",
      {{"hw"}, {"trials"}, {"threads"}, {"horizon-ms"}, {"seed"}}},
+    {"serve",
+     {{"host"}, {"port"}, {"workers"}, {"port-file"}, {"idle-timeout-ms"},
+      {"max-frame-kb"}}},
+    {"query", {{"host"}, {"port"}, {"op"}, {"params"}, {"timeout-ms"}}},
 };
 
 int usage() {
@@ -60,26 +79,30 @@ int usage() {
       "  depend [--hw N] [--q P] [--trials N] [--threads T]\n"
       "       Monte Carlo evaluation; T=0 uses all cores, the estimates\n"
       "       are identical for every T\n"
+      "  replan [--hw N] [--fail LIST] [--heuristic H] [--approach a|b]\n"
+      "       graceful degradation after losing the HW nodes in LIST\n"
+      "       (comma-separated indices, default 0); exit 1 if infeasible\n"
       "  resilience [--hw N] [--trials N] [--threads T] [--horizon-ms M]\n"
       "             [--seed S]\n"
       "       fault-scenario campaign + graceful-degradation replanning;\n"
       "       JSON on stdout, byte-identical for every T\n"
+      "  serve [--host H] [--port P] [--workers N] [--port-file F]\n"
+      "        [--idle-timeout-ms M] [--max-frame-kb K]\n"
+      "       resident planning daemon answering mapping/influence/depend/\n"
+      "       replan queries over a length-prefixed socket protocol;\n"
+      "       P=0 picks an ephemeral port (printed, and written to F);\n"
+      "       SIGINT/SIGTERM drain in-flight requests and exit 0\n"
+      "  query --port P --op OP [--host H] [--params \"k=v ...\"]\n"
+      "        [--timeout-ms M]\n"
+      "       one client request against a running daemon; OP in\n"
+      "       {mapping, influence, depend, replan, ping, metrics};\n"
+      "       the response payload is printed verbatim\n"
       "global options (any command):\n"
       "  --metrics                           dump the fcm::obs registry\n"
       "  --trace FILE                        write chrome://tracing spans\n"
       "every --threads/--sweep-threads default is 0 = auto: the FCM_THREADS\n"
       "environment variable if set, otherwise all hardware cores\n";
   return 2;
-}
-
-mapping::Heuristic parse_heuristic(const std::string& name) {
-  if (name == "h1") return mapping::Heuristic::kH1Greedy;
-  if (name == "h1r") return mapping::Heuristic::kH1Rounds;
-  if (name == "h2") return mapping::Heuristic::kH2MinCut;
-  if (name == "h3") return mapping::Heuristic::kH3Importance;
-  if (name == "crit") return mapping::Heuristic::kCriticalityPairing;
-  if (name == "timing") return mapping::Heuristic::kTimingOrdered;
-  throw InvalidArgument("unknown heuristic: " + name);
 }
 
 int cmd_table() {
@@ -97,23 +120,6 @@ int cmd_table() {
 int cmd_report() {
   const auto instance = core::example98::make_instance();
   std::cout << core::system_report(instance.hierarchy, instance.influence);
-  return 0;
-}
-
-int cmd_influence() {
-  const auto instance = core::example98::make_instance();
-  const graph::Digraph g = instance.influence.to_graph();
-  for (const graph::Edge& e : g.edges()) {
-    std::cout << instance.influence.member_name(e.from) << " -> "
-              << instance.influence.member_name(e.to) << "  " << e.weight
-              << '\n';
-  }
-  std::cout << "\nroles (threshold 0.3):\n";
-  for (const auto& s : core::summarize_influence(instance.influence)) {
-    std::cout << "  " << s.name << "  out=" << fmt(s.out_influence)
-              << " in=" << fmt(s.in_influence) << "  "
-              << core::to_string(core::classify(s)) << '\n';
-  }
   return 0;
 }
 
@@ -137,54 +143,58 @@ int cmd_separation(const cli::Options& args) {
   return 0;
 }
 
+// Forwards one CLI option into the query payload when it was given,
+// letting serve::QueryEngine apply the (single, shared) defaults.
+void forward(const cli::Options& args, const std::string& cli_name,
+             const std::string& param_name, std::string& payload) {
+  const std::string value = args.get(cli_name, "");
+  if (value.empty()) return;
+  if (!payload.empty()) payload += ' ';
+  payload += param_name + "=" + value;
+}
+
+// Evaluates one query through the shared one-shot renderer — exactly what
+// the serve daemon would answer — and prints it. Exit 1 when the result is
+// infeasible (plan constraints violated / replan failed).
+int run_one_shot(serve::protocol::Opcode opcode, const cli::Options& args,
+                 const std::vector<std::pair<std::string, std::string>>&
+                     forwards) {
+  std::string payload;
+  for (const auto& [cli_name, param_name] : forwards) {
+    forward(args, cli_name, param_name, payload);
+  }
+  const serve::QueryResult result =
+      serve::QueryEngine::one_shot(opcode, payload);
+  std::cout << result.text;
+  return result.feasible ? 0 : 1;
+}
+
+int cmd_influence() {
+  return run_one_shot(serve::protocol::Opcode::kInfluence, {}, {});
+}
+
 int cmd_plan(const cli::Options& args) {
-  auto instance = core::example98::make_instance();
-  const mapping::HwGraph hw = mapping::HwGraph::complete(
-      args.get_int("hw", core::example98::kHwNodes));
-  mapping::PlanOptions options;
-  options.sweep_threads =
-      static_cast<std::uint32_t>(args.get_int("sweep-threads", 0));
-  mapping::IntegrationPlanner planner(instance.hierarchy, instance.influence,
-                                      instance.processes, hw, options);
-  const mapping::Approach approach = args.get("approach", "a") == "b"
-                                         ? mapping::Approach::kBLexicographic
-                                         : mapping::Approach::kAImportance;
-  const std::string name = args.get("heuristic", "best");
-  const mapping::Plan plan =
-      name == "best" ? planner.best_plan(approach)
-                     : planner.plan(parse_heuristic(name), approach);
-  std::cout << plan.report(planner.sw_graph(), hw);
-  return plan.quality.constraints_satisfied() ? 0 : 1;
+  return run_one_shot(serve::protocol::Opcode::kMapping, args,
+                      {{"hw", "hw"},
+                       {"heuristic", "heuristic"},
+                       {"approach", "approach"},
+                       {"sweep-threads", "sweep_threads"}});
 }
 
 int cmd_depend(const cli::Options& args) {
-  auto instance = core::example98::make_instance();
-  const mapping::HwGraph hw = mapping::HwGraph::complete(
-      args.get_int("hw", core::example98::kHwNodes));
-  mapping::IntegrationPlanner planner(instance.hierarchy, instance.influence,
-                                      instance.processes, hw);
-  const mapping::Plan plan = planner.best_plan();
-  dependability::MissionModel mission;
-  mission.hw_failure = Probability(args.get_double("q", 0.05));
-  mission.trials =
-      static_cast<std::uint32_t>(args.get_int("trials", 20'000));
-  mission.threads = static_cast<std::uint32_t>(args.get_int("threads", 0));
-  const auto report = dependability::evaluate_mapping(
-      planner.sw_graph(), plan.clustering, plan.assignment, hw, mission,
-      2026);
-  TextTable table({"process", "survival"});
-  for (std::size_t p = 0; p < report.process_survival.size(); ++p) {
-    table.add_row({"p" + std::to_string(p + 1),
-                   fmt(report.process_survival[p], 4)});
-  }
-  std::cout << table.render();
-  std::cout << "system survival:      " << fmt(report.system_survival, 4)
-            << "\ncritical survival:    " << fmt(report.critical_survival, 4)
-            << "\nE[criticality loss]:  "
-            << fmt(report.expected_criticality_loss, 3)
-            << "\nworkers / blocks:     " << report.threads_used << " / "
-            << report.blocks << '\n';
-  return 0;
+  return run_one_shot(serve::protocol::Opcode::kDepend, args,
+                      {{"hw", "hw"},
+                       {"q", "q"},
+                       {"trials", "trials"},
+                       {"threads", "threads"}});
+}
+
+int cmd_replan(const cli::Options& args) {
+  return run_one_shot(serve::protocol::Opcode::kReplan, args,
+                      {{"hw", "hw"},
+                       {"fail", "fail"},
+                       {"heuristic", "heuristic"},
+                       {"approach", "approach"}});
 }
 
 int cmd_resilience(const cli::Options& args) {
@@ -209,6 +219,95 @@ int cmd_resilience(const cli::Options& args) {
   return 0;
 }
 
+// The daemon being told to stop by the process's signal set. One atomic
+// pointer hand-off keeps the handler async-signal-safe: request_stop only
+// writes a byte to the server's self-pipe.
+std::atomic<serve::Server*> g_signal_server{nullptr};
+
+void handle_stop_signal(int) {
+  if (serve::Server* server = g_signal_server.load()) server->request_stop();
+}
+
+int cmd_serve(const cli::Options& args) {
+  serve::ServerOptions options;
+  options.host = args.get("host", "127.0.0.1");
+  const int port = args.get_int("port", 0);
+  if (port < 0 || port > 65535) {
+    throw cli::CliError("port must be in [0, 65535]");
+  }
+  options.port = static_cast<std::uint16_t>(port);
+  options.workers =
+      static_cast<std::uint32_t>(args.get_int("workers", 1));
+  options.idle_timeout =
+      Duration::millis(args.get_int("idle-timeout-ms", 30'000));
+  const int max_frame_kb = args.get_int("max-frame-kb", 1024);
+  if (max_frame_kb < 1) throw cli::CliError("max-frame-kb must be >= 1");
+  options.max_frame_bytes = static_cast<std::uint32_t>(max_frame_kb) * 1024;
+
+  serve::QueryEngine engine;
+  serve::Server server(engine, options);
+
+  const std::string port_file = args.get("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream out(port_file);
+    out << server.port() << '\n';
+    if (!out) {
+      std::cerr << "error: cannot write port file '" << port_file << "'\n";
+      return 1;
+    }
+  }
+
+  g_signal_server.store(&server);
+  struct sigaction action{};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::cout << "fcm serve: listening on " << options.host << ":"
+            << server.port() << " (workers=" << options.workers << ")\n"
+            << std::flush;
+  server.start();
+  server.join();
+  g_signal_server.store(nullptr);
+
+  const serve::ServerStats stats = server.stats();
+  std::cout << "fcm serve: drained and stopped  (connections="
+            << stats.connections_accepted << " requests="
+            << stats.requests_served << " protocol-errors="
+            << stats.protocol_errors << " request-errors="
+            << stats.request_errors << " expired="
+            << stats.connections_expired << ")\n";
+  return 0;
+}
+
+int cmd_query(const cli::Options& args) {
+  const int port = args.get_int("port", 0);
+  if (port <= 0 || port > 65535) {
+    throw cli::CliError("query needs --port in [1, 65535]");
+  }
+  const std::string op_name = args.get("op", "");
+  serve::protocol::Opcode opcode;
+  if (!serve::protocol::parse_opcode(op_name, opcode)) {
+    throw cli::CliError("unknown --op '" + op_name +
+                        "' (want mapping|influence|depend|replan|ping|"
+                        "metrics)");
+  }
+  serve::Client client(
+      args.get("host", "127.0.0.1"), static_cast<std::uint16_t>(port),
+      Duration::millis(args.get_int("timeout-ms", 10'000)));
+  const serve::Client::Response response =
+      client.request(opcode, args.get("params", ""));
+  if (response.status != serve::protocol::Status::kOk) {
+    std::cerr << "error: server answered "
+              << serve::protocol::status_name(response.status) << ": "
+              << response.payload << '\n';
+    return 1;
+  }
+  std::cout << response.payload;
+  return 0;
+}
+
 int run_command(const std::string& command, const cli::Options& args) {
   if (command == "table") return cmd_table();
   if (command == "report") return cmd_report();
@@ -216,7 +315,10 @@ int run_command(const std::string& command, const cli::Options& args) {
   if (command == "separation") return cmd_separation(args);
   if (command == "plan") return cmd_plan(args);
   if (command == "depend") return cmd_depend(args);
+  if (command == "replan") return cmd_replan(args);
   if (command == "resilience") return cmd_resilience(args);
+  if (command == "serve") return cmd_serve(args);
+  if (command == "query") return cmd_query(args);
   return usage();
 }
 
@@ -260,6 +362,9 @@ int main(int argc, char** argv) {
     return status;
   } catch (const cli::CliError& error) {
     // Malformed option values surface here from the typed getters.
+    std::cerr << "error: " << error.what() << '\n';
+    return usage();
+  } catch (const serve::QueryError& error) {
     std::cerr << "error: " << error.what() << '\n';
     return usage();
   } catch (const FcmError& error) {

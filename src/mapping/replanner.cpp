@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "common/error.h"
+#include "common/table.h"
 #include "obs/obs.h"
 
 namespace fcm::mapping {
@@ -52,6 +54,44 @@ std::vector<core::Criticality> ReplanResult::lost_levels() const {
     if (!p.survived()) lost.insert(p.criticality);
   }
   return {lost.begin(), lost.end()};
+}
+
+std::string ReplanResult::report(
+    const HwGraph& hw, const std::vector<HwNodeId>& failed) const {
+  std::ostringstream out;
+  out << "replan: " << (feasible ? "feasible" : "INFEASIBLE")
+      << " after losing {";
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    if (i > 0) out << ',';
+    out << hw.node(failed[i]).name;
+  }
+  out << "}  attempts=" << attempts << '\n';
+  if (feasible) {
+    const auto names = clustering.cluster_names(surviving);
+    for (std::uint32_t c = 0; c < names.size(); ++c) {
+      out << "  " << hw.node(assignment.hw_of[c]).name << " <- {";
+      for (std::size_t i = 0; i < names[c].size(); ++i) {
+        if (i > 0) out << ',';
+        out << names[c][i];
+      }
+      out << "}\n";
+    }
+  }
+  for (const SheddingRecord& s : dropped_replicas) {
+    out << "  dropped replica: " << s.name << " of " << s.process
+        << " (criticality " << s.criticality << ")\n";
+  }
+  for (const SheddingRecord& s : shed) {
+    out << "  shed: " << s.name << " of " << s.process << " (importance "
+        << fmt(s.importance) << ", criticality " << s.criticality << ")\n";
+  }
+  for (const ProcessSurvival& p : processes) {
+    out << "  " << p.name << ": replicas " << p.replicas_before << " -> "
+        << p.replicas_after << (p.survived() ? "" : "  LOST")
+        << "  (criticality " << p.criticality << ")\n";
+  }
+  if (feasible) out << quality.report();
+  return out.str();
 }
 
 ReplanResult replan_after_loss(const SwGraph& sw,

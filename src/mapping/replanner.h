@@ -78,6 +78,14 @@ struct ReplanResult {
   /// surviving / with at least one process lost.
   [[nodiscard]] std::vector<core::Criticality> surviving_levels() const;
   [[nodiscard]] std::vector<core::Criticality> lost_levels() const;
+
+  /// Multi-line human-readable description of the episode: surviving
+  /// clusters and hosts, shed tasks, dropped replicas, per-process replica
+  /// counts, quality. Deterministic — the `fcm serve` replan query and the
+  /// `fcm_tool replan` command both print exactly these bytes. `failed`
+  /// names the HW nodes whose loss triggered the episode.
+  [[nodiscard]] std::string report(const HwGraph& hw,
+                                   const std::vector<HwNodeId>& failed) const;
 };
 
 /// Repairs `old_assignment` after the HW nodes in `failed` die. `sw` is the

@@ -14,6 +14,31 @@ void set_enabled(bool on) noexcept {
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 
+double HistogramSummary::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil), then the bucket holding it.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (seen + buckets[b] < rank) {
+      seen += buckets[b];
+      continue;
+    }
+    // Interpolate within [lower, upper) by the rank's position among this
+    // bucket's samples, clamping to the observed extremes so a single
+    // outlier-free run never reports below min or above max.
+    const double lower = b == 0 ? 0.0 : kUpperBounds[b - 1];
+    const double upper = b < kUpperBounds.size() ? kUpperBounds[b] : max;
+    const double fraction = static_cast<double>(rank - seen) /
+                            static_cast<double>(buckets[b]);
+    return std::clamp(lower + fraction * (upper - lower), min, max);
+  }
+  return max;
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry registry;
   return registry;

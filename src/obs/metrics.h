@@ -62,6 +62,13 @@ struct HistogramSummary {
   [[nodiscard]] double mean() const noexcept {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  /// Bucket-interpolated quantile estimate for q in [0, 1]: walks the
+  /// decade buckets to the one holding the q-th sample and interpolates
+  /// linearly inside it (clamped to the observed [min, max]). Coarse by
+  /// construction — the buckets are decades — but monotone in q and good
+  /// enough for the load generator's p50/p99 progress lines.
+  [[nodiscard]] double quantile(double q) const noexcept;
 };
 
 /// One coherent copy of every instrument, keys sorted.

@@ -1,0 +1,126 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace fcm::serve {
+
+namespace {
+
+timeval to_timeval(Duration d) {
+  timeval tv{};
+  tv.tv_sec = d.count() / 1'000'000;
+  tv.tv_usec = d.count() % 1'000'000;
+  return tv;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw FcmError("serve client: " + what + ": " +
+                 std::string(std::strerror(errno)));
+}
+
+}  // namespace
+
+Client::Client(const std::string& host, std::uint16_t port,
+               Duration timeout) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("cannot create socket");
+  const timeval tv = to_timeval(timeout);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw FcmError("serve client: invalid host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("cannot connect to " + host + ":" + std::to_string(port));
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+void Client::send_raw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      fail("send failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Client::read_response(Response& out) {
+  protocol::Frame frame;
+  for (;;) {
+    switch (decoder_.next(frame)) {
+      case protocol::FrameDecoder::Result::kFrame:
+        out.status = static_cast<protocol::Status>(frame.code);
+        out.payload = std::move(frame.payload);
+        return true;
+      case protocol::FrameDecoder::Result::kError:
+        throw FcmError("serve client: response framing violation: " +
+                       decoder_.error());
+      case protocol::FrameDecoder::Result::kNeedMore:
+        break;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.feed({buf, static_cast<std::size_t>(n)});
+      continue;
+    }
+    if (n == 0) {
+      if (decoder_.buffered() > 0) {
+        throw FcmError("serve client: connection closed mid-frame");
+      }
+      return false;
+    }
+    if (errno == EINTR) continue;
+    fail("recv failed");
+  }
+}
+
+Client::Response Client::request(protocol::Opcode opcode,
+                                 std::string_view payload) {
+  send_raw(protocol::encode_request(opcode, payload));
+  Response response;
+  if (!read_response(response)) {
+    throw FcmError("serve client: connection closed before a response");
+  }
+  return response;
+}
+
+void Client::shutdown_write() noexcept { ::shutdown(fd_, SHUT_WR); }
+
+}  // namespace fcm::serve

@@ -1,0 +1,56 @@
+// Blocking client for the `fcm serve` protocol.
+//
+// Used by `fcm_tool query`, the load generator, bench_serve, and the serve
+// test battery. Deliberately minimal: one connection, blocking sends and
+// receives with socket-level timeouts, plus raw-byte access so the protocol
+// tests can speak malformed dialects on purpose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/time.h"
+#include "serve/protocol.h"
+
+namespace fcm::serve {
+
+class Client {
+ public:
+  /// Connects to host:port. Throws FcmError when the connection cannot be
+  /// established within `timeout` (also the send/receive timeout).
+  Client(const std::string& host, std::uint16_t port,
+         Duration timeout = Duration::millis(10'000));
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request/response round trip. Throws FcmError on socket failure or
+  /// a connection closed before the full response arrived.
+  struct Response {
+    protocol::Status status = protocol::Status::kOk;
+    std::string payload;
+  };
+  Response request(protocol::Opcode opcode, std::string_view payload);
+
+  /// Sends arbitrary bytes verbatim (protocol tests).
+  void send_raw(std::string_view bytes);
+
+  /// Reads the next response frame. Returns false on clean EOF before any
+  /// byte of a frame; throws on timeout, error, or EOF mid-frame.
+  bool read_response(Response& out);
+
+  /// Half-closes the write side so the server sees EOF while the read side
+  /// stays open.
+  void shutdown_write() noexcept;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+  protocol::FrameDecoder decoder_;
+};
+
+}  // namespace fcm::serve

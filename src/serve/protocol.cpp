@@ -1,0 +1,117 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace fcm::serve::protocol {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+void put_u16(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+std::uint16_t get_u16(const char* p) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(static_cast<unsigned char>(p[0])) |
+      (static_cast<std::uint16_t>(static_cast<unsigned char>(p[1])) << 8));
+}
+
+}  // namespace
+
+std::string opcode_name(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kMapping: return "mapping";
+    case Opcode::kInfluence: return "influence";
+    case Opcode::kDepend: return "depend";
+    case Opcode::kReplan: return "replan";
+    case Opcode::kPing: return "ping";
+    case Opcode::kMetrics: return "metrics";
+  }
+  return "op" + std::to_string(static_cast<std::uint16_t>(opcode));
+}
+
+bool parse_opcode(std::string_view name, Opcode& out) {
+  if (name == "mapping") { out = Opcode::kMapping; return true; }
+  if (name == "influence") { out = Opcode::kInfluence; return true; }
+  if (name == "depend") { out = Opcode::kDepend; return true; }
+  if (name == "replan") { out = Opcode::kReplan; return true; }
+  if (name == "ping") { out = Opcode::kPing; return true; }
+  if (name == "metrics") { out = Opcode::kMetrics; return true; }
+  return false;
+}
+
+const char* status_name(Status status) noexcept {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kBadFrame: return "bad-frame";
+    case Status::kUnknownOpcode: return "unknown-opcode";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kServerError: return "server-error";
+    case Status::kShuttingDown: return "shutting-down";
+  }
+  return "status?";
+}
+
+std::string encode_frame(std::uint16_t code, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size() + 2));
+  put_u16(out, code);
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (poisoned_) return;
+  // Drop the already-consumed prefix before growing the buffer, so a
+  // long-lived connection never accumulates stale bytes.
+  if (consumed_ > 0) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  if (poisoned_) return Result::kError;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return Result::kNeedMore;
+  const std::uint32_t length = get_u32(buffer_.data() + consumed_);
+  if (length < 2) {
+    poisoned_ = true;
+    error_ = "frame length " + std::to_string(length) +
+             " shorter than the opcode word";
+    return Result::kError;
+  }
+  if (length > max_frame_bytes_) {
+    poisoned_ = true;
+    error_ = "frame length " + std::to_string(length) + " exceeds cap " +
+             std::to_string(max_frame_bytes_);
+    return Result::kError;
+  }
+  if (available < 4 + static_cast<std::size_t>(length)) {
+    return Result::kNeedMore;
+  }
+  out.code = get_u16(buffer_.data() + consumed_ + 4);
+  out.payload.assign(buffer_, consumed_ + kHeaderBytes, length - 2);
+  consumed_ += 4 + static_cast<std::size_t>(length);
+  return Result::kFrame;
+}
+
+}  // namespace fcm::serve::protocol

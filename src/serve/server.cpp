@@ -1,0 +1,546 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/obs.h"
+
+namespace fcm::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+std::chrono::microseconds to_chrono(Duration d) {
+  return std::chrono::microseconds(d.count());
+}
+
+bool known_opcode(std::uint16_t code) noexcept {
+  switch (static_cast<protocol::Opcode>(code)) {
+    case protocol::Opcode::kMapping:
+    case protocol::Opcode::kInfluence:
+    case protocol::Opcode::kDepend:
+    case protocol::Opcode::kReplan:
+    case protocol::Opcode::kPing:
+    case protocol::Opcode::kMetrics:
+      return true;
+  }
+  return false;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// One live client connection. All fields are owned by the IO thread.
+struct Connection {
+  std::uint64_t id = 0;
+  int fd = -1;
+  protocol::FrameDecoder decoder;
+  /// Framed requests not yet dispatched. At most one request per
+  /// connection is ever in flight (`busy`), so responses come back in
+  /// arrival order without any reordering machinery.
+  std::deque<protocol::Frame> pending;
+  bool busy = false;
+  bool input_closed = false;      ///< EOF seen or framing poisoned
+  bool close_after_flush = false;
+  std::string out;
+  std::size_t out_pos = 0;
+
+  /// Active while the connection owes us a request (not busy, nothing to
+  /// flush); Clock::time_point::max() disables.
+  Clock::time_point idle_deadline = Clock::time_point::max();
+  /// Active while response bytes wait for the peer.
+  Clock::time_point write_deadline = Clock::time_point::max();
+
+  explicit Connection(std::uint32_t max_frame) : decoder(max_frame) {}
+
+  [[nodiscard]] bool has_output() const noexcept {
+    return out_pos < out.size();
+  }
+
+  void queue_response(protocol::Status status, std::string_view payload) {
+    out += protocol::encode_response(status, payload);
+  }
+};
+
+}  // namespace
+
+struct Server::Impl {
+  QueryEngine& engine;
+  ServerOptions options;
+
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::uint16_t bound_port = 0;
+
+  std::atomic<bool> stop_requested{false};
+  bool started = false;
+  bool joined = false;
+  std::mutex lifecycle_mutex;
+
+  std::thread io_thread;
+  std::vector<std::thread> worker_threads;
+
+  struct Work {
+    std::uint64_t conn = 0;
+    protocol::Frame frame;
+  };
+  struct Done {
+    std::uint64_t conn = 0;
+    protocol::Status status = protocol::Status::kOk;
+    std::string payload;
+  };
+
+  std::mutex work_mutex;
+  std::condition_variable work_cv;
+  std::deque<Work> work;
+  bool stop_workers = false;
+
+  std::mutex done_mutex;
+  std::vector<Done> done;
+
+  mutable std::mutex stats_mutex;
+  ServerStats stats;
+
+  explicit Impl(QueryEngine& e, ServerOptions o)
+      : engine(e), options(std::move(o)) {}
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_read >= 0) ::close(wake_read);
+    if (wake_write >= 0) ::close(wake_write);
+  }
+
+  void bind_and_listen();
+  void wake() noexcept;
+  void worker_loop();
+  void io_loop();
+  void bump(std::uint64_t ServerStats::* field, std::uint64_t delta = 1) {
+    const std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.*field += delta;
+  }
+};
+
+void Server::Impl::bind_and_listen() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    throw FcmError("serve: cannot create wake pipe: " +
+                   std::string(std::strerror(errno)));
+  }
+  wake_read = fds[0];
+  wake_write = fds[1];
+  set_nonblocking(wake_read);
+  set_nonblocking(wake_write);
+
+  listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    throw FcmError("serve: cannot create socket: " +
+                   std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    throw FcmError("serve: invalid host '" + options.host + "'");
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw FcmError("serve: cannot bind " + options.host + ":" +
+                   std::to_string(options.port) + ": " +
+                   std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd, 128) != 0) {
+    throw FcmError("serve: listen failed: " +
+                   std::string(std::strerror(errno)));
+  }
+  set_nonblocking(listen_fd);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    bound_port = ntohs(bound.sin_port);
+  }
+}
+
+void Server::Impl::wake() noexcept {
+  const char byte = 'w';
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write, &byte, 1);
+}
+
+void Server::Impl::worker_loop() {
+  for (;;) {
+    Work item;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex);
+      work_cv.wait(lock, [&] { return stop_workers || !work.empty(); });
+      if (work.empty()) return;  // stop_workers && drained
+      item = std::move(work.front());
+      work.pop_front();
+    }
+    Done result;
+    result.conn = item.conn;
+    const Clock::time_point begin = Clock::now();
+    if (!known_opcode(item.frame.code)) {
+      result.status = protocol::Status::kUnknownOpcode;
+      result.payload =
+          "unknown opcode " + std::to_string(item.frame.code);
+      FCM_OBS_COUNT("serve.requests.unknown_opcode", 1);
+    } else {
+      const auto opcode = static_cast<protocol::Opcode>(item.frame.code);
+      try {
+        QueryResult answer = engine.run(opcode, item.frame.payload);
+        result.status = protocol::Status::kOk;
+        result.payload = std::move(answer.text);
+      } catch (const QueryError& error) {
+        result.status = protocol::Status::kBadRequest;
+        result.payload = error.what();
+      } catch (const std::exception& error) {
+        result.status = protocol::Status::kServerError;
+        result.payload = error.what();
+      }
+      FCM_OBS_COUNT("serve.requests." + protocol::opcode_name(opcode), 1);
+    }
+    FCM_OBS_COUNT("serve.requests.total", 1);
+    // Wall-clock latency is scheduling telemetry: real and useful, but
+    // never part of the byte-compare determinism gates (".sched." names
+    // are filtered by tools/compare_metrics.py).
+    FCM_OBS_HIST("serve.sched.request_latency_s",
+                 std::chrono::duration<double>(Clock::now() - begin).count());
+    {
+      const std::lock_guard<std::mutex> lock(done_mutex);
+      done.push_back(std::move(result));
+    }
+    wake();
+  }
+}
+
+void Server::Impl::io_loop() {
+  std::map<std::uint64_t, Connection> conns;
+  std::uint64_t next_conn_id = 1;
+  bool draining = false;
+  Clock::time_point drain_deadline = Clock::time_point::max();
+
+  const auto dispatch = [&](Connection& c) {
+    if (c.busy || c.pending.empty() || draining) return;
+    Work item;
+    item.conn = c.id;
+    item.frame = std::move(c.pending.front());
+    c.pending.pop_front();
+    c.busy = true;
+    c.idle_deadline = Clock::time_point::max();
+    {
+      const std::lock_guard<std::mutex> lock(work_mutex);
+      work.push_back(std::move(item));
+    }
+    work_cv.notify_one();
+  };
+
+  const auto arm_idle = [&](Connection& c, Clock::time_point now) {
+    c.idle_deadline = c.busy || c.has_output() || c.input_closed
+                          ? Clock::time_point::max()
+                          : now + to_chrono(options.idle_timeout);
+  };
+
+  std::vector<std::uint64_t> to_close;
+  const auto flush_and_reap = [&](Connection& c, Clock::time_point now) {
+    // Writes as much buffered output as the peer accepts; returns false
+    // when the connection must be closed.
+    while (c.has_output()) {
+      const ssize_t n =
+          ::send(c.fd, c.out.data() + c.out_pos, c.out.size() - c.out_pos,
+                 MSG_NOSIGNAL);
+      if (n > 0) {
+        c.out_pos += static_cast<std::size_t>(n);
+        c.write_deadline = now + to_chrono(options.write_timeout);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;  // peer gone
+    }
+    c.out.clear();
+    c.out_pos = 0;
+    c.write_deadline = Clock::time_point::max();
+    if (c.close_after_flush) return false;
+    arm_idle(c, now);
+    return true;
+  };
+
+  while (true) {
+    std::vector<pollfd> fds;
+    std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = control)
+    fds.push_back({wake_read, POLLIN, 0});
+    fd_conn.push_back(0);
+    if (!draining) {
+      fds.push_back({listen_fd, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    Clock::time_point nearest = drain_deadline;
+    for (auto& [id, c] : conns) {
+      short events = 0;
+      if (!c.input_closed && !draining) events |= POLLIN;
+      if (c.has_output()) events |= POLLOUT;
+      fds.push_back({c.fd, events, 0});
+      fd_conn.push_back(id);
+      nearest = std::min({nearest, c.idle_deadline, c.write_deadline});
+    }
+
+    int timeout_ms = -1;
+    if (nearest != Clock::time_point::max()) {
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+          nearest - Clock::now());
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(
+          0, std::min<std::int64_t>(until.count() + 1, 60'000)));
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;  // poll itself failed; bail out
+    const Clock::time_point now = Clock::now();
+
+    // 1. Control: wake pipe → shutdown request and/or finished responses.
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_read, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (stop_requested.load(std::memory_order_acquire) && !draining) {
+      draining = true;
+      drain_deadline = now + to_chrono(options.drain_timeout);
+      // Not-yet-started requests are answered kShuttingDown; in-flight
+      // ones (busy connections) finish and flush below.
+      for (auto& [id, c] : conns) {
+        for ([[maybe_unused]] const protocol::Frame& f : c.pending) {
+          c.queue_response(protocol::Status::kShuttingDown,
+                           "server draining");
+          bump(&ServerStats::requests_served);
+          bump(&ServerStats::request_errors);
+        }
+        c.pending.clear();
+        c.close_after_flush = true;
+        c.idle_deadline = Clock::time_point::max();
+      }
+    }
+    {
+      std::vector<Done> finished;
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        finished.swap(done);
+      }
+      for (Done& d : finished) {
+        const auto it = conns.find(d.conn);
+        if (it == conns.end()) continue;  // connection died while computing
+        Connection& c = it->second;
+        c.queue_response(d.status, d.payload);
+        c.busy = false;
+        c.write_deadline = now + to_chrono(options.write_timeout);
+        bump(&ServerStats::requests_served);
+        if (d.status != protocol::Status::kOk) {
+          bump(&ServerStats::request_errors);
+        }
+        if (draining) {
+          c.close_after_flush = true;
+        } else {
+          dispatch(c);
+        }
+      }
+    }
+
+    // 2. New connections.
+    if (!draining) {
+      const std::size_t listen_slot = 1;
+      if (fds.size() > listen_slot && (fds[listen_slot].revents & POLLIN)) {
+        for (;;) {
+          const int fd = ::accept(listen_fd, nullptr, nullptr);
+          if (fd < 0) break;
+          set_nonblocking(fd);
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          Connection c(options.max_frame_bytes);
+          c.id = next_conn_id++;
+          c.fd = fd;
+          arm_idle(c, now);
+          conns.emplace(c.id, std::move(c));
+          bump(&ServerStats::connections_accepted);
+          FCM_OBS_COUNT("serve.connections.accepted", 1);
+        }
+      }
+    }
+
+    // 3. Per-connection IO.
+    to_close.clear();
+    for (std::size_t i = draining ? 1 : 2; i < fds.size(); ++i) {
+      const auto it = conns.find(fd_conn[i]);
+      if (it == conns.end()) continue;
+      Connection& c = it->second;
+      bool dead = (fds[i].revents & (POLLERR | POLLNVAL)) != 0;
+
+      if (!dead && (fds[i].revents & POLLIN)) {
+        char buf[kReadChunk];
+        for (;;) {
+          const ssize_t n = ::read(c.fd, buf, sizeof(buf));
+          if (n > 0) {
+            c.decoder.feed({buf, static_cast<std::size_t>(n)});
+            arm_idle(c, now);
+            continue;
+          }
+          if (n == 0) {
+            c.input_closed = true;
+          } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            // drained
+          } else {
+            dead = true;
+          }
+          break;
+        }
+        protocol::Frame frame;
+        for (;;) {
+          const protocol::FrameDecoder::Result r = c.decoder.next(frame);
+          if (r == protocol::FrameDecoder::Result::kFrame) {
+            c.pending.push_back(std::move(frame));
+            continue;
+          }
+          if (r == protocol::FrameDecoder::Result::kError) {
+            // The stream offset is untrustworthy from here on: answer once,
+            // read nothing more, close after the error flushes.
+            c.queue_response(protocol::Status::kBadFrame, c.decoder.error());
+            c.input_closed = true;
+            c.close_after_flush = true;
+            bump(&ServerStats::protocol_errors);
+            FCM_OBS_COUNT("serve.frames.bad", 1);
+          }
+          break;
+        }
+        dispatch(c);
+        if (c.input_closed && !c.busy && c.pending.empty() &&
+            !c.has_output()) {
+          dead = true;  // peer finished and nothing is owed
+        }
+        if (c.input_closed && (c.busy || !c.pending.empty() ||
+                               c.has_output())) {
+          c.close_after_flush = true;
+        }
+      } else if (!dead && (fds[i].revents & POLLHUP) && !c.has_output()) {
+        dead = true;
+      }
+
+      if (!dead && c.has_output() &&
+          ((fds[i].revents & POLLOUT) || c.out_pos == 0)) {
+        // Try immediately for freshly queued bytes too (out_pos == 0):
+        // most responses fit the socket buffer and complete in one call.
+        dead = !flush_and_reap(c, now);
+      }
+      if (!dead && !c.has_output() && c.close_after_flush) dead = true;
+      if (!dead && (now >= c.idle_deadline || now >= c.write_deadline)) {
+        dead = true;
+        bump(&ServerStats::connections_expired);
+        FCM_OBS_COUNT("serve.connections.expired", 1);
+      }
+      if (dead) to_close.push_back(c.id);
+    }
+    for (const std::uint64_t id : to_close) {
+      const auto it = conns.find(id);
+      if (it == conns.end()) continue;
+      ::close(it->second.fd);
+      conns.erase(it);
+    }
+
+    // 4. Drain bookkeeping.
+    if (draining) {
+      for (auto& [id, c] : conns) {
+        if (!c.busy && !c.has_output()) {
+          ::close(c.fd);
+        }
+      }
+      std::erase_if(conns, [](const auto& kv) {
+        return !kv.second.busy && !kv.second.has_output();
+      });
+      if (conns.empty()) break;
+      if (now >= drain_deadline) {
+        for (auto& [id, c] : conns) ::close(c.fd);
+        conns.clear();
+        break;
+      }
+    }
+  }
+
+  for (auto& [id, c] : conns) ::close(c.fd);
+}
+
+Server::Server(QueryEngine& engine, ServerOptions options)
+    : impl_(std::make_unique<Impl>(engine, std::move(options))) {
+  if (impl_->options.workers == 0) impl_->options.workers = 1;
+  impl_->bind_and_listen();
+}
+
+Server::~Server() { stop(); }
+
+std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
+
+void Server::start() {
+  const std::lock_guard<std::mutex> lock(impl_->lifecycle_mutex);
+  if (impl_->started) return;
+  impl_->started = true;
+  impl_->worker_threads.reserve(impl_->options.workers);
+  for (std::uint32_t w = 0; w < impl_->options.workers; ++w) {
+    impl_->worker_threads.emplace_back([this] { impl_->worker_loop(); });
+  }
+  impl_->io_thread = std::thread([this] { impl_->io_loop(); });
+}
+
+void Server::request_stop() noexcept {
+  impl_->stop_requested.store(true, std::memory_order_release);
+  impl_->wake();
+}
+
+void Server::join() {
+  const std::lock_guard<std::mutex> lock(impl_->lifecycle_mutex);
+  if (!impl_->started || impl_->joined) return;
+  impl_->joined = true;
+  if (impl_->io_thread.joinable()) impl_->io_thread.join();
+  {
+    const std::lock_guard<std::mutex> work_lock(impl_->work_mutex);
+    impl_->stop_workers = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->worker_threads) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::stop() {
+  request_stop();
+  join();
+}
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->stats;
+}
+
+}  // namespace fcm::serve

@@ -1,0 +1,107 @@
+// The resident planning daemon: a poll-based socket server over QueryEngine.
+//
+// Architecture (one IO thread + a worker pool, all owned by `Server`):
+//
+//   * The IO thread runs a poll(2) loop over the listen socket, a self-pipe,
+//     and every live connection. It accepts, reads, frames (FrameDecoder),
+//     writes, and enforces per-connection deadlines. It never evaluates a
+//     query, so a slow plan cannot stall accepts, reads, or timeouts.
+//   * `workers` request threads pop framed requests from a queue, evaluate
+//     them through the shared QueryEngine (which shards heavy queries
+//     through the process-wide `fcm::exec` pool), and push the rendered
+//     response back; a byte on the self-pipe wakes the IO thread to flush.
+//   * Per connection, requests are answered strictly in arrival order and
+//     at most one is in flight at a time — a client's response stream is
+//     the sequence of its own requests' answers, independent of how other
+//     connections interleave (the soak test pins this).
+//
+// Robustness discipline (cf. De Florio's application-level fault-tolerance
+// protocols): every peer byte is treated as hostile until framed — framing
+// violations get a kBadFrame response and a close; request-level defects
+// (unknown opcode, bad parameters) get an error status on a connection
+// that stays usable; and each connection carries a read (idle) deadline
+// and a write-progress deadline so a dead or wedged peer cannot hold a
+// slot forever.
+//
+// Shutdown: `request_stop()` is async-signal-safe (one write to the
+// self-pipe). The IO loop then stops accepting, lets every in-flight
+// request finish and flush, answers any queued-but-unstarted requests with
+// kShuttingDown, closes all connections, and joins the workers. `fcm_tool
+// serve` wires SIGINT/SIGTERM to it and exits 0.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/time.h"
+#include "serve/protocol.h"
+#include "serve/query.h"
+
+namespace fcm::serve {
+
+struct ServerOptions {
+  /// Interface to bind. Loopback by default: the daemon is a local planning
+  /// service, not an internet listener.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (see Server::port).
+  std::uint16_t port = 0;
+  /// Request worker threads (the "server threads" axis of bench_serve).
+  std::uint32_t workers = 1;
+  /// Largest request frame accepted.
+  std::uint32_t max_frame_bytes = protocol::kMaxFrameBytes;
+  /// Read deadline: a connection with no complete request and no response
+  /// in flight for this long is closed.
+  Duration idle_timeout = Duration::millis(30'000);
+  /// Write deadline: a peer that accepts no response bytes for this long
+  /// is closed.
+  Duration write_timeout = Duration::millis(10'000);
+  /// Hard cap on graceful-shutdown drain before remaining connections are
+  /// closed regardless.
+  Duration drain_timeout = Duration::millis(10'000);
+};
+
+/// Point-in-time serving counters (IO-thread view, safe to read anytime).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_served = 0;   ///< responses written, any status
+  std::uint64_t protocol_errors = 0;   ///< framing violations
+  std::uint64_t request_errors = 0;    ///< non-kOk request-level statuses
+  std::uint64_t connections_expired = 0;  ///< closed by a deadline
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (so `port()` is valid), but serves
+  /// nothing until `start()`. Throws FcmError when the socket cannot be
+  /// bound.
+  Server(QueryEngine& engine, ServerOptions options = {});
+  ~Server();  ///< stop()s if still running
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the kernel's choice when options.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Spawns the IO thread and the worker pool.
+  void start();
+
+  /// Requests graceful shutdown. Async-signal-safe: one byte on the
+  /// self-pipe. Idempotent.
+  void request_stop() noexcept;
+
+  /// Blocks until the IO loop has drained and every thread is joined.
+  /// Idempotent; implies request_stop() was or will be honored.
+  void join();
+
+  /// request_stop() + join().
+  void stop();
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fcm::serve

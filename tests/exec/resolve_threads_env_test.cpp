@@ -1,0 +1,99 @@
+// exec::resolve_threads — the FCM_THREADS environment contract.
+//
+// Every parallel subsystem (and now the serve daemon's query handlers)
+// funnels through this one resolver, so its env handling is load-bearing:
+// a malformed override must degrade to the hardware default, never to 0
+// threads or a crash, and an explicit `requested` must always beat the
+// environment.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "exec/executor.h"
+
+namespace fcm::exec {
+namespace {
+
+// Saves and restores FCM_THREADS so these tests cannot leak state into the
+// differential suites that also steer the variable.
+class ResolveThreadsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* current = std::getenv("FCM_THREADS");
+    had_env_ = current != nullptr;
+    if (had_env_) saved_ = current;
+    unsetenv("FCM_THREADS");
+  }
+
+  void TearDown() override {
+    if (had_env_) {
+      setenv("FCM_THREADS", saved_.c_str(), 1);
+    } else {
+      unsetenv("FCM_THREADS");
+    }
+  }
+
+  static std::uint32_t hardware_default() {
+    return std::max(1u, std::thread::hardware_concurrency());
+  }
+
+ private:
+  bool had_env_ = false;
+  std::string saved_;
+};
+
+TEST_F(ResolveThreadsEnvTest, UnsetFallsBackToHardwareConcurrency) {
+  EXPECT_EQ(resolve_threads(0, 1'000'000), hardware_default());
+}
+
+TEST_F(ResolveThreadsEnvTest, ValidOverrideIsHonored) {
+  setenv("FCM_THREADS", "3", 1);
+  EXPECT_EQ(resolve_threads(0, 1'000'000), 3u);
+}
+
+TEST_F(ResolveThreadsEnvTest, ZeroOverrideIsIgnored) {
+  setenv("FCM_THREADS", "0", 1);
+  EXPECT_EQ(resolve_threads(0, 1'000'000), hardware_default());
+}
+
+TEST_F(ResolveThreadsEnvTest, GarbageOverrideIsIgnored) {
+  for (const char* garbage : {"abc", "4x", "x4", "-2", "3.5", " ", ""}) {
+    setenv("FCM_THREADS", garbage, 1);
+    EXPECT_EQ(resolve_threads(0, 1'000'000), hardware_default())
+        << "FCM_THREADS='" << garbage << "'";
+  }
+}
+
+TEST_F(ResolveThreadsEnvTest, OverlargeOverrideIsIgnored) {
+  // Exceeds uint32 — and for good measure, exceeds uint64 too.
+  setenv("FCM_THREADS", "4294967296", 1);
+  EXPECT_EQ(resolve_threads(0, 1'000'000), hardware_default());
+  setenv("FCM_THREADS", "99999999999999999999999999", 1);
+  EXPECT_EQ(resolve_threads(0, 1'000'000), hardware_default());
+}
+
+TEST_F(ResolveThreadsEnvTest, LargestValidOverrideClampsToWidth) {
+  setenv("FCM_THREADS", "4294967295", 1);
+  EXPECT_EQ(resolve_threads(0, 16), 16u);
+}
+
+TEST_F(ResolveThreadsEnvTest, ExplicitRequestBeatsEnvironment) {
+  setenv("FCM_THREADS", "7", 1);
+  EXPECT_EQ(resolve_threads(2, 1'000'000), 2u);
+}
+
+TEST_F(ResolveThreadsEnvTest, ClampedToParallelWidth) {
+  EXPECT_EQ(resolve_threads(8, 3), 3u);
+  setenv("FCM_THREADS", "5", 1);
+  EXPECT_EQ(resolve_threads(0, 1), 1u);
+}
+
+TEST_F(ResolveThreadsEnvTest, ZeroWidthStillYieldsOneLane) {
+  EXPECT_EQ(resolve_threads(4, 0), 1u);
+  EXPECT_EQ(resolve_threads(0, 0), 1u);
+}
+
+}  // namespace
+}  // namespace fcm::exec

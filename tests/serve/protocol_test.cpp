@@ -1,0 +1,308 @@
+// Robustness battery for the `fcm serve` wire protocol.
+//
+// Directed cases cover each malformed-peer shape the protocol header
+// documents (truncated frame, oversized length, zero-length frame, unknown
+// opcode, garbage payload, coalesced frames, byte-split frames); a seeded
+// fuzzer then throws random byte streams at a live server and at a bare
+// FrameDecoder. The invariant everywhere: the server answers with a clean
+// error status or closes the connection — it never crashes, never hangs,
+// and stays responsive to well-formed clients afterwards (tools/check.sh
+// runs this under ASan/UBSan/TSan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/query.h"
+#include "serve/server.h"
+
+namespace fcm::serve {
+namespace {
+
+ServerOptions test_options() {
+  ServerOptions options;
+  options.idle_timeout = Duration::millis(2'000);
+  options.write_timeout = Duration::millis(2'000);
+  options.drain_timeout = Duration::millis(2'000);
+  return options;
+}
+
+// One live server shared by every case in a fixture instance; liveness is
+// re-proved after each abuse by a fresh well-formed connection.
+class ProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<Server>(engine_, test_options());
+    server_->start();
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  [[nodiscard]] Client connect() const {
+    return Client("127.0.0.1", server_->port(), Duration::millis(5'000));
+  }
+
+  void expect_alive() const {
+    Client probe = connect();
+    const Client::Response response =
+        probe.request(protocol::Opcode::kPing, "still-there");
+    EXPECT_EQ(response.status, protocol::Status::kOk);
+    EXPECT_EQ(response.payload, "still-there");
+  }
+
+  QueryEngine engine_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ProtocolTest, TruncatedFrameThenCloseIsDroppedCleanly) {
+  {
+    Client client = connect();
+    // Half a header: the length word promises bytes that never arrive.
+    client.send_raw(std::string("\x10\x00\x00", 3));
+    client.shutdown_write();
+    Client::Response response;
+    EXPECT_FALSE(client.read_response(response));  // closed, no answer
+  }
+  expect_alive();
+}
+
+TEST_F(ProtocolTest, TruncatedPayloadThenCloseIsDroppedCleanly) {
+  {
+    Client client = connect();
+    // Complete header declaring 64 bytes, then only 3 of them.
+    std::string bytes = protocol::encode_request(protocol::Opcode::kPing,
+                                                 std::string(62, 'p'));
+    bytes.resize(protocol::kHeaderBytes + 3);
+    client.send_raw(bytes);
+    client.shutdown_write();
+    Client::Response response;
+    EXPECT_FALSE(client.read_response(response));
+  }
+  expect_alive();
+}
+
+TEST_F(ProtocolTest, OversizedLengthGetsBadFrameAndClose) {
+  {
+    Client client = connect();
+    // length = 8 MiB, far over the 1 MiB cap; no payload follows.
+    const std::string header{
+        '\x00', '\x00', '\x80', '\x00',  // u32 length = 0x00800000
+        '\x05', '\x00',                  // opcode ping
+    };
+    client.send_raw(header);
+    Client::Response response;
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.status, protocol::Status::kBadFrame);
+    EXPECT_FALSE(client.read_response(response));  // then closed
+  }
+  expect_alive();
+}
+
+TEST_F(ProtocolTest, ZeroLengthFrameGetsBadFrameAndClose) {
+  {
+    Client client = connect();
+    client.send_raw(std::string("\x00\x00\x00\x00", 4));
+    Client::Response response;
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.status, protocol::Status::kBadFrame);
+    EXPECT_FALSE(client.read_response(response));
+  }
+  expect_alive();
+}
+
+TEST_F(ProtocolTest, LengthOneFrameGetsBadFrameAndClose) {
+  {
+    Client client = connect();
+    // length == 1 cannot even hold the opcode word.
+    client.send_raw(std::string("\x01\x00\x00\x00Z", 5));
+    Client::Response response;
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.status, protocol::Status::kBadFrame);
+    EXPECT_FALSE(client.read_response(response));
+  }
+  expect_alive();
+}
+
+TEST_F(ProtocolTest, UnknownOpcodeKeepsConnectionUsable) {
+  Client client = connect();
+  client.send_raw(protocol::encode_frame(0x7777, "whatever"));
+  Client::Response response;
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.status, protocol::Status::kUnknownOpcode);
+  // Same connection must still answer real requests.
+  const Client::Response pong =
+      client.request(protocol::Opcode::kPing, "after-unknown");
+  EXPECT_EQ(pong.status, protocol::Status::kOk);
+  EXPECT_EQ(pong.payload, "after-unknown");
+}
+
+TEST_F(ProtocolTest, GarbagePayloadIsBadRequestConnectionUsable) {
+  Client client = connect();
+  const Client::Response bad = client.request(
+      protocol::Opcode::kMapping, "\x01\x02garbage\xff key==");
+  EXPECT_EQ(bad.status, protocol::Status::kBadRequest);
+  const Client::Response pong =
+      client.request(protocol::Opcode::kPing, "after-garbage");
+  EXPECT_EQ(pong.status, protocol::Status::kOk);
+  EXPECT_EQ(pong.payload, "after-garbage");
+}
+
+TEST_F(ProtocolTest, CoalescedFramesAnswerInOrder) {
+  Client client = connect();
+  client.send_raw(protocol::encode_request(protocol::Opcode::kPing, "one") +
+                  protocol::encode_request(protocol::Opcode::kPing, "two") +
+                  protocol::encode_request(protocol::Opcode::kPing, "three"));
+  for (const char* expected : {"one", "two", "three"}) {
+    Client::Response response;
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.status, protocol::Status::kOk);
+    EXPECT_EQ(response.payload, expected);
+  }
+}
+
+TEST_F(ProtocolTest, ByteSplitFrameDecodesWhole) {
+  Client client = connect();
+  const std::string bytes =
+      protocol::encode_request(protocol::Opcode::kPing, "reassembled");
+  for (const char byte : bytes) {
+    client.send_raw(std::string_view(&byte, 1));
+  }
+  Client::Response response;
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.status, protocol::Status::kOk);
+  EXPECT_EQ(response.payload, "reassembled");
+}
+
+// Seeded server fuzz: bursts of random bytes, each on its own connection,
+// with a liveness ping after every burst. Whatever the bytes decode to, the
+// server must answer-or-close and keep serving.
+TEST_F(ProtocolTest, FuzzedByteStreamsNeverWedgeTheServer) {
+  std::mt19937 rng(20260808);
+  for (int round = 0; round < 40; ++round) {
+    Client client = connect();
+    const std::size_t burst = 1 + rng() % 64;
+    std::string bytes;
+    for (std::size_t i = 0; i < burst; ++i) {
+      bytes.push_back(static_cast<char>(rng() & 0xff));
+    }
+    client.send_raw(bytes);
+    client.shutdown_write();
+    // Drain whatever the server decided to answer until it closes. A
+    // framing violation mid-burst may also make the server close while we
+    // still hold undelivered responses — a reset (throw) is acceptable;
+    // a hang is not (the client's socket timeout would fail the test).
+    try {
+      Client::Response response;
+      while (client.read_response(response)) {
+      }
+    } catch (const FcmError&) {
+    }
+    if (round % 8 == 0) expect_alive();
+  }
+  expect_alive();
+}
+
+// Seeded fuzz of valid frames chopped at random boundaries across sends.
+TEST_F(ProtocolTest, FuzzedSplitValidFramesAllAnswered) {
+  std::mt19937 rng(987654321);
+  Client client = connect();
+  for (int round = 0; round < 32; ++round) {
+    std::string payload;
+    const std::size_t size = rng() % 48;
+    for (std::size_t i = 0; i < size; ++i) {
+      payload.push_back(static_cast<char>('a' + rng() % 26));
+    }
+    const std::string bytes =
+        protocol::encode_request(protocol::Opcode::kPing, payload);
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng() % 5, bytes.size() - sent);
+      client.send_raw(std::string_view(bytes).substr(sent, chunk));
+      sent += chunk;
+    }
+    Client::Response response;
+    ASSERT_TRUE(client.read_response(response));
+    EXPECT_EQ(response.status, protocol::Status::kOk);
+    EXPECT_EQ(response.payload, payload);
+  }
+}
+
+// Bare FrameDecoder fuzz, no sockets: random bytes in random chunk sizes
+// must always yield kNeedMore/kFrame/kError without crashing, and a
+// poisoned decoder must stay poisoned.
+TEST(FrameDecoderFuzz, RandomBytesNeverCrash) {
+  std::mt19937 rng(13371337);
+  for (int round = 0; round < 200; ++round) {
+    protocol::FrameDecoder decoder;
+    bool poisoned = false;
+    for (int chunk = 0; chunk < 16; ++chunk) {
+      std::string bytes;
+      const std::size_t size = rng() % 32;
+      for (std::size_t i = 0; i < size; ++i) {
+        bytes.push_back(static_cast<char>(rng() & 0xff));
+      }
+      decoder.feed(bytes);
+      protocol::Frame frame;
+      protocol::FrameDecoder::Result result;
+      while ((result = decoder.next(frame)) ==
+             protocol::FrameDecoder::Result::kFrame) {
+      }
+      if (result == protocol::FrameDecoder::Result::kError) {
+        poisoned = true;
+        EXPECT_FALSE(decoder.error().empty());
+      }
+      if (poisoned) {
+        EXPECT_EQ(decoder.next(frame),
+                  protocol::FrameDecoder::Result::kError);
+      }
+    }
+  }
+}
+
+// Round-trip property: any frame stream, chopped anywhere, decodes back to
+// exactly the frames that were encoded.
+TEST(FrameDecoderFuzz, EncodedFramesSurviveArbitraryChopping) {
+  std::mt19937 rng(424242);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<protocol::Frame> sent;
+    std::string stream;
+    const std::size_t frames = 1 + rng() % 6;
+    for (std::size_t f = 0; f < frames; ++f) {
+      protocol::Frame frame;
+      frame.code = static_cast<std::uint16_t>(rng() & 0xffff);
+      const std::size_t size = rng() % 96;
+      for (std::size_t i = 0; i < size; ++i) {
+        frame.payload.push_back(static_cast<char>(rng() & 0xff));
+      }
+      stream += protocol::encode_frame(frame.code, frame.payload);
+      sent.push_back(std::move(frame));
+    }
+
+    protocol::FrameDecoder decoder;
+    std::vector<protocol::Frame> received;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng() % 7, stream.size() - offset);
+      decoder.feed(std::string_view(stream).substr(offset, chunk));
+      offset += chunk;
+      protocol::Frame frame;
+      while (decoder.next(frame) == protocol::FrameDecoder::Result::kFrame) {
+        received.push_back(frame);
+      }
+    }
+    ASSERT_EQ(received.size(), sent.size());
+    for (std::size_t f = 0; f < sent.size(); ++f) {
+      EXPECT_EQ(received[f].code, sent[f].code);
+      EXPECT_EQ(received[f].payload, sent[f].payload);
+    }
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fcm::serve

@@ -1,0 +1,370 @@
+// fcm_loadgen — deterministic load generator for the `fcm serve` daemon.
+//
+//   fcm_loadgen --port P [--host H] [--connections N] [--requests M]
+//               [--mix "mapping:1,influence:1,depend:1,replan:1"]
+//               [--depend-trials T] [--seed S] [--timeout-ms MS] [--json]
+//
+// Opens N concurrent connections and sends M requests on each. Every
+// connection draws its request schedule from its own mt19937 seeded with
+// --seed + connection index, so a given (seed, N, M, mix) always produces
+// the same byte streams — reruns are comparable and failures reproducible.
+//
+// Besides load, this is a correctness harness: every query the daemon
+// answers is a pure function of its payload, so the generator remembers the
+// first response per distinct (opcode, payload) pair and byte-compares every
+// later response against it, across connections and cache states. Any
+// mismatch, non-OK status, or socket error makes the run fail (exit 1).
+//
+// Latencies are recorded per request into the fcm::obs histogram
+// `loadgen.sched.request_latency_s` (decade buckets) and into a local
+// sample vector for exact p50/p99. The summary prints both plus requests/s;
+// --json emits the same numbers as a JSON object on stdout.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/cliopt.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "common/time.h"
+#include "obs/obs.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+using namespace fcm;
+namespace protocol = fcm::serve::protocol;
+
+namespace {
+
+int usage() {
+  std::cout <<
+      "usage: fcm_loadgen --port P [options]\n"
+      "  --host H             server host (default 127.0.0.1)\n"
+      "  --port P             server port (required)\n"
+      "  --connections N      concurrent connections (default 4)\n"
+      "  --requests M         requests per connection (default 32)\n"
+      "  --mix SPEC           query mix as op:weight pairs, e.g.\n"
+      "                       mapping:2,influence:1,depend:1,replan:1,ping:1\n"
+      "                       (default mapping:1,influence:1,depend:1,\n"
+      "                       replan:1)\n"
+      "  --depend-trials T    Monte Carlo trials per depend query\n"
+      "                       (default 512; keep small, it is the slow op)\n"
+      "  --seed S             schedule seed (default 2026); same seed =>\n"
+      "                       same request byte streams\n"
+      "  --timeout-ms MS      per-socket-operation timeout (default 30000)\n"
+      "  --json               print the summary as JSON instead of a table\n";
+  return 2;
+}
+
+struct MixEntry {
+  protocol::Opcode opcode;
+  std::uint32_t weight;
+};
+
+// Parses "mapping:2,depend:1" into weighted entries. Weights must be
+// positive integers; ops must be real opcodes.
+std::vector<MixEntry> parse_mix(const std::string& spec) {
+  std::vector<MixEntry> mix;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t colon = item.find(':');
+    const std::string name = item.substr(0, colon);
+    protocol::Opcode opcode;
+    if (!protocol::parse_opcode(name, opcode)) {
+      throw cli::CliError("unknown op '" + name + "' in --mix");
+    }
+    std::uint32_t weight = 1;
+    if (colon != std::string::npos) {
+      const std::string digits = item.substr(colon + 1);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos ||
+          digits.size() > 6) {
+        throw cli::CliError("bad weight '" + digits + "' in --mix");
+      }
+      weight = static_cast<std::uint32_t>(std::stoul(digits));
+      if (weight == 0) throw cli::CliError("--mix weights must be positive");
+    }
+    mix.push_back({opcode, weight});
+  }
+  if (mix.empty()) throw cli::CliError("--mix selects no queries");
+  return mix;
+}
+
+struct Request {
+  protocol::Opcode opcode;
+  std::string payload;
+};
+
+// The deterministic per-connection schedule. Parameters vary within each
+// opcode (heuristics, approaches, failed-node sets) so the daemon's caches
+// are exercised on more than one key, but every choice comes from the
+// seeded generator — no wall-clock, no global state.
+std::vector<Request> build_schedule(std::uint64_t seed, std::uint32_t count,
+                                    const std::vector<MixEntry>& mix,
+                                    int depend_trials) {
+  static const char* kHeuristics[] = {"best", "h1",   "h1r",
+                                      "h2",   "crit", "timing"};
+  std::mt19937 rng(static_cast<std::mt19937::result_type>(seed));
+  std::uint32_t total_weight = 0;
+  for (const MixEntry& entry : mix) total_weight += entry.weight;
+  std::vector<Request> schedule;
+  schedule.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t pick = rng() % total_weight;
+    protocol::Opcode opcode = mix.front().opcode;
+    for (const MixEntry& entry : mix) {
+      if (pick < entry.weight) {
+        opcode = entry.opcode;
+        break;
+      }
+      pick -= entry.weight;
+    }
+    std::string payload;
+    switch (opcode) {
+      case protocol::Opcode::kMapping:
+        payload = std::string("heuristic=") + kHeuristics[rng() % 6] +
+                  " approach=" + (rng() % 2 == 0 ? "a" : "b");
+        break;
+      case protocol::Opcode::kDepend:
+        payload = "trials=" + std::to_string(depend_trials);
+        break;
+      case protocol::Opcode::kReplan:
+        payload = "fail=" + std::to_string(rng() % 6);
+        break;
+      case protocol::Opcode::kPing:
+        payload = "ping-" + std::to_string(rng() % 1000);
+        break;
+      case protocol::Opcode::kInfluence:
+      case protocol::Opcode::kMetrics:
+        break;
+    }
+    schedule.push_back({opcode, std::move(payload)});
+  }
+  return schedule;
+}
+
+// First response seen per distinct request, byte-compared against every
+// later one. kMetrics and kPing are exempt: metrics snapshots legitimately
+// change between calls (ping is included — it must echo exactly).
+class ConsistencyLedger {
+ public:
+  // Returns a mismatch description, or "" when the response is consistent.
+  std::string check(const Request& request, const std::string& response) {
+    if (request.opcode == protocol::Opcode::kMetrics) return "";
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::string expected = request.opcode == protocol::Opcode::kPing
+                                     ? request.payload
+                                     : std::string();
+    const auto it = expected_
+                        .try_emplace(
+                            std::make_pair(
+                                static_cast<std::uint16_t>(request.opcode),
+                                request.payload),
+                            request.opcode == protocol::Opcode::kPing
+                                ? expected
+                                : response)
+                        .first;
+    if (it->second != response) {
+      return "response mismatch for " +
+             protocol::opcode_name(request.opcode) + " '" + request.payload +
+             "': got " + std::to_string(response.size()) +
+             " bytes, expected " + std::to_string(it->second.size());
+    }
+    return "";
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<std::pair<std::uint16_t, std::string>, std::string> expected_;
+};
+
+struct WorkerResult {
+  std::vector<double> latencies_us;
+  std::uint64_t ok = 0;
+  std::vector<std::string> errors;
+};
+
+void run_connection(const std::string& host, std::uint16_t port,
+                    Duration timeout, const std::vector<Request>& schedule,
+                    ConsistencyLedger& ledger, WorkerResult& out) {
+  try {
+    serve::Client client(host, port, timeout);
+    out.latencies_us.reserve(schedule.size());
+    for (const Request& request : schedule) {
+      const auto start = std::chrono::steady_clock::now();
+      const serve::Client::Response response =
+          client.request(request.opcode, request.payload);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      FCM_OBS_HIST("loadgen.sched.request_latency_s", elapsed.count());
+      out.latencies_us.push_back(elapsed.count() * 1e6);
+      if (response.status != protocol::Status::kOk) {
+        out.errors.push_back(protocol::opcode_name(request.opcode) +
+                             " answered " +
+                             protocol::status_name(response.status) + ": " +
+                             response.payload);
+        continue;
+      }
+      const std::string mismatch = ledger.check(request, response.payload);
+      if (!mismatch.empty()) {
+        out.errors.push_back(mismatch);
+        continue;
+      }
+      ++out.ok;
+    }
+  } catch (const std::exception& error) {
+    out.errors.push_back(std::string("connection failed: ") + error.what());
+  }
+}
+
+double exact_quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+int run(const cli::Options& args) {
+  const int port = args.get_int("port", 0);
+  if (port <= 0 || port > 65535) {
+    throw cli::CliError("--port is required, in [1, 65535]");
+  }
+  const std::string host = args.get("host", "127.0.0.1");
+  const int connections = args.get_int("connections", 4);
+  const int requests = args.get_int("requests", 32);
+  if (connections < 1 || requests < 1) {
+    throw cli::CliError("--connections and --requests must be positive");
+  }
+  const int depend_trials = args.get_int("depend-trials", 512);
+  if (depend_trials < 1) throw cli::CliError("--depend-trials must be >= 1");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  const Duration timeout = Duration::millis(args.get_int("timeout-ms", 30'000));
+  const std::vector<MixEntry> mix = parse_mix(
+      args.get("mix", "mapping:1,influence:1,depend:1,replan:1"));
+
+  obs::set_enabled(true);
+  std::vector<std::vector<Request>> schedules;
+  for (int c = 0; c < connections; ++c) {
+    schedules.push_back(build_schedule(seed + static_cast<std::uint64_t>(c),
+                                       static_cast<std::uint32_t>(requests),
+                                       mix, depend_trials));
+  }
+
+  ConsistencyLedger ledger;
+  std::vector<WorkerResult> results(static_cast<std::size_t>(connections));
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back(run_connection, host,
+                           static_cast<std::uint16_t>(port), timeout,
+                           std::cref(schedules[static_cast<std::size_t>(c)]),
+                           std::ref(ledger),
+                           std::ref(results[static_cast<std::size_t>(c)]));
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+
+  std::vector<double> latencies;
+  std::uint64_t ok = 0;
+  std::vector<std::string> errors;
+  for (const WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_us.begin(),
+                     result.latencies_us.end());
+    ok += result.ok;
+    errors.insert(errors.end(), result.errors.begin(), result.errors.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(connections) *
+      static_cast<std::uint64_t>(requests);
+  const double p50 = exact_quantile(latencies, 0.50);
+  const double p99 = exact_quantile(latencies, 0.99);
+  const double rps = wall.count() > 0.0
+                         ? static_cast<double>(latencies.size()) / wall.count()
+                         : 0.0;
+  // The obs histogram sees the same samples; its decade-bucket estimate is
+  // the cross-check that the exported telemetry tracks the exact numbers.
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::global().snapshot();
+  const auto hist = snapshot.histograms.find("loadgen.sched.request_latency_s");
+  const double hist_p50_us =
+      hist == snapshot.histograms.end() ? 0.0 : hist->second.quantile(0.5) * 1e6;
+
+  for (const std::string& error : errors) {
+    std::cerr << "error: " << error << '\n';
+  }
+
+  if (args.flag("json")) {
+    std::cout << "{\n"
+              << "  \"connections\": " << connections << ",\n"
+              << "  \"requests_per_connection\": " << requests << ",\n"
+              << "  \"requests_total\": " << total << ",\n"
+              << "  \"ok\": " << ok << ",\n"
+              << "  \"errors\": " << errors.size() << ",\n"
+              << "  \"seed\": " << seed << ",\n"
+              << "  \"elapsed_s\": " << wall.count() << ",\n"
+              << "  \"rps\": " << rps << ",\n"
+              << "  \"p50_us\": " << p50 << ",\n"
+              << "  \"p99_us\": " << p99 << ",\n"
+              << "  \"obs_hist_p50_us\": " << hist_p50_us << "\n"
+              << "}\n";
+  } else {
+    TextTable table({"metric", "value"});
+    table.add_row({"connections x requests", std::to_string(connections) +
+                                                 " x " +
+                                                 std::to_string(requests)});
+    table.add_row({"ok / errors", std::to_string(ok) + " / " +
+                                      std::to_string(errors.size())});
+    table.add_row({"elapsed s", fmt(wall.count(), 3)});
+    table.add_row({"requests/s", fmt(rps, 1)});
+    table.add_row({"p50 us", fmt(p50, 1)});
+    table.add_row({"p99 us", fmt(p99, 1)});
+    table.add_row({"obs-hist p50 us", fmt(hist_p50_us, 1)});
+    std::cout << table.render();
+  }
+  return errors.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::Options args;
+  try {
+    args = cli::parse_options(
+        argc, argv, 1,
+        {{"host"},
+         {"port"},
+         {"connections"},
+         {"requests"},
+         {"mix"},
+         {"depend-trials"},
+         {"seed"},
+         {"timeout-ms"},
+         {"json", /*takes_value=*/false}});
+    return run(args);
+  } catch (const cli::CliError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return usage();
+  } catch (const FcmError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
