@@ -8,8 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
 #include <iostream>
+#include <new>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "graph/digraph.h"
 
@@ -19,6 +28,40 @@ namespace fcm::bench {
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n";
 }
+
+/// High-water-mark resident set size of this process in bytes (0 when the
+/// platform offers no getrusage). Monotone over the process lifetime, so
+/// per-phase readings only show a phase's contribution when it raised the
+/// peak.
+inline std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Process-wide allocation counters, filled in by the global operator
+/// new/delete overrides of FCM_BENCH_DEFINE_ALLOC_HOOKS. Relaxed atomics:
+/// the counts are exact (every allocation increments), only cross-thread
+/// ordering is unconstrained, which is fine for before/after deltas taken
+/// on one thread.
+struct AllocCounters {
+  std::atomic<std::uint64_t> allocations{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+/// The registry behind the alloc hooks. Declared here, defined by the
+/// FCM_BENCH_DEFINE_ALLOC_HOOKS expansion — a bench that never expands the
+/// macro must not call this (it would fail to link, loudly and at build
+/// time, rather than silently reporting zeros).
+AllocCounters& alloc_counters();
 
 /// Prints a digraph's edges as "from -> to  weight" rows.
 inline void print_edges(const graph::Digraph& g) {
@@ -40,5 +83,51 @@ inline void print_edges(const graph::Digraph& g) {
     ::benchmark::Shutdown();                            \
     return 0;                                           \
   }
+
+/// Defines `alloc_counters()` plus counting global operator new/delete.
+/// Expand exactly once, at namespace scope, in the bench's main .cpp.
+/// Only the four core overloads are replaced — the standard library
+/// forwards the nothrow and array forms to these, so every heap
+/// allocation in the process is counted.
+/// GCC pairs the replaced operator new (malloc-backed) with the replaced
+/// operator delete (free-backed) and warns that free() mismatches new —
+/// a false positive here, since both sides of the pair are replaced
+/// together.
+#define FCM_BENCH_DEFINE_ALLOC_HOOKS()                                     \
+  _Pragma("GCC diagnostic push")                                           \
+  _Pragma("GCC diagnostic ignored \"-Wmismatched-new-delete\"")            \
+  namespace fcm::bench {                                                   \
+  AllocCounters& alloc_counters() {                                        \
+    static AllocCounters counters;                                         \
+    return counters;                                                       \
+  }                                                                        \
+  }                                                                        \
+  void* operator new(std::size_t size) {                                   \
+    auto& counters = ::fcm::bench::alloc_counters();                       \
+    counters.allocations.fetch_add(1, std::memory_order_relaxed);          \
+    counters.bytes.fetch_add(size, std::memory_order_relaxed);             \
+    if (void* p = std::malloc(size == 0 ? 1 : size)) return p;             \
+    throw std::bad_alloc();                                                \
+  }                                                                        \
+  void* operator new(std::size_t size, std::align_val_t align) {           \
+    auto& counters = ::fcm::bench::alloc_counters();                       \
+    counters.allocations.fetch_add(1, std::memory_order_relaxed);          \
+    counters.bytes.fetch_add(size, std::memory_order_relaxed);             \
+    void* p = nullptr;                                                     \
+    if (posix_memalign(&p, static_cast<std::size_t>(align),                \
+                       size == 0 ? 1 : size) == 0) {                       \
+      return p;                                                            \
+    }                                                                      \
+    throw std::bad_alloc();                                                \
+  }                                                                        \
+  void operator delete(void* ptr) noexcept { std::free(ptr); }             \
+  void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); } \
+  void operator delete(void* ptr, std::align_val_t) noexcept {             \
+    std::free(ptr);                                                        \
+  }                                                                        \
+  void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept { \
+    std::free(ptr);                                                        \
+  }                                                                        \
+  _Pragma("GCC diagnostic pop")
 
 }  // namespace fcm::bench

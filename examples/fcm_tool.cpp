@@ -2,7 +2,9 @@
 // the paper's §6 example system. Useful for exploring heuristics and
 // platform sizes without writing code:
 //
-//   fcm_tool plan  [--hw N] [--heuristic h1|h1r|h2|h3|crit|timing] [--approach a|b]
+//   fcm_tool plan  [--hw N] [--heuristic h1|h1r|h1h|h2|h3|crit|timing]
+//                  [--approach a|b] [--synthetic P] [--seed S]
+//                  [--quotient incremental|rebuild]
 //   fcm_tool table                       # print Table 1
 //   fcm_tool influence                   # print the Fig. 3 graph + roles
 //   fcm_tool separation [--order K]      # Eq. 3 separation matrix
@@ -55,7 +57,9 @@ const std::vector<CommandSpec> kCommands = {
     {"report", {}},
     {"influence", {}},
     {"separation", {{"order"}, {"threads"}}},
-    {"plan", {{"hw"}, {"heuristic"}, {"approach"}, {"sweep-threads"}}},
+    {"plan",
+     {{"hw"}, {"heuristic"}, {"approach"}, {"sweep-threads"}, {"synthetic"},
+      {"seed"}, {"quotient"}}},
     {"depend", {{"hw"}, {"q"}, {"trials"}, {"threads"}}},
     {"replan", {{"hw"}, {"fail"}, {"heuristic"}, {"approach"}}},
     {"resilience",
@@ -74,8 +78,13 @@ int usage() {
       "  influence                           Fig. 3 graph + 4.2.4 roles\n"
       "  separation [--order K] [--threads T]  Eq. 3 separation matrix\n"
       "  plan [--hw N] [--heuristic H] [--approach a|b] [--sweep-threads T]\n"
-      "       H in {h1, h1r, h2, h3, crit, timing, best}; T parallelizes\n"
-      "       the 'best' sweep (0 = all cores, same plan for every T)\n"
+      "       [--synthetic P] [--seed S] [--quotient incremental|rebuild]\n"
+      "       H in {h1, h1r, h1h, h2, h3, crit, timing, best}; T\n"
+      "       parallelizes the 'best' sweep (0 = all cores, same plan for\n"
+      "       every T); --synthetic plans a deterministic seeded random\n"
+      "       system of P processes instead of example98 (h1h scales to\n"
+      "       thousands); --quotient selects the clustering cache mode,\n"
+      "       both modes print byte-identical plans\n"
       "  depend [--hw N] [--q P] [--trials N] [--threads T]\n"
       "       Monte Carlo evaluation; T=0 uses all cores, the estimates\n"
       "       are identical for every T\n"
@@ -174,11 +183,30 @@ int cmd_influence() {
 }
 
 int cmd_plan(const cli::Options& args) {
-  return run_one_shot(serve::protocol::Opcode::kMapping, args,
-                      {{"hw", "hw"},
-                       {"heuristic", "heuristic"},
-                       {"approach", "approach"},
-                       {"sweep-threads", "sweep_threads"}});
+  std::string payload;
+  // --synthetic P [--seed S] selects the deterministic generated model
+  // "synthetic-P-S"; the QueryEngine model registry does the strict
+  // validation so daemon queries and this tool reject identically.
+  const std::string synthetic = args.get("synthetic", "");
+  const std::string seed = args.get("seed", "42");
+  if (!synthetic.empty()) {
+    payload = "model=synthetic-" + synthetic + "-" + seed;
+  } else if (!args.get("seed", "").empty()) {
+    throw cli::CliError("--seed requires --synthetic");
+  }
+  for (const auto& [cli_name, param_name] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"hw", "hw"},
+           {"heuristic", "heuristic"},
+           {"approach", "approach"},
+           {"sweep-threads", "sweep_threads"},
+           {"quotient", "quotient"}}) {
+    forward(args, cli_name, param_name, payload);
+  }
+  const serve::QueryResult result =
+      serve::QueryEngine::one_shot(serve::protocol::Opcode::kMapping, payload);
+  std::cout << result.text;
+  return result.feasible ? 0 : 1;
 }
 
 int cmd_depend(const cli::Options& args) {

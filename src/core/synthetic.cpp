@@ -1,0 +1,45 @@
+#include "core/synthetic.h"
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace fcm::core::synthetic {
+
+System make_system(std::size_t processes, std::uint64_t seed) {
+  Rng rng(seed);
+  System sys;
+  for (std::size_t i = 0; i < processes; ++i) {
+    core::Attributes attrs;
+    attrs.criticality = static_cast<core::Criticality>(rng.range(1, 10));
+    attrs.replication = rng.uniform() < 0.15 ? 3
+                        : rng.uniform() < 0.3 ? 2
+                                              : 1;
+    const std::int64_t est = rng.range(0, 50);
+    const std::int64_t ct = rng.range(1, 6);
+    const std::int64_t tcd = est + ct + rng.range(20, 200);
+    attrs.timing = core::TimingSpec::one_shot(
+        Instant::epoch() + Duration::millis(est),
+        Instant::epoch() + Duration::millis(tcd), Duration::millis(ct));
+    const FcmId id = sys.hierarchy.create("p" + std::to_string(i + 1),
+                                          core::Level::kProcess, attrs);
+    sys.influence.add_member(id, sys.hierarchy.get(id).name);
+    sys.processes.push_back(id);
+  }
+  // Sparse influence: ~3 out-edges per process.
+  for (std::size_t i = 0; i < processes; ++i) {
+    for (int e = 0; e < 3; ++e) {
+      const std::size_t j = rng.below(static_cast<std::uint32_t>(processes));
+      if (j == i) continue;
+      if (sys.influence.influence(sys.processes[i], sys.processes[j])
+              .value() > 0.0) {
+        continue;
+      }
+      sys.influence.set_direct(sys.processes[i], sys.processes[j],
+                               Probability(rng.uniform(0.05, 0.6)));
+    }
+  }
+  return sys;
+}
+
+}  // namespace fcm::core::synthetic

@@ -1,0 +1,33 @@
+// Deterministic synthetic system generator.
+//
+// Scale experiments need systems far larger than the paper's 8-process
+// example. This generator produces a seeded random FCM hierarchy plus a
+// sparse influence model (~3 out-edges per process, probabilities in
+// [0.05, 0.6], replication degrees 1–3) with fully deterministic output:
+// the same (processes, seed) pair yields a bitwise-identical system on
+// every platform and run. The scale bench, the `fcm_tool plan --synthetic`
+// command, and the serve daemon's synthetic models all share this one
+// generator, so a plan produced in one place can be byte-compared against
+// a plan produced in another.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/hierarchy.h"
+#include "core/influence.h"
+
+namespace fcm::core::synthetic {
+
+/// One generated system, ready for SwGraph::build / IntegrationPlanner.
+struct System {
+  FcmHierarchy hierarchy;
+  InfluenceModel influence;
+  std::vector<FcmId> processes;
+};
+
+/// Generates `processes` processes named "p1".."pN" from `seed`.
+System make_system(std::size_t processes, std::uint64_t seed);
+
+}  // namespace fcm::core::synthetic

@@ -79,6 +79,31 @@ double buffer_max_abs(const std::vector<double>& buf) noexcept {
   return m;
 }
 
+// The Eq. 3 accumulation loop shared by the dense and CSR entry points.
+// On entry `sum` and `term` both hold P; `multiply(term, next)` must write
+// term × P into `next`. Both entries route through this one loop so their
+// order counting, epsilon handling, and summation order stay identical.
+template <typename MultiplyFn>
+void accumulate_orders(std::size_t n, const SeriesOptions& options,
+                       std::vector<double>& sum, std::vector<double>& term,
+                       MultiplyFn multiply) {
+  std::vector<double> next(n * n, 0.0);
+  std::uint64_t orders_computed = 0;
+  bool epsilon_stop = false;
+  for (int order = 2; order <= options.max_order; ++order) {
+    multiply(term, next);
+    ++orders_computed;
+    term.swap(next);
+    if (options.epsilon > 0.0 && buffer_max_abs(term) < options.epsilon) {
+      epsilon_stop = true;
+      break;
+    }
+    for (std::size_t i = 0; i < n * n; ++i) sum[i] += term[i];
+  }
+  FCM_OBS_COUNT("series.orders", orders_computed);
+  if (epsilon_stop) FCM_OBS_COUNT("series.epsilon_stops", 1);
+}
+
 }  // namespace
 
 Matrix power_series_sum_reference(const Matrix& p, int max_order,
@@ -112,7 +137,8 @@ Matrix power_series_sum(const Matrix& p, const SeriesOptions& options) {
       exec::resolve_threads(options.threads, row_tasks);
 
   // One pass decides the kAuto kernel: fill ratio and sign. kSparse is only
-  // honored automatically when P is nonnegative (see header).
+  // honored automatically when P is nonnegative (see header). Large
+  // matrices accept a higher fill before falling back to dense.
   SeriesKernel kernel = options.kernel;
   if (kernel == SeriesKernel::kAuto) {
     const double* data = p.data();
@@ -124,9 +150,13 @@ Matrix power_series_sum(const Matrix& p, const SeriesOptions& options) {
     }
     const double fill =
         n == 0 ? 1.0 : static_cast<double>(nonzero) / static_cast<double>(n * n);
-    kernel = nonnegative && fill <= options.sparse_fill_threshold
-                 ? SeriesKernel::kSparse
-                 : SeriesKernel::kDense;
+    const double threshold =
+        n >= options.sparse_large_n
+            ? std::max(options.sparse_fill_threshold,
+                       options.sparse_fill_threshold_large)
+            : options.sparse_fill_threshold;
+    kernel = nonnegative && fill <= threshold ? SeriesKernel::kSparse
+                                              : SeriesKernel::kDense;
     FCM_OBS_COUNT("series.fill_scans", 1);
     FCM_OBS_GAUGE("series.fill_ratio", fill);
   }
@@ -134,42 +164,80 @@ Matrix power_series_sum(const Matrix& p, const SeriesOptions& options) {
                                                 : "series.kernel.dense",
                 1);
 
-  // In-place buffers: `sum` accumulates, `term` holds P^(order-1), `next`
-  // receives P^order. No Matrix is allocated per order.
+  // In-place buffers: `sum` accumulates, `term` holds P^(order-1). No
+  // Matrix is allocated per order.
   std::vector<double> sum(p.data(), p.data() + n * n);
   std::vector<double> term = sum;
-  std::vector<double> next(n * n, 0.0);
 
   const CsrMatrix csr = kernel == SeriesKernel::kSparse
                             ? CsrMatrix(p)
                             : CsrMatrix(Matrix(0));
   const double* pdata = p.data();
 
-  std::uint64_t orders_computed = 0;
-  bool epsilon_stop = false;
-  for (int order = 2; order <= options.max_order; ++order) {
-    if (kernel == SeriesKernel::kSparse) {
-      for_row_ranges(n, threads, options.rows_per_task,
-                     [&](std::size_t r0, std::size_t r1) {
-                       sparse_rows(term.data(), csr, next.data(), n, r0, r1);
-                     });
-    } else {
-      for_row_ranges(n, threads, options.rows_per_task,
-                     [&](std::size_t r0, std::size_t r1) {
-                       dense_rows(term.data(), pdata, next.data(), n, r0, r1,
-                                  std::max<std::size_t>(1, options.col_block));
-                     });
-    }
-    ++orders_computed;
-    term.swap(next);
-    if (options.epsilon > 0.0 && buffer_max_abs(term) < options.epsilon) {
-      epsilon_stop = true;
-      break;
-    }
-    for (std::size_t i = 0; i < n * n; ++i) sum[i] += term[i];
+  accumulate_orders(
+      n, options, sum, term,
+      [&](std::vector<double>& from, std::vector<double>& into) {
+        if (kernel == SeriesKernel::kSparse) {
+          for_row_ranges(n, threads, options.rows_per_task,
+                         [&](std::size_t r0, std::size_t r1) {
+                           sparse_rows(from.data(), csr, into.data(), n, r0,
+                                       r1);
+                         });
+        } else {
+          for_row_ranges(
+              n, threads, options.rows_per_task,
+              [&](std::size_t r0, std::size_t r1) {
+                dense_rows(from.data(), pdata, into.data(), n, r0, r1,
+                           std::max<std::size_t>(1, options.col_block));
+              });
+        }
+      });
+
+  Matrix result(n);
+  if (n > 0) std::memcpy(result.data(), sum.data(), n * n * sizeof(double));
+  return result;
+}
+
+Matrix power_series_sum(const CsrMatrix& p, const SeriesOptions& options) {
+  FCM_REQUIRE(options.max_order >= 1,
+              "series needs at least the first-order term");
+  const std::size_t n = p.size();
+  const double* vals = p.values();
+  for (std::size_t e = 0; e < p.nonzeros(); ++e) {
+    FCM_REQUIRE(!(vals[e] < 0.0),
+                "CSR series entry requires a nonnegative matrix");
   }
-  FCM_OBS_COUNT("series.orders", orders_computed);
-  if (epsilon_stop) FCM_OBS_COUNT("series.epsilon_stops", 1);
+  FCM_OBS_SPAN("series.power_sum", n);
+  FCM_OBS_COUNT("series.csr_direct", 1);
+  FCM_OBS_COUNT("series.kernel.sparse", 1);
+  const std::size_t row_tasks =
+      n == 0 ? 0
+             : (n + std::max<std::size_t>(1, options.rows_per_task) - 1) /
+                   std::max<std::size_t>(1, options.rows_per_task);
+  const std::uint32_t threads =
+      exec::resolve_threads(options.threads, row_tasks);
+
+  // First-order term expanded from the CSR rows; the dense form of P is
+  // never built.
+  std::vector<double> sum(n * n, 0.0);
+  const std::uint32_t* cols = p.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* out = sum.data() + i * n;
+    const std::size_t end = p.row_end(i);
+    for (std::size_t e = p.row_begin(i); e < end; ++e) {
+      out[cols[e]] = vals[e];
+    }
+  }
+  std::vector<double> term = sum;
+
+  accumulate_orders(
+      n, options, sum, term,
+      [&](std::vector<double>& from, std::vector<double>& into) {
+        for_row_ranges(n, threads, options.rows_per_task,
+                       [&](std::size_t r0, std::size_t r1) {
+                         sparse_rows(from.data(), p, into.data(), n, r0, r1);
+                       });
+      });
 
   Matrix result(n);
   if (n > 0) std::memcpy(result.data(), sum.data(), n * n * sizeof(double));

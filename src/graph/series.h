@@ -10,8 +10,11 @@
 //   sparse    — a CSR snapshot of P right-multiplies the dense term, which
 //               costs O(n · nnz(P)) per order instead of O(n³).
 //
-// `kAuto` picks sparse when P's fill ratio is at or below
-// `sparse_fill_threshold` and P is nonnegative, dense otherwise.
+// `kAuto` picks sparse when P's fill ratio is at or below the effective
+// threshold (`sparse_fill_threshold`, relaxed to
+// `sparse_fill_threshold_large` once n reaches `sparse_large_n`) and P is
+// nonnegative, dense otherwise. Large graphs can also skip the dense P
+// entirely via the CsrMatrix overload below.
 //
 // Determinism: every kernel performs, for each output element (i, j), the
 // same additions in the same ascending-k order as the reference loop, so
@@ -51,6 +54,15 @@ struct SeriesOptions {
   std::uint32_t threads = 1;
   /// Fill ratio at or below which kAuto switches to the sparse kernel.
   double sparse_fill_threshold = 0.15;
+  /// Fill threshold used instead once n >= sparse_large_n. At scale the
+  /// O(n · nnz) sparse multiply beats the dense kernel well past the
+  /// small-matrix crossover (the dense kernel's cache-tiling advantage
+  /// fades as rows stop fitting in cache), so kAuto accepts denser
+  /// matrices. The effective large-n threshold is
+  /// max(sparse_fill_threshold, sparse_fill_threshold_large).
+  double sparse_fill_threshold_large = 0.35;
+  /// Matrix size at which sparse_fill_threshold_large takes over.
+  std::size_t sparse_large_n = 512;
   /// Rows per parallel work unit (scheduling granule only — results never
   /// depend on it).
   std::size_t rows_per_task = 16;
@@ -61,6 +73,16 @@ struct SeriesOptions {
 
 /// P + P² + … + P^max_order under `options`.
 Matrix power_series_sum(const Matrix& p, const SeriesOptions& options);
+
+class CsrMatrix;
+
+/// Same series evaluated directly from a CSR snapshot of P — the dense P is
+/// never materialized, so the O(n²) input buffer disappears from the
+/// sparse-first pipeline (only the term/accumulator buffers remain dense).
+/// Always runs the sparse kernel; requires P nonnegative (the influence
+/// domain), which makes the result bitwise identical to evaluating the
+/// dense entry point on `p.to_dense()`.
+Matrix power_series_sum(const CsrMatrix& p, const SeriesOptions& options);
 
 /// The original naive implementation, exported as the differential baseline.
 Matrix power_series_sum_reference(const Matrix& p, int max_order,

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <map>
 #include <sstream>
 #include <unordered_map>
 
 #include "common/error.h"
 #include "core/importance.h"
+#include "exec/executor.h"
 #include "graph/maxflow.h"
 #include "graph/mincut.h"
 #include "obs/obs.h"
@@ -29,13 +31,17 @@ std::string join_names(const SwGraph& sw,
 }  // namespace
 
 void ClusterEngine::QuotientCache::reset(const SwGraph& sw,
-                                         const graph::Partition& partition) {
+                                         const graph::Partition& partition,
+                                         bool incremental) {
   sw_ = &sw;
+  incremental_ = incremental;
   bundles_.clear();
   stats_.invalidations += combined_.size();
   FCM_OBS_COUNT("quotient_cache.invalidations", combined_.size());
   combined_.clear();
   memo_keys_by_rep_.clear();
+  adjacency_.clear();
+  bundle_pool_.clear();
   // Representative of each cluster: its smallest member node index.
   std::vector<graph::NodeIndex> rep(partition.cluster_count,
                                     graph::NodeIndex(0));
@@ -57,8 +63,34 @@ void ClusterEngine::QuotientCache::reset(const SwGraph& sw,
     const std::uint64_t key =
         (static_cast<std::uint64_t>(rep[ca]) << 32) | rep[cb];
     bundles_[key].push_back(static_cast<std::uint32_t>(e));
+    adjacency_[rep[ca]].push_back(rep[cb]);
+    adjacency_[rep[cb]].push_back(rep[ca]);
   }
   // Edge iteration order already leaves each bundle ascending.
+  for (auto& [r, adj] : adjacency_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+}
+
+const std::vector<graph::NodeIndex>& ClusterEngine::QuotientCache::neighbors(
+    graph::NodeIndex rep) const {
+  static const std::vector<graph::NodeIndex> kEmpty;
+  const auto it = adjacency_.find(rep);
+  return it == adjacency_.end() ? kEmpty : it->second;
+}
+
+void ClusterEngine::QuotientCache::recycle(std::vector<std::uint32_t>&& bundle) {
+  bundle.clear();
+  bundle_pool_.push_back(std::move(bundle));
+}
+
+std::vector<std::uint32_t> ClusterEngine::QuotientCache::fresh_bundle() {
+  if (bundle_pool_.empty()) return {};
+  std::vector<std::uint32_t> bundle = std::move(bundle_pool_.back());
+  bundle_pool_.pop_back();
+  FCM_OBS_COUNT("quotient_cache.pool_reuses", 1);
+  return bundle;
 }
 
 double ClusterEngine::QuotientCache::combine(std::uint64_t key) const {
@@ -102,34 +134,14 @@ double ClusterEngine::QuotientCache::mutual(graph::NodeIndex rep_a,
 void ClusterEngine::QuotientCache::merge(graph::NodeIndex rep_a,
                                          graph::NodeIndex rep_b) {
   const graph::NodeIndex merged = std::min(rep_a, rep_b);
-  // Re-bucket every bundle touching either input cluster; edges between
-  // the two become internal and disappear.
-  std::vector<std::pair<std::uint64_t, std::vector<std::uint32_t>>> moved;
-  for (auto it = bundles_.begin(); it != bundles_.end();) {
-    const auto from = static_cast<graph::NodeIndex>(it->first >> 32);
-    const auto to = static_cast<graph::NodeIndex>(it->first & 0xFFFFFFFFu);
-    const bool from_hit = from == rep_a || from == rep_b;
-    const bool to_hit = to == rep_a || to == rep_b;
-    if (!from_hit && !to_hit) {
-      ++it;
-      continue;
-    }
-    if (!(from_hit && to_hit)) {  // edges inside the union just vanish
-      const graph::NodeIndex new_from = from_hit ? merged : from;
-      const graph::NodeIndex new_to = to_hit ? merged : to;
-      moved.emplace_back(
-          (static_cast<std::uint64_t>(new_from) << 32) | new_to,
-          std::move(it->second));
-    }
-    it = bundles_.erase(it);
+  if (incremental_) {
+    FCM_OBS_COUNT("quotient_cache.delta_merges", 1);
+    merge_incremental(rep_a, rep_b, merged);
+  } else {
+    FCM_OBS_COUNT("quotient_cache.rebuild_merges", 1);
+    merge_scan_all(rep_a, rep_b, merged);
   }
-  for (auto& [key, indices] : moved) {
-    auto& bundle = bundles_[key];
-    bundle.insert(bundle.end(), indices.begin(), indices.end());
-    // Two clusters' bundles may both feed one target pair; restore the
-    // canonical ascending edge order a fresh rebuild would produce.
-    std::sort(bundle.begin(), bundle.end());
-  }
+  update_adjacency_after_merge(rep_a, rep_b, merged);
   // Drop memo entries involving either input (the merged cluster reuses
   // rep == min(rep_a, rep_b), so its stale values are covered too). Every
   // memo entry was indexed under both endpoints at insertion, so the two
@@ -145,6 +157,137 @@ void ClusterEngine::QuotientCache::merge(graph::NodeIndex rep_a,
     }
     memo_keys_by_rep_.erase(keys);
   }
+}
+
+void ClusterEngine::QuotientCache::merge_scan_all(graph::NodeIndex rep_a,
+                                                  graph::NodeIndex rep_b,
+                                                  graph::NodeIndex merged) {
+  // Re-bucket every bundle touching either input cluster; edges between
+  // the two become internal and disappear.
+  auto& moved = moved_scratch_;
+  moved.clear();
+  for (auto it = bundles_.begin(); it != bundles_.end();) {
+    const auto from = static_cast<graph::NodeIndex>(it->first >> 32);
+    const auto to = static_cast<graph::NodeIndex>(it->first & 0xFFFFFFFFu);
+    const bool from_hit = from == rep_a || from == rep_b;
+    const bool to_hit = to == rep_a || to == rep_b;
+    if (!from_hit && !to_hit) {
+      ++it;
+      continue;
+    }
+    if (!(from_hit && to_hit)) {  // edges inside the union just vanish
+      const graph::NodeIndex new_from = from_hit ? merged : from;
+      const graph::NodeIndex new_to = to_hit ? merged : to;
+      moved.emplace_back(
+          (static_cast<std::uint64_t>(new_from) << 32) | new_to,
+          std::move(it->second));
+    } else {
+      recycle(std::move(it->second));
+    }
+    it = bundles_.erase(it);
+  }
+  for (auto& [key, indices] : moved) {
+    auto& bundle = bundles_[key];
+    bundle.insert(bundle.end(), indices.begin(), indices.end());
+    // Two clusters' bundles may both feed one target pair; restore the
+    // canonical ascending edge order a fresh rebuild would produce.
+    std::sort(bundle.begin(), bundle.end());
+    recycle(std::move(indices));
+  }
+}
+
+void ClusterEngine::QuotientCache::fold_bundle_into(std::uint64_t key,
+                                                    std::uint64_t target) {
+  const auto it = bundles_.find(key);
+  if (it == bundles_.end()) return;
+  std::vector<std::uint32_t> indices = std::move(it->second);
+  bundles_.erase(it);
+  const auto slot = bundles_.find(target);
+  if (slot == bundles_.end()) {
+    bundles_.emplace(target, std::move(indices));
+    return;
+  }
+  // Both input clusters fed this target pair: merge the two ascending runs
+  // into the canonical ascending edge order a fresh rebuild would produce.
+  std::vector<std::uint32_t> folded = fresh_bundle();
+  folded.reserve(slot->second.size() + indices.size());
+  std::merge(slot->second.begin(), slot->second.end(), indices.begin(),
+             indices.end(), std::back_inserter(folded));
+  recycle(std::move(slot->second));
+  recycle(std::move(indices));
+  slot->second = std::move(folded);
+}
+
+void ClusterEngine::QuotientCache::merge_incremental(graph::NodeIndex rep_a,
+                                                     graph::NodeIndex rep_b,
+                                                     graph::NodeIndex merged) {
+  // Delta update: only bundles adjacent to the two input clusters can be
+  // affected, and the neighbor index knows exactly which those are — no
+  // scan over the remaining bundles. Identical post-state to
+  // merge_scan_all (differentially tested).
+  auto& affected = affected_scratch_;
+  affected.clear();
+  for (const graph::NodeIndex rep : {rep_a, rep_b}) {
+    for (const graph::NodeIndex c : neighbors(rep)) {
+      if (c != rep_a && c != rep_b) affected.push_back(c);
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  // Edges between the two inputs become internal and disappear.
+  for (const std::uint64_t key :
+       {(static_cast<std::uint64_t>(rep_a) << 32) | rep_b,
+        (static_cast<std::uint64_t>(rep_b) << 32) | rep_a}) {
+    const auto it = bundles_.find(key);
+    if (it == bundles_.end()) continue;
+    recycle(std::move(it->second));
+    bundles_.erase(it);
+  }
+  const graph::NodeIndex other = std::max(rep_a, rep_b);
+  for (const graph::NodeIndex c : affected) {
+    FCM_OBS_COUNT("quotient_cache.delta_updates", 1);
+    // merged == min(rep_a, rep_b), so the min-side bundle already sits
+    // under the target key; only the max side needs folding in.
+    fold_bundle_into((static_cast<std::uint64_t>(other) << 32) | c,
+                     (static_cast<std::uint64_t>(merged) << 32) | c);
+    fold_bundle_into((static_cast<std::uint64_t>(c) << 32) | other,
+                     (static_cast<std::uint64_t>(c) << 32) | merged);
+  }
+}
+
+void ClusterEngine::QuotientCache::update_adjacency_after_merge(
+    graph::NodeIndex rep_a, graph::NodeIndex rep_b, graph::NodeIndex merged) {
+  std::vector<graph::NodeIndex> adj_a, adj_b;
+  if (const auto it = adjacency_.find(rep_a); it != adjacency_.end()) {
+    adj_a = std::move(it->second);
+    adjacency_.erase(it);
+  }
+  if (const auto it = adjacency_.find(rep_b); it != adjacency_.end()) {
+    adj_b = std::move(it->second);
+    adjacency_.erase(it);
+  }
+  std::vector<graph::NodeIndex> merged_adj;
+  merged_adj.reserve(adj_a.size() + adj_b.size());
+  std::merge(adj_a.begin(), adj_a.end(), adj_b.begin(), adj_b.end(),
+             std::back_inserter(merged_adj));
+  merged_adj.erase(std::unique(merged_adj.begin(), merged_adj.end()),
+                   merged_adj.end());
+  merged_adj.erase(  // edges between the two inputs became internal
+      std::remove_if(merged_adj.begin(), merged_adj.end(),
+                     [&](graph::NodeIndex c) {
+                       return c == rep_a || c == rep_b;
+                     }),
+      merged_adj.end());
+  const graph::NodeIndex other = std::max(rep_a, rep_b);
+  for (const graph::NodeIndex c : merged_adj) {
+    auto& adj = adjacency_[c];
+    const auto drop = std::lower_bound(adj.begin(), adj.end(), other);
+    if (drop != adj.end() && *drop == other) adj.erase(drop);
+    const auto put = std::lower_bound(adj.begin(), adj.end(), merged);
+    if (put == adj.end() || *put != merged) adj.insert(put, merged);
+  }
+  if (!merged_adj.empty()) adjacency_[merged] = std::move(merged_adj);
 }
 
 std::vector<std::vector<std::string>> ClusteringResult::cluster_names(
@@ -249,18 +392,37 @@ graph::Digraph ClusterEngine::influence_quotient(
   const auto groups = partition.groups();
   graph::Digraph q;
   for (const auto& members : groups) q.add_node(join_names(*sw_, members));
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<double>>
-      bundles;
+  // Flat sort-based bundling instead of a map of per-pair weight vectors —
+  // one allocation for all crossing edges. stable_sort keeps edges of one
+  // pair in edge order and pairs emit in ascending (ca, cb), so the Eq. 4
+  // complement products and the edge insertion order match the previous
+  // map-based build bitwise.
+  struct CrossEdge {
+    std::uint32_t ca, cb;
+    double weight;
+  };
+  std::vector<CrossEdge> cross;
+  cross.reserve(sw_->influence_graph().edge_count());
   for (const graph::Edge& e : sw_->influence_graph().edges()) {
     if (sw_->replicas(e.from, e.to)) continue;  // drop 0-weight replica links
     const std::uint32_t ca = partition.cluster_of[e.from];
     const std::uint32_t cb = partition.cluster_of[e.to];
     if (ca == cb) continue;
-    bundles[{ca, cb}].push_back(e.weight);
+    cross.push_back({ca, cb, e.weight});
   }
-  for (const auto& [pair, weights] : bundles) {
-    q.add_edge(pair.first, pair.second,
-               graph::combine_probabilistic(weights));
+  std::stable_sort(cross.begin(), cross.end(),
+                   [](const CrossEdge& x, const CrossEdge& y) {
+                     if (x.ca != y.ca) return x.ca < y.ca;
+                     return x.cb < y.cb;
+                   });
+  for (std::size_t i = 0; i < cross.size();) {
+    const std::uint32_t ca = cross[i].ca;
+    const std::uint32_t cb = cross[i].cb;
+    double none = 1.0;
+    for (; i < cross.size() && cross[i].ca == ca && cross[i].cb == cb; ++i) {
+      none *= 1.0 - cross[i].weight;
+    }
+    q.add_edge(ca, cb, std::clamp(1.0 - none, 0.0, 1.0));
   }
   return q;
 }
@@ -277,7 +439,7 @@ ClusteringResult ClusterEngine::finish(graph::Partition partition,
 ClusteringResult ClusterEngine::h1_greedy() {
   graph::Partition partition =
       graph::Partition::identity(sw_->node_count());
-  quotient_cache_.reset(*sw_, partition);
+  quotient_cache_.reset(*sw_, partition, options_.incremental_quotient);
   std::vector<std::string> steps;
   greedy_merge_to_target(partition, steps, GreedyStepStyle::kCombine);
   return finish(std::move(partition), std::move(steps));
@@ -338,8 +500,12 @@ void ClusterEngine::greedy_merge_scan(graph::Partition& partition,
       }
     }
     if (best < 0.0) throw_no_combinable_pair(partition, style);
-    steps.push_back(greedy_step_text(style, join_names(*sw_, groups[best_a]),
-                                     join_names(*sw_, groups[best_b]), best));
+    if (options_.log_steps) {
+      steps.push_back(greedy_step_text(style,
+                                       join_names(*sw_, groups[best_a]),
+                                       join_names(*sw_, groups[best_b]),
+                                       best));
+    }
     quotient_cache_.merge(groups[best_a].front(), groups[best_b].front());
     partition.merge(groups[best_a].front(), groups[best_b].front());
   }
@@ -362,10 +528,12 @@ void ClusterEngine::greedy_merge_heap(graph::Partition& partition,
   // only on the two clusters' members, and any later membership change
   // reinserts the pair with fresh stamps.
   const bool memo = options_.use_influence_cache;
+  const bool incremental = options_.incremental_quotient;
   FCM_OBS_SPAN("h1.greedy_merge");
   // Local tallies flushed once at the end: the merge loop is sequential, so
   // one registry call per run costs nothing on the pop path.
-  std::uint64_t pops = 0, stale_pops = 0, recomputes = 0, merges = 0;
+  std::uint64_t pops = 0, stale_pops = 0, recomputes = 0, inherits = 0,
+                merges = 0, zero_fallbacks = 0;
 
   struct Candidate {
     double mutual;
@@ -385,15 +553,145 @@ void ClusterEngine::greedy_merge_heap(graph::Partition& partition,
     reps.push_back(members.front());
     version.emplace(members.front(), 0);
   }
+  // Last known exact mutual value per live positive pair, keyed
+  // (lo << 32 | hi) by representatives (incremental mode only). When a
+  // merge leaves a neighbor's edge bundle untouched — the neighbor was
+  // adjacent to only one of the two merged clusters, so the fold just
+  // re-keys its bundle — the pair's mutual value is bitwise unchanged and
+  // is inherited from here instead of re-running the Eq. 4 product.
+  std::unordered_map<std::uint64_t, double> pair_value;
+  const auto pair_key = [](graph::NodeIndex lo, graph::NodeIndex hi) {
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  };
+
   std::vector<Candidate> heap;
-  heap.reserve(reps.size() * (reps.size() - 1) / 2);
-  for (std::size_t a = 0; a < reps.size(); ++a) {
-    for (std::size_t b = a + 1; b < reps.size(); ++b) {
-      heap.push_back({quotient_cache_.mutual(reps[a], reps[b], memo),
-                      reps[a], reps[b], 0, 0});
+  if (incremental) {
+    // Seed only pairs sharing at least one crossing influence edge with
+    // positive combined influence — every other pair is exactly 0.0 and is
+    // reached through the zero-mutual fallback below once the heap drains.
+    // At scale this is O(edges) candidates instead of O(clusters²).
+    for (const graph::NodeIndex a : reps) {
+      for (const graph::NodeIndex b : quotient_cache_.neighbors(a)) {
+        if (b <= a) continue;
+        const double m = quotient_cache_.mutual(a, b, memo);
+        if (m > 0.0) {
+          heap.push_back({m, a, b, 0, 0});
+          pair_value.emplace(pair_key(a, b), m);
+        }
+      }
+    }
+  } else {
+    heap.reserve(reps.size() * (reps.size() - 1) / 2);
+    for (std::size_t a = 0; a < reps.size(); ++a) {
+      for (std::size_t b = a + 1; b < reps.size(); ++b) {
+        heap.push_back({quotient_cache_.mutual(reps[a], reps[b], memo),
+                        reps[a], reps[b], 0, 0});
+      }
     }
   }
   std::make_heap(heap.begin(), heap.end(), worse);
+
+  // Pre-merge neighbor snapshots, reused across merges.
+  std::vector<graph::NodeIndex> na_scratch, nb_scratch;
+
+  const auto apply_merge = [&](graph::NodeIndex rep_a, graph::NodeIndex rep_b,
+                               double mutual_value) {
+    if (options_.log_steps) {
+      const auto groups = partition.groups();
+      steps.push_back(greedy_step_text(
+          style, join_names(*sw_, groups[partition.cluster_of[rep_a]]),
+          join_names(*sw_, groups[partition.cluster_of[rep_b]]),
+          mutual_value));
+    }
+    if (incremental) {
+      // Snapshot both adjacency lists before the cache merge folds them.
+      na_scratch = quotient_cache_.neighbors(rep_a);
+      nb_scratch = quotient_cache_.neighbors(rep_b);
+    }
+    quotient_cache_.merge(rep_a, rep_b);
+    partition.merge(rep_a, rep_b);
+    const graph::NodeIndex merged = std::min(rep_a, rep_b);
+    version.erase(std::max(rep_a, rep_b));
+    const std::uint64_t merged_version = ++version[merged];
+    // Only pairs touching the merged cluster need fresh influence values.
+    if (incremental) {
+      // And of those, only its bundle-neighbors can be positive; the
+      // neighbor index (already folded by the cache merge above) lists
+      // exactly those, ascending. A neighbor of only one merged side keeps
+      // a bitwise-identical bundle, so its mutual value is inherited; only
+      // neighbors of both sides get a fresh Eq. 4 evaluation.
+      pair_value.erase(pair_key(merged, std::max(rep_a, rep_b)));
+      for (const graph::NodeIndex c : quotient_cache_.neighbors(merged)) {
+        const bool in_a = std::binary_search(na_scratch.begin(),
+                                             na_scratch.end(), c);
+        const bool in_b = std::binary_search(nb_scratch.begin(),
+                                             nb_scratch.end(), c);
+        const std::uint64_t key_a =
+            pair_key(std::min(rep_a, c), std::max(rep_a, c));
+        const std::uint64_t key_b =
+            pair_key(std::min(rep_b, c), std::max(rep_b, c));
+        const graph::NodeIndex lo = std::min(c, merged);
+        const graph::NodeIndex hi = std::max(c, merged);
+        double m = 0.0;
+        if (in_a && in_b) {
+          m = quotient_cache_.mutual(lo, hi, memo);
+          ++recomputes;
+        } else {
+          const auto it = pair_value.find(in_a ? key_a : key_b);
+          m = it == pair_value.end() ? 0.0 : it->second;
+          ++inherits;
+        }
+        pair_value.erase(key_a);
+        pair_value.erase(key_b);
+        if (m <= 0.0) continue;
+        pair_value.emplace(pair_key(lo, hi), m);
+        heap.push_back({m, lo, hi,
+                        lo == merged ? merged_version
+                                     : version.find(lo)->second,
+                        hi == merged ? merged_version
+                                     : version.find(hi)->second});
+        std::push_heap(heap.begin(), heap.end(), worse);
+      }
+    } else {
+      for (const auto& [rep, ver] : version) {
+        if (rep == merged) continue;
+        const graph::NodeIndex lo = std::min(rep, merged);
+        const graph::NodeIndex hi = std::max(rep, merged);
+        heap.push_back({quotient_cache_.mutual(lo, hi, memo), lo, hi,
+                        lo == merged ? merged_version : ver,
+                        hi == merged ? merged_version : ver});
+        std::push_heap(heap.begin(), heap.end(), worse);
+        ++recomputes;
+      }
+    }
+    ++merges;
+  };
+
+  // Every remaining combinable pair has mutual influence exactly 0.0 once
+  // the heap drains (positive pairs are heap-resident until popped, and a
+  // popped pair that failed can_combine stays uncombinable until one of
+  // its clusters changes, which re-inserts it). The scan reference would
+  // pick the first combinable pair in ascending cluster-index order —
+  // cluster indices are ordered by representative, so scanning sorted live
+  // representatives reproduces that choice.
+  const auto zero_mutual_fallback = [&]() {
+    std::vector<graph::NodeIndex> live;
+    live.reserve(version.size());
+    for (const auto& [rep, ver] : version) live.push_back(rep);
+    std::sort(live.begin(), live.end());
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      for (std::size_t j = i + 1; j < live.size(); ++j) {
+        if (!can_combine(partition, partition.cluster_of[live[i]],
+                         partition.cluster_of[live[j]])) {
+          continue;
+        }
+        apply_merge(live[i], live[j], 0.0);
+        ++zero_fallbacks;
+        return true;
+      }
+    }
+    return false;
+  };
 
   while (partition.cluster_count > options_.target_clusters) {
     bool merged_one = false;
@@ -412,44 +710,25 @@ void ClusterEngine::greedy_merge_heap(graph::Partition& partition,
       const std::uint32_t cluster_a = partition.cluster_of[cand.rep_a];
       const std::uint32_t cluster_b = partition.cluster_of[cand.rep_b];
       if (!can_combine(partition, cluster_a, cluster_b)) continue;
-
-      const auto groups = partition.groups();
-      steps.push_back(greedy_step_text(style,
-                                       join_names(*sw_, groups[cluster_a]),
-                                       join_names(*sw_, groups[cluster_b]),
-                                       cand.mutual));
-      quotient_cache_.merge(cand.rep_a, cand.rep_b);
-      partition.merge(cand.rep_a, cand.rep_b);
-      const graph::NodeIndex merged = std::min(cand.rep_a, cand.rep_b);
-      version.erase(std::max(cand.rep_a, cand.rep_b));
-      const std::uint64_t merged_version = ++version[merged];
-      // Only pairs touching the merged cluster need fresh influence values.
-      for (const auto& [rep, ver] : version) {
-        if (rep == merged) continue;
-        const graph::NodeIndex lo = std::min(rep, merged);
-        const graph::NodeIndex hi = std::max(rep, merged);
-        heap.push_back({quotient_cache_.mutual(lo, hi, memo), lo, hi,
-                        lo == merged ? merged_version : ver,
-                        hi == merged ? merged_version : ver});
-        std::push_heap(heap.begin(), heap.end(), worse);
-        ++recomputes;
-      }
-      ++merges;
+      apply_merge(cand.rep_a, cand.rep_b, cand.mutual);
       merged_one = true;
       break;
     }
+    if (!merged_one && incremental) merged_one = zero_mutual_fallback();
     if (!merged_one) throw_no_combinable_pair(partition, style);
   }
   FCM_OBS_COUNT("h1.heap.pops", pops);
   FCM_OBS_COUNT("h1.heap.stale_pops", stale_pops);
   FCM_OBS_COUNT("h1.heap.recomputes", recomputes);
+  FCM_OBS_COUNT("h1.heap.inherits", inherits);
+  FCM_OBS_COUNT("h1.heap.zero_fallbacks", zero_fallbacks);
   FCM_OBS_COUNT("h1.merges", merges);
 }
 
 ClusteringResult ClusterEngine::h1_rounds() {
   graph::Partition partition =
       graph::Partition::identity(sw_->node_count());
-  quotient_cache_.reset(*sw_, partition);
+  quotient_cache_.reset(*sw_, partition, options_.incremental_quotient);
   const bool memo = options_.use_influence_cache;
   std::vector<std::string> steps;
   int round = 0;
@@ -502,6 +781,230 @@ ClusteringResult ClusterEngine::h1_rounds() {
       partition.merge(groups[a].front(), groups[b].front());
     }
   }
+  return finish(std::move(partition), std::move(steps));
+}
+
+std::vector<std::vector<graph::NodeIndex>>
+ClusterEngine::partition_for_hierarchy(std::size_t parts_wanted) const {
+  // Stoer–Wagner is O(V³) — fine for parts this small, far too slow for
+  // thousands of nodes, where the BFS-order halving takes over.
+  constexpr std::size_t kMinCutLimit = 192;
+  const std::size_t n = sw_->node_count();
+  const graph::Digraph& g = sw_->influence_graph();
+
+  std::vector<std::vector<graph::NodeIndex>> parts;
+  {
+    std::vector<graph::NodeIndex> all(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      all[v] = static_cast<graph::NodeIndex>(v);
+    }
+    parts.push_back(std::move(all));
+  }
+
+  std::vector<char> in_part(n, 0);
+  std::vector<char> visited(n, 0);
+
+  // Splits `part` at the midpoint of a BFS order over the positive-weight
+  // influence edges (replica links carry weight 0 and are ignored), so each
+  // half keeps influence locality. Deterministic: BFS seeds are the part's
+  // ascending unvisited nodes and neighbors enqueue in ascending index.
+  const auto bfs_halves = [&](const std::vector<graph::NodeIndex>& part,
+                              std::vector<graph::NodeIndex>& first,
+                              std::vector<graph::NodeIndex>& second) {
+    for (const graph::NodeIndex v : part) {
+      in_part[v] = 1;
+      visited[v] = 0;
+    }
+    std::vector<graph::NodeIndex> order;
+    order.reserve(part.size());
+    std::vector<graph::NodeIndex> nbrs;
+    std::size_t head = 0;
+    for (const graph::NodeIndex seed : part) {
+      if (visited[seed]) continue;
+      visited[seed] = 1;
+      order.push_back(seed);
+      while (head < order.size()) {
+        const graph::NodeIndex u = order[head++];
+        nbrs.clear();
+        for (const std::uint32_t e : g.out_edges(u)) {
+          const graph::Edge& edge = g.edges()[e];
+          if (edge.weight > 0.0 && in_part[edge.to]) nbrs.push_back(edge.to);
+        }
+        for (const std::uint32_t e : g.in_edges(u)) {
+          const graph::Edge& edge = g.edges()[e];
+          if (edge.weight > 0.0 && in_part[edge.from]) {
+            nbrs.push_back(edge.from);
+          }
+        }
+        std::sort(nbrs.begin(), nbrs.end());
+        for (const graph::NodeIndex v : nbrs) {
+          if (!visited[v]) {
+            visited[v] = 1;
+            order.push_back(v);
+          }
+        }
+      }
+    }
+    const std::size_t half = (part.size() + 1) / 2;
+    first.assign(order.begin(),
+                 order.begin() + static_cast<std::ptrdiff_t>(half));
+    second.assign(order.begin() + static_cast<std::ptrdiff_t>(half),
+                  order.end());
+    std::sort(first.begin(), first.end());
+    std::sort(second.begin(), second.end());
+    for (const graph::NodeIndex v : part) in_part[v] = 0;
+  };
+
+  while (parts.size() < parts_wanted) {
+    std::size_t largest = parts.size();
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (parts[i].size() < 2) continue;
+      if (largest == parts.size() ||
+          parts[i].size() > parts[largest].size()) {
+        largest = i;
+      }
+    }
+    if (largest == parts.size()) break;  // all parts singleton
+    const std::vector<graph::NodeIndex> part = std::move(parts[largest]);
+    std::vector<graph::NodeIndex> first, second;
+    if (part.size() <= kMinCutLimit) {
+      const graph::CutResult cut = graph::global_min_cut_subset(g, part);
+      for (const graph::NodeIndex v : part) {
+        (cut.in_first_side[v] ? first : second).push_back(v);
+      }
+      FCM_REQUIRE(!first.empty() && !second.empty(),
+                  "min-cut produced a degenerate split");
+    } else {
+      bfs_halves(part, first, second);
+    }
+    parts[largest] = std::move(first);
+    parts.push_back(std::move(second));
+  }
+  return parts;
+}
+
+ClusteringResult ClusterEngine::h1_hierarchical() {
+  const std::size_t n = sw_->node_count();
+  FCM_REQUIRE(options_.target_clusters <= n,
+              "more clusters requested than SW nodes");
+  constexpr std::size_t kNodesPerPart = 96;
+  const std::size_t parts_wanted =
+      options_.hierarchy_parts > 0
+          ? options_.hierarchy_parts
+          : std::clamp<std::size_t>(n / kNodesPerPart, std::size_t{1},
+                                    options_.target_clusters);
+  if (parts_wanted <= 1) return h1_greedy();
+  FCM_OBS_SPAN("h1.hierarchical");
+
+  const std::vector<std::vector<graph::NodeIndex>> parts =
+      partition_for_hierarchy(parts_wanted);
+  FCM_OBS_COUNT("h1.hierarchical.parts", parts.size());
+
+  // Local cluster targets: a proportional share of the global target by
+  // part size, floored by the part's replica need (replicas of one process
+  // inside a part require that many distinct local clusters) and topped up
+  // in largest-remainder order until the local targets sum to at least the
+  // global target — the final phase then only ever merges.
+  std::vector<std::size_t> target(parts.size());
+  std::vector<std::size_t> remainder(parts.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    std::map<FcmId, std::size_t> per_origin;
+    std::size_t need = 1;
+    for (const graph::NodeIndex v : parts[i]) {
+      need = std::max(need, ++per_origin[sw_->node(v).origin]);
+    }
+    const std::size_t share = options_.target_clusters * parts[i].size();
+    target[i] = std::min(parts[i].size(), std::max(need, share / n));
+    remainder[i] = share % n;
+    total += target[i];
+  }
+  while (total < options_.target_clusters) {
+    std::size_t pick = parts.size();
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (target[i] >= parts[i].size()) continue;
+      if (pick == parts.size() || remainder[i] > remainder[pick]) pick = i;
+    }
+    FCM_REQUIRE(pick < parts.size(),
+                "hierarchical: cannot distribute local cluster targets");
+    ++target[pick];
+    ++total;
+    remainder[pick] = 0;
+  }
+
+  // Per-part H1 runs — independent of each other and of the lane running
+  // them, so the composed result is bitwise identical for any thread
+  // count. Errors are captured per slot and rethrown in part order.
+  struct PartOutcome {
+    graph::Partition partition;
+    std::vector<std::string> steps;
+    std::size_t achieved_target = 0;
+    std::exception_ptr error;
+  };
+  std::vector<PartOutcome> outcomes(parts.size());
+  const std::uint32_t threads =
+      exec::resolve_threads(options_.threads, parts.size());
+  exec::parallel_for_blocks(
+      parts.size(), threads, [&](std::uint64_t b, std::uint32_t /*lane*/) {
+        PartOutcome& out = outcomes[b];
+        try {
+          const SwGraph sub = sw_->subset(parts[b]);
+          ClusteringOptions local = options_;
+          local.threads = 1;
+          local.hierarchy_parts = 1;
+          // An infeasible local target is relaxed upward; at target ==
+          // part size H1 performs no merges, so the loop always lands.
+          for (std::size_t t = target[b];; ++t) {
+            local.target_clusters = t;
+            ClusterEngine local_engine(sub, local);
+            try {
+              ClusteringResult local_result = local_engine.h1_greedy();
+              out.partition = std::move(local_result.partition);
+              out.steps = std::move(local_result.steps);
+              out.achieved_target = t;
+              break;
+            } catch (const Infeasible&) {
+              if (t >= parts[b].size()) throw;
+            }
+          }
+        } catch (...) {
+          out.error = std::current_exception();
+        }
+      });
+  for (PartOutcome& out : outcomes) {
+    if (out.error) std::rethrow_exception(out.error);
+  }
+
+  // Compose the global partition and step log in fixed part order, then
+  // H1-merge across parts down to the global target.
+  graph::Partition partition = graph::Partition::identity(n);
+  std::vector<std::string> steps;
+  if (options_.log_steps) {
+    std::ostringstream head;
+    head << "hierarchical: " << parts.size() << " parts over " << n
+         << " nodes (target " << options_.target_clusters << ")";
+    steps.push_back(head.str());
+  }
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const auto groups = outcomes[i].partition.groups();
+    for (const auto& members : groups) {
+      for (std::size_t k = 1; k < members.size(); ++k) {
+        partition.merge(parts[i][members[0]], parts[i][members[k]]);
+      }
+    }
+    if (options_.log_steps) {
+      std::ostringstream summary;
+      summary << "part " << (i + 1) << ": " << parts[i].size()
+              << " nodes -> " << groups.size() << " clusters (local target "
+              << outcomes[i].achieved_target << ")";
+      steps.push_back(summary.str());
+      for (const std::string& s : outcomes[i].steps) {
+        steps.push_back("part " + std::to_string(i + 1) + ": " + s);
+      }
+    }
+  }
+  quotient_cache_.reset(*sw_, partition, options_.incremental_quotient);
+  greedy_merge_to_target(partition, steps, GreedyStepStyle::kCombine);
   return finish(std::move(partition), std::move(steps));
 }
 
@@ -625,7 +1128,7 @@ ClusteringResult ClusterEngine::h2_driver(
       partition.merge(part[0], part[k]);
     }
   }
-  quotient_cache_.reset(*sw_, partition);
+  quotient_cache_.reset(*sw_, partition, options_.incremental_quotient);
   greedy_merge_to_target(partition, steps, GreedyStepStyle::kRepairMerge);
   return finish(std::move(partition), std::move(steps));
 }
@@ -656,7 +1159,7 @@ ClusteringResult ClusterEngine::h3_importance(double importance_threshold,
   }
 
   graph::Partition partition = graph::Partition::identity(n);
-  quotient_cache_.reset(*sw_, partition);
+  quotient_cache_.reset(*sw_, partition, options_.incremental_quotient);
   const bool memo = options_.use_influence_cache;
   // Attach non-seeds (most important first) to their best seed cluster.
   for (std::size_t k = options_.target_clusters; k < n; ++k) {

@@ -61,6 +61,29 @@ struct ClusteringOptions {
   /// and partitions (differentially tested); the scan remains as the
   /// reference. Leave on.
   bool use_pair_heap = true;
+  /// Incremental quotient maintenance: a merge delta-updates only the
+  /// bundles and heap candidates adjacent to the merged cluster (tracked
+  /// through a per-representative neighbor index) instead of rescanning
+  /// every bundle and re-pushing a candidate for every live cluster.
+  /// Cluster pairs with zero mutual influence are then reached through a
+  /// deterministic fallback scan once the heap drains — sound because a
+  /// positive-mutual pair is always heap-resident until popped, and a
+  /// popped pair that failed can_combine stays uncombinable until one of
+  /// its clusters changes (which re-inserts it). `false` restores the
+  /// full-rebuild behavior; both modes produce bitwise-identical merge
+  /// sequences, partitions, and quotients (differentially tested).
+  bool incremental_quotient = true;
+  /// Record the human-readable per-merge step log. At thousands of nodes
+  /// the joined member-name strings dominate memory and time; the scale
+  /// bench turns this off. Results are unaffected.
+  bool log_steps = true;
+  /// Worker threads for the per-part clustering runs of h1_hierarchical
+  /// (0 = FCM_THREADS / hardware concurrency, 1 = sequential). The result
+  /// is bitwise identical for every value.
+  std::uint32_t threads = 0;
+  /// Partition count for h1_hierarchical (0 = auto: about one part per 96
+  /// nodes, capped by the target cluster count).
+  std::size_t hierarchy_parts = 0;
 };
 
 /// Ordering keys for the timing-ordered technique.
@@ -108,6 +131,19 @@ class ClusterEngine {
   /// rounds repeat. May overshoot-stop exactly at target mid-round.
   ClusteringResult h1_rounds();
 
+  /// Hierarchical H1 for large graphs: partition the SW nodes first
+  /// (min-cut bisection for small parts, deterministic BFS-order bisection
+  /// for large ones), run H1 to a proportional local target within each
+  /// part — in parallel on `fcm::exec` when `options.threads` allows — and
+  /// finally H1-merge the composed clustering down to the global target.
+  /// This keeps the greedy merge loop quadratic only within parts, not
+  /// globally. The result is bitwise identical for every thread count:
+  /// parts are deterministic, each local run depends only on its own
+  /// subgraph, and composition and the final merge happen in fixed part
+  /// order. With `hierarchy_parts` ≤ 1 (or a graph small enough that the
+  /// auto part count is 1), this is exactly h1_greedy.
+  ClusteringResult h1_hierarchical();
+
   /// H2: recursive min-cut bisection of the largest part until the target
   /// count, then constraint repair (split invalid parts, re-merge best
   /// pairs).
@@ -153,7 +189,6 @@ class ClusterEngine {
     return quotient_cache_.stats();
   }
 
- private:
   /// Incremental cluster-pair influence under a shrinking partition.
   ///
   /// The greedy heuristics (H1, H3, the H2 repair phase) previously rebuilt
@@ -168,17 +203,33 @@ class ClusterEngine {
   /// Combination multiplies weights in ascending edge order, exactly the
   /// order `influence_quotient` uses, so cached, uncached, and full-rebuild
   /// values are bitwise identical.
+  ///
+  /// Public (rather than an implementation detail) so the incremental-vs-
+  /// rebuild property tests can drive merges directly and compare against
+  /// an independently rebuilt quotient.
   class QuotientCache {
    public:
-    /// Rebuilds bundles for the partition; keeps accumulated stats.
-    void reset(const SwGraph& sw, const graph::Partition& partition);
+    /// Rebuilds bundles and the neighbor index for the partition; keeps
+    /// accumulated stats. `incremental` selects the merge maintenance mode
+    /// (see ClusteringOptions::incremental_quotient); both modes yield
+    /// identical bundles, memo contents, and neighbor indices.
+    void reset(const SwGraph& sw, const graph::Partition& partition,
+               bool incremental = true);
     /// Mutual influence between the clusters represented by `rep_a` and
     /// `rep_b` (Eq. 4 combination per direction, summed). `memoize` off
     /// recomputes from the bundles without touching the memo or stats.
     [[nodiscard]] double mutual(graph::NodeIndex rep_a,
                                 graph::NodeIndex rep_b, bool memoize);
-    /// Folds the two clusters' bundles after a partition merge.
+    /// Folds the two clusters' bundles after a partition merge. In
+    /// incremental mode the affected bundles are found through the
+    /// neighbor index in O(degree); in rebuild mode every bundle is
+    /// scanned, as the original implementation did.
     void merge(graph::NodeIndex rep_a, graph::NodeIndex rep_b);
+    /// Representatives whose clusters share at least one crossing influence
+    /// edge with `rep`'s cluster, ascending. Pairs not listed here have
+    /// mutual influence exactly 0.0.
+    [[nodiscard]] const std::vector<graph::NodeIndex>& neighbors(
+        graph::NodeIndex rep) const;
     [[nodiscard]] const core::CacheStats& stats() const noexcept {
       return stats_;
     }
@@ -187,8 +238,21 @@ class ClusterEngine {
     [[nodiscard]] double directed(graph::NodeIndex rep_from,
                                   graph::NodeIndex rep_to, bool memoize);
     [[nodiscard]] double combine(std::uint64_t key) const;
+    void merge_scan_all(graph::NodeIndex rep_a, graph::NodeIndex rep_b,
+                        graph::NodeIndex merged);
+    void merge_incremental(graph::NodeIndex rep_a, graph::NodeIndex rep_b,
+                           graph::NodeIndex merged);
+    /// Moves bundle `key` (if present) into `target`, folding into any
+    /// bundle already there (merge of two ascending runs stays ascending).
+    void fold_bundle_into(std::uint64_t key, std::uint64_t target);
+    void recycle(std::vector<std::uint32_t>&& bundle);
+    [[nodiscard]] std::vector<std::uint32_t> fresh_bundle();
+    void update_adjacency_after_merge(graph::NodeIndex rep_a,
+                                      graph::NodeIndex rep_b,
+                                      graph::NodeIndex merged);
 
     const SwGraph* sw_ = nullptr;
+    bool incremental_ = true;
     // (rep_from << 32 | rep_to) -> ascending indices into sw edges().
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> bundles_;
     std::unordered_map<std::uint64_t, double> combined_;
@@ -198,8 +262,21 @@ class ClusterEngine {
     // Entries may be stale — erasing a key that is already gone is a no-op.
     std::unordered_map<graph::NodeIndex, std::vector<std::uint64_t>>
         memo_keys_by_rep_;
+    // Representative -> sorted bundle-neighbor representatives (either
+    // direction). Maintained exactly (no stale entries) by reset/merge.
+    std::unordered_map<graph::NodeIndex, std::vector<graph::NodeIndex>>
+        adjacency_;
+    // Pooled transient storage for the merge loop: retired bundle vectors
+    // are recycled instead of freed, and the scratch lists below keep their
+    // capacity across merges.
+    std::vector<std::vector<std::uint32_t>> bundle_pool_;
+    std::vector<graph::NodeIndex> affected_scratch_;
+    std::vector<std::pair<std::uint64_t, std::vector<std::uint32_t>>>
+        moved_scratch_;
     core::CacheStats stats_;
   };
+
+ private:
   /// Whether the union of the members' resource requirements passes the
   /// configured resource check (true when no check is configured).
   [[nodiscard]] bool resources_hostable(
@@ -235,6 +312,13 @@ class ClusterEngine {
                                                     double mutual);
   [[noreturn]] void throw_no_combinable_pair(
       const graph::Partition& partition, GreedyStepStyle style) const;
+  /// Splits all SW nodes into `parts_wanted` deterministic parts for
+  /// h1_hierarchical: recursively bisect the largest part — Stoer–Wagner
+  /// min-cut when the part is small, BFS-order halving (over the positive-
+  /// weight influence edges) when it is large. Parts are ascending node
+  /// lists in creation order.
+  [[nodiscard]] std::vector<std::vector<graph::NodeIndex>>
+  partition_for_hierarchy(std::size_t parts_wanted) const;
   /// Shared H2 machinery: bisect the largest part until the target count,
   /// repair constraint violations, re-merge any overshoot.
   ClusteringResult h2_driver(

@@ -28,6 +28,8 @@ const char* to_string(Heuristic heuristic) noexcept {
       return "criticality-pairing";
     case Heuristic::kTimingOrdered:
       return "timing-ordered";
+    case Heuristic::kH1Hierarchical:
+      return "H1-hierarchical";
   }
   return "?";
 }
@@ -76,6 +78,9 @@ Plan IntegrationPlanner::plan_with(Heuristic heuristic, Approach approach,
   ClusteringOptions copts;
   copts.target_clusters = hw_->node_count();
   copts.policy = options_.policy;
+  copts.threads = options_.cluster_threads;
+  copts.incremental_quotient = options_.incremental_quotient;
+  copts.hierarchy_parts = options_.hierarchy_parts;
   copts.resource_check = [hw = hw_](const std::set<std::string>& required) {
     for (const HwNode& node : hw->nodes()) {
       if (std::includes(node.resources.begin(), node.resources.end(),
@@ -111,6 +116,9 @@ Plan IntegrationPlanner::plan_with(Heuristic heuristic, Approach approach,
       break;
     case Heuristic::kTimingOrdered:
       result.clustering = engine.timing_ordered();
+      break;
+    case Heuristic::kH1Hierarchical:
+      result.clustering = engine.h1_hierarchical();
       break;
   }
   result.assignment =

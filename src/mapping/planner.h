@@ -19,7 +19,10 @@
 
 namespace fcm::mapping {
 
-/// Clustering heuristic selector.
+/// Clustering heuristic selector. kH1Hierarchical is the scale variant of
+/// H1 (partition, cluster within parts in parallel, merge across); it is
+/// selectable explicitly but excluded from the best_plan sweep, which
+/// targets paper-sized systems where flat H1 subsumes it.
 enum class Heuristic : std::uint8_t {
   kH1Greedy,
   kH1Rounds,
@@ -28,6 +31,7 @@ enum class Heuristic : std::uint8_t {
   kH3Importance,
   kCriticalityPairing,
   kTimingOrdered,
+  kH1Hierarchical,
 };
 
 const char* to_string(Heuristic heuristic) noexcept;
@@ -63,6 +67,17 @@ struct PlanOptions {
   /// strictly-greater score rule, so the chosen plan is identical for
   /// every thread count.
   std::uint32_t sweep_threads = 1;
+  /// Worker threads for the per-part runs of kH1Hierarchical
+  /// (0 = FCM_THREADS / hardware concurrency). Plans are bitwise identical
+  /// for every value.
+  std::uint32_t cluster_threads = 0;
+  /// Quotient maintenance mode for the greedy merge loops (see
+  /// ClusteringOptions::incremental_quotient). Both settings produce
+  /// bitwise-identical plans; `false` is the full-rebuild reference the CI
+  /// differential gate compares against.
+  bool incremental_quotient = true;
+  /// Part count for kH1Hierarchical (0 = auto).
+  std::size_t hierarchy_parts = 0;
 };
 
 /// Plans the integration of `processes` onto `hw`.

@@ -8,6 +8,7 @@
 #include "common/probability.h"
 #include "common/table.h"
 #include "core/influence_analysis.h"
+#include "core/synthetic.h"
 #include "dependability/montecarlo.h"
 #include "graph/digraph.h"
 #include "mapping/replanner.h"
@@ -63,6 +64,56 @@ auto as_query_error(Fn&& fn) -> decltype(fn()) {
   }
 }
 
+/// Strict base-10 parse; rejects empty, non-digit, and overflowing text.
+bool parse_u64(std::string_view text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 19) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+/// Recognizes "synthetic-<processes>-<seed>" model names — the deterministic
+/// systems of core::synthetic::make_system, shared with the scale bench and
+/// `fcm_tool plan --synthetic`, so plans can be byte-compared across tools.
+bool parse_synthetic(const std::string& name, std::size_t* processes,
+                     std::uint64_t* seed) {
+  constexpr std::string_view kPrefix = "synthetic-";
+  const std::string_view view(name);
+  if (view.substr(0, kPrefix.size()) != kPrefix) return false;
+  const std::size_t dash = view.find('-', kPrefix.size());
+  if (dash == std::string_view::npos) return false;
+  std::uint64_t n = 0;
+  std::uint64_t s = 0;
+  if (!parse_u64(view.substr(kPrefix.size(), dash - kPrefix.size()), &n) ||
+      !parse_u64(view.substr(dash + 1), &s)) {
+    return false;
+  }
+  if (n < 2 || n > 8192) return false;
+  *processes = static_cast<std::size_t>(n);
+  *seed = s;
+  return true;
+}
+
+/// Model registry lookup for opcodes that can plan any model: "example98"
+/// or "synthetic-N-S" with N in [2, 8192].
+std::string model_name(const cli::Options& params) {
+  const std::string model = params.get("model", "example98");
+  std::size_t n = 0;
+  std::uint64_t s = 0;
+  if (model != "example98" && !parse_synthetic(model, &n, &s)) {
+    throw QueryError("unknown model '" + model +
+                     "' (want example98 or synthetic-<processes>-<seed> "
+                     "with processes in [2, 8192])");
+  }
+  return model;
+}
+
+/// Opcodes whose renderers read the example98 fleet directly still demand
+/// it explicitly.
 void check_model(const cli::Options& params) {
   const std::string model = params.get("model", "example98");
   if (model != "example98") {
@@ -73,15 +124,28 @@ void check_model(const cli::Options& params) {
 int hw_nodes(const cli::Options& params) {
   const int hw = as_query_error(
       [&] { return params.get_int("hw", core::example98::kHwNodes); });
-  if (hw < 1 || hw > 512) {
-    throw QueryError("hw must be in [1, 512], got " + std::to_string(hw));
+  if (hw < 1 || hw > 4096) {
+    throw QueryError("hw must be in [1, 4096], got " + std::to_string(hw));
   }
   return hw;
+}
+
+/// quotient=incremental|rebuild selects the planner's quotient maintenance
+/// mode (PlanOptions::incremental_quotient). Both modes produce
+/// byte-identical plans; exposing the switch lets CI compare them through
+/// the public surface.
+bool parse_quotient(const cli::Options& params) {
+  const std::string mode = params.get("quotient", "incremental");
+  if (mode == "incremental") return true;
+  if (mode == "rebuild") return false;
+  throw QueryError("unknown quotient mode '" + mode +
+                   "' (want incremental|rebuild)");
 }
 
 mapping::Heuristic parse_heuristic(const std::string& name) {
   if (name == "h1") return mapping::Heuristic::kH1Greedy;
   if (name == "h1r") return mapping::Heuristic::kH1Rounds;
+  if (name == "h1h") return mapping::Heuristic::kH1Hierarchical;
   if (name == "h2") return mapping::Heuristic::kH2MinCut;
   if (name == "h3") return mapping::Heuristic::kH3Importance;
   if (name == "crit") return mapping::Heuristic::kCriticalityPairing;
@@ -146,15 +210,19 @@ struct QueryEngine::PlatformState {
   std::mutex mutex;
   std::map<std::pair<std::string, char>, mapping::Plan> plans;
 
-  PlatformState(const core::example98::Instance& instance, int nodes,
-                std::uint32_t sweep_threads)
+  PlatformState(const core::FcmHierarchy& hierarchy,
+                const core::InfluenceModel& influence,
+                std::vector<FcmId> processes, int nodes,
+                std::uint32_t sweep_threads, bool incremental_quotient)
       : hw(mapping::HwGraph::complete(nodes)),
-        planner(instance.hierarchy, instance.influence, instance.processes,
-                hw, make_options(sweep_threads)) {}
+        planner(hierarchy, influence, std::move(processes), hw,
+                make_options(sweep_threads, incremental_quotient)) {}
 
-  static mapping::PlanOptions make_options(std::uint32_t sweep_threads) {
+  static mapping::PlanOptions make_options(std::uint32_t sweep_threads,
+                                           bool incremental_quotient) {
     mapping::PlanOptions options;
     options.sweep_threads = sweep_threads;
+    options.incremental_quotient = incremental_quotient;
     return options;
   }
 
@@ -182,16 +250,29 @@ struct QueryEngine::PlatformState {
 QueryEngine::QueryEngine() : instance_(core::example98::make_instance()) {}
 QueryEngine::~QueryEngine() = default;
 
-QueryEngine::PlatformState& QueryEngine::platform(const std::string& model,
-                                                  int hw) {
-  (void)model;  // one model today; the key grows with the fleet
+QueryEngine::PlatformState& QueryEngine::platform(
+    const std::string& model, int hw, bool incremental_quotient) {
   const std::lock_guard<std::mutex> lock(platforms_mutex_);
-  auto it = platforms_.find(hw);
+  const auto key = std::make_tuple(model, hw, incremental_quotient);
+  auto it = platforms_.find(key);
   if (it == platforms_.end()) {
-    it = platforms_
-             .emplace(hw, std::make_unique<PlatformState>(instance_, hw,
-                                                          /*sweep=*/0))
-             .first;
+    std::unique_ptr<PlatformState> state;
+    std::size_t n = 0;
+    std::uint64_t seed = 0;
+    if (parse_synthetic(model, &n, &seed)) {
+      // Generated fresh per (model, hw, quotient) platform; the planner's
+      // SwGraph keeps everything it needs, so the System itself is
+      // transient.
+      const core::synthetic::System sys = core::synthetic::make_system(n, seed);
+      state = std::make_unique<PlatformState>(sys.hierarchy, sys.influence,
+                                              sys.processes, hw, /*sweep=*/0,
+                                              incremental_quotient);
+    } else {
+      state = std::make_unique<PlatformState>(
+          instance_.hierarchy, instance_.influence, instance_.processes, hw,
+          /*sweep=*/0, incremental_quotient);
+    }
+    it = platforms_.emplace(key, std::move(state)).first;
   }
   return *it->second;
 }
@@ -263,9 +344,11 @@ QueryResult QueryEngine::evaluate(protocol::Opcode opcode,
 
     case protocol::Opcode::kMapping: {
       const cli::Options params = parse_params(
-          payload, {"model", "hw", "heuristic", "approach", "sweep_threads"});
-      check_model(params);
+          payload, {"model", "hw", "heuristic", "approach", "sweep_threads",
+                    "quotient"});
+      const std::string model = model_name(params);
       const int hw = hw_nodes(params);
+      const bool incremental = parse_quotient(params);
       const mapping::Approach approach =
           parse_approach(params.get("approach", "a"));
       const std::string heuristic = params.get("heuristic", "best");
@@ -274,7 +357,7 @@ QueryResult QueryEngine::evaluate(protocol::Opcode opcode,
       // resident planner caches plans instead, so only the value's shape
       // matters here (the plan bytes are thread-invariant either way).
       as_query_error([&] { return params.get_int("sweep_threads", 0); });
-      PlatformState& state = platform("example98", hw);
+      PlatformState& state = platform(model, hw, incremental);
       const mapping::Plan& plan = state.plan_for(heuristic, approach);
       return {plan.report(state.planner.sw_graph(), state.hw),
               plan.quality.constraints_satisfied()};
@@ -285,7 +368,7 @@ QueryResult QueryEngine::evaluate(protocol::Opcode opcode,
           payload, {"model", "hw", "q", "trials", "threads"});
       check_model(params);
       const int hw = hw_nodes(params);
-      PlatformState& state = platform("example98", hw);
+      PlatformState& state = platform("example98", hw, true);
       const mapping::Plan& plan =
           state.plan_for("best", mapping::Approach::kAImportance);
       dependability::MissionModel mission;
@@ -323,7 +406,7 @@ QueryResult QueryEngine::evaluate(protocol::Opcode opcode,
           payload, {"model", "hw", "fail", "heuristic", "approach"});
       check_model(params);
       const int hw = hw_nodes(params);
-      PlatformState& state = platform("example98", hw);
+      PlatformState& state = platform("example98", hw, true);
       const mapping::Approach approach =
           parse_approach(params.get("approach", "a"));
       const mapping::Plan& plan =

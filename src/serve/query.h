@@ -32,6 +32,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <tuple>
 
 #include "common/error.h"
 #include "core/example98.h"
@@ -82,14 +83,19 @@ class QueryEngine {
   [[nodiscard]] MemoStats memo_stats() const;
 
  private:
-  struct PlatformState;  // one model×hw: planner + plan cache
-  [[nodiscard]] PlatformState& platform(const std::string& model, int hw);
+  struct PlatformState;  // one model×hw×quotient-mode: planner + plan cache
+  [[nodiscard]] PlatformState& platform(const std::string& model, int hw,
+                                        bool incremental_quotient);
   [[nodiscard]] QueryResult evaluate(protocol::Opcode opcode,
                                      std::string_view payload);
 
-  core::example98::Instance instance_;  // the model fleet (example98 today)
+  /// The example98 fleet; synthetic models ("synthetic-N-S") are generated
+  /// on first use and live inside their PlatformState's planner.
+  core::example98::Instance instance_;
   std::mutex platforms_mutex_;
-  std::map<int, std::unique_ptr<PlatformState>> platforms_;
+  std::map<std::tuple<std::string, int, bool>,
+           std::unique_ptr<PlatformState>>
+      platforms_;
 
   mutable std::mutex memo_mutex_;
   std::map<std::pair<std::uint16_t, std::string>, QueryResult> memo_;

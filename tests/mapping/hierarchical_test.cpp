@@ -1,0 +1,159 @@
+// Tests for hierarchical H1 (partition → cluster within parts in parallel →
+// merge across parts). The determinism contract is the load-bearing part:
+// bitwise-identical results for every worker-thread count, for one part vs
+// many, and for incremental vs rebuild quotient maintenance; plus the
+// zero-mutual fallback differential that pins the incremental heap to the
+// scan reference on disconnected influence graphs.
+#include "mapping/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/probability.h"
+#include "core/example98.h"
+#include "core/synthetic.h"
+#include "mapping/planner.h"
+
+namespace fcm::mapping {
+namespace {
+
+void expect_identical(const ClusteringResult& a, const ClusteringResult& b) {
+  EXPECT_EQ(a.partition.cluster_count, b.partition.cluster_count);
+  EXPECT_EQ(a.partition.cluster_of, b.partition.cluster_of);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+struct Scaled {
+  core::synthetic::System sys;
+  SwGraph sw;
+
+  explicit Scaled(std::size_t processes, std::uint64_t seed = 42)
+      : sys(core::synthetic::make_system(processes, seed)),
+        sw(SwGraph::build(sys.hierarchy, sys.influence, sys.processes)) {}
+
+  [[nodiscard]] ClusteringOptions options(std::size_t target) const {
+    ClusteringOptions opts;
+    opts.target_clusters = target;
+    opts.enforce_schedulability = false;
+    return opts;
+  }
+};
+
+TEST(HierarchicalH1, ReachesTargetAndRespectsAntiAffinity) {
+  const Scaled fx(256);
+  ClusteringOptions opts = fx.options(64);
+  ClusterEngine engine(fx.sw, opts);
+  const ClusteringResult result = engine.h1_hierarchical();
+
+  EXPECT_EQ(result.partition.cluster_count, 64u);
+  result.partition.validate();
+  for (const auto& members : result.partition.groups()) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        ASSERT_FALSE(fx.sw.replicas(members[i], members[j]))
+            << fx.sw.node(members[i]).name << " and "
+            << fx.sw.node(members[j]).name << " share a cluster";
+      }
+    }
+  }
+}
+
+TEST(HierarchicalH1, BitwiseIdenticalAcrossWorkerCounts) {
+  const Scaled fx(256);
+  std::vector<ClusteringResult> results;
+  for (const std::uint32_t threads : {1u, 4u, 8u}) {
+    ClusteringOptions opts = fx.options(64);
+    opts.threads = threads;
+    ClusterEngine engine(fx.sw, opts);
+    results.push_back(engine.h1_hierarchical());
+  }
+  expect_identical(results[0], results[1]);
+  expect_identical(results[0], results[2]);
+}
+
+TEST(HierarchicalH1, SinglePartEqualsFlatH1) {
+  const Scaled fx(128);
+  ClusteringOptions opts = fx.options(24);
+  opts.hierarchy_parts = 1;
+  ClusterEngine hierarchical(fx.sw, opts);
+  ClusterEngine flat(fx.sw, fx.options(24));
+  expect_identical(hierarchical.h1_hierarchical(), flat.h1_greedy());
+}
+
+TEST(HierarchicalH1, QuotientModesBitwiseIdentical) {
+  const Scaled fx(256);
+  ClusteringOptions opts = fx.options(64);
+  opts.incremental_quotient = true;
+  ClusterEngine incremental(fx.sw, opts);
+  opts.incremental_quotient = false;
+  ClusterEngine rebuild(fx.sw, opts);
+  expect_identical(incremental.h1_hierarchical(), rebuild.h1_hierarchical());
+}
+
+TEST(FlatH1, QuotientModesBitwiseIdentical) {
+  const Scaled fx(128);
+  ClusteringOptions opts = fx.options(24);
+  opts.incremental_quotient = true;
+  ClusterEngine incremental(fx.sw, opts);
+  opts.incremental_quotient = false;
+  ClusterEngine rebuild(fx.sw, opts);
+  expect_identical(incremental.h1_greedy(), rebuild.h1_greedy());
+}
+
+// Disconnected influence components force zero-mutual merges, the one spot
+// where the incremental heap leaves the heap for its fallback scan. The
+// fallback must reproduce the scan reference's first-wins selection
+// exactly.
+TEST(FlatH1, ZeroMutualFallbackMatchesScan) {
+  core::FcmHierarchy hierarchy;
+  core::InfluenceModel influence;
+  std::vector<FcmId> processes;
+  for (int i = 0; i < 9; ++i) {
+    core::Attributes attrs;
+    attrs.criticality = 5;
+    attrs.replication = 1;
+    attrs.timing = core::TimingSpec::one_shot(
+        Instant::epoch(), Instant::epoch() + Duration::millis(100),
+        Duration::millis(2));
+    const FcmId id = hierarchy.create("p" + std::to_string(i + 1),
+                                      core::Level::kProcess, attrs);
+    influence.add_member(id, hierarchy.get(id).name);
+    processes.push_back(id);
+  }
+  // Three disconnected triangles: merging below 3 clusters requires
+  // zero-mutual merges across components.
+  for (int g = 0; g < 9; g += 3) {
+    for (int k = 0; k < 3; ++k) {
+      influence.set_direct(processes[g + k], processes[g + (k + 1) % 3],
+                           Probability(0.3));
+    }
+  }
+  const SwGraph sw = SwGraph::build(hierarchy, influence, processes);
+
+  ClusteringOptions opts;
+  opts.target_clusters = 2;
+  opts.enforce_schedulability = false;
+  opts.incremental_quotient = true;
+  opts.use_pair_heap = true;
+  ClusterEngine heap_engine(sw, opts);
+  opts.use_pair_heap = false;
+  ClusterEngine scan_engine(sw, opts);
+  expect_identical(heap_engine.h1_greedy(), scan_engine.h1_greedy());
+}
+
+TEST(HierarchicalH1, PlannerRunsHeuristicEndToEnd) {
+  const auto instance = core::example98::make_instance();
+  const HwGraph hw = HwGraph::complete(4);
+  IntegrationPlanner planner(instance.hierarchy, instance.influence,
+                             instance.processes, hw);
+  const Plan plan =
+      planner.plan(Heuristic::kH1Hierarchical, Approach::kAImportance);
+  EXPECT_EQ(plan.clustering.partition.cluster_count, 4u);
+  EXPECT_EQ(plan.assignment.hw_of.size(), 4u);
+  EXPECT_STREQ(to_string(Heuristic::kH1Hierarchical), "H1-hierarchical");
+}
+
+}  // namespace
+}  // namespace fcm::mapping

