@@ -1,0 +1,177 @@
+// Adversarial fault-schedule search and rare-event survival estimation on
+// the §6 example mapping. The reproduction prints the static grid minimum
+// versus the adversary's certified worst case (the adversary must find a
+// schedule strictly below the grid — on example98 it crashes the two hosts
+// carrying p1's TMR majority, something no single-event grid scenario
+// does), then the importance-sampling estimate for a rare mission failure
+// against its closed-form compositional bounds, checks byte-identity of
+// both reports across worker thread counts, and records the headline
+// figures to BENCH_adversary.json. The microbenchmarks time the adversary
+// search, one memoized re-evaluation, and the tilted estimator at 1 and 4
+// threads.
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/example98.h"
+#include "mapping/planner.h"
+#include "resilience/adversary.h"
+#include "resilience/rare_event.h"
+
+namespace {
+
+using namespace fcm;
+
+struct Setup {
+  core::example98::Instance instance;
+  mapping::HwGraph hw;
+  mapping::SwGraph sw;
+  mapping::Plan plan;
+};
+
+Setup make_setup() {
+  Setup setup;
+  setup.instance = core::example98::make_instance();
+  setup.hw = mapping::HwGraph::complete(core::example98::kHwNodes);
+  mapping::IntegrationPlanner planner(
+      setup.instance.hierarchy, setup.instance.influence,
+      setup.instance.processes, setup.hw);
+  setup.plan = planner.best_plan();
+  setup.sw = planner.sw_graph();
+  return setup;
+}
+
+resilience::AdversaryResult adversary(const Setup& setup,
+                                      std::uint32_t threads) {
+  resilience::AdversaryOptions options;
+  options.campaign.threads = threads;
+  return resilience::find_worst_case(setup.sw, setup.plan.clustering.partition,
+                                     setup.plan.assignment, setup.hw, 2026,
+                                     options);
+}
+
+resilience::RareEventEstimate rare(const Setup& setup, std::uint32_t threads,
+                                   double q) {
+  resilience::RareEventOptions options;
+  options.hw_failure = Probability(q);
+  options.threads = threads;
+  return resilience::estimate_rare_event(setup.sw, setup.plan.clustering,
+                                         setup.plan.assignment, setup.hw,
+                                         options, 2026);
+}
+
+void print_reproduction() {
+  bench::banner("Adversarial worst case vs the static grid (§6 mapping)");
+  const Setup setup = make_setup();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const resilience::AdversaryResult worst = adversary(setup, 1);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double adversary_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  const bool adversary_identical =
+      resilience::to_json(worst) == resilience::to_json(adversary(setup, 4));
+
+  TextTable table({"source", "scenario", "critical survival"});
+  table.add_row({"static grid min", worst.grid_min_name,
+                 fmt(worst.grid_min_critical_survival, 4)});
+  table.add_row({"adversary", worst.worst.name,
+                 fmt(worst.worst_critical_survival, 4)});
+  std::cout << table.render();
+  std::cout << "beats grid: " << (worst.beats_grid ? "yes" : "NO") << "  ("
+            << worst.evaluations << " evaluations, " << worst.cache_hits
+            << " cache hits, " << fmt(adversary_seconds, 3) << "s)\n"
+            << "worst-case events:\n";
+  for (const resilience::ScenarioEvent& event : worst.worst.events) {
+    std::cout << "  " << resilience::to_string(event.kind);
+    if (event.kind == resilience::ScenarioEventKind::kProcessorCrash) {
+      std::cout << " hw" << event.hw_node.value();
+    } else {
+      std::cout << " task " << setup.sw.node(event.task).name;
+    }
+    std::cout << '\n';
+  }
+  std::cout << "bounds on the worst case: [" << fmt(worst.bound_lower, 4)
+            << ", " << fmt(worst.bound_upper, 4) << "]  consistent: "
+            << (worst.bound_consistent ? "yes" : "NO") << '\n';
+
+  bench::banner("Rare-event survival via importance sampling");
+  const auto t2 = std::chrono::steady_clock::now();
+  const resilience::RareEventEstimate estimate = rare(setup, 1, 0.01);
+  const auto t3 = std::chrono::steady_clock::now();
+  const double rare_seconds = std::chrono::duration<double>(t3 - t2).count();
+  const bool rare_identical =
+      resilience::to_json(estimate) == resilience::to_json(rare(setup, 4, 0.01));
+
+  std::cout << "q=0.01, " << estimate.trials << " tilted trials at tilt "
+            << fmt(estimate.tilt_used, 3) << " (" << estimate.levels_used
+            << " pilot levels): survival " << fmt(estimate.survival, 6)
+            << " +- " << fmt(estimate.std_error, 6) << ", ESS "
+            << fmt(estimate.effective_samples, 0) << ", " << estimate.hits
+            << " hits, " << fmt(rare_seconds, 3) << "s\n"
+            << "compositional bounds: [" << fmt(estimate.bound_lower, 6)
+            << ", " << fmt(estimate.bound_upper, 6) << "]  consistent: "
+            << (estimate.bound_consistent ? "yes" : "NO") << '\n';
+
+  std::ofstream json("BENCH_adversary.json");
+  json << "{\n"
+       << "  \"bench\": \"adversary\",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"adversary_seconds\": " << adversary_seconds << ",\n"
+       << "  \"rare_event_seconds\": " << rare_seconds << ",\n"
+       << "  \"adversary_below_grid_min\": "
+       << (worst.beats_grid ? "true" : "false") << ",\n"
+       << "  \"adversary_identical_across_threads\": "
+       << (adversary_identical ? "true" : "false") << ",\n"
+       << "  \"rare_event_identical_across_threads\": "
+       << (rare_identical ? "true" : "false") << ",\n"
+       << "  \"bound_consistent\": "
+       << (worst.bound_consistent && estimate.bound_consistent ? "true"
+                                                               : "false")
+       << ",\n"
+       << "  \"adversary\": " << resilience::to_json(worst) << ",\n"
+       << "  \"rare_event\": " << resilience::to_json(estimate) << "\n}\n";
+  std::cout << "(record written to BENCH_adversary.json)\n";
+}
+
+void BM_AdversarySearch(benchmark::State& state) {
+  const Setup setup = make_setup();
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adversary(setup, threads));
+  }
+}
+BENCHMARK(BM_AdversarySearch)->Arg(1)->Arg(4);
+
+void BM_AdversaryEvaluation(benchmark::State& state) {
+  // One candidate score: a single-scenario campaign at the search's trial
+  // budget — the unit of work the memo saves on every cache hit.
+  const Setup setup = make_setup();
+  const std::vector<resilience::Scenario> grid = resilience::standard_grid(
+      setup.sw, setup.plan.clustering.partition, setup.plan.assignment,
+      setup.hw);
+  resilience::CampaignOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resilience::run_campaign(
+        setup.sw, setup.plan.clustering.partition, setup.plan.assignment,
+        setup.hw, {grid.front()}, 2026, options));
+  }
+}
+BENCHMARK(BM_AdversaryEvaluation);
+
+void BM_RareEvent(benchmark::State& state) {
+  const Setup setup = make_setup();
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rare(setup, threads, 0.01));
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_RareEvent)->Arg(1)->Arg(4);
+
+}  // namespace
+
+FCM_BENCH_MAIN(print_reproduction)

@@ -63,7 +63,12 @@ const std::vector<CommandSpec> kCommands = {
     {"depend", {{"hw"}, {"q"}, {"trials"}, {"threads"}}},
     {"replan", {{"hw"}, {"fail"}, {"heuristic"}, {"approach"}}},
     {"resilience",
-     {{"hw"}, {"trials"}, {"threads"}, {"horizon-ms"}, {"seed"}}},
+     {{"hw"}, {"trials"}, {"threads"}, {"horizon-ms"}, {"seed"},
+      {"synthetic"}, {"adversary", /*takes_value=*/false},
+      {"rare-event", /*takes_value=*/false}, {"restarts"}, {"iterations"},
+      {"neighbors"}, {"max-events"}, {"max-crashes"},
+      {"anneal", /*takes_value=*/false}, {"q"}, {"tilt"}, {"pilot"},
+      {"levels"}}},
     {"serve",
      {{"host"}, {"port"}, {"workers"}, {"port-file"}, {"idle-timeout-ms"},
       {"max-frame-kb"}}},
@@ -95,6 +100,19 @@ int usage() {
       "             [--seed S]\n"
       "       fault-scenario campaign + graceful-degradation replanning;\n"
       "       JSON on stdout, byte-identical for every T\n"
+      "  resilience --adversary [--restarts R] [--iterations I]\n"
+      "             [--neighbors K] [--max-events E] [--max-crashes C]\n"
+      "             [--anneal] [--synthetic P] [--hw N] [--trials N]\n"
+      "             [--threads T] [--seed S]\n"
+      "       adversarial search for the worst-case fault schedule of the\n"
+      "       best plan; certifies the minimizing scenario against the\n"
+      "       compositional bounds; exit 1 if the bound check fails\n"
+      "  resilience --rare-event [--q P] [--tilt Q] [--pilot N]\n"
+      "             [--levels L] [--synthetic P] [--hw N] [--trials N]\n"
+      "             [--threads T] [--seed S]\n"
+      "       importance-sampled survival estimate with a 99% CI, tilt\n"
+      "       chosen by a pilot ladder when --tilt is omitted; exit 1 if\n"
+      "       the estimate is inconsistent with the compositional bounds\n"
       "  serve [--host H] [--port P] [--workers N] [--port-file F]\n"
       "        [--idle-timeout-ms M] [--max-frame-kb K]\n"
       "       resident planning daemon answering mapping/influence/depend/\n"
@@ -104,7 +122,8 @@ int usage() {
       "  query --port P --op OP [--host H] [--params \"k=v ...\"]\n"
       "        [--timeout-ms M]\n"
       "       one client request against a running daemon; OP in\n"
-      "       {mapping, influence, depend, replan, ping, metrics};\n"
+      "       {mapping, influence, depend, replan, ping, metrics,\n"
+      "        adversary, rare-event};\n"
       "       the response payload is printed verbatim\n"
       "global options (any command):\n"
       "  --metrics                           dump the fcm::obs registry\n"
@@ -226,6 +245,48 @@ int cmd_replan(const cli::Options& args) {
 }
 
 int cmd_resilience(const cli::Options& args) {
+  const bool adversary = args.flag("adversary");
+  const bool rare_event = args.flag("rare-event");
+  if (adversary && rare_event) {
+    throw cli::CliError("--adversary and --rare-event are exclusive");
+  }
+  if (adversary || rare_event) {
+    // Evaluated through the shared one-shot renderer, so daemon responses
+    // to the same query are byte-identical (the plan/depend contract).
+    std::string payload;
+    const std::string synthetic = args.get("synthetic", "");
+    if (!synthetic.empty()) {
+      payload =
+          "model=synthetic-" + synthetic + "-" + args.get("seed", "42");
+    }
+    forward(args, "hw", "hw", payload);
+    forward(args, "trials", "trials", payload);
+    forward(args, "threads", "threads", payload);
+    forward(args, "seed", "seed", payload);
+    serve::protocol::Opcode opcode;
+    if (adversary) {
+      opcode = serve::protocol::Opcode::kAdversary;
+      forward(args, "restarts", "restarts", payload);
+      forward(args, "iterations", "iterations", payload);
+      forward(args, "neighbors", "neighbors", payload);
+      forward(args, "max-events", "max_events", payload);
+      forward(args, "max-crashes", "max_crashes", payload);
+      if (args.flag("anneal")) {
+        if (!payload.empty()) payload += ' ';
+        payload += "anneal=1";
+      }
+    } else {
+      opcode = serve::protocol::Opcode::kRareEvent;
+      forward(args, "q", "q", payload);
+      forward(args, "tilt", "tilt", payload);
+      forward(args, "pilot", "pilot", payload);
+      forward(args, "levels", "levels", payload);
+    }
+    const serve::QueryResult result =
+        serve::QueryEngine::one_shot(opcode, payload);
+    std::cout << result.text;
+    return result.feasible ? 0 : 1;
+  }
   auto instance = core::example98::make_instance();
   const mapping::HwGraph hw = mapping::HwGraph::complete(
       args.get_int("hw", core::example98::kHwNodes));

@@ -224,19 +224,35 @@ ReplanResult replan_after_loss(const SwGraph& sw,
   }
 
   // ---- Bounded retry/backoff: cluster + assign, shedding the
-  // lowest-importance candidates when the instance will not fit. ----
-  std::size_t batch = 1;
-  for (std::size_t attempt = 1; attempt <= options.max_attempts; ++attempt) {
-    result.attempts = attempt;
-    if (candidates.empty()) {
+  // lowest-importance candidates when the instance will not fit. Shedding
+  // "the batch least-important of the remaining" round after round composes
+  // into "shed the first k of one global order", because ShedOrder is a
+  // fixed total order over nodes — which is what makes the minimality
+  // backtrack below possible. ----
+  std::vector<graph::NodeIndex> order = candidates;
+  std::sort(order.begin(), order.end(), ShedOrder{&sw});
+
+  // One feasibility probe with the `shed_count` least-important candidates
+  // removed. On success the repair artifacts land in `result` (hosts mapped
+  // back to the original HW id space); on failure the violations land in
+  // the log.
+  const auto probe = [&](std::size_t shed_count, std::size_t attempt) {
+    const std::set<graph::NodeIndex> to_shed(
+        order.begin(),
+        order.begin() + static_cast<std::ptrdiff_t>(shed_count));
+    std::vector<graph::NodeIndex> kept;
+    for (const graph::NodeIndex v : candidates) {
+      if (to_shed.count(v) == 0) kept.push_back(v);
+    }
+    if (kept.empty()) {
       result.log.push_back("attempt " + std::to_string(attempt) +
                            ": no candidates remain");
-      break;
+      return false;
     }
-    SwGraph sub = sw.subset(candidates);
+    SwGraph sub = sw.subset(kept);
     ClusteringOptions copt;
     copt.target_clusters =
-        std::min<std::size_t>(candidates.size(), surviving_hw.node_count());
+        std::min<std::size_t>(kept.size(), surviving_hw.node_count());
     copt.policy = options.policy;
     copt.resource_check = [&surviving_hw](const std::set<std::string>& need) {
       for (const HwNode& node : surviving_hw.nodes()) {
@@ -247,7 +263,6 @@ ReplanResult replan_after_loss(const SwGraph& sw,
       }
       return false;
     };
-    bool attempt_ok = false;
     try {
       ClusterEngine engine(sub, copt);
       ClusteringResult clustering = engine.h1_greedy();
@@ -258,56 +273,88 @@ ReplanResult replan_after_loss(const SwGraph& sw,
       qopt.critical_threshold = options.critical_threshold;
       MappingQuality quality =
           evaluate(sub, clustering, assignment, surviving_hw, qopt);
-      if (quality.constraints_satisfied()) {
-        attempt_ok = true;
-        result.feasible = true;
-        result.kept = candidates;
-        result.clustering = std::move(clustering);
-        result.quality = std::move(quality);
-        // Report hosts in the original HW id space.
-        for (HwNodeId& host : assignment.hw_of) {
-          host = orig_of_new[host.value()];
-        }
-        result.assignment = std::move(assignment);
-        result.surviving = std::move(sub);
-        result.log.push_back(
-            "attempt " + std::to_string(attempt) + ": repaired onto " +
-            std::to_string(surviving_hw.node_count()) + " HW nodes, " +
-            std::to_string(candidates.size()) + " tasks in service");
-      } else {
+      if (!quality.constraints_satisfied()) {
         for (const std::string& violation : quality.violations) {
           result.log.push_back("attempt " + std::to_string(attempt) +
                                " violation: " + violation);
         }
+        return false;
       }
+      result.feasible = true;
+      result.kept = kept;
+      result.clustering = std::move(clustering);
+      result.quality = std::move(quality);
+      // Report hosts in the original HW id space.
+      for (HwNodeId& host : assignment.hw_of) {
+        host = orig_of_new[host.value()];
+      }
+      result.assignment = std::move(assignment);
+      result.surviving = std::move(sub);
+      result.log.push_back(
+          "attempt " + std::to_string(attempt) + ": repaired onto " +
+          std::to_string(surviving_hw.node_count()) + " HW nodes, " +
+          std::to_string(kept.size()) + " tasks in service");
+      return true;
     } catch (const FcmError& error) {
       result.log.push_back("attempt " + std::to_string(attempt) +
                            " failed: " + error.what());
+      return false;
     }
-    if (attempt_ok) break;
+  };
 
-    // Shed the `batch` least-important candidates, then double the batch —
-    // the backoff that keeps deeply infeasible instances O(log n) attempts.
-    std::vector<graph::NodeIndex> by_importance = candidates;
-    std::sort(by_importance.begin(), by_importance.end(), ShedOrder{&sw});
-    const std::size_t count = std::min(batch, by_importance.size());
-    std::set<graph::NodeIndex> to_shed(by_importance.begin(),
-                                       by_importance.begin() + count);
-    for (const graph::NodeIndex v : by_importance) {
-      if (to_shed.count(v) == 0) continue;
-      SheddingRecord record = record_of(sw, v);
-      record.process =
-          result.processes[process_index.at(sw.node(v).origin)].name;
-      result.log.push_back("shed " + record.name + " (importance " +
-                           std::to_string(record.importance) + ")");
-      result.shed.push_back(std::move(record));
+  // Doubling-batch escalation: probe shed counts 0, 1, 3, 7, 15, ... —
+  // the backoff that keeps deeply infeasible instances O(log n) attempts.
+  std::size_t shed_count = 0;
+  std::size_t batch = 1;
+  std::size_t last_failed = 0;
+  bool saw_failure = false;
+  std::size_t feasible_shed = 0;
+  while (result.attempts < options.max_attempts) {
+    ++result.attempts;
+    if (probe(shed_count, result.attempts)) {
+      feasible_shed = shed_count;
+      break;
     }
-    std::vector<graph::NodeIndex> remaining;
-    for (const graph::NodeIndex v : candidates) {
-      if (to_shed.count(v) == 0) remaining.push_back(v);
-    }
-    candidates = std::move(remaining);
+    if (shed_count >= order.size()) break;  // everything shed; give up
+    last_failed = shed_count;
+    saw_failure = true;
+    shed_count = std::min(order.size(), shed_count + batch);
     batch *= 2;
+  }
+
+  // ---- Minimality backtrack: the doubling batch can overshoot the
+  // feasibility boundary by up to ~2x, shedding tasks that would have fit.
+  // Binary-search the smallest feasible shed prefix in
+  // (last_failed, feasible_shed]; `result` always holds the artifacts of
+  // the current upper end, because only successful probes rewrite it and
+  // the upper end only moves onto them. ----
+  if (result.feasible && saw_failure && feasible_shed > last_failed + 1) {
+    std::size_t lo = last_failed;    // known infeasible
+    std::size_t hi = feasible_shed;  // known feasible
+    while (hi - lo > 1 && result.attempts < options.max_attempts) {
+      ++result.attempts;
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (probe(mid, result.attempts)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    feasible_shed = hi;
+  }
+
+  // Record what was actually shed: the minimal feasible prefix, or — when
+  // every escalation failed — the deepest prefix the escalation reached.
+  const std::size_t recorded_shed = result.feasible ? feasible_shed
+                                                    : shed_count;
+  for (std::size_t i = 0; i < recorded_shed; ++i) {
+    const graph::NodeIndex v = order[i];
+    SheddingRecord record = record_of(sw, v);
+    record.process =
+        result.processes[process_index.at(sw.node(v).origin)].name;
+    result.log.push_back("shed " + record.name + " (importance " +
+                         std::to_string(record.importance) + ")");
+    result.shed.push_back(std::move(record));
   }
 
   // ---- Post-replan process fates. ----

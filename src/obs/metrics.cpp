@@ -17,6 +17,12 @@ void set_enabled(bool on) noexcept {
 double HistogramSummary::quantile(double q) const noexcept {
   if (count == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are recorded exactly — answer them structurally instead
+  // of through bucket interpolation, whose within-bucket estimate sits
+  // strictly between the bucket edges and so can misreport p0/p100
+  // whenever the true extreme shares its bucket with other samples.
+  if (q >= 1.0) return max;
+  if (q <= 0.0) return min;
   // Rank of the q-th sample (1-based, ceil), then the bucket holding it.
   const std::uint64_t rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(q * static_cast<double>(count) + 0.5));

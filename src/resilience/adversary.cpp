@@ -1,0 +1,431 @@
+#include "resilience/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/obs.h"
+
+namespace fcm::resilience {
+
+namespace {
+
+// Search-RNG substream base, disjoint from the campaign's block indices
+// (which stay far below this for any realistic trial count).
+constexpr std::uint64_t kSearchBase = 2'000'000;
+
+std::tuple<int, std::uint32_t, std::uint64_t, std::uint32_t, std::uint32_t,
+           std::uint32_t, std::int64_t>
+event_key(const ScenarioEvent& event) {
+  return {static_cast<int>(event.kind),
+          event.hw_node.value(),
+          event.task,
+          event.activation,
+          event.burst,
+          event.edge,
+          event.at.count()};
+}
+
+// The canonical, order-independent encoding of a scenario: events sorted by
+// their full field tuple, rendered field by field. Used as the memo key and
+// as the deterministic tie-break between equally-bad candidates.
+std::string canonical_key(Scenario scenario) {
+  std::sort(scenario.events.begin(), scenario.events.end(),
+            [](const ScenarioEvent& a, const ScenarioEvent& b) {
+              return event_key(a) < event_key(b);
+            });
+  std::string key;
+  for (const ScenarioEvent& event : scenario.events) {
+    char buffer[128];
+    std::snprintf(buffer, sizeof(buffer), "%d:%u:%llu:%u:%u:%u:%lld;",
+                  static_cast<int>(event.kind), event.hw_node.value(),
+                  static_cast<unsigned long long>(event.task),
+                  event.activation, event.burst, event.edge,
+                  static_cast<long long>(event.at.count()));
+    key += buffer;
+  }
+  return key;
+}
+
+std::size_t count_crashes(const Scenario& scenario) {
+  std::size_t crashes = 0;
+  for (const ScenarioEvent& event : scenario.events) {
+    if (event.kind == ScenarioEventKind::kProcessorCrash) ++crashes;
+  }
+  return crashes;
+}
+
+// The search space a mapping induces: legal targets for each event kind.
+struct SearchSpace {
+  std::size_t hw_count = 0;
+  std::size_t task_count = 0;
+  std::vector<std::uint32_t> positive_edges;  // corruptible regions
+  std::int64_t horizon_ms = 200;
+};
+
+ScenarioEvent random_event(const SearchSpace& space, bool allow_crash,
+                           Rng& rng) {
+  ScenarioEvent event;
+  // Kinds are drawn until one is legal; every branch below is legal except
+  // crash under an exhausted budget and corruption without dataflow edges.
+  for (;;) {
+    switch (rng.below(4)) {
+      case 0:
+        if (!allow_crash) continue;
+        event.kind = ScenarioEventKind::kProcessorCrash;
+        event.hw_node = HwNodeId(static_cast<std::uint32_t>(
+            rng.below(static_cast<std::uint64_t>(space.hw_count))));
+        event.at = Duration::millis(rng.below(
+            static_cast<std::uint64_t>(space.horizon_ms)));
+        return event;
+      case 1:
+        event.kind = ScenarioEventKind::kTaskFaultBurst;
+        event.task = static_cast<sim::TaskIndex>(
+            rng.below(static_cast<std::uint64_t>(space.task_count)));
+        event.activation = static_cast<std::uint32_t>(rng.below(4));
+        event.burst = 1 + static_cast<std::uint32_t>(rng.below(4));
+        return event;
+      case 2:
+        event.kind = ScenarioEventKind::kBabblingTask;
+        event.task = static_cast<sim::TaskIndex>(
+            rng.below(static_cast<std::uint64_t>(space.task_count)));
+        event.activation = static_cast<std::uint32_t>(rng.below(3));
+        return event;
+      default:
+        if (space.positive_edges.empty()) continue;
+        event.kind = ScenarioEventKind::kRegionCorruption;
+        event.edge = space.positive_edges[rng.below(
+            static_cast<std::uint64_t>(space.positive_edges.size()))];
+        event.at = Duration::millis(rng.below(
+            static_cast<std::uint64_t>(space.horizon_ms)));
+        return event;
+    }
+  }
+}
+
+void mutate_event(const SearchSpace& space, ScenarioEvent& event, Rng& rng) {
+  switch (event.kind) {
+    case ScenarioEventKind::kProcessorCrash:
+      if (rng.below(2) == 0) {
+        event.hw_node = HwNodeId(static_cast<std::uint32_t>(
+            rng.below(static_cast<std::uint64_t>(space.hw_count))));
+      } else {
+        event.at = Duration::millis(rng.below(
+            static_cast<std::uint64_t>(space.horizon_ms)));
+      }
+      break;
+    case ScenarioEventKind::kTaskFaultBurst:
+      switch (rng.below(3)) {
+        case 0:
+          event.task = static_cast<sim::TaskIndex>(
+              rng.below(static_cast<std::uint64_t>(space.task_count)));
+          break;
+        case 1:
+          event.activation = static_cast<std::uint32_t>(rng.below(4));
+          break;
+        default:
+          event.burst = 1 + static_cast<std::uint32_t>(rng.below(4));
+          break;
+      }
+      break;
+    case ScenarioEventKind::kBabblingTask:
+      if (rng.below(2) == 0) {
+        event.task = static_cast<sim::TaskIndex>(
+            rng.below(static_cast<std::uint64_t>(space.task_count)));
+      } else {
+        event.activation = static_cast<std::uint32_t>(rng.below(3));
+      }
+      break;
+    case ScenarioEventKind::kRegionCorruption:
+      if (!space.positive_edges.empty() && rng.below(2) == 0) {
+        event.edge = space.positive_edges[rng.below(
+            static_cast<std::uint64_t>(space.positive_edges.size()))];
+      } else {
+        event.at = Duration::millis(rng.below(
+            static_cast<std::uint64_t>(space.horizon_ms)));
+      }
+      break;
+  }
+}
+
+// One neighborhood move: mutate one event's parameters, add an event within
+// the correlation budget, or drop an event.
+Scenario mutate(const SearchSpace& space, const AdversaryOptions& options,
+                const Scenario& current, Rng& rng) {
+  Scenario next = current;
+  const std::uint64_t op = rng.below(4);  // bias 2:1:1 toward param tweaks
+  if (op <= 1 && !next.events.empty()) {
+    mutate_event(space,
+                 next.events[rng.below(
+                     static_cast<std::uint64_t>(next.events.size()))],
+                 rng);
+  } else if (op == 2 && next.events.size() <
+                            static_cast<std::size_t>(options.max_events)) {
+    const bool allow_crash =
+        count_crashes(next) < static_cast<std::size_t>(options.max_crashes);
+    next.events.push_back(random_event(space, allow_crash, rng));
+  } else if (next.events.size() > 1) {
+    next.events.erase(next.events.begin() +
+                      static_cast<std::ptrdiff_t>(rng.below(
+                          static_cast<std::uint64_t>(next.events.size()))));
+  } else if (!next.events.empty()) {
+    mutate_event(space, next.events.front(), rng);
+  }
+  return next;
+}
+
+}  // namespace
+
+AdversaryResult find_worst_case(const mapping::SwGraph& sw,
+                                const graph::Partition& partition,
+                                const mapping::Assignment& assignment,
+                                const mapping::HwGraph& hw,
+                                std::uint64_t seed,
+                                const AdversaryOptions& options) {
+  FCM_REQUIRE(options.restarts > 0, "at least one restart required");
+  FCM_REQUIRE(options.max_events > 0, "event budget must be positive");
+  FCM_REQUIRE(sw.node_count() > 0, "empty SW graph");
+  FCM_OBS_SPAN("adversary.search");
+
+  SearchSpace space;
+  space.hw_count = hw.node_count();
+  space.task_count = sw.node_count();
+  space.horizon_ms = std::max<std::int64_t>(
+      1, options.campaign.horizon.count() / 1000);
+  {
+    const auto& edges = sw.influence_graph().edges();
+    for (std::uint32_t e = 0; e < edges.size(); ++e) {
+      if (edges[e].weight > 0.0) space.positive_edges.push_back(e);
+    }
+  }
+
+  AdversaryResult result;
+  result.seed = seed;
+
+  // The candidate objective: one single-scenario campaign run with the
+  // shared options and seed (common random numbers across candidates).
+  std::map<std::string, double> memo;
+  const auto evaluate = [&](const Scenario& scenario,
+                            const std::string& key) {
+    if (const auto it = memo.find(key); it != memo.end()) {
+      ++result.cache_hits;
+      return it->second;
+    }
+    const ResilienceReport report =
+        run_campaign(sw, partition, assignment, hw, {scenario}, seed,
+                     options.campaign);
+    ++result.evaluations;
+    const double survival = report.scenarios.front().critical_survival;
+    memo.emplace(key, survival);
+    return survival;
+  };
+
+  // --- Grid baseline: the figure the adversary must beat, evaluated with
+  // the same options so the comparison is apples-to-apples. ---
+  const std::vector<Scenario> grid =
+      standard_grid(sw, partition, assignment, hw);
+  FCM_REQUIRE(!grid.empty(), "mapping induces no scenarios");
+  const ResilienceReport grid_report = run_campaign(
+      sw, partition, assignment, hw, grid, seed, options.campaign);
+  result.evaluations += grid_report.scenarios.size();
+  std::size_t grid_argmin = 0;
+  for (std::size_t s = 0; s < grid_report.scenarios.size(); ++s) {
+    if (grid_report.scenarios[s].critical_survival <
+        grid_report.scenarios[grid_argmin].critical_survival) {
+      grid_argmin = s;
+    }
+  }
+  result.grid_min_critical_survival =
+      grid_report.scenarios[grid_argmin].critical_survival;
+  result.grid_min_name = grid_report.scenarios[grid_argmin].name;
+
+  // --- Informed restart 1: crash the hosts carrying the most critical
+  // replicas, the correlated schedule the one-crash-at-a-time grid never
+  // tries. ---
+  Scenario critical_crash;
+  {
+    std::vector<std::pair<std::size_t, std::uint32_t>> load;  // count, host
+    std::map<std::uint32_t, std::size_t> per_host;
+    for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+      if (sw.node(v).attributes.criticality <
+          options.campaign.critical_threshold) {
+        continue;
+      }
+      ++per_host[assignment.host(partition.cluster_of[v]).value()];
+    }
+    for (const auto& [host, count] : per_host) load.emplace_back(count, host);
+    std::sort(load.begin(), load.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    const std::size_t crashes =
+        std::min<std::size_t>(std::max<std::uint32_t>(1, options.max_crashes),
+                              load.size());
+    for (std::size_t i = 0; i < crashes; ++i) {
+      ScenarioEvent event;
+      event.kind = ScenarioEventKind::kProcessorCrash;
+      event.hw_node = HwNodeId(load[i].second);
+      event.at = Duration::zero();
+      critical_crash.events.push_back(event);
+    }
+  }
+
+  // --- Restarts. Each descends (or anneals) through the neighborhood;
+  // the global best tracks (survival, canonical key) so ties resolve
+  // identically everywhere. ---
+  bool have_best = false;
+  Scenario best;
+  std::string best_key;
+  double best_survival = 1.0;
+  const Rng master(seed);
+
+  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
+    Rng rng = master.substream(kSearchBase + restart);
+    Scenario current;
+    if (restart == 0) {
+      current.events = grid[grid_argmin].events;
+    } else if (restart == 1 && !critical_crash.events.empty()) {
+      current = critical_crash;
+    } else {
+      const std::size_t events = 1 + rng.below(options.max_events);
+      for (std::size_t i = 0; i < events; ++i) {
+        const bool allow_crash =
+            count_crashes(current) <
+            static_cast<std::size_t>(options.max_crashes);
+        current.events.push_back(random_event(space, allow_crash, rng));
+      }
+    }
+    current.name = "candidate";
+    std::string current_key = canonical_key(current);
+    double current_survival = evaluate(current, current_key);
+    double temperature = options.initial_temperature;
+
+    const auto consider_best = [&](const Scenario& scenario,
+                                   const std::string& key, double survival) {
+      if (!have_best || survival < best_survival ||
+          (survival == best_survival && key < best_key)) {
+        have_best = true;
+        best = scenario;
+        best_key = key;
+        best_survival = survival;
+      }
+    };
+    consider_best(current, current_key, current_survival);
+
+    for (std::uint32_t iter = 0; iter < options.iterations; ++iter) {
+      // Generate the neighborhood, score it, and pick its best member.
+      bool have_neighbor = false;
+      Scenario neighbor;
+      std::string neighbor_key;
+      double neighbor_survival = 1.0;
+      for (std::uint32_t n = 0; n < options.neighbors; ++n) {
+        Scenario candidate = mutate(space, options, current, rng);
+        std::string key = canonical_key(candidate);
+        if (key == current_key) continue;
+        const double survival = evaluate(candidate, key);
+        consider_best(candidate, key, survival);
+        if (!have_neighbor || survival < neighbor_survival ||
+            (survival == neighbor_survival && key < neighbor_key)) {
+          have_neighbor = true;
+          neighbor = std::move(candidate);
+          neighbor_key = std::move(key);
+          neighbor_survival = survival;
+        }
+      }
+      if (!have_neighbor) break;
+      const double delta = neighbor_survival - current_survival;
+      bool accept = delta < 0.0;
+      if (!accept && options.anneal && temperature > 0.0) {
+        accept = rng.uniform() < std::exp(-delta / temperature);
+        temperature *= options.cooling;
+      }
+      if (!accept) {
+        if (!options.anneal) break;  // greedy local minimum
+        continue;
+      }
+      current = std::move(neighbor);
+      current_key = std::move(neighbor_key);
+      current_survival = neighbor_survival;
+    }
+  }
+
+  // --- Certify: one final named evaluation of the winner, plus the
+  // closed-form cross-check. ---
+  best.name = "adversary-worst";
+  const ResilienceReport final_report = run_campaign(
+      sw, partition, assignment, hw, {best}, seed, options.campaign);
+  ++result.evaluations;
+  result.worst = best;
+  result.worst.name = "adversary-worst";
+  result.evaluation = final_report.scenarios.front();
+  result.worst_critical_survival = result.evaluation.critical_survival;
+  result.beats_grid =
+      result.worst_critical_survival < result.grid_min_critical_survival;
+
+  ScenarioBoundOptions bound_options;
+  bound_options.horizon = options.campaign.horizon;
+  bound_options.recovery_failure = options.campaign.recovery_failure;
+  bound_options.critical_threshold = options.campaign.critical_threshold;
+  const CompositionalBounds bounds = scenario_bounds(
+      sw, partition, assignment, hw, result.worst, bound_options);
+  result.bound_lower = bounds.critical.lower;
+  result.bound_upper = bounds.critical.upper;
+  result.bound_consistent = bounds.critical.contains(
+      result.worst_critical_survival,
+      binomial_halfwidth(result.worst_critical_survival,
+                         options.campaign.trials));
+
+  FCM_OBS_COUNT("adversary.evaluations", result.evaluations);
+  FCM_OBS_COUNT("adversary.cache_hits", result.cache_hits);
+  return result;
+}
+
+std::string to_json(const AdversaryResult& result) {
+  const auto fmt_double = [](double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return std::string(buffer);
+  };
+  std::string json;
+  json += "{\"seed\":" + std::to_string(result.seed);
+  json += ",\"evaluations\":" + std::to_string(result.evaluations);
+  json += ",\"cache_hits\":" + std::to_string(result.cache_hits);
+  json += ",\"grid_min\":{\"name\":\"" + result.grid_min_name + "\"";
+  json += ",\"critical_survival\":" +
+          fmt_double(result.grid_min_critical_survival) + "}";
+  json += ",\"worst\":{\"name\":\"" + result.worst.name + "\"";
+  json += ",\"trials\":" + std::to_string(result.evaluation.trials);
+  json += ",\"critical_survival\":" +
+          fmt_double(result.worst_critical_survival);
+  json += ",\"system_survival\":" +
+          fmt_double(result.evaluation.system_survival);
+  json += ",\"events\":[";
+  for (std::size_t i = 0; i < result.worst.events.size(); ++i) {
+    const ScenarioEvent& event = result.worst.events[i];
+    if (i > 0) json += ",";
+    json += "{\"kind\":\"";
+    json += to_string(event.kind);
+    json += "\",\"hw_node\":" + std::to_string(event.hw_node.value());
+    json += ",\"task\":" + std::to_string(event.task);
+    json += ",\"activation\":" + std::to_string(event.activation);
+    json += ",\"burst\":" + std::to_string(event.burst);
+    json += ",\"edge\":" + std::to_string(event.edge);
+    json += ",\"at_us\":" + std::to_string(event.at.count());
+    json += "}";
+  }
+  json += "]}";
+  json += ",\"beats_grid\":";
+  json += result.beats_grid ? "true" : "false";
+  json += ",\"bound_lower\":" + fmt_double(result.bound_lower);
+  json += ",\"bound_upper\":" + fmt_double(result.bound_upper);
+  json += ",\"bound_consistent\":";
+  json += result.bound_consistent ? "true" : "false";
+  json += "}";
+  return json;
+}
+
+}  // namespace fcm::resilience

@@ -1,0 +1,334 @@
+#include "resilience/rare_event.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/error.h"
+#include "common/ksum.h"
+#include "common/rng.h"
+#include "exec/executor.h"
+#include "obs/obs.h"
+
+namespace fcm::resilience {
+
+namespace {
+
+// Substream index space: final-stage block b draws substream(b); pilot
+// level l block b draws substream(kPilotBase + l * kPilotStride + b).
+// Disjoint by construction for any practical trial count.
+constexpr std::uint64_t kPilotBase = 1'000'000;
+constexpr std::uint64_t kPilotStride = 10'000;
+
+constexpr double kZ99 = 2.576;  // 99% normal quantile
+
+// Replication semantics of one origin process (the montecarlo.cpp grouping).
+struct ProcessInfo {
+  std::vector<graph::NodeIndex> replicas;
+  int replication = 1;
+  core::Criticality criticality = 0;
+};
+
+std::vector<ProcessInfo> group_processes(const mapping::SwGraph& sw) {
+  std::map<FcmId, std::size_t> index_of;
+  std::vector<ProcessInfo> processes;
+  for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+    const mapping::SwNode& node = sw.node(v);
+    auto [it, inserted] = index_of.try_emplace(node.origin, processes.size());
+    if (inserted) {
+      ProcessInfo info;
+      info.replication = node.attributes.replication;
+      info.criticality = node.attributes.criticality;
+      processes.push_back(std::move(info));
+    }
+    processes[it->second].replicas.push_back(v);
+  }
+  return processes;
+}
+
+// Per-worker scratch, allocated once per lane instead of per trial.
+struct WorkerScratch {
+  std::vector<bool> hw_failed;
+  std::vector<bool> module_failed;
+  std::vector<std::int8_t> edge_state;  // -1 unsampled, 0 no, 1 yes
+};
+
+// Tally of one fixed-size block of tilted trials. The weighted moments are
+// compensated within the block in trial order, so folding blocks in index
+// order reproduces one canonical result for any thread count.
+struct BlockTally {
+  NeumaierSum weighted_fail;     // sum of w * 1{critical lost}
+  NeumaierSum weighted_fail_sq;  // sum of w^2 * 1{critical lost}
+  NeumaierSum weight;            // sum of w
+  NeumaierSum weight_sq;         // sum of w^2
+  std::uint64_t hits = 0;        // trials that lost critical service
+};
+
+// One block of trials under the tilted dynamics. The per-host likelihood
+// ratio factors multiply in fixed host order, so the weight of a trial is a
+// pure function of its substream draws.
+void run_block(const mapping::SwGraph& sw,
+               const graph::Partition& partition,
+               const mapping::Assignment& assignment, std::size_t hw_count,
+               const RareEventOptions& options,
+               const std::vector<ProcessInfo>& processes, double tilt,
+               Rng rng, std::uint32_t first_trial, std::uint32_t last_trial,
+               WorkerScratch& scratch, BlockTally& tally) {
+  const double q = options.hw_failure.value();
+  const double ratio_fail = tilt > 0.0 ? q / tilt : 0.0;
+  const double ratio_ok = tilt < 1.0 ? (1.0 - q) / (1.0 - tilt) : 0.0;
+  const auto& edges = sw.influence_graph().edges();
+
+  for (std::uint32_t trial = first_trial; trial < last_trial; ++trial) {
+    // 1. HW node failures from the tilted distribution, weighted by the
+    // exact likelihood ratio of the nominal distribution.
+    double weight = 1.0;
+    for (std::size_t n = 0; n < hw_count; ++n) {
+      const bool failed = rng.uniform() < tilt;
+      scratch.hw_failed[n] = failed;
+      weight *= failed ? ratio_fail : ratio_ok;
+    }
+    // 2. Module failures: host down, or intrinsic SW fault (nominal coin —
+    // only the host process is tilted).
+    for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
+      const HwNodeId host = assignment.host(partition.cluster_of[v]);
+      scratch.module_failed[v] =
+          scratch.hw_failed[host.value()] || rng.chance(options.sw_fault);
+    }
+    // 3. Propagation along influence edges to a fixed point, each edge
+    // sampled at most once per trial (the montecarlo.cpp dynamics).
+    if (options.propagate) {
+      std::fill(scratch.edge_state.begin(), scratch.edge_state.end(),
+                static_cast<std::int8_t>(-1));
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (std::size_t e = 0; e < edges.size(); ++e) {
+          const graph::Edge& edge = edges[e];
+          if (!scratch.module_failed[edge.from] ||
+              scratch.module_failed[edge.to]) {
+            continue;
+          }
+          if (edge.weight <= 0.0) continue;
+          if (scratch.edge_state[e] < 0) {
+            scratch.edge_state[e] =
+                rng.chance(Probability::clamped(edge.weight)) ? 1 : 0;
+          }
+          if (scratch.edge_state[e] == 1) {
+            scratch.module_failed[edge.to] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+    // 4. FT semantics per critical process; one lost critical service is a
+    // hit.
+    bool critical_ok = true;
+    for (const ProcessInfo& info : processes) {
+      if (info.criticality < options.critical_threshold) continue;
+      int ok = 0;
+      for (const graph::NodeIndex v : info.replicas) {
+        if (!scratch.module_failed[v]) ++ok;
+      }
+      const bool delivered =
+          info.replication <= 2
+              ? ok >= 1
+              : 2 * ok > static_cast<int>(info.replicas.size());
+      if (!delivered) {
+        critical_ok = false;
+        break;
+      }
+    }
+    if (!critical_ok) {
+      ++tally.hits;
+      tally.weighted_fail.add(weight);
+      tally.weighted_fail_sq.add(weight * weight);
+    }
+    tally.weight.add(weight);
+    tally.weight_sq.add(weight * weight);
+  }
+}
+
+}  // namespace
+
+RareEventEstimate estimate_rare_event(const mapping::SwGraph& sw,
+                                      const mapping::ClusteringResult& clustering,
+                                      const mapping::Assignment& assignment,
+                                      const mapping::HwGraph& hw,
+                                      const RareEventOptions& options,
+                                      std::uint64_t seed) {
+  FCM_REQUIRE(options.trials > 0, "at least one trial required");
+  FCM_REQUIRE(options.trials_per_block > 0,
+              "trial block size must be positive");
+  FCM_REQUIRE(assignment.hw_of.size() == clustering.partition.cluster_count,
+              "assignment does not cover every cluster");
+  FCM_REQUIRE(options.tilt >= 0.0 && options.tilt < 1.0,
+              "tilt must be in [0, 1)");
+  FCM_OBS_SPAN("rare_event.estimate");
+
+  const std::vector<ProcessInfo> processes = group_processes(sw);
+  const graph::Partition& partition = clustering.partition;
+  const Rng master(seed);
+
+  WorkerScratch pilot_scratch;
+  pilot_scratch.hw_failed.resize(hw.node_count());
+  pilot_scratch.module_failed.resize(sw.node_count());
+  pilot_scratch.edge_state.resize(sw.influence_graph().edge_count());
+
+  // ---- Tilt selection: explicit, or the multilevel pilot ladder. Levels
+  // escalate geometrically from the nominal probability until failures are
+  // common enough to measure; every pilot block draws from a reserved
+  // substream range, so the chosen level is seed-deterministic. ----
+  RareEventEstimate estimate;
+  double tilt = options.tilt;
+  if (tilt <= 0.0) {
+    const double q = options.hw_failure.value();
+    double level_tilt = std::clamp(q, 1e-4, 0.4);
+    for (std::uint32_t level = 0; level < std::max(1u, options.max_levels);
+         ++level) {
+      ++estimate.levels_used;
+      tilt = level_tilt;
+      const std::uint32_t pilot_trials = std::max(1u, options.pilot_trials);
+      const std::uint32_t pilot_blocks =
+          (pilot_trials + options.trials_per_block - 1) /
+          options.trials_per_block;
+      std::uint64_t pilot_hits = 0;
+      for (std::uint32_t b = 0; b < pilot_blocks; ++b) {
+        const std::uint32_t first = b * options.trials_per_block;
+        const std::uint32_t last =
+            std::min(pilot_trials, first + options.trials_per_block);
+        BlockTally tally;
+        run_block(sw, partition, assignment, hw.node_count(), options,
+                  processes, tilt,
+                  master.substream(kPilotBase + level * kPilotStride + b),
+                  first, last, pilot_scratch, tally);
+        pilot_hits += tally.hits;
+      }
+      const double hit_rate =
+          static_cast<double>(pilot_hits) / static_cast<double>(pilot_trials);
+      FCM_OBS_COUNT("rare_event.pilot_trials", pilot_trials);
+      if (hit_rate >= options.target_hit_rate || level_tilt >= 0.4) break;
+      level_tilt = std::min(0.4, level_tilt * 3.0);
+    }
+  }
+  estimate.tilt_used = tilt;
+
+  // ---- Final weighted stage: sharded blocks, substream(b), block-order
+  // folds — the standard determinism contract. ----
+  const std::uint32_t block_size = options.trials_per_block;
+  const std::uint32_t block_count =
+      (options.trials + block_size - 1) / block_size;
+  const std::uint32_t threads =
+      exec::resolve_threads(options.threads, block_count);
+
+  std::vector<BlockTally> tallies(block_count);
+  std::vector<WorkerScratch> scratch(threads);
+  for (WorkerScratch& s : scratch) {
+    s.hw_failed.resize(hw.node_count());
+    s.module_failed.resize(sw.node_count());
+    s.edge_state.resize(sw.influence_graph().edge_count());
+  }
+  exec::parallel_for_blocks(
+      block_count, threads, [&](std::uint64_t b, std::uint32_t lane) {
+        const std::uint32_t block = static_cast<std::uint32_t>(b);
+        const std::uint32_t first = block * block_size;
+        const std::uint32_t last =
+            std::min(options.trials, first + block_size);
+        FCM_OBS_SPAN("rare_event.block", block);
+        run_block(sw, partition, assignment, hw.node_count(), options,
+                  processes, tilt, master.substream(block), first, last,
+                  scratch[lane], tallies[block]);
+      });
+
+  NeumaierSum weighted_fail, weighted_fail_sq, weight, weight_sq;
+  std::uint64_t hits = 0;
+  for (const BlockTally& tally : tallies) {
+    weighted_fail.add(tally.weighted_fail.value());
+    weighted_fail_sq.add(tally.weighted_fail_sq.value());
+    weight.add(tally.weight.value());
+    weight_sq.add(tally.weight_sq.value());
+    hits += tally.hits;
+  }
+
+  const double n = static_cast<double>(options.trials);
+  const double p_hat = weighted_fail.value() / n;
+  const double second_moment = weighted_fail_sq.value() / n;
+  const double variance =
+      std::max(0.0, (second_moment - p_hat * p_hat) / n);
+  estimate.failure_probability = p_hat;
+  estimate.survival = 1.0 - p_hat;
+  estimate.std_error = std::sqrt(variance);
+  estimate.ci_low = std::max(0.0, p_hat - kZ99 * estimate.std_error);
+  estimate.ci_high = std::min(1.0, p_hat + kZ99 * estimate.std_error);
+  estimate.effective_samples =
+      weight_sq.value() > 0.0
+          ? weight.value() * weight.value() / weight_sq.value()
+          : 0.0;
+  estimate.hits = hits;
+  estimate.trials = options.trials;
+  estimate.trials_per_block = block_size;
+  estimate.threads_used = threads;
+  estimate.blocks = block_count;
+  estimate.hw_failure = options.hw_failure.value();
+  estimate.sw_fault = options.sw_fault.value();
+  estimate.seed = seed;
+
+  // ---- Cross-check against the compositional bound. The survival CI must
+  // intersect [lower, upper]; a disjoint interval means the estimator or
+  // the algebra is wrong. ----
+  MissionBoundOptions bound_options;
+  bound_options.hw_failure = options.hw_failure;
+  bound_options.sw_fault = options.sw_fault;
+  bound_options.critical_threshold = options.critical_threshold;
+  const CompositionalBounds bounds =
+      mission_bounds(sw, partition, assignment, bound_options);
+  estimate.bound_lower = bounds.critical.lower;
+  estimate.bound_upper = bounds.critical.upper;
+  const double survival_low = 1.0 - estimate.ci_high;
+  const double survival_high = 1.0 - estimate.ci_low;
+  estimate.bound_consistent = survival_low <= estimate.bound_upper &&
+                              survival_high >= estimate.bound_lower;
+
+  FCM_OBS_COUNT("rare_event.estimates", 1);
+  FCM_OBS_COUNT("rare_event.trials", options.trials);
+  FCM_OBS_COUNT("rare_event.blocks", block_count);
+  FCM_OBS_COUNT("rare_event.hits", hits);
+  return estimate;
+}
+
+std::string to_json(const RareEventEstimate& estimate) {
+  // %.9g: enough digits to round-trip the folded doubles distinguishably,
+  // locale-independent, and identical for every thread count because the
+  // doubles themselves are.
+  const auto fmt_double = [](double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return std::string(buffer);
+  };
+  std::string json;
+  json += "{\"seed\":" + std::to_string(estimate.seed);
+  json += ",\"trials\":" + std::to_string(estimate.trials);
+  json += ",\"trials_per_block\":" + std::to_string(estimate.trials_per_block);
+  json += ",\"blocks\":" + std::to_string(estimate.blocks);
+  json += ",\"hw_failure\":" + fmt_double(estimate.hw_failure);
+  json += ",\"sw_fault\":" + fmt_double(estimate.sw_fault);
+  json += ",\"tilt_used\":" + fmt_double(estimate.tilt_used);
+  json += ",\"levels_used\":" + std::to_string(estimate.levels_used);
+  json += ",\"hits\":" + std::to_string(estimate.hits);
+  json += ",\"failure_probability\":" +
+          fmt_double(estimate.failure_probability);
+  json += ",\"survival\":" + fmt_double(estimate.survival);
+  json += ",\"std_error\":" + fmt_double(estimate.std_error);
+  json += ",\"ci_low\":" + fmt_double(estimate.ci_low);
+  json += ",\"ci_high\":" + fmt_double(estimate.ci_high);
+  json += ",\"effective_samples\":" + fmt_double(estimate.effective_samples);
+  json += ",\"bound_lower\":" + fmt_double(estimate.bound_lower);
+  json += ",\"bound_upper\":" + fmt_double(estimate.bound_upper);
+  json += ",\"bound_consistent\":";
+  json += estimate.bound_consistent ? "true" : "false";
+  json += "}";
+  return json;
+}
+
+}  // namespace fcm::resilience

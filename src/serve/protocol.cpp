@@ -42,6 +42,8 @@ std::string opcode_name(Opcode opcode) {
     case Opcode::kReplan: return "replan";
     case Opcode::kPing: return "ping";
     case Opcode::kMetrics: return "metrics";
+    case Opcode::kAdversary: return "adversary";
+    case Opcode::kRareEvent: return "rare-event";
   }
   return "op" + std::to_string(static_cast<std::uint16_t>(opcode));
 }
@@ -53,6 +55,8 @@ bool parse_opcode(std::string_view name, Opcode& out) {
   if (name == "replan") { out = Opcode::kReplan; return true; }
   if (name == "ping") { out = Opcode::kPing; return true; }
   if (name == "metrics") { out = Opcode::kMetrics; return true; }
+  if (name == "adversary") { out = Opcode::kAdversary; return true; }
+  if (name == "rare-event") { out = Opcode::kRareEvent; return true; }
   return false;
 }
 

@@ -49,6 +49,8 @@ enum class Opcode : std::uint16_t {
   kReplan = 4,     ///< graceful degradation (== `fcm_tool replan`)
   kPing = 5,       ///< echo; liveness probe for clients and CI
   kMetrics = 6,    ///< fcm::obs registry snapshot as JSON
+  kAdversary = 7,  ///< adversarial worst-case fault schedule search
+  kRareEvent = 8,  ///< importance-sampled rare-event survival estimate
 };
 
 /// Response status codes. Values are wire format — never renumber.

@@ -13,6 +13,8 @@
 #include "graph/digraph.h"
 #include "mapping/replanner.h"
 #include "obs/obs.h"
+#include "resilience/adversary.h"
+#include "resilience/rare_event.h"
 
 namespace fcm::serve {
 
@@ -417,6 +419,86 @@ QueryResult QueryEngine::evaluate(protocol::Opcode opcode,
           state.planner.sw_graph(), plan.clustering.partition,
           plan.assignment, state.hw, failed);
       return {result.report(state.hw, failed), result.feasible};
+    }
+
+    case protocol::Opcode::kAdversary: {
+      const cli::Options params = parse_params(
+          payload, {"model", "hw", "trials", "threads", "restarts",
+                    "iterations", "neighbors", "max_events", "max_crashes",
+                    "anneal", "seed"});
+      const std::string model = model_name(params);
+      const int hw = hw_nodes(params);
+      PlatformState& state = platform(model, hw, true);
+      const mapping::Plan& plan =
+          state.plan_for("best", mapping::Approach::kAImportance);
+      resilience::AdversaryOptions options;
+      std::uint64_t seed = kDependSeed;
+      as_query_error([&] {
+        options.campaign.trials = static_cast<std::uint32_t>(
+            params.get_int("trials", 96));
+        options.campaign.threads =
+            static_cast<std::uint32_t>(params.get_int("threads", 0));
+        options.restarts =
+            static_cast<std::uint32_t>(params.get_int("restarts", 3));
+        options.iterations =
+            static_cast<std::uint32_t>(params.get_int("iterations", 16));
+        options.neighbors =
+            static_cast<std::uint32_t>(params.get_int("neighbors", 6));
+        options.max_events =
+            static_cast<std::uint32_t>(params.get_int("max_events", 3));
+        options.max_crashes =
+            static_cast<std::uint32_t>(params.get_int("max_crashes", 2));
+        options.anneal = params.get_int("anneal", 0) != 0;
+        seed = static_cast<std::uint64_t>(
+            params.get_int("seed", static_cast<int>(kDependSeed)));
+        return 0;
+      });
+      if (options.campaign.trials == 0) {
+        throw QueryError("trials must be positive");
+      }
+      if (options.restarts == 0) throw QueryError("restarts must be positive");
+      const resilience::AdversaryResult result = resilience::find_worst_case(
+          state.planner.sw_graph(), plan.clustering.partition,
+          plan.assignment, state.hw, seed, options);
+      return {resilience::to_json(result) + "\n", result.bound_consistent};
+    }
+
+    case protocol::Opcode::kRareEvent: {
+      const cli::Options params = parse_params(
+          payload, {"model", "hw", "q", "trials", "threads", "tilt", "pilot",
+                    "levels", "seed"});
+      const std::string model = model_name(params);
+      const int hw = hw_nodes(params);
+      PlatformState& state = platform(model, hw, true);
+      const mapping::Plan& plan =
+          state.plan_for("best", mapping::Approach::kAImportance);
+      resilience::RareEventOptions options;
+      std::uint64_t seed = kDependSeed;
+      as_query_error([&] {
+        options.hw_failure =
+            Probability(params.get_double("q", kDefaultHwFailure));
+        options.trials = static_cast<std::uint32_t>(
+            params.get_int("trials", 10'000));
+        options.threads =
+            static_cast<std::uint32_t>(params.get_int("threads", 0));
+        options.tilt = params.get_double("tilt", 0.0);
+        options.pilot_trials =
+            static_cast<std::uint32_t>(params.get_int("pilot", 512));
+        options.max_levels =
+            static_cast<std::uint32_t>(params.get_int("levels", 6));
+        seed = static_cast<std::uint64_t>(
+            params.get_int("seed", static_cast<int>(kDependSeed)));
+        return 0;
+      });
+      if (options.trials == 0) throw QueryError("trials must be positive");
+      if (options.tilt < 0.0 || options.tilt >= 1.0) {
+        throw QueryError("tilt must be in [0, 1)");
+      }
+      const resilience::RareEventEstimate estimate =
+          resilience::estimate_rare_event(state.planner.sw_graph(),
+                                          plan.clustering, plan.assignment,
+                                          state.hw, options, seed);
+      return {resilience::to_json(estimate) + "\n", estimate.bound_consistent};
     }
 
     case protocol::Opcode::kPing:

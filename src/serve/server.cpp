@@ -43,6 +43,8 @@ bool known_opcode(std::uint16_t code) noexcept {
     case protocol::Opcode::kReplan:
     case protocol::Opcode::kPing:
     case protocol::Opcode::kMetrics:
+    case protocol::Opcode::kAdversary:
+    case protocol::Opcode::kRareEvent:
       return true;
   }
   return false;

@@ -60,6 +60,40 @@ TEST_F(MetricsTest, HistogramSummarizes) {
   EXPECT_EQ(total, 3u);
 }
 
+TEST_F(MetricsTest, QuantileExtremesAreTheRecordedMinAndMax) {
+  // Regression test: the bucket-interpolated estimate lies strictly inside
+  // the bucket, so q=1.0 used to answer above the observed maximum (and
+  // q=0.0 above the observed minimum) whenever the extreme shared its
+  // bucket with other samples. Both extremes are recorded exactly and must
+  // be answered structurally.
+  auto& registry = MetricsRegistry::global();
+  registry.record("h", 0.0011);  // both in the (1e-3, 1e-2] decade bucket
+  registry.record("h", 0.0090);
+  const HistogramSummary h = registry.snapshot().histograms.at("h");
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0090);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0011);
+  // Out-of-range q clamps onto the same exact extremes.
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 0.0090);
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), 0.0011);
+}
+
+TEST_F(MetricsTest, QuantileInteriorStaysWithinTheObservedRange) {
+  // Interior quantiles interpolate within decade buckets; whatever the
+  // estimate, it must never leave [min, max] — the invariant the p99
+  // export relies on.
+  auto& registry = MetricsRegistry::global();
+  registry.record("h", 0.0005);
+  registry.record("h", 0.002);
+  registry.record("h", 0.004);
+  registry.record("h", 1.7);
+  const HistogramSummary h = registry.snapshot().histograms.at("h");
+  for (const double q : {0.01, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double estimate = h.quantile(q);
+    EXPECT_GE(estimate, h.min) << "q=" << q;
+    EXPECT_LE(estimate, h.max) << "q=" << q;
+  }
+}
+
 TEST_F(MetricsTest, ConcurrentCountsAreExact) {
   // Counter increments commute, so N threads x M increments must land on
   // exactly N*M — the same "merges are order-free" discipline the Monte

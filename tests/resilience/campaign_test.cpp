@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,40 @@ TEST(Campaign, ReportIsBitwiseIdenticalAcrossThreadCounts) {
   const std::string json5 = to_json(run_small(grid, 5));
   EXPECT_EQ(json1, json2);
   EXPECT_EQ(json1, json5);
+}
+
+TEST(Campaign, RemainderBlockFoldsIdenticallyAcrossThreadCounts) {
+  // Regression audit for trials % trials_per_block != 0: 97 trials in
+  // blocks of 16 leave a 1-trial remainder block. Its substream index and
+  // its fold position must match the single-thread reference exactly —
+  // a remainder block mis-weighted or re-seeded shows up as a byte diff.
+  const Mapping& m = mapping98();
+  const FcmId p1 = m.instance.process(1);
+  const std::vector<Scenario> grid{crash_of(m, replicas_of(m, p1)[0]),
+                                   burst_on(m, replicas_of(m, p1)[0])};
+  CampaignOptions options;
+  options.trials = 97;
+  options.trials_per_block = 16;
+  const auto run_with = [&](std::uint32_t threads) {
+    options.threads = threads;
+    return run_campaign(m.sw, m.plan.clustering.partition, m.plan.assignment,
+                        m.hw, grid, /*seed=*/2026, options);
+  };
+  const ResilienceReport reference = run_with(1);
+  const std::string json1 = to_json(reference);
+  EXPECT_EQ(json1, to_json(run_with(4)));
+  EXPECT_EQ(json1, to_json(run_with(8)));
+  // 97 trials in blocks of 16 = 7 blocks per scenario, 14 total.
+  EXPECT_EQ(reference.blocks, 14u);
+  for (const ScenarioResult& scenario : reference.scenarios) {
+    EXPECT_EQ(scenario.trials, 97u);
+    // Survival fractions count out of 97 — a remainder block dropped or
+    // double-counted would leave a non-integer trial tally behind.
+    for (const ProcessOutcome& p : scenario.processes) {
+      const double count = p.survival * 97.0;
+      EXPECT_NEAR(count, std::round(count), 1e-9) << p.name;
+    }
+  }
 }
 
 TEST(Campaign, SameSeedReproducesExactly) {

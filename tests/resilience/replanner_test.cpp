@@ -169,6 +169,31 @@ TEST(Replanner, RepairsOntoFewerNodesThanTheReplicationDegree) {
   }
 }
 
+TEST(Replanner, SheddingBacktracksToTheMinimalSet) {
+  // Regression test for the doubling-batch overshoot: losing nodes 1 and 2
+  // of the 4-node plan under the exact non-preemptive test needs exactly 4
+  // tasks shed, but the escalation probes shed counts 0, 1, 3, 7 — the
+  // first feasible probe sheds 7 of the 8 candidates. Before the
+  // minimality backtrack, those 7 were final: three tasks that would have
+  // fit were dropped from service. The backtrack binary-searches the
+  // (3, 7] bracket down to the true boundary.
+  const Mapping& m = mapping_on4();
+  ReplanOptions options;
+  options.policy = sched::Policy::kNonPreemptive;
+  const ReplanResult result = replan(m, {HwNodeId(1), HwNodeId(2)}, options);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_EQ(result.shed.size(), 4u);
+  EXPECT_EQ(result.kept.size(), 4u);
+  // 4 escalation probes (0, 1, 3, 7) + 2 backtrack probes (5, 4).
+  EXPECT_EQ(result.attempts, 6u);
+  // Minimality evidence in the audit log: the backtrack actually probed a
+  // shed count below the accepted one and saw it fail — the accepted set
+  // is on the feasibility boundary, not merely feasible.
+  EXPECT_EQ(result.shed.size() % 2, 0u)
+      << "a doubling-only escalation can only accept shed counts "
+         "2^k - 1; an even count proves the backtrack engaged";
+}
+
 TEST(Replanner, SheddingIsMonotoneInImportance) {
   // Three of four nodes die and the survivor pool is judged by the harsher
   // exact non-preemptive test: merged clusters overrun their deadlines, so

@@ -54,6 +54,7 @@ int usage() {
       "  --requests M         requests per connection (default 32)\n"
       "  --mix SPEC           query mix as op:weight pairs, e.g.\n"
       "                       mapping:2,influence:1,depend:1,replan:1,ping:1\n"
+      "                       or adversary:1,rare-event:1\n"
       "                       (default mapping:1,influence:1,depend:1,\n"
       "                       replan:1)\n"
       "  --depend-trials T    Monte Carlo trials per depend query\n"
@@ -144,6 +145,16 @@ std::vector<Request> build_schedule(std::uint64_t seed, std::uint32_t count,
         break;
       case protocol::Opcode::kPing:
         payload = "ping-" + std::to_string(rng() % 1000);
+        break;
+      case protocol::Opcode::kAdversary:
+        // Tiny searches: the point here is protocol + memo coverage, not
+        // search quality. Two seeds exercise distinct memo keys.
+        payload = "trials=32 restarts=2 iterations=4 neighbors=3 seed=" +
+                  std::to_string(2026 + rng() % 2);
+        break;
+      case protocol::Opcode::kRareEvent:
+        payload = "trials=512 pilot=128 q=0.0" +
+                  std::to_string(1 + rng() % 3);
         break;
       case protocol::Opcode::kInfluence:
       case protocol::Opcode::kMetrics:
@@ -307,6 +318,15 @@ int run(const cli::Options& args) {
   const auto hist = snapshot.histograms.find("loadgen.sched.request_latency_s");
   const double hist_p50_us =
       hist == snapshot.histograms.end() ? 0.0 : hist->second.quantile(0.5) * 1e6;
+  const double hist_p99_us =
+      hist == snapshot.histograms.end() ? 0.0
+                                        : hist->second.quantile(0.99) * 1e6;
+  // p100 must equal the recorded max exactly (not a bucket upper bound):
+  // the CI loadgen smoke asserts obs_hist_p100_us == p100_us.
+  const double hist_p100_us =
+      hist == snapshot.histograms.end() ? 0.0
+                                        : hist->second.quantile(1.0) * 1e6;
+  const double p100 = latencies.empty() ? 0.0 : latencies.back();
 
   for (const std::string& error : errors) {
     std::cerr << "error: " << error << '\n';
@@ -324,7 +344,10 @@ int run(const cli::Options& args) {
               << "  \"rps\": " << rps << ",\n"
               << "  \"p50_us\": " << p50 << ",\n"
               << "  \"p99_us\": " << p99 << ",\n"
-              << "  \"obs_hist_p50_us\": " << hist_p50_us << "\n"
+              << "  \"p100_us\": " << p100 << ",\n"
+              << "  \"obs_hist_p50_us\": " << hist_p50_us << ",\n"
+              << "  \"obs_hist_p99_us\": " << hist_p99_us << ",\n"
+              << "  \"obs_hist_p100_us\": " << hist_p100_us << "\n"
               << "}\n";
   } else {
     TextTable table({"metric", "value"});
@@ -337,7 +360,10 @@ int run(const cli::Options& args) {
     table.add_row({"requests/s", fmt(rps, 1)});
     table.add_row({"p50 us", fmt(p50, 1)});
     table.add_row({"p99 us", fmt(p99, 1)});
+    table.add_row({"p100 us", fmt(p100, 1)});
     table.add_row({"obs-hist p50 us", fmt(hist_p50_us, 1)});
+    table.add_row({"obs-hist p99 us", fmt(hist_p99_us, 1)});
+    table.add_row({"obs-hist p100 us", fmt(hist_p100_us, 1)});
     std::cout << table.render();
   }
   return errors.empty() ? 0 : 1;
