@@ -1,0 +1,293 @@
+// bench_chaos — goodput and tail latency of the serve daemon under seeded
+// chaos (DESIGN.md §15).
+//
+// The reproduction artifact sweeps three chaos mixes — healthy (no faults),
+// the default mix (~half the traffic faulted), and a hostile mix (faults
+// dominate) — each driving one in-process server through 4 chaos client
+// threads with tight admission bounds. Per mix it reports goodput (kOk
+// responses per second), p99 latency of clean round trips, and the outcome
+// partition (ok / rejected / shed / expired / injected drops / hard
+// errors). After each mix the server is stopped and its terminal-outcome
+// ledger checked for exact balance; `ledger_balanced` in BENCH_chaos.json
+// is the conjunction over all mixes and the headline claim CI tracks —
+// chaos costs throughput, never accounting.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "serve/chaos.h"
+#include "serve/client.h"
+#include "serve/query.h"
+#include "serve/server.h"
+
+namespace fcm {
+namespace {
+
+namespace protocol = serve::protocol;
+
+constexpr int kClients = 4;
+constexpr int kStepsPerClient = 48;
+constexpr std::uint64_t kSeed = 2026;
+
+// All answerable from warm caches after one pass (kMetrics excluded: its
+// payload is legitimately non-deterministic).
+const std::vector<std::pair<protocol::Opcode, std::string>>& request_mix() {
+  static const std::vector<std::pair<protocol::Opcode, std::string>> kMix = {
+      {protocol::Opcode::kMapping, ""},
+      {protocol::Opcode::kMapping, "heuristic=h2 approach=b"},
+      {protocol::Opcode::kInfluence, ""},
+      {protocol::Opcode::kReplan, "fail=0"},
+      {protocol::Opcode::kPing, "x"},
+  };
+  return kMix;
+}
+
+struct Mix {
+  const char* name;
+  serve::ChaosOptions options;
+};
+
+std::vector<Mix> mixes() {
+  Mix healthy{"healthy", {}};
+  healthy.options.byte_split = 0;
+  healthy.options.truncate = 0;
+  healthy.options.stall = 0;
+  healthy.options.kill_after_send = 0;
+  healthy.options.reset = 0;
+  healthy.options.flood = 0;
+  healthy.options.tiny_deadline = 0;
+
+  Mix standard{"standard", {}};  // the ChaosOptions defaults
+
+  Mix hostile{"hostile", {}};
+  hostile.options.byte_split = 200;
+  hostile.options.truncate = 120;
+  hostile.options.stall = 100;
+  hostile.options.kill_after_send = 120;
+  hostile.options.reset = 120;
+  hostile.options.flood = 120;
+  hostile.options.tiny_deadline = 150;
+
+  return {healthy, standard, hostile};
+}
+
+struct MixResult {
+  std::string name;
+  double goodput_rps = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t hard_errors = 0;
+  bool ledger_balanced = false;
+};
+
+double quantile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t index = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+MixResult measure(const Mix& mix) {
+  serve::QueryEngine engine;
+  serve::ServerOptions options;
+  options.workers = 4;
+  options.max_queued_requests = 16;
+  options.max_queued_per_connection = 4;
+  serve::Server server(engine, options);
+  server.start();
+
+  // Warm every distinct query once so the sweep measures the resident
+  // steady state under chaos, not first-touch planning.
+  {
+    serve::Client warmup("127.0.0.1", server.port());
+    for (const auto& [opcode, payload] : request_mix()) {
+      (void)warmup.request(opcode, payload);
+    }
+  }
+
+  struct Lane {
+    std::vector<double> clean_latencies_us;
+    std::uint64_t ok = 0, rejected = 0, shed = 0, expired = 0, injected = 0,
+                  hard = 0;
+  };
+  std::vector<Lane> lanes(kClients);
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([&, t] {
+        Lane& lane = lanes[static_cast<std::size_t>(t)];
+        try {
+          serve::RetryPolicy policy;
+          policy.max_attempts = 3;
+          policy.initial_backoff = Duration::millis(1);
+          policy.jitter_seed = kSeed + static_cast<std::uint64_t>(t);
+          serve::ChaosConnection chaos(
+              "127.0.0.1", server.port(),
+              serve::ChaosSchedule(kSeed * 10 + static_cast<std::uint64_t>(t),
+                                   mix.options),
+              Duration::millis(60'000), policy);
+          for (int s = 0; s < kStepsPerClient; ++s) {
+            const auto& [opcode, payload] =
+                request_mix()[static_cast<std::size_t>(s) %
+                              request_mix().size()];
+            const auto start = std::chrono::steady_clock::now();
+            const std::vector<serve::ChaosReport> reports =
+                chaos.step(opcode, payload);
+            const std::chrono::duration<double, std::micro> elapsed =
+                std::chrono::steady_clock::now() - start;
+            for (const serve::ChaosReport& report : reports) {
+              switch (report.outcome) {
+                case serve::ChaosOutcome::kOk: ++lane.ok; break;
+                case serve::ChaosOutcome::kRejected: ++lane.rejected; break;
+                case serve::ChaosOutcome::kShed: ++lane.shed; break;
+                case serve::ChaosOutcome::kExpired: ++lane.expired; break;
+                case serve::ChaosOutcome::kInjectedDrop:
+                  ++lane.injected;
+                  break;
+                case serve::ChaosOutcome::kErrorStatus:
+                case serve::ChaosOutcome::kConnectionError:
+                  ++lane.hard;
+                  break;
+              }
+            }
+            if (reports.size() == 1 &&
+                reports.front().outcome == serve::ChaosOutcome::kOk) {
+              lane.clean_latencies_us.push_back(elapsed.count());
+            }
+          }
+        } catch (const std::exception&) {
+          ++lane.hard;
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  server.stop();
+
+  MixResult result;
+  result.name = mix.name;
+  std::vector<double> latencies;
+  for (const Lane& lane : lanes) {
+    latencies.insert(latencies.end(), lane.clean_latencies_us.begin(),
+                     lane.clean_latencies_us.end());
+    result.ok += lane.ok;
+    result.rejected += lane.rejected;
+    result.shed += lane.shed;
+    result.expired += lane.expired;
+    result.injected += lane.injected;
+    result.hard_errors += lane.hard;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.p99_us = quantile(latencies, 0.99);
+  result.goodput_rps =
+      wall.count() > 0.0 ? static_cast<double>(result.ok) / wall.count()
+                         : 0.0;
+  const serve::ServerStats stats = server.stats();
+  result.ledger_balanced =
+      stats.requests_accepted ==
+          stats.requests_served + stats.requests_abandoned &&
+      stats.requests_served == stats.requests_ok + stats.requests_errored +
+                                   stats.requests_rejected +
+                                   stats.requests_shed +
+                                   stats.requests_expired;
+  return result;
+}
+
+void print_reproduction() {
+  bench::banner("fcm serve under seeded chaos: goodput and outcome ledger");
+
+  std::vector<MixResult> results;
+  for (const Mix& mix : mixes()) results.push_back(measure(mix));
+  bool all_balanced = true;
+  for (const MixResult& r : results) all_balanced &= r.ledger_balanced;
+
+  TextTable table({"mix", "goodput req/s", "p99 us", "ok", "rejected",
+                   "shed", "expired", "injected", "hard", "ledger"});
+  for (const MixResult& r : results) {
+    table.add_row({r.name, fmt(r.goodput_rps, 1), fmt(r.p99_us, 1),
+                   std::to_string(r.ok), std::to_string(r.rejected),
+                   std::to_string(r.shed), std::to_string(r.expired),
+                   std::to_string(r.injected), std::to_string(r.hard_errors),
+                   r.ledger_balanced ? "balanced" : "UNBALANCED"});
+  }
+  std::cout << table.render();
+  std::cout << "ledger balanced across every mix: "
+            << (all_balanced ? "yes" : "NO") << "\n(" << kClients
+            << " chaos clients x " << kStepsPerClient
+            << " steps per mix, seed " << kSeed << ", "
+            << std::thread::hardware_concurrency()
+            << " hardware threads here)\n";
+
+  std::ofstream json("BENCH_chaos.json");
+  json << "{\n"
+       << "  \"bench\": \"serve_chaos_mix_sweep\",\n"
+       << "  \"clients\": " << kClients << ",\n"
+       << "  \"steps_per_client\": " << kStepsPerClient << ",\n"
+       << "  \"seed\": " << kSeed << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"mixes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MixResult& r = results[i];
+    json << "    {\"mix\": \"" << r.name
+         << "\", \"goodput_rps\": " << r.goodput_rps
+         << ", \"p99_us\": " << r.p99_us << ", \"ok\": " << r.ok
+         << ", \"rejected\": " << r.rejected << ", \"shed\": " << r.shed
+         << ", \"expired\": " << r.expired << ", \"injected\": " << r.injected
+         << ", \"hard_errors\": " << r.hard_errors
+         << ", \"ledger_balanced\": "
+         << (r.ledger_balanced ? "true" : "false") << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"ledger_balanced\": " << (all_balanced ? "true" : "false")
+       << "\n}\n";
+  std::cout << "(record written to BENCH_chaos.json)\n";
+}
+
+// Microbenchmark: drawing one fault decision from a schedule.
+void BM_ChaosScheduleNext(benchmark::State& state) {
+  serve::ChaosSchedule schedule(kSeed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule.next());
+  }
+}
+BENCHMARK(BM_ChaosScheduleNext);
+
+// Microbenchmark: one healthy chaos step over loopback (the no-fault
+// baseline every injected fault is compared against).
+void BM_HealthyChaosStep(benchmark::State& state) {
+  serve::QueryEngine engine;
+  serve::Server server(engine, {});
+  server.start();
+  serve::ChaosOptions none;
+  none.byte_split = none.truncate = none.stall = none.kill_after_send = 0;
+  none.reset = none.flood = none.tiny_deadline = 0;
+  serve::ChaosConnection chaos("127.0.0.1", server.port(),
+                               serve::ChaosSchedule(kSeed, none));
+  (void)chaos.step(protocol::Opcode::kMapping, "");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chaos.step(protocol::Opcode::kMapping, ""));
+  }
+  server.stop();
+}
+BENCHMARK(BM_HealthyChaosStep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace fcm
+
+FCM_BENCH_MAIN(fcm::print_reproduction)

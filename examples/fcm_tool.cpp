@@ -71,8 +71,10 @@ const std::vector<CommandSpec> kCommands = {
       {"levels"}}},
     {"serve",
      {{"host"}, {"port"}, {"workers"}, {"port-file"}, {"idle-timeout-ms"},
-      {"max-frame-kb"}}},
-    {"query", {{"host"}, {"port"}, {"op"}, {"params"}, {"timeout-ms"}}},
+      {"max-frame-kb"}, {"max-connections"}, {"max-queued"},
+      {"max-queued-per-conn"}}},
+    {"query",
+     {{"host"}, {"port"}, {"op"}, {"params"}, {"timeout-ms"}, {"retries"}}},
 };
 
 int usage() {
@@ -115,16 +117,23 @@ int usage() {
       "       the estimate is inconsistent with the compositional bounds\n"
       "  serve [--host H] [--port P] [--workers N] [--port-file F]\n"
       "        [--idle-timeout-ms M] [--max-frame-kb K]\n"
+      "        [--max-connections N] [--max-queued N]\n"
+      "        [--max-queued-per-conn N]\n"
       "       resident planning daemon answering mapping/influence/depend/\n"
       "       replan queries over a length-prefixed socket protocol;\n"
       "       P=0 picks an ephemeral port (printed, and written to F);\n"
-      "       SIGINT/SIGTERM drain in-flight requests and exit 0\n"
+      "       the --max-* bounds are admission control (0 disables one;\n"
+      "       overflow answers kOverloaded, shedding heavy opcodes first);\n"
+      "       SIGINT/SIGTERM drain in-flight requests and exit 0, printing\n"
+      "       the terminal-outcome ledger and its balance verdict\n"
       "  query --port P --op OP [--host H] [--params \"k=v ...\"]\n"
-      "        [--timeout-ms M]\n"
+      "        [--timeout-ms M] [--retries R]\n"
       "       one client request against a running daemon; OP in\n"
       "       {mapping, influence, depend, replan, ping, metrics,\n"
       "        adversary, rare-event};\n"
-      "       the response payload is printed verbatim\n"
+      "       the response payload is printed verbatim; --retries R\n"
+      "       re-sends on connection failure/kOverloaded/kShuttingDown\n"
+      "       with exponential backoff (safe: queries are pure)\n"
       "global options (any command):\n"
       "  --metrics                           dump the fcm::obs registry\n"
       "  --trace FILE                        write chrome://tracing spans\n"
@@ -332,6 +341,21 @@ int cmd_serve(const cli::Options& args) {
   const int max_frame_kb = args.get_int("max-frame-kb", 1024);
   if (max_frame_kb < 1) throw cli::CliError("max-frame-kb must be >= 1");
   options.max_frame_bytes = static_cast<std::uint32_t>(max_frame_kb) * 1024;
+  const int max_connections =
+      args.get_int("max-connections",
+                   static_cast<int>(options.max_connections));
+  const int max_queued = args.get_int(
+      "max-queued", static_cast<int>(options.max_queued_requests));
+  const int max_queued_per_conn = args.get_int(
+      "max-queued-per-conn",
+      static_cast<int>(options.max_queued_per_connection));
+  if (max_connections < 0 || max_queued < 0 || max_queued_per_conn < 0) {
+    throw cli::CliError("admission bounds must be >= 0 (0 disables one)");
+  }
+  options.max_connections = static_cast<std::uint32_t>(max_connections);
+  options.max_queued_requests = static_cast<std::uint32_t>(max_queued);
+  options.max_queued_per_connection =
+      static_cast<std::uint32_t>(max_queued_per_conn);
 
   serve::QueryEngine engine;
   serve::Server server(engine, options);
@@ -361,13 +385,28 @@ int cmd_serve(const cli::Options& args) {
   g_signal_server.store(nullptr);
 
   const serve::ServerStats stats = server.stats();
+  // The terminal-outcome ledger must balance exactly after a drain; the CI
+  // chaos job greps for "ledger=balanced" on the daemon's way out.
+  const bool balanced =
+      stats.requests_accepted ==
+          stats.requests_served + stats.requests_abandoned &&
+      stats.requests_served ==
+          stats.requests_ok + stats.requests_errored +
+              stats.requests_rejected + stats.requests_shed +
+              stats.requests_expired;
   std::cout << "fcm serve: drained and stopped  (connections="
-            << stats.connections_accepted << " requests="
-            << stats.requests_served << " protocol-errors="
-            << stats.protocol_errors << " request-errors="
-            << stats.request_errors << " expired="
-            << stats.connections_expired << ")\n";
-  return 0;
+            << stats.connections_accepted << " conn-rejected="
+            << stats.connections_rejected << " accepted="
+            << stats.requests_accepted << " served="
+            << stats.requests_served << " ok=" << stats.requests_ok
+            << " errored=" << stats.requests_errored << " rejected="
+            << stats.requests_rejected << " shed=" << stats.requests_shed
+            << " expired=" << stats.requests_expired << " abandoned="
+            << stats.requests_abandoned << " protocol-errors="
+            << stats.protocol_errors << " io-errors=" << stats.io_errors
+            << " conn-expired=" << stats.connections_expired
+            << " ledger=" << (balanced ? "balanced" : "UNBALANCED") << ")\n";
+  return balanced ? 0 : 1;
 }
 
 int cmd_query(const cli::Options& args) {
@@ -382,9 +421,13 @@ int cmd_query(const cli::Options& args) {
                         "' (want mapping|influence|depend|replan|ping|"
                         "metrics)");
   }
+  const int retries = args.get_int("retries", 0);
+  if (retries < 0) throw cli::CliError("--retries must be >= 0");
+  serve::RetryPolicy policy;
+  policy.max_attempts = 1 + static_cast<std::uint32_t>(retries);
   serve::Client client(
       args.get("host", "127.0.0.1"), static_cast<std::uint16_t>(port),
-      Duration::millis(args.get_int("timeout-ms", 10'000)));
+      Duration::millis(args.get_int("timeout-ms", 10'000)), policy);
   const serve::Client::Response response =
       client.request(opcode, args.get("params", ""));
   if (response.status != serve::protocol::Status::kOk) {

@@ -1,0 +1,260 @@
+#include "serve/chaos.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+
+namespace fcm::serve {
+
+const char* fault_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kByteSplit: return "byte-split";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kKillAfterSend: return "kill-after-send";
+    case FaultKind::kReset: return "reset";
+    case FaultKind::kFlood: return "flood";
+    case FaultKind::kTinyDeadline: return "tiny-deadline";
+  }
+  return "fault?";
+}
+
+const char* chaos_outcome_name(ChaosOutcome outcome) noexcept {
+  switch (outcome) {
+    case ChaosOutcome::kOk: return "ok";
+    case ChaosOutcome::kRejected: return "rejected";
+    case ChaosOutcome::kShed: return "shed";
+    case ChaosOutcome::kExpired: return "expired";
+    case ChaosOutcome::kErrorStatus: return "error-status";
+    case ChaosOutcome::kInjectedDrop: return "injected-drop";
+    case ChaosOutcome::kConnectionError: return "connection-error";
+  }
+  return "outcome?";
+}
+
+namespace {
+
+ChaosOutcome classify(protocol::Status status) noexcept {
+  switch (status) {
+    case protocol::Status::kOk:
+      return ChaosOutcome::kOk;
+    case protocol::Status::kOverloaded:
+      return ChaosOutcome::kRejected;
+    case protocol::Status::kShuttingDown:
+      return ChaosOutcome::kShed;
+    case protocol::Status::kDeadlineExceeded:
+      return ChaosOutcome::kExpired;
+    default:
+      return ChaosOutcome::kErrorStatus;
+  }
+}
+
+ChaosReport from_response(const Client::Response& response, FaultKind fault) {
+  ChaosReport report;
+  report.outcome = classify(response.status);
+  report.status = response.status;
+  report.payload = response.payload;
+  report.fault = fault;
+  return report;
+}
+
+ChaosReport hard_error(FaultKind fault) {
+  ChaosReport report;
+  report.outcome = ChaosOutcome::kConnectionError;
+  report.fault = fault;
+  return report;
+}
+
+ChaosReport injected_drop(FaultKind fault) {
+  ChaosReport report;
+  report.outcome = ChaosOutcome::kInjectedDrop;
+  report.fault = fault;
+  return report;
+}
+
+}  // namespace
+
+ChaosSchedule::ChaosSchedule(std::uint64_t seed, ChaosOptions options)
+    : seed_(seed), options_(options), rng_(seed) {}
+
+FaultSpec ChaosSchedule::next() {
+  const std::uint32_t roll = static_cast<std::uint32_t>(rng_() % 1000);
+  std::uint32_t edge = 0;
+  const auto in = [&](std::uint32_t weight) {
+    edge += weight;
+    return roll < edge;
+  };
+  FaultSpec spec;
+  if (in(options_.byte_split)) {
+    spec.kind = FaultKind::kByteSplit;
+    spec.a = 1 + static_cast<std::uint32_t>(rng_() % 3);  // chunk size
+  } else if (in(options_.truncate)) {
+    spec.kind = FaultKind::kTruncate;
+  } else if (in(options_.stall)) {
+    spec.kind = FaultKind::kStall;
+    spec.a = options_.stall_us;
+  } else if (in(options_.kill_after_send)) {
+    spec.kind = FaultKind::kKillAfterSend;
+  } else if (in(options_.reset)) {
+    spec.kind = FaultKind::kReset;
+  } else if (in(options_.flood)) {
+    spec.kind = FaultKind::kFlood;
+    spec.a = std::max<std::uint32_t>(2, options_.flood_burst);
+  } else if (in(options_.tiny_deadline)) {
+    spec.kind = FaultKind::kTinyDeadline;
+  } else {
+    spec.kind = FaultKind::kNone;
+  }
+  return spec;
+}
+
+ChaosConnection::ChaosConnection(std::string host, std::uint16_t port,
+                                 ChaosSchedule schedule, Duration timeout,
+                                 RetryPolicy retry)
+    : schedule_(std::move(schedule)),
+      client_(host, port, timeout, retry) {}
+
+void ChaosConnection::hard_kill() noexcept {
+  if (!client_.connected()) return;
+  // Closing with zero linger discards unsent data and sends RST instead of
+  // FIN — the rudest legal way a client can vanish.
+  const linger lg{1, 0};
+  ::setsockopt(client_.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  client_.disconnect();
+}
+
+ChaosReport ChaosConnection::roundtrip(protocol::Opcode opcode,
+                                       std::string_view payload,
+                                       FaultKind fault) {
+  try {
+    return from_response(client_.request(opcode, payload), fault);
+  } catch (const FcmError&) {
+    return hard_error(fault);
+  }
+}
+
+std::vector<ChaosReport> ChaosConnection::step(protocol::Opcode opcode,
+                                               std::string_view payload) {
+  const FaultSpec spec = schedule_.next();
+  std::vector<ChaosReport> reports;
+  switch (spec.kind) {
+    case FaultKind::kNone:
+      reports.push_back(roundtrip(opcode, payload, spec.kind));
+      break;
+
+    case FaultKind::kByteSplit: {
+      // A torn writer: the frame arrives, but in dribbles. The server must
+      // reassemble it and answer normally — byte-splitting is within
+      // protocol, so this round trip still counts as a real request.
+      try {
+        client_.connect();
+        const std::string frame = protocol::encode_request(opcode, payload);
+        for (std::size_t off = 0; off < frame.size(); off += spec.a) {
+          client_.send_raw(std::string_view(frame).substr(
+              off, std::min<std::size_t>(spec.a, frame.size() - off)));
+        }
+        Client::Response response;
+        if (!client_.read_response(response)) {
+          client_.disconnect();
+          reports.push_back(hard_error(spec.kind));
+          break;
+        }
+        reports.push_back(from_response(response, spec.kind));
+      } catch (const FcmError&) {
+        client_.disconnect();
+        reports.push_back(hard_error(spec.kind));
+      }
+      break;
+    }
+
+    case FaultKind::kTruncate: {
+      // A strict prefix of a frame, then FIN: the server sees EOF
+      // mid-frame, never accepts a request, and must just reap the
+      // connection. Client-side this is an injected drop by construction.
+      try {
+        client_.connect();
+        const std::string frame = protocol::encode_request(opcode, payload);
+        client_.send_raw(
+            std::string_view(frame).substr(0, frame.size() / 2 + 1));
+      } catch (const FcmError&) {
+        // Connection refused/reset while injecting still counts as a drop.
+      }
+      client_.disconnect();
+      reports.push_back(injected_drop(spec.kind));
+      break;
+    }
+
+    case FaultKind::kStall:
+      std::this_thread::sleep_for(std::chrono::microseconds(spec.a));
+      reports.push_back(roundtrip(opcode, payload, spec.kind));
+      break;
+
+    case FaultKind::kKillAfterSend: {
+      // The server accepts and (probably) evaluates the request, but the
+      // reader is gone: the response write fails or the teardown abandons
+      // it. Either way the server's ledger must still balance.
+      try {
+        client_.connect();
+        client_.send_raw(protocol::encode_request(opcode, payload));
+      } catch (const FcmError&) {
+      }
+      hard_kill();
+      reports.push_back(injected_drop(spec.kind));
+      break;
+    }
+
+    case FaultKind::kReset:
+      hard_kill();
+      reports.push_back(roundtrip(opcode, payload, spec.kind));
+      break;
+
+    case FaultKind::kFlood: {
+      // Pipeline a burst without waiting — the per-connection and global
+      // admission bounds are exactly what this probes, and strict FIFO
+      // responses are what lets us pair response k with request k.
+      try {
+        client_.connect();
+        const std::string frame = protocol::encode_request(opcode, payload);
+        std::string burst;
+        burst.reserve(frame.size() * spec.a);
+        for (std::uint32_t i = 0; i < spec.a; ++i) burst += frame;
+        client_.send_raw(burst);
+        for (std::uint32_t i = 0; i < spec.a; ++i) {
+          Client::Response response;
+          if (!client_.read_response(response)) {
+            throw FcmError("serve chaos: flood response stream ended early");
+          }
+          reports.push_back(from_response(response, spec.kind));
+        }
+      } catch (const FcmError&) {
+        client_.disconnect();
+        while (reports.size() < spec.a) {
+          reports.push_back(hard_error(spec.kind));
+        }
+      }
+      break;
+    }
+
+    case FaultKind::kTinyDeadline: {
+      // deadline_ms=0 is already expired by the time anything can look at
+      // it: the deterministic path to kDeadlineExceeded, with zero cores
+      // burned on the evaluation.
+      std::string dead = "deadline_ms=0";
+      if (!payload.empty()) {
+        dead += ' ';
+        dead += payload;
+      }
+      reports.push_back(roundtrip(opcode, dead, spec.kind));
+      break;
+    }
+  }
+  return reports;
+}
+
+}  // namespace fcm::serve

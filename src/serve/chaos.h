@@ -1,0 +1,141 @@
+// Seeded, deterministic fault injection against the serve daemon itself.
+//
+// We inject faults into *modeled* systems everywhere else in this codebase;
+// this header turns the same discipline on the service that plans them
+// (DESIGN.md §15). A ChaosSchedule is a seeded stream of client-side fault
+// decisions — torn writes, truncated frames, stalls, hard kills, RSTs,
+// pipelined floods, already-dead deadlines — and a ChaosConnection drives
+// one client through it, classifying every request's terminal outcome.
+//
+// The certified contract (tests/serve/chaos_test.cpp, bench_chaos, the CI
+// chaos job): under every seeded schedule, each request the server accepts
+// gets exactly one terminal outcome, every kOk payload is byte-identical to
+// one-shot `fcm_tool` output, the daemon never dies, and the ServerStats
+// ledger balances exactly.
+//
+// Determinism caveat: the *schedule* (which fault, in what order, with what
+// parameters) is a pure function of the seed. The server's *responses*
+// under overload depend on thread interleaving (which request hits a bound
+// first), so chaos runs assert invariants — outcome ledgers, byte-identity
+// of kOk payloads, counter balance — never exact outcome sequences.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace fcm::serve {
+
+/// One injected client-side fault.
+enum class FaultKind : std::uint8_t {
+  kNone,           ///< healthy request
+  kByteSplit,      ///< send the request frame in tiny chunks (torn writer)
+  kTruncate,       ///< send a strict prefix of a frame, then close; the
+                   ///< server sees EOF mid-frame and never accepts it
+  kStall,          ///< pause `a` microseconds mid-conversation, then send
+  kKillAfterSend,  ///< send a full request, then hard-kill (RST) the
+                   ///< connection without reading the response
+  kReset,          ///< RST the connection, reconnect, then send normally
+  kFlood,          ///< pipeline `a` copies back-to-back, then read them all
+  kTinyDeadline,   ///< prepend deadline_ms=0 → deterministic expiry
+};
+
+[[nodiscard]] const char* fault_name(FaultKind kind) noexcept;
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNone;
+  std::uint32_t a = 0;  ///< kind-specific parameter (burst size, stall µs)
+};
+
+/// Per-mille weights for each fault kind (the remainder is kNone) plus
+/// fault parameters. Defaults give a mix where roughly half the traffic is
+/// healthy.
+struct ChaosOptions {
+  std::uint32_t byte_split = 100;
+  std::uint32_t truncate = 60;
+  std::uint32_t stall = 60;
+  std::uint32_t kill_after_send = 60;
+  std::uint32_t reset = 60;
+  std::uint32_t flood = 60;
+  std::uint32_t tiny_deadline = 100;
+  std::uint32_t flood_burst = 8;   ///< pipelined requests per kFlood
+  std::uint32_t stall_us = 2'000;  ///< pause per kStall
+};
+
+/// Deterministic fault stream: the sequence of FaultSpecs is a pure
+/// function of (seed, options). Copyable, so N client threads can each own
+/// an independent schedule derived from seed + thread index.
+class ChaosSchedule {
+ public:
+  explicit ChaosSchedule(std::uint64_t seed, ChaosOptions options = {});
+
+  FaultSpec next();
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const ChaosOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  std::uint64_t seed_;
+  ChaosOptions options_;
+  std::mt19937_64 rng_;
+};
+
+/// Client-side classification of one request's terminal outcome. Exactly
+/// one per request sent (or deliberately not sent): nothing is dropped
+/// silently, mirroring the server-side ledger.
+enum class ChaosOutcome : std::uint8_t {
+  kOk,               ///< kOk response
+  kRejected,         ///< kOverloaded
+  kShed,             ///< kShuttingDown
+  kExpired,          ///< kDeadlineExceeded
+  kErrorStatus,      ///< request-level error status (bad request, ...)
+  kInjectedDrop,     ///< we killed the exchange ourselves; no response due
+  kConnectionError,  ///< hard socket failure after any retry budget
+};
+
+[[nodiscard]] const char* chaos_outcome_name(ChaosOutcome outcome) noexcept;
+
+struct ChaosReport {
+  ChaosOutcome outcome = ChaosOutcome::kOk;
+  protocol::Status status = protocol::Status::kOk;  ///< when a response came
+  std::string payload;  ///< response payload (kOk carries query output)
+  FaultKind fault = FaultKind::kNone;
+};
+
+/// Drives one client connection through a schedule. Owns a Client and
+/// reconnects as faults destroy connections. Not thread-safe; one per
+/// client thread.
+class ChaosConnection {
+ public:
+  ChaosConnection(std::string host, std::uint16_t port,
+                  ChaosSchedule schedule,
+                  Duration timeout = Duration::millis(10'000),
+                  RetryPolicy retry = {});
+
+  /// Executes one schedule step around one logical request. Returns one
+  /// report per request actually attempted: one for most faults, `a` for a
+  /// kFlood burst, and one kInjectedDrop for faults that never complete a
+  /// request.
+  std::vector<ChaosReport> step(protocol::Opcode opcode,
+                                std::string_view payload);
+
+  [[nodiscard]] const Client& client() const noexcept { return client_; }
+
+ private:
+  ChaosReport roundtrip(protocol::Opcode opcode, std::string_view payload,
+                        FaultKind fault);
+  void hard_kill() noexcept;  ///< SO_LINGER{1,0} close → RST on the wire
+
+  ChaosSchedule schedule_;
+  Client client_;
+};
+
+}  // namespace fcm::serve

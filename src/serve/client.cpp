@@ -7,8 +7,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/error.h"
 
@@ -28,33 +31,34 @@ timeval to_timeval(Duration d) {
                  std::string(std::strerror(errno)));
 }
 
+bool retryable_status(protocol::Status status) noexcept {
+  // Only the statuses that promise "your request was fine, try again":
+  // overload shedding and graceful drain. Request defects never change on
+  // a retry and must surface to the caller.
+  return status == protocol::Status::kOverloaded ||
+         status == protocol::Status::kShuttingDown;
+}
+
 }  // namespace
 
-Client::Client(const std::string& host, std::uint16_t port,
-               Duration timeout) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) fail("cannot create socket");
-  const timeval tv = to_timeval(timeout);
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd_);
-    fd_ = -1;
-    throw FcmError("serve client: invalid host '" + host + "'");
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    const int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    errno = saved;
-    fail("cannot connect to " + host + ":" + std::to_string(port));
+Client::Client(const std::string& host, std::uint16_t port, Duration timeout,
+               RetryPolicy policy)
+    : host_(host),
+      port_(port),
+      timeout_(timeout),
+      policy_(policy),
+      jitter_rng_(policy.jitter_seed) {
+  const std::uint32_t attempts = std::max<std::uint32_t>(1,
+                                                         policy_.max_attempts);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      connect_once();
+      return;
+    } catch (const FcmError&) {
+      if (attempt + 1 >= attempts) throw;
+      ++retry_stats_.retries;
+      backoff_sleep(attempt);
+    }
   }
 }
 
@@ -63,11 +67,75 @@ Client::~Client() {
 }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_(other.timeout_),
+      policy_(other.policy_),
+      jitter_rng_(other.jitter_rng_),
+      retry_stats_(other.retry_stats_),
+      fd_(other.fd_),
+      decoder_(std::move(other.decoder_)) {
   other.fd_ = -1;
 }
 
+void Client::connect_once() {
+  disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("cannot create socket");
+  const timeval tv = to_timeval(timeout_);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw FcmError("serve client: invalid host '" + host_ + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("cannot connect to " + host_ + ":" + std::to_string(port_));
+  }
+}
+
+void Client::disconnect() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // A fresh connection starts a fresh byte stream: stale buffered bytes
+  // from the old one must never prefix the new one's responses.
+  decoder_ = protocol::FrameDecoder();
+}
+
+void Client::connect() {
+  if (fd_ >= 0) return;
+  connect_once();
+  ++retry_stats_.reconnects;
+}
+
+void Client::backoff_sleep(std::uint32_t retry_index) {
+  double backoff_us = static_cast<double>(policy_.initial_backoff.count());
+  for (std::uint32_t i = 0; i < retry_index; ++i) {
+    backoff_us *= policy_.multiplier;
+  }
+  backoff_us = std::min(backoff_us,
+                        static_cast<double>(policy_.max_backoff.count()));
+  const double u = std::generate_canonical<double, 53>(jitter_rng_);
+  const auto sleep_us = static_cast<std::int64_t>(backoff_us * (0.5 + 0.5 * u));
+  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+}
+
 void Client::send_raw(std::string_view bytes) {
+  if (fd_ < 0) fail("not connected");
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
@@ -113,12 +181,34 @@ bool Client::read_response(Response& out) {
 
 Client::Response Client::request(protocol::Opcode opcode,
                                  std::string_view payload) {
-  send_raw(protocol::encode_request(opcode, payload));
-  Response response;
-  if (!read_response(response)) {
-    throw FcmError("serve client: connection closed before a response");
+  const std::uint32_t attempts = std::max<std::uint32_t>(1,
+                                                         policy_.max_attempts);
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    const bool last = attempt + 1 >= attempts;
+    try {
+      connect();
+      send_raw(protocol::encode_request(opcode, payload));
+      Response response;
+      if (!read_response(response)) {
+        throw FcmError("serve client: connection closed before a response");
+      }
+      if (retryable_status(response.status) && !last) {
+        // kShuttingDown closes the connection after the response, and the
+        // connection-capacity kOverloaded does too; dropping ours now
+        // means the next attempt always starts on a clean stream.
+        disconnect();
+        ++retry_stats_.retries;
+        backoff_sleep(attempt);
+        continue;
+      }
+      return response;
+    } catch (const FcmError&) {
+      disconnect();
+      if (last) throw;
+      ++retry_stats_.retries;
+      backoff_sleep(attempt);
+    }
   }
-  return response;
 }
 
 void Client::shutdown_write() noexcept { ::shutdown(fd_, SHUT_WR); }

@@ -68,6 +68,8 @@ const char* status_name(Status status) noexcept {
     case Status::kBadRequest: return "bad-request";
     case Status::kServerError: return "server-error";
     case Status::kShuttingDown: return "shutting-down";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
   }
   return "status?";
 }

@@ -25,6 +25,13 @@
 // equivalent one-shot `fcm_tool` command prints. Byte-identity between the
 // serve path and the one-shot path is a hard contract enforced by
 // tests/serve/differential_test.cpp and by CI.
+//
+// One payload key is transport-level rather than query-level: a request may
+// carry "deadline_ms=N" anywhere in its payload. The server strips the
+// token before the query engine (and before the response memo key, so
+// deadline-carrying requests stay byte-identical to deadline-free ones) and
+// answers kDeadlineExceeded without evaluating when the deadline passes
+// while the request waits for a worker. kPing echoes the stripped payload.
 #pragma once
 
 #include <cstdint>
@@ -53,7 +60,12 @@ enum class Opcode : std::uint16_t {
   kRareEvent = 8,  ///< importance-sampled rare-event survival estimate
 };
 
-/// Response status codes. Values are wire format — never renumber.
+/// Response status codes. Values are wire format — never renumber; new
+/// statuses are appended. The terminal-outcome ledger (DESIGN.md §15)
+/// partitions every accepted request into exactly one of: kOk, a
+/// request-level error (2/3/4), kShuttingDown, kOverloaded,
+/// kDeadlineExceeded, or a connection-level failure the peer observes
+/// directly.
 enum class Status : std::uint16_t {
   kOk = 0,
   kBadFrame = 1,       ///< framing violation; connection is closed after it
@@ -61,6 +73,12 @@ enum class Status : std::uint16_t {
   kBadRequest = 3,     ///< malformed query parameters; connection usable
   kServerError = 4,    ///< handler threw; connection usable
   kShuttingDown = 5,   ///< server is draining; connection closes after it
+  kOverloaded = 6,     ///< admission control shed the request (or, on a
+                       ///< fresh connection, the connection cap was hit and
+                       ///< the connection closes after it); safe to retry —
+                       ///< every query is a pure function of its payload
+  kDeadlineExceeded = 7,  ///< the request's deadline_ms passed before a
+                          ///< worker could start it; never evaluated
 };
 
 /// Short stable name ("mapping", "depend", ...) or "op<N>" for unknown

@@ -50,20 +50,115 @@ bool known_opcode(std::uint16_t code) noexcept {
   return false;
 }
 
+/// Relative cost rank used to shed in opcode cost order under overload and
+/// drain. Rank 0 ("free": a ping echo, a metrics snapshot, an unknown
+/// opcode's one-line error) is never shed — liveness probes and telemetry
+/// keep working on an overloaded daemon. Higher ranks shed first.
+int opcode_cost(std::uint16_t code) noexcept {
+  switch (static_cast<protocol::Opcode>(code)) {
+    case protocol::Opcode::kPing:
+    case protocol::Opcode::kMetrics:
+      return 0;
+    case protocol::Opcode::kInfluence:
+      return 1;
+    case protocol::Opcode::kReplan:
+      return 2;
+    case protocol::Opcode::kMapping:
+      return 3;
+    case protocol::Opcode::kDepend:
+      return 4;
+    case protocol::Opcode::kRareEvent:
+      return 5;
+    case protocol::Opcode::kAdversary:
+      return 6;
+  }
+  return 0;  // unknown opcodes answer with a cheap error
+}
+
+/// Ledger category of one terminal outcome (mirrors the ServerStats
+/// requests_* partition).
+enum class Category : std::uint8_t { kOk, kErrored, kRejected, kShed,
+                                     kExpired };
+
+Category category_of(protocol::Status status) noexcept {
+  switch (status) {
+    case protocol::Status::kOk:
+      return Category::kOk;
+    case protocol::Status::kOverloaded:
+      return Category::kRejected;
+    case protocol::Status::kShuttingDown:
+      return Category::kShed;
+    case protocol::Status::kDeadlineExceeded:
+      return Category::kExpired;
+    default:
+      return Category::kErrored;
+  }
+}
+
+/// Finds, strips, and applies the transport-level "deadline_ms=<digits>"
+/// token (first well-formed occurrence; malformed ones are left for the
+/// query engine to reject strictly). Returns the absolute deadline, or
+/// time_point::max() when the request carries none.
+Clock::time_point extract_deadline(std::string& payload,
+                                   Clock::time_point now) {
+  constexpr std::string_view kKey = "deadline_ms=";
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find(' ', pos);
+    if (end == std::string::npos) end = payload.size();
+    const std::string_view token =
+        std::string_view(payload).substr(pos, end - pos);
+    if (token.size() > kKey.size() && token.substr(0, kKey.size()) == kKey) {
+      const std::string_view digits = token.substr(kKey.size());
+      const bool numeric =
+          digits.size() <= 9 &&
+          digits.find_first_not_of("0123456789") == std::string_view::npos;
+      if (numeric) {
+        std::int64_t value = 0;
+        for (const char c : digits) value = value * 10 + (c - '0');
+        // Strip the token plus exactly one adjacent separator.
+        if (end < payload.size()) {
+          payload.erase(pos, end - pos + 1);
+        } else if (pos > 0) {
+          payload.erase(pos - 1, end - pos + 1);
+        } else {
+          payload.erase(pos, end - pos);
+        }
+        return now + std::chrono::milliseconds(value);
+      }
+    }
+    pos = end + 1;
+  }
+  return Clock::time_point::max();
+}
+
 void set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
+
+/// One admitted-but-unanswered request, or a canned admission answer.
+/// Pre-answered entries keep their FIFO slot so a rejected request's
+/// kOverloaded still leaves the socket in strict arrival order — a
+/// pipelining client can always pair response k with request k.
+struct PendingRequest {
+  protocol::Frame frame;
+  Clock::time_point deadline = Clock::time_point::max();
+  bool preanswered = false;
+  protocol::Status status = protocol::Status::kOk;  // pre-answered only
+  std::string response;                             // pre-answered only
+  Category category = Category::kOk;                // pre-answered only
+};
 
 /// One live client connection. All fields are owned by the IO thread.
 struct Connection {
   std::uint64_t id = 0;
   int fd = -1;
   protocol::FrameDecoder decoder;
-  /// Framed requests not yet dispatched. At most one request per
-  /// connection is ever in flight (`busy`), so responses come back in
-  /// arrival order without any reordering machinery.
-  std::deque<protocol::Frame> pending;
+  /// Admitted requests not yet answered (plus canned admission answers).
+  /// At most one request per connection is ever in flight (`busy`), so
+  /// responses come back in arrival order without reordering machinery.
+  std::deque<PendingRequest> pending;
   bool busy = false;
   bool input_closed = false;      ///< EOF seen or framing poisoned
   bool close_after_flush = false;
@@ -109,6 +204,7 @@ struct Server::Impl {
   struct Work {
     std::uint64_t conn = 0;
     protocol::Frame frame;
+    Clock::time_point deadline = Clock::time_point::max();
   };
   struct Done {
     std::uint64_t conn = 0;
@@ -215,8 +311,21 @@ void Server::Impl::worker_loop() {
       result.payload =
           "unknown opcode " + std::to_string(item.frame.code);
       FCM_OBS_COUNT("serve.requests.unknown_opcode", 1);
+    } else if (item.deadline != Clock::time_point::max() &&
+               begin >= item.deadline) {
+      // The request's transport deadline passed while it waited for a
+      // worker: answering kDeadlineExceeded here costs microseconds;
+      // evaluating a 4096-process plan nobody is waiting for costs a core.
+      const auto opcode = static_cast<protocol::Opcode>(item.frame.code);
+      result.status = protocol::Status::kDeadlineExceeded;
+      result.payload = "deadline_ms exceeded before evaluation";
+      FCM_OBS_COUNT("serve.requests." + protocol::opcode_name(opcode), 1);
     } else {
       const auto opcode = static_cast<protocol::Opcode>(item.frame.code);
+      if (options.test_hooks.before_evaluate) {
+        options.test_hooks.before_evaluate(item.frame.code,
+                                           item.frame.payload);
+      }
       try {
         QueryResult answer = engine.run(opcode, item.frame.payload);
         result.status = protocol::Status::kOk;
@@ -248,21 +357,194 @@ void Server::Impl::io_loop() {
   std::map<std::uint64_t, Connection> conns;
   std::uint64_t next_conn_id = 1;
   bool draining = false;
+  bool io_failed = false;  // poll(2) itself died; drain without trusting it
   Clock::time_point drain_deadline = Clock::time_point::max();
+  // Admitted-but-unanswered requests (queued anywhere + in flight); the
+  // ServerOptions::max_queued_requests bound. Pre-answered pending entries
+  // are excluded — they already have their response.
+  std::size_t outstanding = 0;
 
-  const auto dispatch = [&](Connection& c) {
-    if (c.busy || c.pending.empty() || draining) return;
-    Work item;
-    item.conn = c.id;
-    item.frame = std::move(c.pending.front());
-    c.pending.pop_front();
-    c.busy = true;
-    c.idle_deadline = Clock::time_point::max();
-    {
-      const std::lock_guard<std::mutex> lock(work_mutex);
-      work.push_back(std::move(item));
+  // Queues one ledger response and accounts its terminal outcome. Every
+  // accepted request flows through here exactly once (or through
+  // account_teardown when its connection dies first) — that single funnel
+  // is what makes the ServerStats ledger balance exactly.
+  const auto emit = [&](Connection& c, protocol::Status status,
+                        std::string_view payload, Category category) {
+    c.queue_response(status, payload);
+    bump(&ServerStats::requests_served);
+    if (status != protocol::Status::kOk) {
+      bump(&ServerStats::request_errors);
     }
-    work_cv.notify_one();
+    switch (category) {
+      case Category::kOk:
+        bump(&ServerStats::requests_ok);
+        break;
+      case Category::kErrored:
+        bump(&ServerStats::requests_errored);
+        break;
+      case Category::kRejected:
+        bump(&ServerStats::requests_rejected);
+        FCM_OBS_COUNT("serve.overload.rejected", 1);
+        break;
+      case Category::kShed:
+        bump(&ServerStats::requests_shed);
+        FCM_OBS_COUNT("serve.overload.shed", 1);
+        break;
+      case Category::kExpired:
+        bump(&ServerStats::requests_expired);
+        FCM_OBS_COUNT("serve.overload.expired", 1);
+        break;
+    }
+  };
+
+  // Requests whose connection died before their answer could be queued.
+  const auto account_teardown = [&](Connection& c) {
+    std::uint64_t abandoned = 0;
+    for (const PendingRequest& p : c.pending) {
+      if (!p.preanswered) --outstanding;
+      ++abandoned;
+    }
+    if (c.busy) {
+      --outstanding;
+      ++abandoned;
+    }
+    c.pending.clear();
+    c.busy = false;
+    if (abandoned > 0) {
+      bump(&ServerStats::requests_abandoned, abandoned);
+      FCM_OBS_COUNT("serve.overload.abandoned", abandoned);
+    }
+  };
+
+  // Advances one connection's FIFO: emits pre-answered entries, sheds in
+  // cost order while draining (free opcodes still answered for real, on
+  // the IO thread), and dispatches at most one request to the workers.
+  const auto pump = [&](Connection& c, Clock::time_point now) {
+    while (!c.busy && !c.pending.empty()) {
+      PendingRequest& front = c.pending.front();
+      if (front.preanswered) {
+        emit(c, front.status, front.response, front.category);
+        c.pending.pop_front();
+        continue;
+      }
+      if (front.deadline != Clock::time_point::max() &&
+          now >= front.deadline) {
+        emit(c, protocol::Status::kDeadlineExceeded,
+             "deadline_ms exceeded before evaluation", Category::kExpired);
+        --outstanding;
+        c.pending.pop_front();
+        continue;
+      }
+      if (draining) {
+        // Graceful degradation applied to ourselves: answer what is free,
+        // shed what is heavy.
+        if (opcode_cost(front.frame.code) == 0 &&
+            known_opcode(front.frame.code)) {
+          try {
+            QueryResult answer = engine.run(
+                static_cast<protocol::Opcode>(front.frame.code),
+                front.frame.payload);
+            emit(c, protocol::Status::kOk, answer.text, Category::kOk);
+          } catch (const std::exception& error) {
+            emit(c, protocol::Status::kServerError, error.what(),
+                 Category::kErrored);
+          }
+        } else {
+          emit(c, protocol::Status::kShuttingDown, "server draining",
+               Category::kShed);
+        }
+        --outstanding;
+        c.pending.pop_front();
+        continue;
+      }
+      Work item;
+      item.conn = c.id;
+      item.frame = std::move(front.frame);
+      item.deadline = front.deadline;
+      c.pending.pop_front();
+      c.busy = true;
+      c.idle_deadline = Clock::time_point::max();
+      {
+        const std::lock_guard<std::mutex> lock(work_mutex);
+        work.push_back(std::move(item));
+      }
+      work_cv.notify_one();
+      break;
+    }
+  };
+
+  // The globally most expensive queued-but-unstarted request strictly
+  // above `cost`, if any (first-scanned wins ties; conns is id-ordered, so
+  // the choice is deterministic for a fixed queue state).
+  const auto find_victim = [&](int cost) -> PendingRequest* {
+    PendingRequest* best = nullptr;
+    int best_cost = cost;
+    for (auto& [id, c] : conns) {
+      for (PendingRequest& p : c.pending) {
+        if (p.preanswered) continue;
+        const int p_cost = opcode_cost(p.frame.code);
+        if (p_cost > best_cost) {
+          best_cost = p_cost;
+          best = &p;
+        }
+      }
+    }
+    return best;
+  };
+
+  // Admission control: every well-framed request enters the ledger here
+  // and leaves with exactly one outcome. Overflow never touches a worker
+  // and never reorders a stream (rejections hold their FIFO slot).
+  const auto admit = [&](Connection& c, protocol::Frame&& frame,
+                         Clock::time_point now) {
+    bump(&ServerStats::requests_accepted);
+    FCM_OBS_COUNT("serve.requests.accepted", 1);
+    PendingRequest entry;
+    entry.deadline = extract_deadline(frame.payload, now);
+    entry.frame = std::move(frame);
+    const int cost = opcode_cost(entry.frame.code);
+    const std::size_t in_conn = c.pending.size() + (c.busy ? 1 : 0);
+    if (options.max_queued_per_connection > 0 &&
+        in_conn >= options.max_queued_per_connection) {
+      entry.preanswered = true;
+      entry.status = protocol::Status::kOverloaded;
+      entry.category = Category::kRejected;
+      entry.response =
+          "connection queue full (max_queued_per_connection=" +
+          std::to_string(options.max_queued_per_connection) + ")";
+      entry.frame.payload.clear();
+      c.pending.push_back(std::move(entry));
+      return;
+    }
+    if (options.max_queued_requests > 0 &&
+        outstanding >= options.max_queued_requests && cost > 0) {
+      if (PendingRequest* victim = find_victim(cost)) {
+        // Shed the heavier queued request to admit the lighter arrival —
+        // the replanner's importance-ordered shedding, applied to the
+        // daemon's own queue.
+        victim->preanswered = true;
+        victim->status = protocol::Status::kOverloaded;
+        victim->category = Category::kShed;
+        victim->response = "shed under overload (heavier than a newer "
+                           "arrival; max_queued_requests=" +
+                           std::to_string(options.max_queued_requests) + ")";
+        victim->frame.payload.clear();
+        --outstanding;
+        ++outstanding;  // the admitted arrival below
+        c.pending.push_back(std::move(entry));
+        return;
+      }
+      entry.preanswered = true;
+      entry.status = protocol::Status::kOverloaded;
+      entry.category = Category::kRejected;
+      entry.response = "server overloaded (max_queued_requests=" +
+                       std::to_string(options.max_queued_requests) + ")";
+      entry.frame.payload.clear();
+      c.pending.push_back(std::move(entry));
+      return;
+    }
+    ++outstanding;
+    c.pending.push_back(std::move(entry));
   };
 
   const auto arm_idle = [&](Connection& c, Clock::time_point now) {
@@ -321,12 +603,36 @@ void Server::Impl::io_loop() {
       timeout_ms = static_cast<int>(std::max<std::int64_t>(
           0, std::min<std::int64_t>(until.count() + 1, 60'000)));
     }
-    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (ready < 0 && errno != EINTR) break;  // poll itself failed; bail out
+    int ready = 0;
+    if (io_failed) {
+      // poll(2) is untrustworthy from here on: pace the drain on a short
+      // sleep instead of spinning on an fd set we cannot watch.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } else {
+      ready = ::poll(fds.data(), fds.size(), timeout_ms);
+      if (options.test_hooks.fail_next_poll &&
+          options.test_hooks.fail_next_poll->exchange(false)) {
+        ready = -1;
+        errno = EBADF;
+      }
+      if (ready < 0) {
+        for (pollfd& p : fds) p.revents = 0;  // unspecified on failure
+        if (errno != EINTR) {
+          // The IO loop's own fault path: never die silently with queued
+          // requests unanswered. Count it and route through the same
+          // graceful drain a SIGTERM takes — shed what is queued, give
+          // in-flight work a bounded chance to flush, then close.
+          io_failed = true;
+          bump(&ServerStats::io_errors);
+          FCM_OBS_COUNT("serve.io.errors", 1);
+          stop_requested.store(true, std::memory_order_release);
+        }
+      }
+    }
     const Clock::time_point now = Clock::now();
 
     // 1. Control: wake pipe → shutdown request and/or finished responses.
-    if (fds[0].revents & POLLIN) {
+    if (!io_failed && (fds[0].revents & POLLIN)) {
       char buf[256];
       while (::read(wake_read, buf, sizeof(buf)) > 0) {
       }
@@ -334,17 +640,12 @@ void Server::Impl::io_loop() {
     if (stop_requested.load(std::memory_order_acquire) && !draining) {
       draining = true;
       drain_deadline = now + to_chrono(options.drain_timeout);
-      // Not-yet-started requests are answered kShuttingDown; in-flight
-      // ones (busy connections) finish and flush below.
+      // Queued-but-unstarted requests are shed in cost order (pump's
+      // draining branch); in-flight ones (busy connections) finish and
+      // flush below.
       for (auto& [id, c] : conns) {
-        for ([[maybe_unused]] const protocol::Frame& f : c.pending) {
-          c.queue_response(protocol::Status::kShuttingDown,
-                           "server draining");
-          bump(&ServerStats::requests_served);
-          bump(&ServerStats::request_errors);
-        }
-        c.pending.clear();
-        c.close_after_flush = true;
+        pump(c, now);
+        if (!c.busy && c.pending.empty()) c.close_after_flush = true;
         c.idle_deadline = Clock::time_point::max();
       }
     }
@@ -356,19 +657,15 @@ void Server::Impl::io_loop() {
       }
       for (Done& d : finished) {
         const auto it = conns.find(d.conn);
-        if (it == conns.end()) continue;  // connection died while computing
+        if (it == conns.end()) continue;  // teardown already accounted it
         Connection& c = it->second;
-        c.queue_response(d.status, d.payload);
+        emit(c, d.status, d.payload, category_of(d.status));
+        --outstanding;
         c.busy = false;
         c.write_deadline = now + to_chrono(options.write_timeout);
-        bump(&ServerStats::requests_served);
-        if (d.status != protocol::Status::kOk) {
-          bump(&ServerStats::request_errors);
-        }
-        if (draining) {
+        pump(c, now);
+        if (draining && !c.busy && c.pending.empty()) {
           c.close_after_flush = true;
-        } else {
-          dispatch(c);
         }
       }
     }
@@ -386,6 +683,32 @@ void Server::Impl::io_loop() {
           Connection c(options.max_frame_bytes);
           c.id = next_conn_id++;
           c.fd = fd;
+          if (options.max_connections > 0 &&
+              conns.size() >= options.max_connections) {
+            // Admission control at the connection level: one kOverloaded
+            // answer (so a retrying client learns to back off rather than
+            // seeing a bare RST), then close. Connection-level, so it
+            // stays outside the request ledger, like kBadFrame.
+            c.queue_response(protocol::Status::kOverloaded,
+                             "server at connection capacity "
+                             "(max_connections=" +
+                                 std::to_string(options.max_connections) +
+                                 ")");
+            c.input_closed = true;
+            c.close_after_flush = true;
+            c.write_deadline = now + to_chrono(options.write_timeout);
+            bump(&ServerStats::connections_rejected);
+            FCM_OBS_COUNT("serve.connections.rejected", 1);
+            // Flush right away — this connection is not in the current
+            // pollfd set, and the answer almost always fits the socket
+            // buffer. Only a peer with a full buffer waits for POLLOUT.
+            const auto placed = conns.emplace(c.id, std::move(c)).first;
+            if (!flush_and_reap(placed->second, now)) {
+              ::close(placed->second.fd);
+              conns.erase(placed);
+            }
+            continue;
+          }
           arm_idle(c, now);
           conns.emplace(c.id, std::move(c));
           bump(&ServerStats::connections_accepted);
@@ -424,7 +747,7 @@ void Server::Impl::io_loop() {
         for (;;) {
           const protocol::FrameDecoder::Result r = c.decoder.next(frame);
           if (r == protocol::FrameDecoder::Result::kFrame) {
-            c.pending.push_back(std::move(frame));
+            admit(c, std::move(frame), now);
             continue;
           }
           if (r == protocol::FrameDecoder::Result::kError) {
@@ -438,7 +761,7 @@ void Server::Impl::io_loop() {
           }
           break;
         }
-        dispatch(c);
+        pump(c, now);
         if (c.input_closed && !c.busy && c.pending.empty() &&
             !c.has_output()) {
           dead = true;  // peer finished and nothing is owed
@@ -452,9 +775,11 @@ void Server::Impl::io_loop() {
       }
 
       if (!dead && c.has_output() &&
-          ((fds[i].revents & POLLOUT) || c.out_pos == 0)) {
+          ((fds[i].revents & POLLOUT) || c.out_pos == 0 || io_failed)) {
         // Try immediately for freshly queued bytes too (out_pos == 0):
         // most responses fit the socket buffer and complete in one call.
+        // With poll dead (io_failed) the nonblocking send is the only
+        // flush path left, so always try.
         dead = !flush_and_reap(c, now);
       }
       if (!dead && !c.has_output() && c.close_after_flush) dead = true;
@@ -468,30 +793,46 @@ void Server::Impl::io_loop() {
     for (const std::uint64_t id : to_close) {
       const auto it = conns.find(id);
       if (it == conns.end()) continue;
+      account_teardown(it->second);
       ::close(it->second.fd);
       conns.erase(it);
     }
 
     // 4. Drain bookkeeping.
     if (draining) {
-      for (auto& [id, c] : conns) {
+      for (auto it = conns.begin(); it != conns.end();) {
+        Connection& c = it->second;
         if (!c.busy && !c.has_output()) {
+          account_teardown(c);  // pending is empty here; busy=false — no-op
           ::close(c.fd);
+          it = conns.erase(it);
+        } else {
+          ++it;
         }
       }
-      std::erase_if(conns, [](const auto& kv) {
-        return !kv.second.busy && !kv.second.has_output();
-      });
       if (conns.empty()) break;
       if (now >= drain_deadline) {
-        for (auto& [id, c] : conns) ::close(c.fd);
+        for (auto& [id, c] : conns) {
+          account_teardown(c);
+          ::close(c.fd);
+        }
         conns.clear();
         break;
       }
     }
   }
 
-  for (auto& [id, c] : conns) ::close(c.fd);
+  for (auto& [id, c] : conns) {
+    account_teardown(c);
+    ::close(c.fd);
+  }
+  {
+    // Anything still queued for the workers belongs to a connection that
+    // was just torn down (and accounted); dropping it saves the workers
+    // from evaluating plans nobody can receive.
+    const std::lock_guard<std::mutex> lock(work_mutex);
+    work.clear();
+  }
 }
 
 Server::Server(QueryEngine& engine, ServerOptions options)

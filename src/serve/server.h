@@ -23,6 +23,15 @@
 // and a write-progress deadline so a dead or wedged peer cannot hold a
 // slot forever.
 //
+// The daemon also defends itself (DESIGN.md §15): connection and request
+// queues are bounded (ServerOptions::max_*), overflow is fast-answered
+// kOverloaded by the IO thread in opcode cost order (ping/metrics always
+// answered, heavy plans shed first), requests may carry a transport-level
+// deadline_ms= that expires un-started work with kDeadlineExceeded, and
+// every accepted request gets exactly one terminal outcome — the
+// ServerStats ledger balances exactly and the seeded chaos battery
+// (tests/serve/chaos_test.cpp, serve::ChaosSchedule) pins it.
+//
 // Shutdown: `request_stop()` is async-signal-safe (one write to the
 // self-pipe). The IO loop then stops accepting, lets every in-flight
 // request finish and flush, answers any queued-but-unstarted requests with
@@ -30,15 +39,34 @@
 // serve` wires SIGINT/SIGTERM to it and exits 0.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/time.h"
 #include "serve/protocol.h"
 #include "serve/query.h"
 
 namespace fcm::serve {
+
+/// Test-only seams; default-constructed hooks are inert. Production code
+/// never sets these — they exist so the battery can force paths (a failing
+/// poll(2), a worker pinned mid-request) that healthy kernels and fast
+/// queries never take on their own.
+struct ServerTestHooks {
+  /// Runs in a worker thread immediately before a request is evaluated
+  /// (after the deadline check). Lets tests pin workers on a gate to fill
+  /// the admission queues deterministically.
+  std::function<void(std::uint16_t opcode, std::string_view payload)>
+      before_evaluate;
+  /// While true, the IO thread treats its next poll(2) as a hard EBADF
+  /// failure (the silent-IO-death path): counted in ServerStats::io_errors
+  /// and routed through the graceful drain instead of silently breaking.
+  std::shared_ptr<std::atomic<bool>> fail_next_poll;
+};
 
 struct ServerOptions {
   /// Interface to bind. Loopback by default: the daemon is a local planning
@@ -59,15 +87,61 @@ struct ServerOptions {
   /// Hard cap on graceful-shutdown drain before remaining connections are
   /// closed regardless.
   Duration drain_timeout = Duration::millis(10'000);
+
+  // --- Admission control (DESIGN.md §15). 0 disables a bound. When a
+  // bound trips, the IO thread fast-answers kOverloaded without touching a
+  // worker; responses still leave in strict per-connection request order.
+
+  /// Live connection cap. A connection accepted beyond it is answered one
+  /// kOverloaded response and closed.
+  std::uint32_t max_connections = 1024;
+  /// Global cap on admitted-but-unanswered requests (queued + in flight).
+  /// At the cap, new requests shed in opcode cost order: ping/metrics are
+  /// always admitted (they answer in microseconds and keep liveness probes
+  /// and telemetry working under overload); a heavy arrival either evicts
+  /// an even heavier queued request (which gets kOverloaded) or is itself
+  /// fast-rejected.
+  std::uint32_t max_queued_requests = 4096;
+  /// Per-connection cap on queued + in-flight requests from one peer, so a
+  /// single pipelining client cannot monopolize the global budget.
+  std::uint32_t max_queued_per_connection = 128;
+
+  ServerTestHooks test_hooks;  ///< inert by default; see ServerTestHooks
 };
 
 /// Point-in-time serving counters (IO-thread view, safe to read anytime).
+///
+/// The terminal-outcome ledger: every well-framed request increments
+/// `requests_accepted` exactly once and later exactly one of the outcome
+/// paths. After stop() the balance is exact, not approximate:
+///
+///   requests_accepted == requests_served + requests_abandoned
+///   requests_served   == requests_ok + requests_errored +
+///                        requests_rejected + requests_shed +
+///                        requests_expired
+///
+/// (kBadFrame answers and the one kOverloaded a capacity-rejected
+/// connection receives are connection-level, not request-level, so they
+/// live outside the request ledger.)
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
-  std::uint64_t requests_served = 0;   ///< responses written, any status
+  std::uint64_t connections_rejected = 0;  ///< over max_connections
+  std::uint64_t connections_expired = 0;   ///< closed by a deadline
+  std::uint64_t requests_accepted = 0;  ///< well-framed requests admitted
+                                        ///< to the outcome ledger
+  std::uint64_t requests_served = 0;   ///< responses queued, any status
+  std::uint64_t requests_ok = 0;       ///< answered kOk
+  std::uint64_t requests_errored = 0;  ///< kUnknownOpcode/kBadRequest/
+                                       ///< kServerError
+  std::uint64_t requests_rejected = 0;  ///< kOverloaded at admission
+  std::uint64_t requests_shed = 0;      ///< kShuttingDown at drain, or
+                                        ///< kOverloaded cost-order eviction
+  std::uint64_t requests_expired = 0;   ///< kDeadlineExceeded
+  std::uint64_t requests_abandoned = 0;  ///< connection died before its
+                                         ///< response could be delivered
   std::uint64_t protocol_errors = 0;   ///< framing violations
   std::uint64_t request_errors = 0;    ///< non-kOk request-level statuses
-  std::uint64_t connections_expired = 0;  ///< closed by a deadline
+  std::uint64_t io_errors = 0;  ///< poll(2) failures routed through drain
 };
 
 class Server {

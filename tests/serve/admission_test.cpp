@@ -1,0 +1,393 @@
+// Admission control, deadlines, the IO-failure drain, and the retrying
+// client (DESIGN.md §15).
+//
+// The load-bearing invariant in every test here: the wire protocol has no
+// request IDs, so responses — including fast-path kOverloaded rejections
+// and drain-time kShuttingDown sheds — must leave each connection in strict
+// request-arrival order. A pipelining client pairs response k with request
+// k; any reordering would silently hand it someone else's answer.
+//
+// Worker-side determinism comes from ServerTestHooks::before_evaluate: a
+// gate pins the first heavy request inside a worker so the tests can fill
+// the admission queues with exact, reproducible occupancy instead of racing
+// the worker pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/query.h"
+#include "serve/server.h"
+
+namespace fcm::serve {
+namespace {
+
+// Blocks the first worker evaluation of `opcode` until release().
+class WorkerGate {
+ public:
+  explicit WorkerGate(protocol::Opcode opcode) : opcode_(opcode) {}
+
+  ServerTestHooks hooks() {
+    ServerTestHooks hooks;
+    hooks.before_evaluate = [this](std::uint16_t code, std::string_view) {
+      if (code == static_cast<std::uint16_t>(opcode_) &&
+          hits_.fetch_add(1) == 0) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        arrived_ = true;
+        arrived_cv_.notify_all();
+        open_cv_.wait(lock, [this] { return open_; });
+      }
+    };
+    return hooks;
+  }
+
+  /// Waits until the gated request is pinned inside a worker.
+  void await_arrival() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    arrived_cv_.wait(lock, [this] { return arrived_; });
+  }
+
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      open_ = true;
+    }
+    open_cv_.notify_all();
+  }
+
+ private:
+  protocol::Opcode opcode_;
+  std::atomic<int> hits_{0};
+  std::mutex mutex_;
+  std::condition_variable arrived_cv_;
+  std::condition_variable open_cv_;
+  bool arrived_ = false;
+  bool open_ = false;
+};
+
+std::string request_bytes(protocol::Opcode opcode, std::string_view payload) {
+  return protocol::encode_request(opcode, payload);
+}
+
+// After stop(), the terminal-outcome ledger must balance exactly.
+void expect_balanced(const ServerStats& stats) {
+  EXPECT_EQ(stats.requests_accepted,
+            stats.requests_served + stats.requests_abandoned);
+  EXPECT_EQ(stats.requests_served,
+            stats.requests_ok + stats.requests_errored +
+                stats.requests_rejected + stats.requests_shed +
+                stats.requests_expired);
+}
+
+TEST(ServeAdmissionTest, ConnectionCapAnswersOverloadedAndCloses) {
+  QueryEngine engine;
+  ServerOptions options;
+  options.max_connections = 2;
+  Server server(engine, options);
+  server.start();
+
+  Client first("127.0.0.1", server.port());
+  Client second("127.0.0.1", server.port());
+  EXPECT_EQ(first.request(protocol::Opcode::kPing, "a").payload, "a");
+  EXPECT_EQ(second.request(protocol::Opcode::kPing, "b").payload, "b");
+
+  // The third connection gets exactly one kOverloaded answer, then EOF —
+  // not a bare RST, so a retrying client knows to back off.
+  Client third("127.0.0.1", server.port());
+  Client::Response response;
+  ASSERT_TRUE(third.read_response(response));
+  EXPECT_EQ(response.status, protocol::Status::kOverloaded);
+  EXPECT_FALSE(third.read_response(response));  // clean close
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 2u);
+  EXPECT_EQ(stats.connections_rejected, 1u);
+  expect_balanced(stats);
+}
+
+TEST(ServeAdmissionTest, PerConnectionBoundRejectsInArrivalOrder) {
+  WorkerGate gate(protocol::Opcode::kMapping);
+  QueryEngine engine;
+  ServerOptions options;
+  options.workers = 2;
+  options.max_queued_per_connection = 2;
+  options.test_hooks = gate.hooks();
+  Server server(engine, options);
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  // R1 pins a worker; R2 queues (1 queued + 1 busy == the cap); R3 and R4
+  // must be fast-rejected — but their kOverloaded answers still arrive
+  // third and fourth, never jumping the line.
+  client.send_raw(request_bytes(protocol::Opcode::kMapping, ""));
+  gate.await_arrival();
+  client.send_raw(request_bytes(protocol::Opcode::kPing, "r2"));
+  client.send_raw(request_bytes(protocol::Opcode::kPing, "r3"));
+  client.send_raw(request_bytes(protocol::Opcode::kPing, "r4"));
+  // All four must be admitted while R1 still pins the worker; releasing
+  // early would let R1 finish and the queue never fill.
+  while (server.stats().requests_accepted < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gate.release();
+
+  const std::string mapping =
+      QueryEngine::one_shot(protocol::Opcode::kMapping, "").text;
+  Client::Response response;
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.status, protocol::Status::kOk);
+  EXPECT_EQ(response.payload, mapping);
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.status, protocol::Status::kOk);
+  EXPECT_EQ(response.payload, "r2");
+  for (const char* tag : {"r3", "r4"}) {
+    ASSERT_TRUE(client.read_response(response)) << tag;
+    EXPECT_EQ(response.status, protocol::Status::kOverloaded) << tag;
+  }
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_accepted, 4u);
+  EXPECT_EQ(stats.requests_ok, 2u);
+  EXPECT_EQ(stats.requests_rejected, 2u);
+  expect_balanced(stats);
+}
+
+TEST(ServeAdmissionTest, GlobalBoundShedsInOpcodeCostOrder) {
+  WorkerGate gate(protocol::Opcode::kMapping);
+  QueryEngine engine;
+  ServerOptions options;
+  options.workers = 1;
+  options.max_queued_requests = 2;
+  options.test_hooks = gate.hooks();
+  Server server(engine, options);
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  // R1 (mapping, cost 3) pins the worker; R2 (depend, cost 4) fills the
+  // global budget. Then, at the bound:
+  //   R3 (influence, cost 1) arrives → the heavier queued R2 is evicted
+  //     with kOverloaded and R3 takes its budget;
+  //   R4 (depend, cost 4) arrives → nothing queued is heavier → R4 itself
+  //     is fast-rejected;
+  //   R5 (ping, cost 0) is exempt — liveness probes work under overload.
+  client.send_raw(request_bytes(protocol::Opcode::kMapping, ""));
+  gate.await_arrival();
+  client.send_raw(request_bytes(protocol::Opcode::kDepend, "trials=64"));
+  client.send_raw(request_bytes(protocol::Opcode::kInfluence, ""));
+  client.send_raw(request_bytes(protocol::Opcode::kDepend, "trials=128"));
+  client.send_raw(request_bytes(protocol::Opcode::kPing, "alive"));
+  // Admission must complete while R1 still pins the worker — the eviction
+  // sequence above assumes R2..R5 meet a full queue, not a free worker.
+  while (server.stats().requests_accepted < 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  gate.release();
+
+  const std::string mapping =
+      QueryEngine::one_shot(protocol::Opcode::kMapping, "").text;
+  const std::string influence =
+      QueryEngine::one_shot(protocol::Opcode::kInfluence, "").text;
+  Client::Response response;
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.status, protocol::Status::kOk);
+  EXPECT_EQ(response.payload, mapping);
+  ASSERT_TRUE(client.read_response(response));  // R2: evicted by R3
+  EXPECT_EQ(response.status, protocol::Status::kOverloaded);
+  ASSERT_TRUE(client.read_response(response));  // R3: admitted, evaluated
+  EXPECT_EQ(response.status, protocol::Status::kOk);
+  EXPECT_EQ(response.payload, influence);
+  ASSERT_TRUE(client.read_response(response));  // R4: fast-rejected
+  EXPECT_EQ(response.status, protocol::Status::kOverloaded);
+  ASSERT_TRUE(client.read_response(response));  // R5: ping exempt
+  EXPECT_EQ(response.status, protocol::Status::kOk);
+  EXPECT_EQ(response.payload, "alive");
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_accepted, 5u);
+  EXPECT_EQ(stats.requests_ok, 3u);
+  EXPECT_EQ(stats.requests_shed, 1u);      // R2, evicted as the heavier
+  EXPECT_EQ(stats.requests_rejected, 1u);  // R4, nothing heavier queued
+  expect_balanced(stats);
+}
+
+TEST(ServeAdmissionTest, DrainAnswersFreeOpcodesAndShedsHeavyOnes) {
+  WorkerGate gate(protocol::Opcode::kMapping);
+  QueryEngine engine;
+  ServerOptions options;
+  options.workers = 1;
+  options.test_hooks = gate.hooks();
+  Server server(engine, options);
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  client.send_raw(request_bytes(protocol::Opcode::kMapping, ""));
+  gate.await_arrival();
+  client.send_raw(request_bytes(protocol::Opcode::kDepend, "trials=64"));
+  client.send_raw(request_bytes(protocol::Opcode::kPing, "still-here"));
+  // All three must be in the outcome ledger before the drain starts;
+  // otherwise the drain could close the connection before ever reading
+  // R2/R3 off the socket.
+  while (server.stats().requests_accepted < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.request_stop();
+  gate.release();
+
+  // In-flight R1 finishes; queued R2 (heavy) is shed; queued R3 (free) is
+  // still answered for real — graceful degradation applied to ourselves.
+  const std::string mapping =
+      QueryEngine::one_shot(protocol::Opcode::kMapping, "").text;
+  Client::Response response;
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.status, protocol::Status::kOk);
+  EXPECT_EQ(response.payload, mapping);
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.status, protocol::Status::kShuttingDown);
+  ASSERT_TRUE(client.read_response(response));
+  EXPECT_EQ(response.status, protocol::Status::kOk);
+  EXPECT_EQ(response.payload, "still-here");
+
+  server.join();
+  expect_balanced(server.stats());
+}
+
+TEST(ServeAdmissionTest, DeadlineZeroExpiresWithoutEvaluation) {
+  QueryEngine engine;
+  Server server(engine, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  // deadline_ms=0 is already dead on arrival: deterministically answered
+  // kDeadlineExceeded, and the depend query is never evaluated.
+  const Client::Response response =
+      client.request(protocol::Opcode::kDepend, "deadline_ms=0 trials=64");
+  EXPECT_EQ(response.status, protocol::Status::kDeadlineExceeded);
+
+  server.stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests_expired, 1u);
+  expect_balanced(stats);
+}
+
+TEST(ServeAdmissionTest, DeadlineTokenIsStrippedBeforeTheEngine) {
+  QueryEngine engine;
+  Server server(engine, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  // A generous deadline changes nothing about the answer: the token is
+  // stripped before the engine and the memo key, so the response is
+  // byte-identical to the deadline-free one-shot output.
+  const Client::Response mapping = client.request(
+      protocol::Opcode::kMapping, "deadline_ms=60000 heuristic=h2");
+  EXPECT_EQ(mapping.status, protocol::Status::kOk);
+  EXPECT_EQ(mapping.payload,
+            QueryEngine::one_shot(protocol::Opcode::kMapping, "heuristic=h2")
+                .text);
+  // Ping echoes the stripped payload, wherever the token sits.
+  EXPECT_EQ(client.request(protocol::Opcode::kPing, "a deadline_ms=5 b")
+                .payload,
+            "a b");
+  EXPECT_EQ(client.request(protocol::Opcode::kPing, "deadline_ms=5").payload,
+            "");
+
+  server.stop();
+}
+
+TEST(ServeAdmissionTest, MalformedDeadlineIsARequestError) {
+  QueryEngine engine;
+  Server server(engine, {});
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  // Only a well-formed "deadline_ms=<digits>" is transport-level; anything
+  // else reaches the engine's strict parser and fails like any other
+  // unknown/malformed parameter. The connection stays usable.
+  for (const char* bad : {"deadline_ms=abc", "deadline_ms=",
+                          "deadline_ms=12x", "deadline_ms=9999999999"}) {
+    const Client::Response response =
+        client.request(protocol::Opcode::kMapping, bad);
+    EXPECT_EQ(response.status, protocol::Status::kBadRequest) << bad;
+  }
+  EXPECT_EQ(client.request(protocol::Opcode::kPing, "ok").payload, "ok");
+
+  server.stop();
+}
+
+TEST(ServeAdmissionTest, PollFailureDrainsInsteadOfDyingSilently) {
+  QueryEngine engine;
+  ServerOptions options;
+  options.test_hooks.fail_next_poll =
+      std::make_shared<std::atomic<bool>>(false);
+  Server server(engine, options);
+  server.start();
+
+  Client client("127.0.0.1", server.port());
+  EXPECT_EQ(client.request(protocol::Opcode::kPing, "pre").payload, "pre");
+
+  // Arm the hook, then close our end so poll(2) wakes and "fails". The
+  // old behavior was a silent `break` — the IO thread vanished with the
+  // connection wedged open and nothing recorded. Now it must count the
+  // failure and run the same graceful drain a SIGTERM takes: join()
+  // returning at all is the regression being pinned.
+  options.test_hooks.fail_next_poll->store(true);
+  client.disconnect();
+  server.join();  // returns only if the drain actually runs
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.io_errors, 1u);
+  expect_balanced(stats);
+}
+
+TEST(ServeAdmissionTest, RetryingClientConvergesAfterOverloadedBurst) {
+  QueryEngine engine;
+  ServerOptions options;
+  options.max_connections = 1;
+  Server server(engine, options);
+  server.start();
+
+  // One connection holds the only slot, so the retrying client's first
+  // attempts are answered kOverloaded-and-close.
+  auto hog = std::make_unique<Client>("127.0.0.1", server.port());
+  EXPECT_EQ(hog->request(protocol::Opcode::kPing, "hog").payload, "hog");
+
+  RetryPolicy no_retry;
+  Client blocked("127.0.0.1", server.port(), Duration::millis(10'000),
+                 no_retry);
+  EXPECT_EQ(blocked.request(protocol::Opcode::kPing, "x").status,
+            protocol::Status::kOverloaded);
+
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  policy.initial_backoff = Duration::millis(2);
+  policy.max_backoff = Duration::millis(20);
+  Client retrying("127.0.0.1", server.port(), Duration::millis(10'000),
+                  policy);
+  hog.reset();  // free the slot; the retrying client must converge
+  const Client::Response response =
+      retrying.request(protocol::Opcode::kMapping, "heuristic=h2");
+  EXPECT_EQ(response.status, protocol::Status::kOk);
+  // Convergence is byte-identical by construction: queries are pure
+  // memoized functions of their payload.
+  EXPECT_EQ(response.payload,
+            QueryEngine::one_shot(protocol::Opcode::kMapping, "heuristic=h2")
+                .text);
+
+  server.stop();
+  expect_balanced(server.stats());
+}
+
+}  // namespace
+}  // namespace fcm::serve

@@ -1,0 +1,248 @@
+// The seeded chaos battery: the exactly-one-terminal-outcome ledger under
+// injected faults (DESIGN.md §15).
+//
+// Four client threads drive seeded ChaosSchedules — torn writes, truncated
+// frames, RSTs, kill-after-send, pipelined floods, already-expired
+// deadlines — against one server with deliberately tight admission bounds.
+// The certified contract, asserted per seed:
+//
+//   * every request attempted yields exactly one terminal outcome: the
+//     report count equals a pure replay of the schedule (zero drops, zero
+//     duplicates);
+//   * no hard failures: every outcome is kOk / rejected / shed / expired /
+//     an injected drop — never a connection error or unexpected status;
+//   * every kOk payload is byte-identical to one-shot fcm_tool output
+//     (computed in-process, so FCM_THREADS=1/4/8 CI runs each check the
+//     contract under their own thread setting);
+//   * the daemon survives: a fresh client gets a clean ping afterwards;
+//   * after stop(), the ServerStats ledger balances exactly.
+//
+// The drain test repeats the battery with a request_stop() mid-flight:
+// hard errors become legal for the clients (the server is going away), but
+// the server-side ledger must still balance and kOk payloads must still be
+// byte-exact.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/chaos.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/query.h"
+#include "serve/server.h"
+
+namespace fcm::serve {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kSteps = 24;
+
+struct Request {
+  protocol::Opcode opcode;
+  std::string payload;
+};
+
+// Cheap, memoizable queries only: the battery probes the serving path, not
+// the planners. kMetrics is excluded (legitimately non-deterministic).
+std::vector<Request> catalog() {
+  return {
+      {protocol::Opcode::kMapping, ""},
+      {protocol::Opcode::kMapping, "heuristic=h2 approach=b"},
+      {protocol::Opcode::kInfluence, ""},
+      {protocol::Opcode::kDepend, "trials=64"},
+      {protocol::Opcode::kReplan, "fail=0"},
+      {protocol::Opcode::kPing, "chaos-probe"},
+  };
+}
+
+// What each catalog entry's kOk payload must be, byte for byte.
+std::vector<std::string> references(const std::vector<Request>& requests) {
+  std::vector<std::string> expected;
+  for (const Request& request : requests) {
+    if (request.opcode == protocol::Opcode::kPing) {
+      expected.push_back(request.payload);
+    } else {
+      expected.push_back(
+          QueryEngine::one_shot(request.opcode, request.payload).text);
+    }
+  }
+  return expected;
+}
+
+// A pure replay of the schedule tells us exactly how many terminal
+// outcomes the driver must report: one per request, `a` per flood burst.
+std::uint64_t expected_outcomes(std::uint64_t seed, int steps) {
+  ChaosSchedule replay(seed);
+  std::uint64_t outcomes = 0;
+  for (int i = 0; i < steps; ++i) {
+    const FaultSpec spec = replay.next();
+    outcomes += spec.kind == FaultKind::kFlood ? spec.a : 1;
+  }
+  return outcomes;
+}
+
+void expect_balanced(const ServerStats& stats) {
+  EXPECT_EQ(stats.requests_accepted,
+            stats.requests_served + stats.requests_abandoned);
+  EXPECT_EQ(stats.requests_served,
+            stats.requests_ok + stats.requests_errored +
+                stats.requests_rejected + stats.requests_shed +
+                stats.requests_expired);
+}
+
+void run_battery(std::uint64_t seed) {
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+  const std::vector<Request> requests = catalog();
+  const std::vector<std::string> expected = references(requests);
+
+  QueryEngine engine;
+  ServerOptions options;
+  options.workers = 4;
+  // Tight bounds so the battery actually exercises shedding: a flood
+  // burst (8) overflows the per-connection cap (4) every time.
+  options.max_queued_requests = 8;
+  options.max_queued_per_connection = 4;
+  Server server(engine, options);
+  server.start();
+
+  std::vector<std::vector<std::string>> failures(kClients);
+  std::vector<std::uint64_t> outcomes(kClients, 0);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([&, t] {
+        auto& errs = failures[static_cast<std::size_t>(t)];
+        try {
+          RetryPolicy policy;
+          policy.max_attempts = 3;
+          policy.initial_backoff = Duration::millis(2);
+          policy.jitter_seed = seed + static_cast<std::uint64_t>(t);
+          const std::uint64_t thread_seed =
+              seed * 100 + static_cast<std::uint64_t>(t);
+          ChaosConnection chaos("127.0.0.1", server.port(),
+                                ChaosSchedule(thread_seed),
+                                Duration::millis(60'000), policy);
+          for (int s = 0; s < kSteps; ++s) {
+            const std::size_t pick =
+                static_cast<std::size_t>(s + t) % requests.size();
+            for (const ChaosReport& report :
+                 chaos.step(requests[pick].opcode, requests[pick].payload)) {
+              ++outcomes[static_cast<std::size_t>(t)];
+              switch (report.outcome) {
+                case ChaosOutcome::kOk:
+                  if (report.payload != expected[pick]) {
+                    errs.push_back("step " + std::to_string(s) +
+                                   ": kOk payload diverged from one-shot");
+                  }
+                  break;
+                case ChaosOutcome::kRejected:
+                case ChaosOutcome::kShed:
+                case ChaosOutcome::kExpired:
+                case ChaosOutcome::kInjectedDrop:
+                  break;  // legal terminal outcomes under chaos
+                case ChaosOutcome::kErrorStatus:
+                case ChaosOutcome::kConnectionError:
+                  errs.push_back(
+                      std::string("step ") + std::to_string(s) + " fault '" +
+                      fault_name(report.fault) + "': hard failure (" +
+                      chaos_outcome_name(report.outcome) + ")");
+                  break;
+              }
+            }
+          }
+        } catch (const std::exception& error) {
+          errs.push_back(std::string("client thread died: ") + error.what());
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  for (int t = 0; t < kClients; ++t) {
+    for (const std::string& failure : failures[static_cast<std::size_t>(t)]) {
+      ADD_FAILURE() << "client " << t << ": " << failure;
+    }
+    // Exactly one terminal outcome per request: no drops, no duplicates.
+    EXPECT_EQ(outcomes[static_cast<std::size_t>(t)],
+              expected_outcomes(seed * 100 + static_cast<std::uint64_t>(t),
+                                kSteps))
+        << "client " << t;
+  }
+
+  // The daemon must have survived everything above.
+  {
+    Client probe("127.0.0.1", server.port());
+    const Client::Response pong =
+        probe.request(protocol::Opcode::kPing, "alive");
+    EXPECT_EQ(pong.status, protocol::Status::kOk);
+    EXPECT_EQ(pong.payload, "alive");
+  }
+
+  server.stop();
+  expect_balanced(server.stats());
+}
+
+TEST(ServeChaosTest, SeededBatteryKeepsTheOutcomeLedgerExact) {
+  for (const std::uint64_t seed : {101u, 202u, 303u}) run_battery(seed);
+}
+
+TEST(ServeChaosTest, DrainDuringChaosStillBalancesTheLedger) {
+  const std::vector<Request> requests = catalog();
+  const std::vector<std::string> expected = references(requests);
+
+  QueryEngine engine;
+  ServerOptions options;
+  options.workers = 4;
+  Server server(engine, options);
+  server.start();
+
+  // Ping-only schedules with a short timeout: once the drain closes the
+  // listener's event loop, late reconnect attempts park in the TCP backlog
+  // and time out — that bounded stall is the worst chaos can do here.
+  std::vector<std::vector<std::string>> divergences(kClients);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClients; ++t) {
+      threads.emplace_back([&, t] {
+        try {
+          ChaosConnection chaos(
+              "127.0.0.1", server.port(),
+              ChaosSchedule(4040 + static_cast<std::uint64_t>(t)),
+              Duration::millis(300));
+          for (int s = 0; s < 12; ++s) {
+            for (const ChaosReport& report :
+                 chaos.step(protocol::Opcode::kPing, "drain-chaos")) {
+              // Hard errors are legal mid-drain; wrong bytes never are.
+              if (report.outcome == ChaosOutcome::kOk &&
+                  report.payload != "drain-chaos") {
+                divergences[static_cast<std::size_t>(t)].push_back(
+                    "step " + std::to_string(s) + ": payload diverged");
+              }
+            }
+          }
+        } catch (const std::exception&) {
+          // A dying connection mid-drain is expected chaos, not a failure.
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    server.request_stop();
+    for (std::thread& thread : threads) thread.join();
+  }
+  server.join();
+
+  for (int t = 0; t < kClients; ++t) {
+    for (const std::string& failure :
+         divergences[static_cast<std::size_t>(t)]) {
+      ADD_FAILURE() << "client " << t << ": " << failure;
+    }
+  }
+  expect_balanced(server.stats());
+}
+
+}  // namespace
+}  // namespace fcm::serve

@@ -19,6 +19,17 @@
 // `loadgen.sched.request_latency_s` (decade buckets) and into a local
 // sample vector for exact p50/p99. The summary prints both plus requests/s;
 // --json emits the same numbers as a JSON object on stdout.
+//
+// Chaos mode (--chaos-seed S, DESIGN.md §15): each connection drives its
+// schedule through a serve::ChaosConnection with a deterministic fault
+// stream seeded S + connection index — torn writes, truncated frames, RSTs,
+// kill-after-send, pipelined floods, already-expired deadlines. Outcomes
+// are partitioned exactly: ok / rejected (kOverloaded, kShuttingDown) /
+// expired (kDeadlineExceeded) / injected drops (faults we caused) / hard
+// errors, and the summary asserts the client-side ledger balances. Retries
+// (--retries) are reported separately from errors. The exit code is
+// nonzero only for true failures — byte mismatches, unexpected error
+// statuses, hard socket errors — never for shed or expired load.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -37,6 +48,7 @@
 #include "common/table.h"
 #include "common/time.h"
 #include "obs/obs.h"
+#include "serve/chaos.h"
 #include "serve/client.h"
 #include "serve/protocol.h"
 
@@ -62,6 +74,12 @@ int usage() {
       "  --seed S             schedule seed (default 2026); same seed =>\n"
       "                       same request byte streams\n"
       "  --timeout-ms MS      per-socket-operation timeout (default 30000)\n"
+      "  --retries R          retry budget per request beyond the first\n"
+      "                       attempt (default 0); retries only connection\n"
+      "                       failures, kOverloaded, and kShuttingDown\n"
+      "  --retry-backoff-ms MS  initial retry backoff (default 10)\n"
+      "  --chaos-seed S       enable chaos mode: inject a deterministic\n"
+      "                       fault schedule seeded S + connection index\n"
       "  --json               print the summary as JSON instead of a table\n";
   return 2;
 }
@@ -200,17 +218,65 @@ class ConsistencyLedger {
   std::map<std::pair<std::uint16_t, std::string>, std::string> expected_;
 };
 
+// The client-side outcome ledger for one connection. Every outcome lands
+// in exactly one bucket; `outcomes == ok + rejected + expired + injected +
+// errors.size()` is asserted by the summary.
 struct WorkerResult {
   std::vector<double> latencies_us;
+  std::uint64_t outcomes = 0;  ///< terminal outcomes observed (>= schedule
+                               ///< size in chaos mode: floods multiply)
   std::uint64_t ok = 0;
-  std::vector<std::string> errors;
+  std::uint64_t rejected = 0;  ///< kOverloaded or kShuttingDown (retryable
+                               ///< load shedding, not a failure)
+  std::uint64_t expired = 0;   ///< kDeadlineExceeded
+  std::uint64_t injected = 0;  ///< drops the chaos schedule caused itself
+  std::uint64_t errored = 0;   ///< outcomes that were true failures
+  std::uint64_t retried = 0;   ///< retry attempts the client spent
+  std::vector<std::string> errors;  ///< true failures: mismatches,
+                                    ///< unexpected statuses, socket errors
+                                    ///< (may exceed `errored` when a whole
+                                    ///< connection fails outside a request)
 };
 
+// Classifies one kOk-or-otherwise response into the ledger. Returns true
+// when the response was kOk and byte-consistent.
+void record_response(const Request& request, protocol::Status status,
+                     const std::string& payload, ConsistencyLedger& ledger,
+                     WorkerResult& out) {
+  ++out.outcomes;
+  switch (status) {
+    case protocol::Status::kOk: {
+      const std::string mismatch = ledger.check(request, payload);
+      if (!mismatch.empty()) {
+        ++out.errored;
+        out.errors.push_back(mismatch);
+        return;
+      }
+      ++out.ok;
+      return;
+    }
+    case protocol::Status::kOverloaded:
+    case protocol::Status::kShuttingDown:
+      ++out.rejected;
+      return;
+    case protocol::Status::kDeadlineExceeded:
+      ++out.expired;
+      return;
+    default:
+      ++out.errored;
+      out.errors.push_back(protocol::opcode_name(request.opcode) +
+                           " answered " + protocol::status_name(status) +
+                           ": " + payload);
+      return;
+  }
+}
+
 void run_connection(const std::string& host, std::uint16_t port,
-                    Duration timeout, const std::vector<Request>& schedule,
+                    Duration timeout, const serve::RetryPolicy& policy,
+                    const std::vector<Request>& schedule,
                     ConsistencyLedger& ledger, WorkerResult& out) {
   try {
-    serve::Client client(host, port, timeout);
+    serve::Client client(host, port, timeout, policy);
     out.latencies_us.reserve(schedule.size());
     for (const Request& request : schedule) {
       const auto start = std::chrono::steady_clock::now();
@@ -220,20 +286,55 @@ void run_connection(const std::string& host, std::uint16_t port,
           std::chrono::steady_clock::now() - start;
       FCM_OBS_HIST("loadgen.sched.request_latency_s", elapsed.count());
       out.latencies_us.push_back(elapsed.count() * 1e6);
-      if (response.status != protocol::Status::kOk) {
-        out.errors.push_back(protocol::opcode_name(request.opcode) +
-                             " answered " +
-                             protocol::status_name(response.status) + ": " +
-                             response.payload);
-        continue;
-      }
-      const std::string mismatch = ledger.check(request, response.payload);
-      if (!mismatch.empty()) {
-        out.errors.push_back(mismatch);
-        continue;
-      }
-      ++out.ok;
+      record_response(request, response.status, response.payload, ledger,
+                      out);
     }
+    out.retried = client.retry_stats().retries;
+  } catch (const std::exception& error) {
+    out.errors.push_back(std::string("connection failed: ") + error.what());
+  }
+}
+
+void run_connection_chaos(const std::string& host, std::uint16_t port,
+                          Duration timeout, const serve::RetryPolicy& policy,
+                          std::uint64_t chaos_seed,
+                          const std::vector<Request>& schedule,
+                          ConsistencyLedger& ledger, WorkerResult& out) {
+  try {
+    serve::ChaosConnection chaos(host, port, serve::ChaosSchedule(chaos_seed),
+                                 timeout, policy);
+    for (const Request& request : schedule) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::vector<serve::ChaosReport> reports =
+          chaos.step(request.opcode, request.payload);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      for (const serve::ChaosReport& report : reports) {
+        switch (report.outcome) {
+          case serve::ChaosOutcome::kInjectedDrop:
+            ++out.outcomes;
+            ++out.injected;
+            break;
+          case serve::ChaosOutcome::kConnectionError:
+            ++out.outcomes;
+            ++out.errored;
+            out.errors.push_back(
+                std::string("connection error under fault '") +
+                serve::fault_name(report.fault) + "'");
+            break;
+          default:
+            record_response(request, report.status, report.payload, ledger,
+                            out);
+            if (report.outcome == serve::ChaosOutcome::kOk) {
+              FCM_OBS_HIST("loadgen.sched.request_latency_s",
+                           elapsed.count());
+              out.latencies_us.push_back(elapsed.count() * 1e6);
+            }
+            break;
+        }
+      }
+    }
+    out.retried = chaos.client().retry_stats().retries;
   } catch (const std::exception& error) {
     out.errors.push_back(std::string("connection failed: ") + error.what());
   }
@@ -265,6 +366,15 @@ int run(const cli::Options& args) {
   const Duration timeout = Duration::millis(args.get_int("timeout-ms", 30'000));
   const std::vector<MixEntry> mix = parse_mix(
       args.get("mix", "mapping:1,influence:1,depend:1,replan:1"));
+  const int retries = args.get_int("retries", 0);
+  if (retries < 0) throw cli::CliError("--retries must be >= 0");
+  const int retry_backoff_ms = args.get_int("retry-backoff-ms", 10);
+  if (retry_backoff_ms < 1) {
+    throw cli::CliError("--retry-backoff-ms must be >= 1");
+  }
+  const bool chaos = !args.get("chaos-seed", "").empty();
+  const std::uint64_t chaos_seed =
+      static_cast<std::uint64_t>(args.get_int("chaos-seed", 0));
 
   obs::set_enabled(true);
   std::vector<std::vector<Request>> schedules;
@@ -281,11 +391,22 @@ int run(const cli::Options& args) {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(connections));
     for (int c = 0; c < connections; ++c) {
-      threads.emplace_back(run_connection, host,
-                           static_cast<std::uint16_t>(port), timeout,
-                           std::cref(schedules[static_cast<std::size_t>(c)]),
-                           std::ref(ledger),
-                           std::ref(results[static_cast<std::size_t>(c)]));
+      serve::RetryPolicy policy;
+      policy.max_attempts = 1 + static_cast<std::uint32_t>(retries);
+      policy.initial_backoff = Duration::millis(retry_backoff_ms);
+      policy.jitter_seed = seed + static_cast<std::uint64_t>(c);
+      if (chaos) {
+        threads.emplace_back(
+            run_connection_chaos, host, static_cast<std::uint16_t>(port),
+            timeout, policy, chaos_seed + static_cast<std::uint64_t>(c),
+            std::cref(schedules[static_cast<std::size_t>(c)]),
+            std::ref(ledger), std::ref(results[static_cast<std::size_t>(c)]));
+      } else {
+        threads.emplace_back(
+            run_connection, host, static_cast<std::uint16_t>(port), timeout,
+            policy, std::cref(schedules[static_cast<std::size_t>(c)]),
+            std::ref(ledger), std::ref(results[static_cast<std::size_t>(c)]));
+      }
     }
     for (std::thread& thread : threads) thread.join();
   }
@@ -293,15 +414,30 @@ int run(const cli::Options& args) {
       std::chrono::steady_clock::now() - wall_start;
 
   std::vector<double> latencies;
+  std::uint64_t outcomes = 0;
   std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t errored = 0;
+  std::uint64_t retried = 0;
   std::vector<std::string> errors;
   for (const WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_us.begin(),
                      result.latencies_us.end());
+    outcomes += result.outcomes;
     ok += result.ok;
+    rejected += result.rejected;
+    expired += result.expired;
+    injected += result.injected;
+    errored += result.errored;
+    retried += result.retried;
     errors.insert(errors.end(), result.errors.begin(), result.errors.end());
   }
   std::sort(latencies.begin(), latencies.end());
+  // The client-side ledger: every observed outcome in exactly one bucket.
+  const bool balanced =
+      outcomes == ok + rejected + expired + injected + errored;
 
   const std::uint64_t total =
       static_cast<std::uint64_t>(connections) *
@@ -337,8 +473,16 @@ int run(const cli::Options& args) {
               << "  \"connections\": " << connections << ",\n"
               << "  \"requests_per_connection\": " << requests << ",\n"
               << "  \"requests_total\": " << total << ",\n"
+              << "  \"outcomes\": " << outcomes << ",\n"
               << "  \"ok\": " << ok << ",\n"
+              << "  \"rejected\": " << rejected << ",\n"
+              << "  \"expired\": " << expired << ",\n"
+              << "  \"injected_drops\": " << injected << ",\n"
+              << "  \"retried\": " << retried << ",\n"
               << "  \"errors\": " << errors.size() << ",\n"
+              << "  \"balanced\": " << (balanced ? "true" : "false") << ",\n"
+              << "  \"chaos\": " << (chaos ? "true" : "false") << ",\n"
+              << "  \"chaos_seed\": " << chaos_seed << ",\n"
               << "  \"seed\": " << seed << ",\n"
               << "  \"elapsed_s\": " << wall.count() << ",\n"
               << "  \"rps\": " << rps << ",\n"
@@ -356,6 +500,15 @@ int run(const cli::Options& args) {
                                                  std::to_string(requests)});
     table.add_row({"ok / errors", std::to_string(ok) + " / " +
                                       std::to_string(errors.size())});
+    table.add_row({"rejected / expired", std::to_string(rejected) + " / " +
+                                             std::to_string(expired)});
+    table.add_row({"retried", std::to_string(retried)});
+    if (chaos) {
+      table.add_row({"chaos seed", std::to_string(chaos_seed)});
+      table.add_row({"injected drops", std::to_string(injected)});
+      table.add_row({"outcome ledger",
+                     balanced ? "balanced" : "UNBALANCED"});
+    }
     table.add_row({"elapsed s", fmt(wall.count(), 3)});
     table.add_row({"requests/s", fmt(rps, 1)});
     table.add_row({"p50 us", fmt(p50, 1)});
@@ -366,7 +519,9 @@ int run(const cli::Options& args) {
     table.add_row({"obs-hist p100 us", fmt(hist_p100_us, 1)});
     std::cout << table.render();
   }
-  return errors.empty() ? 0 : 1;
+  // Shed and expired load is the admission machinery working as designed;
+  // only true failures (and an unbalanced ledger) fail the run.
+  return errors.empty() && balanced ? 0 : 1;
 }
 
 }  // namespace
@@ -384,6 +539,9 @@ int main(int argc, char** argv) {
          {"depend-trials"},
          {"seed"},
          {"timeout-ms"},
+         {"retries"},
+         {"retry-backoff-ms"},
+         {"chaos-seed"},
          {"json", /*takes_value=*/false}});
     return run(args);
   } catch (const cli::CliError& error) {
