@@ -86,18 +86,18 @@ void threads_scaling() {
   mission.propagate = true;
   mission.trials = 400'000;
 
+  const int repeat = bench::repeat();
   auto timed = [&](std::uint32_t threads) {
     mission.threads = threads;
-    const auto start = std::chrono::steady_clock::now();
-    DependabilityReport report =
-        evaluate_mapping(setup.sw, setup.clustering, setup.assignment,
-                         setup.hw, mission, 2024);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - start;
-    return std::pair(elapsed.count(), std::move(report));
+    DependabilityReport report;
+    const double seconds = bench::timed_median_seconds(repeat, [&] {
+      report = evaluate_mapping(setup.sw, setup.clustering, setup.assignment,
+                                setup.hw, mission, 2024);
+    });
+    return std::pair(seconds, std::move(report));
   };
 
-  const DependabilityReport reference = timed(1).second;  // also warms caches
+  const DependabilityReport reference = timed(1).second;
   std::vector<std::pair<std::uint32_t, std::pair<double, bool>>> sweep;
   double base_seconds = 0.0;
   double seconds_4 = 0.0;
@@ -139,6 +139,7 @@ void threads_scaling() {
   std::ofstream json("BENCH_montecarlo.json");
   json << "{\n"
        << "  \"bench\": \"montecarlo_threads\",\n"
+       << "  \"repeat\": " << repeat << ",\n"
        << "  \"trials\": 400000,\n"
        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
        << ",\n"

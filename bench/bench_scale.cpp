@@ -50,11 +50,12 @@ double seconds_of(const std::function<void()>& fn) {
   return elapsed.count();
 }
 
-/// Best-of-`reps` wall time (single-shot phases are noisy at small sizes).
-double best_seconds(int reps, const std::function<void()>& fn) {
-  double best = seconds_of(fn);
-  for (int r = 1; r < reps; ++r) best = std::min(best, seconds_of(fn));
-  return best;
+/// Median wall time over max(reps, --repeat) passes after one warmup
+/// (single-shot phases are noisy at small sizes; --repeat raises the
+/// sample count for stable recorded speedups).
+double phase_seconds(int reps, const std::function<void()>& fn) {
+  return fcm::bench::timed_median_seconds(std::max(reps, fcm::bench::repeat()),
+                                          fn);
 }
 
 graph::Matrix influence_matrix(const SwGraph& sw) {
@@ -115,13 +116,13 @@ PhaseRow measure(std::size_t processes) {
   // CSR kernel). Identity across thread counts is part of the contract.
   const graph::Matrix p = influence_matrix(sw);
   graph::Matrix ref(0);
-  row.series_ref_seconds = best_seconds(
+  row.series_ref_seconds = phase_seconds(
       reps, [&] { ref = graph::power_series_sum_reference(p, 6, 1e-9); });
   graph::SeriesOptions sopts;
   sopts.epsilon = 1e-9;
   graph::Matrix fast(0);
   row.series_fast_seconds =
-      best_seconds(reps, [&] { fast = graph::power_series_sum(p, sopts); });
+      phase_seconds(reps, [&] { fast = graph::power_series_sum(p, sopts); });
   row.series_identical = bitwise_equal(ref, fast);
   for (const std::uint32_t threads : {4u, 8u}) {
     sopts.threads = threads;
@@ -137,12 +138,12 @@ PhaseRow measure(std::size_t processes) {
   copts.enforce_schedulability = false;
   ClusteringResult scan_result, heap_result;
   copts.use_pair_heap = false;
-  row.h1_scan_seconds = best_seconds(reps, [&] {
+  row.h1_scan_seconds = phase_seconds(reps, [&] {
     ClusterEngine engine(sw, copts);
     scan_result = engine.h1_greedy();
   });
   copts.use_pair_heap = true;
-  row.h1_heap_seconds = best_seconds(reps, [&] {
+  row.h1_heap_seconds = phase_seconds(reps, [&] {
     ClusterEngine engine(sw, copts);
     heap_result = engine.h1_greedy();
   });
@@ -151,7 +152,7 @@ PhaseRow measure(std::size_t processes) {
       scan_result.partition.cluster_of == heap_result.partition.cluster_of;
 
   // Phase 3: assignment + quality on the heap clustering.
-  row.assign_seconds = best_seconds(reps, [&] {
+  row.assign_seconds = phase_seconds(reps, [&] {
     const HwGraph hw = HwGraph::complete(hw_nodes);
     const Assignment assignment =
         assign_by_importance(sw, heap_result, hw);
@@ -434,6 +435,7 @@ void print_reproduction() {
   std::ofstream json("BENCH_scale.json");
   json << "{\n"
        << "  \"bench\": \"scale_phases\",\n"
+       << "  \"repeat\": " << bench::repeat() << ",\n"
        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
        << ",\n"
        << "  \"processes\": " << headline.processes << ",\n"

@@ -8,13 +8,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <new>
 #include <string>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -73,9 +76,71 @@ inline void print_edges(const graph::Digraph& g) {
   }
 }
 
-/// Standard main: print the reproduction, then run benchmarks.
+/// The --repeat N count for hand-rolled timing sweeps (default 1). Set by
+/// FCM_BENCH_MAIN from the command line before the reproduction runs.
+inline int& repeat_slot() {
+  static int value = 1;
+  return value;
+}
+inline int repeat() { return repeat_slot(); }
+
+/// Parses and strips `--repeat N` / `--repeat=N` from argv so the flag
+/// never reaches benchmark::Initialize (which rejects unknown arguments).
+/// Malformed or missing values fall back to 1, matching the lenient
+/// FCM_THREADS parsing convention. Returns the repeat count (>= 1).
+inline int strip_repeat_flag(int* argc, char** argv) {
+  int repeat = 1;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    const std::string arg = argv[read];
+    std::string value;
+    if (arg == "--repeat" && read + 1 < *argc) {
+      value = argv[++read];
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      value = arg.substr(9);
+    } else {
+      argv[write++] = argv[read];
+      continue;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end != value.c_str() && *end == '\0' && parsed >= 1) {
+      repeat = static_cast<int>(parsed);
+    }
+  }
+  *argc = write;
+  argv[write] = nullptr;
+  return repeat;
+}
+
+/// Runs fn once untimed (warmup), then `repeat` timed passes, and returns
+/// the median wall-clock seconds (upper middle for even repeat counts).
+/// With --repeat 1 this is one warm timing — stable enough for smokes; CI
+/// and recorded BENCH_*.json speedups use --repeat 5.
+template <typename Fn>
+double timed_median_seconds(int repeat, Fn&& fn) {
+  fn();  // warmup: touch caches, fault in pages, spin up worker pools
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<std::size_t>(repeat < 1 ? 1 : repeat));
+  for (int i = 0; i < repeat || i == 0; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    seconds.push_back(elapsed.count());
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[seconds.size() / 2];
+}
+
+/// Standard main: print the reproduction, then run benchmarks. `--repeat N`
+/// is consumed here (see repeat()/timed_median_seconds) so the hand-rolled
+/// sweeps can report median-of-N timings; everything else goes to
+/// google-benchmark.
 #define FCM_BENCH_MAIN(print_reproduction)              \
   int main(int argc, char** argv) {                     \
+    ::fcm::bench::repeat_slot() =                       \
+        ::fcm::bench::strip_repeat_flag(&argc, argv);   \
     print_reproduction();                               \
     ::benchmark::Initialize(&argc, argv);               \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

@@ -22,7 +22,9 @@
 // cmp(1)s them to keep it that way).
 //
 // Every command also accepts --metrics (dump the fcm::obs registry after
-// the run) and --trace FILE (write a chrome://tracing span file). Options
+// the run), --trace FILE (write a chrome://tracing span file), and
+// --simd scalar|auto|simd (kernel backend override; FCM_SIMD is the env
+// default — purely a speed knob, reports are byte-identical). Options
 // are validated strictly: unknown options, missing values, and malformed
 // numbers print a one-line error plus usage and exit non-zero.
 #include <atomic>
@@ -34,6 +36,7 @@
 
 #include "fcm.h"
 #include "common/cliopt.h"
+#include "common/simd.h"
 #include "common/table.h"
 #include "core/report.h"
 #include "obs/obs.h"
@@ -137,8 +140,12 @@ int usage() {
       "global options (any command):\n"
       "  --metrics                           dump the fcm::obs registry\n"
       "  --trace FILE                        write chrome://tracing spans\n"
+      "  --simd scalar|auto|simd             kernel backend (speed only;\n"
+      "                                      reports are byte-identical)\n"
       "every --threads/--sweep-threads default is 0 = auto: the FCM_THREADS\n"
-      "environment variable if set, otherwise all hardware cores\n";
+      "environment variable if set, otherwise all hardware cores; --simd\n"
+      "similarly defaults to the FCM_SIMD environment variable if set,\n"
+      "otherwise the best backend this build and CPU support\n";
   return 2;
 }
 
@@ -469,6 +476,7 @@ int main(int argc, char** argv) {
     std::vector<cli::OptionSpec> options = spec->options;
     options.push_back({"metrics", /*takes_value=*/false});
     options.push_back({"trace", /*takes_value=*/true});
+    options.push_back({"simd", /*takes_value=*/true});
     args = cli::parse_options(argc, argv, 2, options);
   } catch (const cli::CliError& error) {
     std::cerr << "error: " << error.what() << '\n';
@@ -478,6 +486,19 @@ int main(int argc, char** argv) {
   const bool dump_metrics = args.flag("metrics");
   const std::string trace_path = args.get("trace", "");
   if (dump_metrics || !trace_path.empty()) obs::set_enabled(true);
+
+  // Kernel backend: --simd beats FCM_SIMD beats the best available (the
+  // FCM_THREADS precedence model). Purely a speed knob — every backend is
+  // differential-tested to byte-identical reports.
+  if (const std::string simd_name = args.get("simd", ""); !simd_name.empty()) {
+    const auto backend = simd::parse_backend(simd_name);
+    if (!backend) {
+      std::cerr << "error: --simd must be scalar, auto, or simd; got '"
+                << simd_name << "'\n";
+      return usage();
+    }
+    simd::set_backend(*backend);
+  }
 
   try {
     const int status = run_command(command, args);

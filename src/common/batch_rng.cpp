@@ -1,0 +1,31 @@
+#include "common/batch_rng.h"
+
+namespace fcm {
+
+void BatchRng::fill(double* dst, std::size_t n) noexcept {
+  // Stream order: drain what was already generated into the buffer, then
+  // generate the remainder directly into dst.
+  std::size_t taken = 0;
+  while (taken < n && pos_ < filled_) dst[taken++] = buffer_[pos_++];
+  if (taken < n) {
+    kernels_->fill_uniforms(&state_, inc_, dst + taken, n - taken);
+  }
+}
+
+void BatchRng::bernoulli(double threshold, std::uint8_t* dst,
+                         std::size_t n) noexcept {
+  // Buffered uniforms first (they are already materialized doubles), then
+  // the fused lottery kernel straight off the raw state. Identical flags
+  // either way: the kernel's integer compare equals the double compare
+  // exactly (see simd.h).
+  std::size_t taken = 0;
+  while (taken < n && pos_ < filled_) {
+    dst[taken++] =
+        buffer_[pos_++] < threshold ? std::uint8_t{1} : std::uint8_t{0};
+  }
+  if (taken < n) {
+    kernels_->bernoulli(&state_, inc_, threshold, dst + taken, n - taken);
+  }
+}
+
+}  // namespace fcm

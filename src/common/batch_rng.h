@@ -1,0 +1,68 @@
+// Batched uniform generation over the exact Rng stream.
+//
+// The Monte Carlo trial loops draw uniforms one Bernoulli lottery at a time,
+// and the number of draws per trial is data-dependent (module faults
+// short-circuit on a dead host; propagation samples an edge at most once).
+// Cross-trial SIMD lanes therefore cannot reproduce today's stream — but
+// generation and consumption can be decoupled: BatchRng produces the
+// *identical sequential uniform stream* as Rng::uniform() through the
+// leapfrogged SIMD kernels into a small buffer, and the trial logic consumes
+// from the buffer conditionally, exactly as before. Uniforms generated ahead
+// but never consumed are invisible: each trial block draws from its own
+// substream that is discarded at block end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/probability.h"
+#include "common/rng.h"
+#include "common/simd.h"
+
+namespace fcm {
+
+class BatchRng {
+ public:
+  /// Buffered uniforms per refill. Tuned so a refill amortizes the kernel
+  /// call without outgrowing L1.
+  static constexpr std::size_t kBufferSize = 256;
+
+  /// Continues `rng`'s stream: the sequence of uniform() values is
+  /// bit-identical to calling rng.uniform() repeatedly, on every backend.
+  explicit BatchRng(const Rng& rng) noexcept
+      : state_(rng.state_), inc_(rng.inc_), kernels_(&simd::kernels()) {}
+
+  /// Next uniform in [0,1); identical to Rng::uniform().
+  double uniform() noexcept {
+    if (pos_ == filled_) refill();
+    return buffer_[pos_++];
+  }
+
+  /// Bernoulli trial, identical to Rng::chance().
+  bool chance(Probability p) noexcept { return uniform() < p.value(); }
+
+  /// Writes the next n uniforms of the stream to dst (buffered values
+  /// first, then straight through the batched kernel).
+  void fill(double* dst, std::size_t n) noexcept;
+
+  /// dst[i] = (u_i < threshold) for the next n uniforms of the stream —
+  /// identical flags to fill() followed by an elementwise compare, without
+  /// materializing the uniforms (the batched lottery of montecarlo step 1).
+  void bernoulli(double threshold, std::uint8_t* dst, std::size_t n) noexcept;
+
+ private:
+  void refill() noexcept {
+    kernels_->fill_uniforms(&state_, inc_, buffer_, kBufferSize);
+    pos_ = 0;
+    filled_ = kBufferSize;
+  }
+
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  const simd::KernelTable* kernels_;
+  std::uint32_t pos_ = 0;
+  std::uint32_t filled_ = 0;
+  double buffer_[kBufferSize];
+};
+
+}  // namespace fcm

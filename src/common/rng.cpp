@@ -7,8 +7,6 @@
 namespace fcm {
 
 namespace {
-constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
-
 // SplitMix64 finalizer: a bijective avalanche mix used to derive substream
 // seeds. Bijectivity guarantees distinct inputs map to distinct outputs.
 constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
@@ -27,22 +25,9 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept
 }
 
 void Rng::advance(std::uint64_t delta) noexcept {
-  // Brown's O(log delta) LCG jump: compute the composite multiplier and
-  // increment of delta sequential steps by repeated squaring.
-  std::uint64_t cur_mult = kMultiplier;
-  std::uint64_t cur_plus = inc_;
-  std::uint64_t acc_mult = 1;
-  std::uint64_t acc_plus = 0;
-  while (delta > 0) {
-    if (delta & 1u) {
-      acc_mult *= cur_mult;
-      acc_plus = acc_plus * cur_mult + cur_plus;
-    }
-    cur_plus = (cur_mult + 1) * cur_plus;
-    cur_mult *= cur_mult;
-    delta >>= 1u;
-  }
-  state_ = acc_mult * state_ + acc_plus;
+  // Brown's O(log delta) LCG jump (shared with the leapfrogged SIMD lanes).
+  const rng_detail::Jump jump = rng_detail::jump_coefficients(inc_, delta);
+  state_ = jump.mult * state_ + jump.plus;
 }
 
 Rng Rng::substream(std::uint64_t index) const noexcept {
@@ -60,11 +45,8 @@ Rng Rng::substream(std::uint64_t index) const noexcept {
 
 Rng::result_type Rng::operator()() noexcept {
   const std::uint64_t old = state_;
-  state_ = old * kMultiplier + inc_;
-  const auto xorshifted =
-      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
-  const auto rot = static_cast<std::uint32_t>(old >> 59u);
-  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  state_ = rng_detail::step(old, inc_);
+  return rng_detail::output(old);
 }
 
 double Rng::uniform() noexcept {

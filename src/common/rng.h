@@ -14,6 +14,57 @@
 
 namespace fcm {
 
+class BatchRng;
+
+/// PCG-XSH-RR 64/32 internals, shared between the scalar `Rng` and the
+/// batched SIMD uniform generators (src/common/simd.h). Exposing exactly the
+/// multiplier, the output permutation, and the LCG jump coefficients lets
+/// every backend reproduce the one canonical stream bit-for-bit.
+namespace rng_detail {
+
+inline constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+
+/// One LCG step: the state that follows `state`.
+constexpr std::uint64_t step(std::uint64_t state, std::uint64_t inc) noexcept {
+  return state * kMultiplier + inc;
+}
+
+/// XSH-RR output permutation applied to the *pre-step* state.
+constexpr std::uint32_t output(std::uint64_t old) noexcept {
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+/// Composite (multiplier, increment) of `delta` sequential LCG steps:
+/// advancing by delta equals `state * mult + plus`. Brown's O(log delta)
+/// repeated-squaring jump, factored out so leapfrogged SIMD lanes can stride
+/// the stream with one fused multiply-add per lane per iteration.
+struct Jump {
+  std::uint64_t mult = 1;
+  std::uint64_t plus = 0;
+};
+
+constexpr Jump jump_coefficients(std::uint64_t inc,
+                                 std::uint64_t delta) noexcept {
+  std::uint64_t cur_mult = kMultiplier;
+  std::uint64_t cur_plus = inc;
+  Jump acc;
+  while (delta > 0) {
+    if (delta & 1u) {
+      acc.mult *= cur_mult;
+      acc.plus = acc.plus * cur_mult + cur_plus;
+    }
+    cur_plus = (cur_mult + 1) * cur_plus;
+    cur_mult *= cur_mult;
+    delta >>= 1u;
+  }
+  return acc;
+}
+
+}  // namespace rng_detail
+
 /// PCG-XSH-RR 64/32 generator. Small, fast, and statistically strong enough
 /// for simulation workloads; not for cryptographic use.
 class Rng {
@@ -78,6 +129,10 @@ class Rng {
   Rng fork() noexcept;
 
  private:
+  // BatchRng continues this generator's exact stream through the batched
+  // SIMD uniform kernels; it needs the raw LCG state to do so.
+  friend class BatchRng;
+
   std::uint64_t state_;
   std::uint64_t inc_;
   // Seeding identity, retained so substream() is a pure function of

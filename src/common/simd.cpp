@@ -1,0 +1,107 @@
+// Backend dispatch for the batched SIMD kernels.
+//
+// Selection order mirrors exec::resolve_threads: an explicit set_backend()
+// call (the --simd CLI flag) wins, else the FCM_SIMD environment variable,
+// else the best backend this build + CPU supports. Malformed env values are
+// ignored rather than fatal, like FCM_THREADS. The choice never affects
+// results — every backend is differential-tested to bitwise parity — so a
+// degraded fallback is always safe.
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/simd_tables.h"
+
+namespace fcm::simd {
+
+namespace {
+
+bool cpu_has_simd() noexcept {
+#if defined(FCM_SIMD_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#elif defined(FCM_SIMD_NEON)
+  return true;  // NEON is architecturally mandatory on AArch64
+#else
+  return false;
+#endif
+}
+
+Backend best_available() noexcept {
+  return simd_available() ? Backend::kSimd : Backend::kAutoVec;
+}
+
+Backend initial_backend() noexcept {
+  if (const char* env = std::getenv("FCM_SIMD")) {
+    if (const auto parsed = parse_backend(env)) {
+      if (*parsed != Backend::kSimd || simd_available()) return *parsed;
+      return Backend::kAutoVec;
+    }
+  }
+  return best_available();
+}
+
+std::atomic<Backend>& backend_slot() noexcept {
+  static std::atomic<Backend> slot{initial_backend()};
+  return slot;
+}
+
+}  // namespace
+
+bool simd_available() noexcept {
+#if defined(FCM_SIMD_AVX2) || defined(FCM_SIMD_NEON)
+  static const bool available = cpu_has_simd();
+  return available;
+#else
+  return cpu_has_simd();
+#endif
+}
+
+Backend active_backend() noexcept {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+void set_backend(Backend backend) noexcept {
+  if (backend == Backend::kSimd && !simd_available()) {
+    backend = Backend::kAutoVec;
+  }
+  backend_slot().store(backend, std::memory_order_relaxed);
+}
+
+const KernelTable& kernels() noexcept { return kernels(active_backend()); }
+
+const KernelTable& kernels(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalarRef:
+      return detail::kScalarTable;
+    case Backend::kAutoVec:
+      return detail::kAutoVecTable;
+    case Backend::kSimd:
+#if defined(FCM_SIMD_AVX2) || defined(FCM_SIMD_NEON)
+      if (simd_available()) return detail::kSimdTable;
+#endif
+      return detail::kAutoVecTable;
+  }
+  return detail::kAutoVecTable;
+}
+
+const char* backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalarRef:
+      return "scalar";
+    case Backend::kAutoVec:
+      return "auto";
+    case Backend::kSimd:
+      return "simd";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) noexcept {
+  if (name == "scalar") return Backend::kScalarRef;
+  if (name == "auto") return Backend::kAutoVec;
+  if (name == "simd") return Backend::kSimd;
+  return std::nullopt;
+}
+
+}  // namespace fcm::simd

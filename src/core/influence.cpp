@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/simd.h"
 
 namespace fcm::core {
 
@@ -10,6 +11,33 @@ namespace {
 std::uint64_t pair_key(std::size_t from, std::size_t to) noexcept {
   return (static_cast<std::uint64_t>(from) << 32) |
          static_cast<std::uint64_t>(to);
+}
+
+// Eq. 2 over a pair's factors with the Eq. 1 triple products evaluated as
+// one SoA batch: out[i] = (occ[i] * trans[i]) * eff[i], the exact
+// association order of Probability::both chaining, so each batched product
+// is bit-identical to InfluenceFactor::probability(). Factors in [0,1]
+// multiply into [0,1], so Probability::clamped is a bitwise pass-through.
+Probability combine_factors(const std::vector<InfluenceFactor>& factors) {
+  const std::size_t m = factors.size();
+  std::vector<double> soa(4 * m);
+  double* occurrence = soa.data();
+  double* transmission = occurrence + m;
+  double* effect = transmission + m;
+  double* product = effect + m;
+  for (std::size_t i = 0; i < m; ++i) {
+    occurrence[i] = factors[i].occurrence.value();
+    transmission[i] = factors[i].transmission.value();
+    effect[i] = factors[i].effect.value();
+  }
+  simd::kernels().triple_product(occurrence, transmission, effect, product,
+                                 m);
+  std::vector<Probability> ps;
+  ps.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    ps.push_back(Probability::clamped(product[i]));
+  }
+  return any_of(ps);  // Eq. 2
 }
 }  // namespace
 
@@ -142,12 +170,7 @@ Probability InfluenceModel::influence(FcmId from, FcmId to) const {
     if (data.direct) {
       result = *data.direct;
     } else {
-      std::vector<Probability> ps;
-      ps.reserve(data.factors.size());
-      for (const InfluenceFactor& f : data.factors) {
-        ps.push_back(f.probability());
-      }
-      result = any_of(ps);  // Eq. 2
+      result = combine_factors(data.factors);
     }
   }
   value_cache_.emplace(key, result);

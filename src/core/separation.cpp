@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/simd.h"
 #include "obs/obs.h"
 
 namespace fcm::core {
@@ -42,12 +43,20 @@ Probability SeparationAnalysis::separation(std::size_t i,
 
 Probability SeparationAnalysis::min_separation() const {
   FCM_REQUIRE(series_.size() >= 2, "separation needs at least two members");
+  // Batched row kernel: min over clamp01(1 - s[i][j]) for j != i. The fold
+  // is reorder-safe — every operand is clamped to [0,1] first (NaN -> 0, the
+  // Probability::clamped contract), and min over non-NaN values is
+  // order-independent — so splitting each row at the diagonal and
+  // vectorizing inside the segments reproduces the serial scan exactly.
+  const std::size_t n = series_.size();
+  const double* data = series_.data();
+  const simd::KernelTable& kernels = simd::kernels();
   double min_value = 1.0;
-  for (std::size_t i = 0; i < series_.size(); ++i) {
-    for (std::size_t j = 0; j < series_.size(); ++j) {
-      if (i == j) continue;
-      min_value = std::min(min_value, separation(i, j).value());
-    }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = data + i * n;
+    min_value = std::min(min_value, kernels.min_complement(row, i));
+    min_value = std::min(
+        min_value, kernels.min_complement(row + i + 1, n - i - 1));
   }
   return Probability::clamped(min_value);
 }

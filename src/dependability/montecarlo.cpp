@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <map>
 
+#include "common/batch_rng.h"
 #include "common/error.h"
 #include "common/ksum.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "exec/executor.h"
 #include "obs/obs.h"
 
@@ -40,10 +42,11 @@ struct BlockTally {
 
 // Reusable per-worker scratch, allocated once per thread instead of per
 // trial (the propagation edge-state vector dominated allocation cost in the
-// single-threaded engine).
+// single-threaded engine). SoA layout: byte flags instead of vector<bool>
+// so the batched comparison kernel can write failure masks directly.
 struct WorkerScratch {
-  std::vector<bool> hw_failed;
-  std::vector<bool> module_failed;
+  std::vector<std::uint8_t> hw_failed;
+  std::vector<std::uint8_t> module_failed;
   std::vector<std::int8_t> edge_state;  // -1 unsampled, 0 no, 1 yes
 };
 
@@ -59,17 +62,27 @@ void run_block(const mapping::SwGraph& sw,
   NeumaierSum loss_sum;
   const auto& edges = sw.influence_graph().edges();
 
+  // BatchRng continues rng's exact stream through the SIMD backends:
+  // uniforms are generated in batches, consumed in the same order and under
+  // the same conditions as before, so every sampled value is bit-identical
+  // to the serial engine for every backend and thread count.
+  BatchRng batch(rng);
+  const std::size_t hw_count = hw.node_count();
+
   for (std::uint32_t trial = first_trial; trial < last_trial; ++trial) {
-    // 1. HW node failures.
-    for (std::size_t n = 0; n < hw.node_count(); ++n) {
-      scratch.hw_failed[n] = rng.chance(mission.hw_failure);
-    }
-    // 2. Module failures: host HW down, or intrinsic SW fault.
+    // 1. HW node failures: one fused SoA lottery batch per trial (identical
+    // flags to fill + less_than, without materializing the uniforms).
+    batch.bernoulli(mission.hw_failure.value(), scratch.hw_failed.data(),
+                    hw_count);
+    // 2. Module failures: host HW down, or intrinsic SW fault. The
+    // short-circuit is load-bearing: a module on a dead host draws no SW
+    // fault lottery, exactly as before.
     for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
       const std::uint32_t cluster = clustering.partition.cluster_of[v];
       const HwNodeId host = assignment.hw_of[cluster];
-      scratch.module_failed[v] =
-          scratch.hw_failed[host.value()] || rng.chance(mission.sw_fault);
+      scratch.module_failed[v] = static_cast<std::uint8_t>(
+          scratch.hw_failed[host.value()] != 0 ||
+          batch.chance(mission.sw_fault));
     }
     // 3. Propagation along influence edges to a fixed point. Each edge is
     // sampled at most once per trial (a module corrupts a neighbor or not).
@@ -89,11 +102,11 @@ void run_block(const mapping::SwGraph& sw,
           if (edge.weight <= 0.0) continue;  // replica links don't propagate
           if (scratch.edge_state[e] < 0) {
             scratch.edge_state[e] =
-                rng.chance(Probability::clamped(edge.weight)) ? 1 : 0;
+                batch.chance(Probability::clamped(edge.weight)) ? 1 : 0;
             ++tally.edges_sampled;
           }
           if (scratch.edge_state[e] == 1) {
-            scratch.module_failed[edge.to] = true;
+            scratch.module_failed[edge.to] = 1;
             changed = true;
           }
         }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/simd.h"
 #include "exec/executor.h"
 #include "graph/csr.h"
 #include "obs/obs.h"
@@ -14,32 +15,54 @@ namespace fcm::graph {
 
 namespace {
 
-// term' rows [r0, r1) of term × p, dense and column-tiled. Per output
-// element the k-accumulation order matches the reference loop exactly.
+// term' rows [r0, r1) of term × p, dense and column-tiled. The nonzero
+// coefficients of the term row and their p rows are gathered once, then each
+// column tile goes through the fused axpy_rows kernel: per output element
+// the k-accumulation order still matches the reference loop exactly (the
+// kernel folds rows in ascending k per element, vectorizes across j only,
+// and never contracts mul+add), while out is loaded and stored once per
+// tile sweep instead of once per k.
 void dense_rows(const double* term, const double* p, double* next,
                 std::size_t n, std::size_t r0, std::size_t r1,
                 std::size_t col_block) {
+  const simd::KernelTable& kernels = simd::kernels();
+  std::vector<double> coeffs;
+  std::vector<const double*> rows;
+  std::vector<const double*> tile;
+  coeffs.reserve(n);
+  rows.reserve(n);
+  tile.reserve(n);
   for (std::size_t i = r0; i < r1; ++i) {
     double* out = next + i * n;
     std::fill(out, out + n, 0.0);
     const double* trow = term + i * n;
+    coeffs.clear();
+    rows.clear();
+    for (std::size_t k = 0; k < n; ++k) {
+      const double a = trow[k];
+      if (a == 0.0) continue;
+      coeffs.push_back(a);
+      rows.push_back(p + k * n);
+    }
+    if (coeffs.empty()) continue;
+    tile.resize(rows.size());
     for (std::size_t jb = 0; jb < n; jb += col_block) {
       const std::size_t je = std::min(n, jb + col_block);
-      for (std::size_t k = 0; k < n; ++k) {
-        const double a = trow[k];
-        if (a == 0.0) continue;
-        const double* prow = p + k * n;
-        for (std::size_t j = jb; j < je; ++j) out[j] += a * prow[j];
-      }
+      for (std::size_t r = 0; r < rows.size(); ++r) tile[r] = rows[r] + jb;
+      kernels.axpy_rows(out + jb, tile.data(), coeffs.data(), rows.size(),
+                        je - jb);
     }
   }
 }
 
 // term' rows [r0, r1) of term × p with p in CSR form: skips exactly the
 // p[k][j] == 0.0 contributions, which are additive no-ops for nonnegative
-// matrices.
+// matrices. The per-k entry run goes through the lane-blocked CSR axpy
+// kernel; columns ascend within a run, so the scattered adds touch distinct
+// outputs and per-element values are unchanged.
 void sparse_rows(const double* term, const CsrMatrix& p, double* next,
                  std::size_t n, std::size_t r0, std::size_t r1) {
+  const simd::KernelTable& kernels = simd::kernels();
   const std::uint32_t* cols = p.cols();
   const double* vals = p.values();
   for (std::size_t i = r0; i < r1; ++i) {
@@ -49,10 +72,9 @@ void sparse_rows(const double* term, const CsrMatrix& p, double* next,
     for (std::size_t k = 0; k < n; ++k) {
       const double a = trow[k];
       if (a == 0.0) continue;
-      const std::size_t end = p.row_end(k);
-      for (std::size_t e = p.row_begin(k); e < end; ++e) {
-        out[cols[e]] += a * vals[e];
-      }
+      const std::size_t begin = p.row_begin(k);
+      kernels.csr_axpy(out, cols + begin, vals + begin, a,
+                       p.row_end(k) - begin);
     }
   }
 }

@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <map>
 
+#include "common/batch_rng.h"
 #include "common/error.h"
 #include "common/ksum.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "exec/executor.h"
 #include "obs/obs.h"
 
@@ -47,10 +49,12 @@ std::vector<ProcessInfo> group_processes(const mapping::SwGraph& sw) {
   return processes;
 }
 
-// Per-worker scratch, allocated once per lane instead of per trial.
+// Per-worker scratch, allocated once per lane instead of per trial. Byte
+// flags (not vector<bool>) so the batched comparison kernel can write the
+// tilted failure mask directly.
 struct WorkerScratch {
-  std::vector<bool> hw_failed;
-  std::vector<bool> module_failed;
+  std::vector<std::uint8_t> hw_failed;
+  std::vector<std::uint8_t> module_failed;
   std::vector<std::int8_t> edge_state;  // -1 unsampled, 0 no, 1 yes
 };
 
@@ -80,21 +84,28 @@ void run_block(const mapping::SwGraph& sw,
   const double ratio_ok = tilt < 1.0 ? (1.0 - q) / (1.0 - tilt) : 0.0;
   const auto& edges = sw.influence_graph().edges();
 
+  // Batched generation over rng's exact stream (see montecarlo.cpp); the
+  // per-host likelihood factors still multiply serially in host order, so
+  // the trial weight is bit-identical on every backend.
+  BatchRng batch(rng);
+
   for (std::uint32_t trial = first_trial; trial < last_trial; ++trial) {
     // 1. HW node failures from the tilted distribution, weighted by the
-    // exact likelihood ratio of the nominal distribution.
+    // exact likelihood ratio of the nominal distribution (fused lottery —
+    // identical flags to fill + less_than).
+    batch.bernoulli(tilt, scratch.hw_failed.data(), hw_count);
     double weight = 1.0;
     for (std::size_t n = 0; n < hw_count; ++n) {
-      const bool failed = rng.uniform() < tilt;
-      scratch.hw_failed[n] = failed;
-      weight *= failed ? ratio_fail : ratio_ok;
+      weight *= scratch.hw_failed[n] != 0 ? ratio_fail : ratio_ok;
     }
     // 2. Module failures: host down, or intrinsic SW fault (nominal coin —
-    // only the host process is tilted).
+    // only the host process is tilted; the short-circuit that skips the SW
+    // lottery on a dead host is preserved).
     for (graph::NodeIndex v = 0; v < sw.node_count(); ++v) {
       const HwNodeId host = assignment.host(partition.cluster_of[v]);
-      scratch.module_failed[v] =
-          scratch.hw_failed[host.value()] || rng.chance(options.sw_fault);
+      scratch.module_failed[v] = static_cast<std::uint8_t>(
+          scratch.hw_failed[host.value()] != 0 ||
+          batch.chance(options.sw_fault));
     }
     // 3. Propagation along influence edges to a fixed point, each edge
     // sampled at most once per trial (the montecarlo.cpp dynamics).
@@ -113,10 +124,10 @@ void run_block(const mapping::SwGraph& sw,
           if (edge.weight <= 0.0) continue;
           if (scratch.edge_state[e] < 0) {
             scratch.edge_state[e] =
-                rng.chance(Probability::clamped(edge.weight)) ? 1 : 0;
+                batch.chance(Probability::clamped(edge.weight)) ? 1 : 0;
           }
           if (scratch.edge_state[e] == 1) {
-            scratch.module_failed[edge.to] = true;
+            scratch.module_failed[edge.to] = 1;
             changed = true;
           }
         }

@@ -11,6 +11,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "graph/csr.h"
 #include "graph/matrix.h"
 
@@ -63,6 +64,71 @@ TEST(CsrMatrix, DropsExactZerosOnly) {
   const CsrMatrix csr(m);
   EXPECT_EQ(csr.nonzeros(), 2u);
   expect_bitwise_equal(csr.to_dense(), m);
+}
+
+TEST(CsrMatrix, TripletConstructorHandlesEmptyTrailingRows) {
+  // Rows 3..6 hold no entries: their spans must be empty (row_ptr still has
+  // n + 1 monotone offsets), explicit zeros are dropped, and the CSR-direct
+  // series over the ragged structure must match the dense reference bitwise.
+  const std::size_t n = 7;
+  const CsrMatrix csr(
+      n, {{0, 2, 0.4}, {0, 5, 0.1}, {2, 0, 0.3}, {2, 6, 0.25}, {1, 4, 0.0}});
+  EXPECT_EQ(csr.nonzeros(), 4u);
+  for (std::size_t r = 3; r < n; ++r) {
+    EXPECT_EQ(csr.row_begin(r), csr.row_end(r)) << "row " << r;
+  }
+  EXPECT_EQ(csr.row_begin(1), csr.row_end(1));  // interior empty row too
+  const Matrix dense = csr.to_dense();
+  SeriesOptions options;
+  options.max_order = 6;
+  options.kernel = SeriesKernel::kSparse;
+  expect_bitwise_equal(power_series_sum(csr, options),
+                       power_series_sum_reference(dense, options.max_order));
+}
+
+TEST(SeriesKernels, EmptyTrailingRowsMatchReference) {
+  // All-zero final rows: the CSR row loop sees empty trailing spans and the
+  // dense gather collects zero coefficients for those output rows. Sizes
+  // straddle the 4/8 lane widths so the batched remainder runs too.
+  for (const std::size_t n : {5u, 13u}) {
+    Matrix p = random_influence(n, 0.4, 17);
+    for (std::size_t j = 0; j < n; ++j) {
+      p.at(n - 1, j) = 0.0;
+      p.at(n - 2, j) = 0.0;
+    }
+    const Matrix reference = power_series_sum_reference(p, 6);
+    for (const SeriesKernel kernel : {SeriesKernel::kDense,
+                                      SeriesKernel::kSparse,
+                                      SeriesKernel::kAuto}) {
+      SeriesOptions options;
+      options.max_order = 6;
+      options.kernel = kernel;
+      expect_bitwise_equal(power_series_sum(p, options), reference);
+    }
+  }
+}
+
+TEST(SeriesKernels, BitwiseIdenticalAcrossSimdBackends) {
+  // The SoA row kernels must give the same bits no matter which backend the
+  // dispatcher picked. n = 23 with col_block = 16 leaves a ragged 7-wide
+  // column tile, so the vector remainder paths are on trial as well.
+  const Matrix p = random_influence(23, 0.3, 29);
+  const simd::Backend saved = simd::active_backend();
+  for (const SeriesKernel kernel : {SeriesKernel::kDense,
+                                    SeriesKernel::kSparse}) {
+    SeriesOptions options;
+    options.max_order = 8;
+    options.kernel = kernel;
+    options.col_block = 16;
+    simd::set_backend(simd::Backend::kScalarRef);
+    const Matrix reference = power_series_sum(p, options);
+    for (const simd::Backend b :
+         {simd::Backend::kAutoVec, simd::Backend::kSimd}) {
+      simd::set_backend(b);
+      expect_bitwise_equal(power_series_sum(p, options), reference);
+    }
+  }
+  simd::set_backend(saved);
 }
 
 TEST(Matrix, UncheckedAccessMatchesChecked) {
